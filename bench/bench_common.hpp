@@ -1,0 +1,92 @@
+// Shared plumbing for the figure-reproduction benches: suite loading with
+// the env-controlled scale, mean-over-suite simulation sweeps, and uniform
+// headers so every binary's output reads the same way.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/engine.hpp"
+#include "testbed/cache.hpp"
+#include "testbed/suite.hpp"
+
+namespace scc::benchutil {
+
+/// Load (or generate) the Table-I suite, reporting what was done. Honour
+/// SCC_TESTBED_SCALE for quick smoke runs.
+inline std::vector<testbed::SuiteEntry> load_suite() {
+  const double scale = testbed::suite_scale_from_env();
+  std::cerr << "[suite] building Table-I testbed at scale " << scale
+            << " (cache: " << testbed::cache_directory() << ") ..." << std::flush;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto suite = testbed::build_suite(scale);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  nnz_t total = 0;
+  for (const auto& e : suite) total += e.matrix.nnz();
+  std::cerr << " done in " << Table::num(secs, 1) << "s (" << total << " nonzeros total)\n";
+  return suite;
+}
+
+/// Mean whole-run GFLOPS over the suite for one configuration.
+inline double suite_mean_gflops(const sim::Engine& engine,
+                                const std::vector<testbed::SuiteEntry>& suite, int ue_count,
+                                chip::MappingPolicy policy,
+                                sim::SpmvVariant variant = sim::SpmvVariant::kCsr) {
+  std::vector<double> gflops;
+  gflops.reserve(suite.size());
+  for (const auto& e : suite) {
+    gflops.push_back(engine.run(e.matrix, ue_count, policy, variant).gflops);
+  }
+  return mean(gflops);
+}
+
+/// Mean single-core GFLOPS at a forced hop distance (Fig 3).
+inline double suite_mean_gflops_at_hops(const sim::Engine& engine,
+                                        const std::vector<testbed::SuiteEntry>& suite,
+                                        int hops) {
+  std::vector<double> gflops;
+  gflops.reserve(suite.size());
+  for (const auto& e : suite) {
+    gflops.push_back(engine.run_single_core_at_hops(e.matrix, hops).gflops);
+  }
+  return mean(gflops);
+}
+
+/// Print a table and, when $SCC_BENCH_CSV_DIR is set, also write it as
+/// <dir>/<stem>.csv -- machine-readable artifacts for plotting pipelines.
+inline void emit(const Table& table, const std::string& stem) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("SCC_BENCH_CSV_DIR"); dir != nullptr && *dir != '\0') {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / (stem + ".csv");
+    std::ofstream out(path);
+    if (out.is_open()) {
+      table.print_csv(out);
+      std::cerr << "[csv] wrote " << path.string() << '\n';
+    }
+  }
+}
+
+/// Banner every figure binary prints first.
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << figure << " -- " << what << "\n"
+            << "(simulated SCC; see DESIGN.md for the substitution notes)\n"
+            << "==========================================================\n";
+}
+
+/// The core counts the paper's per-core-count figures sweep.
+inline const std::vector<int>& core_count_sweep() {
+  static const std::vector<int> counts = {1, 2, 4, 8, 16, 24, 32, 48};
+  return counts;
+}
+
+}  // namespace scc::benchutil

@@ -1,0 +1,83 @@
+// Figure 4: the mapping diagrams -- which physical cores host the units of
+// execution under (a) the standard and (b) the distance-reduction
+// configuration. The paper draws the chip; we print it: a 6x4 tile grid,
+// each tile showing its two cores, with hosted UE ranks marked. The paper's
+// worked example (4 UEs -> cores 0,1,10,11 under distance reduction) is
+// checked explicitly.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace scc;
+
+void print_chip(std::ostream& os, const std::vector<int>& cores) {
+  // rank_of[core] = UE rank or -1.
+  std::vector<int> rank_of(static_cast<std::size_t>(chip::kCoreCount), -1);
+  for (std::size_t rank = 0; rank < cores.size(); ++rank) {
+    rank_of[static_cast<std::size_t>(cores[rank])] = static_cast<int>(rank);
+  }
+  // Print rows top (y=3) to bottom (y=0) so the MC rows sit like Fig 1(a).
+  for (int y = chip::kMeshHeight - 1; y >= 0; --y) {
+    std::ostringstream top, bottom;
+    for (int x = 0; x < chip::kMeshWidth; ++x) {
+      const int tile = y * chip::kMeshWidth + x;
+      const auto pair = chip::cores_of_tile(tile);
+      auto cell = [&](int core) {
+        std::ostringstream c;
+        const int rank = rank_of[static_cast<std::size_t>(core)];
+        c << std::setw(2) << core;
+        if (rank >= 0) {
+          c << "=U" << std::left << std::setw(2) << rank << std::right;
+        } else {
+          c << "    ";
+        }
+        return c.str();
+      };
+      top << '|' << cell(pair[0]) << ' ' << cell(pair[1]);
+    }
+    top << '|';
+    os << top.str() << '\n';
+  }
+  // Memory-controller legend row.
+  os << "MC0 @(0,0)  MC1 @(5,0)  MC2 @(0,2)  MC3 @(5,2)   (tile rows shown top=y3)\n";
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 4", "UE-to-core mapping diagrams (standard vs distance reduction)");
+
+  bool example_ok = true;
+  for (int ues : {4, 24}) {
+    for (auto policy :
+         {chip::MappingPolicy::kStandard, chip::MappingPolicy::kDistanceReduction}) {
+      const auto cores = chip::map_ues_to_cores(policy, ues);
+      std::cout << "\n-- " << chip::to_string(policy) << ", " << ues << " UEs --\n";
+      print_chip(std::cout, cores);
+      std::cout << "avg hops " << Table::num(chip::average_hops(cores), 2)
+                << ", max UEs per MC " << chip::max_cores_per_mc(cores) << '\n';
+    }
+  }
+
+  // The paper's example: 4 UEs under distance reduction -> cores 0,1,10,11.
+  const auto example =
+      chip::map_ues_to_cores(chip::MappingPolicy::kDistanceReduction, 4);
+  example_ok = example == std::vector<int>{0, 1, 10, 11};
+
+  const bool ok = check_claims(
+      std::cout,
+      {{"4-UE distance-reduction example is cores {0,1,10,11} (1=yes)", 1.0,
+        example_ok ? 1.0 : 0.0, 0.0},
+       {"standard 4-UE example is cores {0,1,2,3} (1=yes)", 1.0,
+        chip::map_ues_to_cores(chip::MappingPolicy::kStandard, 4) ==
+                std::vector<int>{0, 1, 2, 3}
+            ? 1.0
+            : 0.0,
+        0.0}});
+  return ok ? 0 : 1;
+}

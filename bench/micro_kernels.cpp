@@ -1,0 +1,104 @@
+// google-benchmark microbenches of the host kernels (not a paper figure):
+// wall-clock throughput of the CSR/COO/ELL/no-x-miss/OpenMP kernels on
+// generated matrices of the testbed's structural families. Useful for
+// regression-tracking the library itself, independent of the SCC simulator.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "spmv/kernels.hpp"
+
+namespace {
+
+using namespace scc;
+
+sparse::CsrMatrix matrix_for(int family, index_t n) {
+  switch (family) {
+    case 0: return gen::banded(n, 20, 0.5, 1);
+    case 1: return gen::random_uniform(n, 10, 1);
+    case 2: return gen::power_law(n, 10, 1.1, 1);
+    default: return gen::circuit(n, 2.0, 0.4, 1);
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0: return "banded";
+    case 1: return "random";
+    case 2: return "power-law";
+    default: return "circuit";
+  }
+}
+
+void run_with_flops(benchmark::State& state, const sparse::CsrMatrix& m,
+                    const std::function<void(std::span<const real_t>, std::span<real_t>)>& f) {
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()), 1.0);
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()), 0.0);
+  for (auto _ : state) {
+    f(x, y);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(m.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SpmvCsr(benchmark::State& state) {
+  const auto m = matrix_for(static_cast<int>(state.range(0)),
+                            static_cast<index_t>(state.range(1)));
+  state.SetLabel(family_name(static_cast<int>(state.range(0))));
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_csr(m, x, y); });
+}
+BENCHMARK(BM_SpmvCsr)
+    ->ArgsProduct({{0, 1, 2, 3}, {10000, 100000}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvCsrNoXMiss(benchmark::State& state) {
+  const auto m = matrix_for(1, static_cast<index_t>(state.range(0)));
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_csr_no_x_miss(m, x, y); });
+}
+BENCHMARK(BM_SpmvCsrNoXMiss)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvCoo(benchmark::State& state) {
+  const auto m = matrix_for(0, static_cast<index_t>(state.range(0)));
+  const auto coo = m.to_coo();
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_coo(coo, x, y); });
+}
+BENCHMARK(BM_SpmvCoo)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvEll(benchmark::State& state) {
+  const auto m = matrix_for(0, static_cast<index_t>(state.range(0)));
+  const auto ell = sparse::EllMatrix::from_csr(m, 50.0);
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_ell(ell, x, y); });
+}
+BENCHMARK(BM_SpmvEll)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvBcsr(benchmark::State& state) {
+  // FEM-like matrix with natural 4x4 block structure.
+  const auto m = gen::fem_blocks(static_cast<index_t>(state.range(0)) / 4, 4, 2, 1);
+  const auto bcsr = sparse::BcsrMatrix::from_csr(m, static_cast<index_t>(state.range(1)), 64.0);
+  state.SetLabel("fill=" + std::to_string(bcsr.fill_ratio()));
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_bcsr(bcsr, x, y); });
+}
+BENCHMARK(BM_SpmvBcsr)->ArgsProduct({{20000}, {1, 2, 4}})->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvHyb(benchmark::State& state) {
+  const auto m = matrix_for(2, static_cast<index_t>(state.range(0)));
+  const auto hyb = sparse::HybMatrix::from_csr(m);
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_hyb(hyb, x, y); });
+}
+BENCHMARK(BM_SpmvHyb)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_SpmvParallel(benchmark::State& state) {
+  const auto m = matrix_for(2, 100000);
+  const int threads = static_cast<int>(state.range(0));
+  run_with_flops(state, m, [&](auto x, auto y) { spmv::spmv_csr_parallel(m, x, y, threads); });
+}
+BENCHMARK(BM_SpmvParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

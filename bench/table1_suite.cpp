@@ -1,0 +1,52 @@
+// Table I: the matrix benchmark suite -- n, nnz, nnz/n and working set for
+// all 32 matrices, plus the structural properties the later figures key on.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sparse/properties.hpp"
+
+int main() {
+  using namespace scc;
+  benchutil::banner("Table I", "matrix benchmark suite");
+  const auto suite = benchutil::load_suite();
+
+  Table table("Table I -- matrix benchmark suite (synthetic stand-ins, see DESIGN.md)");
+  table.set_header({"#", "Matrix", "family", "n", "nnz", "nnz/n", "ws (MB)", "bandwidth",
+                    "x-line reuse"});
+  for (const auto& e : suite) {
+    table.add_row({Table::integer(e.id), e.name, e.family, Table::integer(e.matrix.rows()),
+                   Table::integer(e.matrix.nnz()), Table::num(e.nnz_per_row, 1),
+                   Table::num(static_cast<double>(e.working_set) / (1024.0 * 1024.0), 2),
+                   Table::integer(sparse::bandwidth(e.matrix)),
+                   Table::num(sparse::x_line_reuse_fraction(e.matrix), 2)});
+  }
+  scc::benchutil::emit(table, "table1_suite");
+
+  // Regime checks that the paper's Fig 6 discussion depends on.
+  int fits_l2_at_24 = 0;
+  int fits_l2_at_8 = 0;
+  bytes_t min_ws = suite.front().working_set;
+  bytes_t max_ws = min_ws;
+  for (const auto& e : suite) {
+    if (e.working_set / 24 < 256 * 1024) ++fits_l2_at_24;
+    if (e.working_set / 8 < 256 * 1024) ++fits_l2_at_8;
+    min_ws = std::min(min_ws, e.working_set);
+    max_ws = std::max(max_ws, e.working_set);
+  }
+  std::cout << "\nSuite regime summary:\n"
+            << "  working-set range: " << Table::num(static_cast<double>(min_ws) / 1048576.0, 2)
+            << " - " << Table::num(static_cast<double>(max_ws) / 1048576.0, 2) << " MB\n"
+            << "  matrices with ws/core < 256KB at 8 cores:  " << fits_l2_at_8 << "\n"
+            << "  matrices with ws/core < 256KB at 24 cores: " << fits_l2_at_24 << "\n";
+
+  const bool ok = check_claims(
+      std::cout,
+      {{"suite size", 32.0, static_cast<double>(suite.size()), 0.0},
+       {"no matrix fits L2 per-core at 8 cores (paper, Sec IV-B)", 0.0,
+        static_cast<double>(fits_l2_at_8), 0.0},
+       {"many matrices fit L2 per-core at 24 cores", 14.0, static_cast<double>(fits_l2_at_24),
+        0.5},
+       {"shortest rows at #24 (rajat15)", 2.6, suite[23].nnz_per_row, 0.3},
+       {"shortest rows at #25 (ncvxbqp1)", 2.8, suite[24].nnz_per_row, 0.3}});
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "archcmp/machines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scc::archcmp {
+
+double predicted_spmv_gflops(const MachineSpec& machine) {
+  SCC_REQUIRE(machine.peak_dp_gflops > 0.0 && machine.sustained_bw_gbs > 0.0,
+              "machine spec incomplete: " << machine.name);
+  SCC_REQUIRE(machine.spmv_efficiency > 0.0 && machine.spmv_efficiency <= 1.0,
+              "spmv_efficiency must be in (0,1] for " << machine.name);
+  const double roofline =
+      std::min(machine.peak_dp_gflops, machine.sustained_bw_gbs / kSpmvBytesPerFlop);
+  return roofline * machine.spmv_efficiency;
+}
+
+double predicted_mflops_per_watt(const MachineSpec& machine) {
+  SCC_REQUIRE(machine.tdp_watts > 0.0, "machine TDP missing: " << machine.name);
+  return predicted_spmv_gflops(machine) * 1000.0 / machine.tdp_watts;
+}
+
+const std::vector<MachineSpec>& reference_machines() {
+  // Peaks/bandwidths/TDPs from vendor documentation; spmv_efficiency
+  // calibrated once against the paper's reported averages (see header).
+  static const std::vector<MachineSpec> machines = {
+      {
+          .name = "Itanium2 Montvale",
+          .cores = 2,
+          .clock_ghz = 1.6,
+          .peak_dp_gflops = 12.8,   // 6.4 GFLOPS/core, as the paper states
+          .sustained_bw_gbs = 10.6, // 667 MHz FSB, 128-bit
+          .tdp_watts = 104.0,
+          .spmv_efficiency = 0.48,
+      },
+      {
+          .name = "Xeon X5570",
+          .cores = 4,
+          .clock_ghz = 2.93,
+          .peak_dp_gflops = 46.9,
+          .sustained_bw_gbs = 32.0, // 3x DDR3-1333
+          .tdp_watts = 95.0,
+          .spmv_efficiency = 0.38,
+      },
+      {
+          .name = "Opteron 6174",
+          .cores = 12,
+          .clock_ghz = 2.2,
+          .peak_dp_gflops = 105.6,
+          .sustained_bw_gbs = 42.7, // 4x DDR3-1333
+          .tdp_watts = 115.0,       // the paper converts AMD's 80 W ACP to TDP
+          .spmv_efficiency = 0.40,
+      },
+      {
+          .name = "Tesla C1060",
+          .cores = 240,
+          .clock_ghz = 1.296,
+          .peak_dp_gflops = 78.0,
+          .sustained_bw_gbs = 102.0,
+          .tdp_watts = 188.0,
+          .spmv_efficiency = 0.28,
+      },
+      {
+          .name = "Tesla M2050",
+          .cores = 448,
+          .clock_ghz = 1.15,
+          .peak_dp_gflops = 515.2,
+          .sustained_bw_gbs = 148.0,
+          .tdp_watts = 225.0,
+          .spmv_efficiency = 0.32,
+      },
+  };
+  return machines;
+}
+
+const MachineSpec& machine_by_name(const std::string& name) {
+  for (const MachineSpec& m : reference_machines()) {
+    if (m.name == name) return m;
+  }
+  SCC_REQUIRE(false, "unknown reference machine '" << name << "'");
+  // unreachable
+  return reference_machines().front();
+}
+
+}  // namespace scc::archcmp

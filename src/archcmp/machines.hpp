@@ -1,0 +1,50 @@
+// Reference machines for the paper's architectural comparison (Section IV-E)
+// and the roofline-style SpMV predictor that stands in for running on them.
+//
+// SpMV is bandwidth-bound on every one of these systems (the paper's own
+// premise), so sustained performance is
+//     min(peak_dp_gflops, sustained_bw / spmv_bytes_per_flop) * spmv_efficiency
+// with a per-machine efficiency factor capturing how well the memory system
+// tolerates SpMV's irregular stream (prefetchers, MLP, GPU coalescing).
+// The efficiencies are calibrated against the averages the paper reports
+// (M2050 ~7.9 GFLOPS, speedups 2.4x/1.7x over Xeon/Opteron, SCC ahead of the
+// Itanium2 only); peak/bandwidth/TDP figures are the manufacturers' [see
+// machines.cpp]. We cannot run CUDA or icc on the absent hardware -- this
+// model reproduces the figure's ordering and ratios mechanistically from
+// public machine constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scc::archcmp {
+
+struct MachineSpec {
+  std::string name;
+  int cores = 0;
+  double clock_ghz = 0.0;
+  double peak_dp_gflops = 0.0;   ///< whole-chip double-precision peak
+  double sustained_bw_gbs = 0.0; ///< STREAM-class sustained memory bandwidth
+  double tdp_watts = 0.0;        ///< the paper compares on TDP
+  double spmv_efficiency = 0.0;  ///< fraction of the roofline bound SpMV sustains
+};
+
+/// Average bytes of memory traffic per floating-point operation for CSR
+/// double-precision SpMV: 12 bytes of matrix stream (8B value + 4B index)
+/// per 2 flops, i.e. 6 B/flop, the standard roofline number for CSR.
+inline constexpr double kSpmvBytesPerFlop = 6.0;
+
+/// Predicted sustained SpMV GFLOPS for a machine.
+double predicted_spmv_gflops(const MachineSpec& machine);
+
+/// Power efficiency in MFLOPS per watt, the paper's Fig 9b/10b metric.
+double predicted_mflops_per_watt(const MachineSpec& machine);
+
+/// The five comparison systems of the paper's Section IV-E, in its order:
+/// Itanium2 Montvale, Xeon X5570, Opteron 6174, Tesla C1060, Tesla M2050.
+const std::vector<MachineSpec>& reference_machines();
+
+/// Find a reference machine by name (throws if absent).
+const MachineSpec& machine_by_name(const std::string& name);
+
+}  // namespace scc::archcmp

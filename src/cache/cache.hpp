@@ -1,0 +1,97 @@
+// Set-associative cache model with tree pseudo-LRU replacement.
+//
+// Models the SCC core caches the paper describes (Section II): 16 KB L1 and
+// 256 KB L2, both 4-way set associative with pseudo-LRU replacement and
+// write-back policy, 32-byte lines (P54C line size). The model is
+// trace-driven: `access()` is called per memory reference and updates
+// hit/miss/eviction statistics; it tracks tags and dirty bits only (no data),
+// which is all the timing model needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace scc::cache {
+
+struct CacheConfig {
+  bytes_t size_bytes = 256 * 1024;
+  bytes_t line_bytes = 32;
+  int ways = 4;
+
+  int sets() const {
+    return static_cast<int>(size_bytes / (line_bytes * static_cast<bytes_t>(ways)));
+  }
+
+  /// Throws unless sizes are positive powers of two and consistent.
+  void validate() const;
+};
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+
+  std::uint64_t hits() const { return read_hits + write_hits; }
+  std::uint64_t misses() const { return read_misses + write_misses; }
+  std::uint64_t accesses() const { return hits() + misses(); }
+  double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses()) / static_cast<double>(accesses());
+  }
+
+  CacheStats& operator+=(const CacheStats& other);
+};
+
+/// Outcome of a single cache access, consumed by the next level / the timing
+/// model.
+struct AccessResult {
+  bool hit = false;
+  bool evicted_dirty = false;        ///< a dirty victim line must be written back
+  std::uint64_t victim_address = 0;  ///< base address of the victim line (valid
+                                     ///< only when evicted_dirty)
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Look up `address`; on miss, fill the line (allocate-on-write policy,
+  /// matching the write-back L2 the paper describes) evicting the
+  /// pseudo-LRU way.
+  AccessResult access(std::uint64_t address, bool is_write);
+
+  /// Invalidate everything (the SCC has no coherence; software flushes).
+  /// Dirty lines are counted as writebacks, as a software flush would cause.
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// True if the line containing `address` is currently resident (test hook).
+  bool contains(std::uint64_t address) const;
+
+ private:
+  int victim_way(int set) const;
+  void touch(int set, int way);
+
+  CacheConfig config_;
+  int sets_;
+  int line_shift_;
+  std::uint64_t set_mask_;
+  // tag per (set, way); kEmpty means invalid. Dirty bits packed separately.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> dirty_;
+  // Tree pseudo-LRU state: (ways-1) bits per set, packed in a byte/word.
+  std::vector<std::uint32_t> plru_;
+  CacheStats stats_;
+};
+
+}  // namespace scc::cache

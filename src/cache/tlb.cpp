@@ -1,0 +1,25 @@
+#include "cache/tlb.hpp"
+
+namespace scc::cache {
+
+namespace {
+
+CacheConfig as_cache_config(const TlbConfig& config) {
+  SCC_REQUIRE(config.entries > 0 && config.ways > 0 && config.entries % config.ways == 0,
+              "TLB entries " << config.entries << " not divisible by ways " << config.ways);
+  return CacheConfig{
+      .size_bytes = static_cast<bytes_t>(config.entries) * config.page_bytes,
+      .line_bytes = config.page_bytes,
+      .ways = config.ways,
+  };
+}
+
+}  // namespace
+
+Tlb::Tlb(const TlbConfig& config) : config_(config), cache_(as_cache_config(config)) {}
+
+bool Tlb::access(std::uint64_t address) {
+  return cache_.access(address, /*is_write=*/false).hit;
+}
+
+}  // namespace scc::cache

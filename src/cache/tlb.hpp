@@ -1,0 +1,37 @@
+// Data-TLB model of the P54C core: 64 entries, 4-way set associative over
+// 4 KB pages. A TLB miss triggers a hardware page walk -- on the SCC that
+// means extra memory-system accesses, a cost the paper's irregular x
+// accesses pay constantly on large matrices and the "no-x-miss" variant
+// avoids entirely. Internally this is just a set-associative cache over
+// page-granular "lines" (pseudo-LRU, never dirty).
+#pragma once
+
+#include "cache/cache.hpp"
+
+namespace scc::cache {
+
+struct TlbConfig {
+  int entries = 64;
+  int ways = 4;
+  bytes_t page_bytes = 4096;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config = TlbConfig{});
+
+  /// Translate one access; returns true on a TLB hit.
+  bool access(std::uint64_t address);
+
+  std::uint64_t hits() const { return cache_.stats().read_hits; }
+  std::uint64_t misses() const { return cache_.stats().read_misses; }
+
+  void flush() { cache_.flush(); }
+  const TlbConfig& config() const { return config_; }
+
+ private:
+  TlbConfig config_;
+  Cache cache_;
+};
+
+}  // namespace scc::cache

@@ -1,0 +1,69 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace scc {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  SCC_REQUIRE(argc >= 1, "CliArgs requires argv[0]");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+long long CliArgs::get_int_or(const std::string& key, long long fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double_or(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+bool CliArgs::get_bool_or(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return *value == "true" || *value == "1" || *value == "yes" || *value == "on";
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& [key, _] : options_) out.push_back(key);
+  return out;
+}
+
+}  // namespace scc

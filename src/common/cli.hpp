@@ -1,0 +1,41 @@
+// Minimal command-line option parsing for the bench and example binaries.
+//
+// Supports `--key=value`, `--key value` and boolean `--flag` forms; anything
+// not starting with "--" is a positional argument. Unknown keys are kept so
+// binaries can reject them explicitly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scc {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& key) const { return options_.count(key) != 0; }
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  long long get_int_or(const std::string& key, long long fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were parsed; lets binaries validate against a known set.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace scc

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking used across all libraries.
+//
+// The libraries are written library-style: user-facing entry points validate
+// their inputs with SCC_REQUIRE (always on, throws std::invalid_argument),
+// while internal consistency uses SCC_ASSERT (always on as well -- the cost
+// is negligible next to the trace-driven simulation work, and a simulator
+// that silently produces wrong numbers is worse than one that aborts).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scc {
+
+/// Error thrown when a simulated component is driven outside its contract
+/// (e.g. an out-of-range core id or a frequency the SCC cannot be set to).
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
+                                         const std::string& message);
+[[noreturn]] void throw_logic_error(const char* expr, const char* file, int line,
+                                    const std::string& message);
+
+}  // namespace detail
+}  // namespace scc
+
+/// Validate a user-supplied argument; throws std::invalid_argument on failure.
+#define SCC_REQUIRE(expr, message)                                                  \
+  do {                                                                              \
+    if (!(expr)) {                                                                  \
+      std::ostringstream scc_require_oss_;                                          \
+      scc_require_oss_ << message; /* NOLINT */                                     \
+      ::scc::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,              \
+                                            scc_require_oss_.str());                \
+    }                                                                               \
+  } while (false)
+
+/// Check an internal invariant; throws std::logic_error on failure.
+#define SCC_ASSERT(expr, message)                                                   \
+  do {                                                                              \
+    if (!(expr)) {                                                                  \
+      std::ostringstream scc_assert_oss_;                                           \
+      scc_assert_oss_ << message; /* NOLINT */                                      \
+      ::scc::detail::throw_logic_error(#expr, __FILE__, __LINE__,                   \
+                                       scc_assert_oss_.str());                      \
+    }                                                                               \
+  } while (false)

@@ -1,0 +1,109 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scc {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  double value = 0.0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  SCC_REQUIRE(rows_.empty(), "Table::set_header must precede data rows");
+  SCC_REQUIRE(!header.empty(), "Table header must not be empty");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SCC_REQUIRE(!header_.empty(), "Table::add_row requires a header");
+  SCC_REQUIRE(row.size() == header_.size(),
+              "Table row arity " << row.size() << " != header arity " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string Table::integer(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+  SCC_REQUIRE(!header_.empty(), "Table::print requires a header");
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = align_numeric && looks_numeric(row[c]);
+      os << ' ' << (right ? std::right : std::left) << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_, /*align_numeric=*/false);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row, /*align_numeric=*/true);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  SCC_REQUIRE(!header_.empty(), "Table::print_csv requires a header");
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      if (row[c].find(',') != std::string::npos) {
+        os << '"' << row[c] << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool check_claims(std::ostream& os, std::vector<ClaimCheck> claims) {
+  bool all_ok = true;
+  os << "\n-- reproduction check (paper vs. this simulator) --\n";
+  for (auto& c : claims) {
+    const double denom = std::abs(c.expected) > 1e-12 ? std::abs(c.expected) : 1.0;
+    const double rel = std::abs(c.measured - c.expected) / denom;
+    c.ok = rel <= c.tolerance;
+    all_ok = all_ok && c.ok;
+    os << "  [" << (c.ok ? "ok" : "OFF") << "] " << c.claim << ": paper=" << Table::num(c.expected)
+       << " measured=" << Table::num(c.measured) << " (rel.dev " << Table::num(rel * 100.0, 1)
+       << "%, tol " << Table::num(c.tolerance * 100.0, 0) << "%)\n";
+  }
+  return all_ok;
+}
+
+}  // namespace scc

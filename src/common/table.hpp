@@ -1,0 +1,57 @@
+// ASCII table / CSV rendering used by the benchmark binaries so each one can
+// print its paper table or figure series in a readable, diffable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scc {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric helpers format with a fixed precision. Rendering right-aligns
+/// cells that parse as numbers and left-aligns everything else.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row; must be called before any data row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Format helpers for building rows.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(long long value);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows); cells containing commas are quoted.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One paper-vs-measured claim line; `ok` is filled by `check()`.
+struct ClaimCheck {
+  std::string claim;      ///< e.g. "3-hop degradation ~12%"
+  double expected;        ///< the paper's value
+  double measured;        ///< our simulator's value
+  double tolerance;       ///< acceptable relative deviation (e.g. 0.5 = 50%)
+  bool ok = false;
+};
+
+/// Evaluate and pretty-print a block of reproduction claims; returns true if
+/// every claim is within tolerance. Used at the bottom of each figure bench.
+bool check_claims(std::ostream& os, std::vector<ClaimCheck> claims);
+
+}  // namespace scc

@@ -1,0 +1,25 @@
+// Fundamental scalar and index types shared across the scc-spmv libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scc {
+
+/// Row/column index type. The paper's testbed uses 32-bit integer indexing
+/// (Table I working-set formula assumes 4-byte indices), so the library does
+/// too; sizes/counters that can exceed 2^31 use `nnz_t`.
+using index_t = std::int32_t;
+
+/// Nonzero counter / offset type (the `ptr` array of CSR). 64-bit so that
+/// accumulated counts across a suite of matrices cannot overflow.
+using nnz_t = std::int64_t;
+
+/// Matrix value type: the paper uses double-precision arithmetic throughout.
+using real_t = double;
+
+/// Bytes, cycles and picosecond counts used by the architectural model.
+using bytes_t = std::uint64_t;
+using cycles_t = std::uint64_t;
+
+}  // namespace scc

@@ -1,0 +1,232 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scc::gen {
+
+namespace {
+
+/// Nonzero values: uniform in [0.1, 1.1) so no accidental zeros and products
+/// stay well-conditioned for the correctness tests.
+real_t draw_value(Rng& rng) { return rng.uniform_real(0.1, 1.1); }
+
+}  // namespace
+
+sparse::CsrMatrix banded(index_t n, index_t half_bandwidth, double fill, std::uint64_t seed) {
+  SCC_REQUIRE(n > 0, "banded: n must be positive");
+  SCC_REQUIRE(half_bandwidth >= 0 && half_bandwidth < n, "banded: bad half bandwidth");
+  SCC_REQUIRE(fill >= 0.0 && fill <= 1.0, "banded: fill must be in [0,1]");
+  Rng rng(seed);
+  sparse::CooMatrix coo(n, n);
+  const auto expected =
+      static_cast<nnz_t>(static_cast<double>(n) * (1.0 + 2.0 * half_bandwidth * fill));
+  coo.reserve(expected);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, draw_value(rng));
+    const index_t lo = std::max<index_t>(0, i - half_bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, i + half_bandwidth);
+    for (index_t j = lo; j <= hi; ++j) {
+      if (j != i && rng.bernoulli(fill)) coo.add(i, j, draw_value(rng));
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix stencil_2d(index_t nx, index_t ny) {
+  SCC_REQUIRE(nx > 0 && ny > 0, "stencil_2d: grid dims must be positive");
+  const index_t n = nx * ny;
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(n) * 5);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      coo.add(i, i, 4.0);
+      if (x > 0) coo.add(i, i - 1, -1.0);
+      if (x < nx - 1) coo.add(i, i + 1, -1.0);
+      if (y > 0) coo.add(i, i - nx, -1.0);
+      if (y < ny - 1) coo.add(i, i + nx, -1.0);
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix stencil_3d(index_t nx, index_t ny, index_t nz) {
+  SCC_REQUIRE(nx > 0 && ny > 0 && nz > 0, "stencil_3d: grid dims must be positive");
+  const index_t n = nx * ny * nz;
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(n) * 7);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        coo.add(i, i, 6.0);
+        if (x > 0) coo.add(i, i - 1, -1.0);
+        if (x < nx - 1) coo.add(i, i + 1, -1.0);
+        if (y > 0) coo.add(i, i - nx, -1.0);
+        if (y < ny - 1) coo.add(i, i + nx, -1.0);
+        if (z > 0) coo.add(i, i - nx * ny, -1.0);
+        if (z < nz - 1) coo.add(i, i + nx * ny, -1.0);
+      }
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix fem_blocks(index_t n_blocks, index_t block, index_t couplings,
+                             std::uint64_t seed) {
+  SCC_REQUIRE(n_blocks > 0 && block > 0, "fem_blocks: sizes must be positive");
+  SCC_REQUIRE(couplings >= 0, "fem_blocks: couplings must be non-negative");
+  Rng rng(seed);
+  const index_t n = n_blocks * block;
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(n_blocks) *
+              (static_cast<nnz_t>(block) * block +
+               2 * static_cast<nnz_t>(couplings) * block));
+  for (index_t b = 0; b < n_blocks; ++b) {
+    const index_t base = b * block;
+    // Dense element block on the diagonal.
+    for (index_t i = 0; i < block; ++i) {
+      for (index_t j = 0; j < block; ++j) {
+        coo.add(base + i, base + j, i == j ? 2.0 : draw_value(rng));
+      }
+    }
+    // Couplings to other blocks. FEM meshes connect spatially close
+    // elements, but UFL matrices keep the mesh generator's node numbering,
+    // which scatters spatial neighbours across the index space -- so half
+    // the couplings land in a +/-8 block window and half anywhere. This
+    // long-range component is what gives real FEM matrices their large
+    // bandwidth and irregular x accesses.
+    for (index_t c = 0; c < couplings; ++c) {
+      index_t target;
+      if (rng.bernoulli(0.5) && n_blocks > 1) {
+        target = static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(n_blocks)));
+      } else {
+        const index_t offset = static_cast<index_t>(rng.uniform_in(1, 8));
+        target = (b + offset < n_blocks) ? b + offset : (b >= offset) ? b - offset : b;
+      }
+      if (target == b) continue;
+      const index_t tbase = target * block;
+      // Couple one row of this block to one column band of the target.
+      const auto i = static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(block)));
+      for (index_t j = 0; j < block; ++j) {
+        const real_t v = draw_value(rng);
+        coo.add(base + i, tbase + j, v);
+        coo.add(tbase + j, base + i, v);  // keep the pattern structurally symmetric
+      }
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix random_uniform(index_t n, index_t row_nnz, std::uint64_t seed) {
+  SCC_REQUIRE(n > 0, "random_uniform: n must be positive");
+  SCC_REQUIRE(row_nnz >= 0 && row_nnz < n, "random_uniform: row_nnz out of range");
+  Rng rng(seed);
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(n) * (row_nnz + 1));
+  std::set<index_t> cols;
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, draw_value(rng));
+    cols.clear();
+    while (static_cast<index_t>(cols.size()) < row_nnz) {
+      const auto j = static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (j != i) cols.insert(j);
+    }
+    for (index_t j : cols) coo.add(i, j, draw_value(rng));
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix power_law(index_t n, index_t avg_row_nnz, double alpha, std::uint64_t seed) {
+  SCC_REQUIRE(n > 0, "power_law: n must be positive");
+  SCC_REQUIRE(avg_row_nnz > 0 && avg_row_nnz < n, "power_law: avg_row_nnz out of range");
+  SCC_REQUIRE(alpha > 0.0, "power_law: alpha must be positive");
+  Rng rng(seed);
+  // Zipf sampling by inversion of the approximate CDF: draw u in (0,1] and
+  // map through rank ~ n * u^{1/(1-alpha)} normalized; for alpha near 1 fall
+  // back to an exponential-ish spread. This is a pattern generator, not a
+  // statistics library, so the approximation just needs heavy-tailed column
+  // popularity.
+  auto zipf_column = [&]() -> index_t {
+    const double u = std::max(rng.uniform01(), 1e-12);
+    double r;
+    if (std::abs(alpha - 1.0) < 1e-3) {
+      r = std::pow(static_cast<double>(n), u) - 1.0;
+    } else {
+      const double inv = 1.0 / (1.0 - alpha);
+      r = (std::pow(u * (std::pow(static_cast<double>(n), 1.0 - alpha) - 1.0) + 1.0, inv)) - 1.0;
+    }
+    const auto c = static_cast<index_t>(std::clamp(r, 0.0, static_cast<double>(n - 1)));
+    return c;
+  };
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(n) * (avg_row_nnz + 1));
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, draw_value(rng));
+    // Row length: uniform in [1, 2*avg-1] keeps the mean at avg with spread.
+    const auto len = static_cast<index_t>(rng.uniform_in(1, 2 * avg_row_nnz - 1));
+    for (index_t k = 0; k < len; ++k) {
+      const index_t j = zipf_column();
+      if (j != i) coo.add(i, j, draw_value(rng));
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+sparse::CsrMatrix circuit(index_t n, double extra_per_row, double long_range,
+                          std::uint64_t seed) {
+  SCC_REQUIRE(n > 1, "circuit: n must be > 1");
+  SCC_REQUIRE(extra_per_row >= 0.0, "circuit: extra_per_row must be non-negative");
+  SCC_REQUIRE(long_range >= 0.0 && long_range <= 1.0, "circuit: long_range must be in [0,1]");
+  Rng rng(seed);
+  sparse::CooMatrix coo(n, n);
+  coo.reserve(static_cast<nnz_t>(static_cast<double>(n) * (1.0 + extra_per_row)));
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, draw_value(rng));
+    // Bernoulli split of the fractional expectation: floor(e) guaranteed
+    // extras plus one more with probability frac(e).
+    auto extras = static_cast<index_t>(extra_per_row);
+    if (rng.bernoulli(extra_per_row - std::floor(extra_per_row))) ++extras;
+    for (index_t k = 0; k < extras; ++k) {
+      index_t j;
+      if (rng.bernoulli(long_range)) {
+        j = static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+      } else {
+        // Near-diagonal neighbour within +/-16 (local circuit connectivity).
+        const auto off = static_cast<index_t>(rng.uniform_in(-16, 16));
+        j = std::clamp<index_t>(i + off, 0, n - 1);
+      }
+      if (j != i) coo.add(i, j, draw_value(rng));
+    }
+  }
+  return sparse::CsrMatrix::from_coo(std::move(coo));
+}
+
+void make_diagonally_dominant(sparse::CsrMatrix& matrix, real_t margin) {
+  SCC_REQUIRE(matrix.rows() == matrix.cols(), "diagonal dominance needs a square matrix");
+  const auto ptr = matrix.ptr();
+  const auto col = matrix.col();
+  auto val = matrix.val_mutable();
+  for (index_t r = 0; r < matrix.rows(); ++r) {
+    real_t off_sum = 0.0;
+    nnz_t diag = -1;
+    for (nnz_t k = ptr[static_cast<std::size_t>(r)]; k < ptr[static_cast<std::size_t>(r) + 1];
+         ++k) {
+      if (col[static_cast<std::size_t>(k)] == r) {
+        diag = k;
+      } else {
+        off_sum += std::abs(val[static_cast<std::size_t>(k)]);
+      }
+    }
+    SCC_REQUIRE(diag >= 0, "row " << r << " has no diagonal entry");
+    val[static_cast<std::size_t>(diag)] = off_sum + margin;
+  }
+}
+
+}  // namespace scc::gen

@@ -1,0 +1,62 @@
+// Deterministic synthetic sparse-pattern generators.
+//
+// The paper's testbed (Table I) spans distinct structural regimes drawn from
+// the UFL collection: near-diagonal FEM/structural matrices, banded problems,
+// optimization/LP matrices with scattered entries, scale-free graph-like
+// patterns, and circuit matrices with very short rows. Each generator below
+// produces one of those regimes with controllable n and nnz/n, so the
+// testbed can match Table I's working-set and row-length columns without the
+// original files. All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::gen {
+
+/// Banded matrix: guaranteed unit diagonal plus entries drawn inside the band
+/// |i-j| <= half_bandwidth with density `fill` (so nnz/n ~ 1 + 2*hb*fill).
+/// Models narrow-band structural problems (e.g. bcsstm*, tsyl201).
+sparse::CsrMatrix banded(index_t n, index_t half_bandwidth, double fill, std::uint64_t seed);
+
+/// 5-point 2D Poisson stencil on an nx x ny grid (n = nx*ny, nnz/n ~ 5).
+/// The canonical PDE test problem; also used by the CG example.
+sparse::CsrMatrix stencil_2d(index_t nx, index_t ny);
+
+/// 7-point 3D Poisson stencil on an nx x ny x nz grid (nnz/n ~ 7).
+sparse::CsrMatrix stencil_3d(index_t nx, index_t ny, index_t nz);
+
+/// FEM-like pattern: dense blocks of `block` unknowns along the diagonal
+/// (element matrices) plus `couplings` random block-to-nearby-block links.
+/// Models 3D FEM matrices with high nnz/n (nd3k, ship_003, F1...).
+sparse::CsrMatrix fem_blocks(index_t n_blocks, index_t block, index_t couplings,
+                             std::uint64_t seed);
+
+/// Uniform-random pattern: each row gets `row_nnz` distinct uniformly random
+/// columns plus the diagonal. Worst-case locality for the x vector; models
+/// matrices like sparsine / gupta3 where the paper sees the biggest
+/// irregular-access penalty.
+sparse::CsrMatrix random_uniform(index_t n, index_t row_nnz, std::uint64_t seed);
+
+/// Power-law pattern: column popularity follows a Zipf(alpha) distribution,
+/// giving a few hub columns and a long tail (web/graph-like, psmigr-ish).
+/// Row lengths are Poisson-like around avg_row_nnz.
+sparse::CsrMatrix power_law(index_t n, index_t avg_row_nnz, double alpha, std::uint64_t seed);
+
+/// Circuit-like pattern (rajat/ncvxbqp-style): diagonal plus a *small* number
+/// of off-diagonals per row (`extra_per_row`, may be < 1 on average), mixing
+/// near-diagonal and a fraction `long_range` of arbitrary-distance entries.
+/// Produces the very short rows (nnz/n ~ 2-4) behind the paper's matrices
+/// #24/#25 outlier discussion.
+sparse::CsrMatrix circuit(index_t n, double extra_per_row, double long_range,
+                          std::uint64_t seed);
+
+/// Make a matrix strictly diagonally dominant in place (used by the CG
+/// example to guarantee SPD-like convergence behaviour): sets each diagonal
+/// to (sum of |off-diagonals| in the row) + `margin`. The matrix must have a
+/// full diagonal.
+void make_diagonally_dominant(sparse::CsrMatrix& matrix, real_t margin = 1.0);
+
+}  // namespace scc::gen

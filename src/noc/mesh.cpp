@@ -1,0 +1,81 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace scc::noc {
+
+namespace {
+
+// Direction codes for the four outgoing links of a router.
+enum Direction : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+int direction_of(Coord from, Coord to) {
+  if (to.x == from.x + 1 && to.y == from.y) return kEast;
+  if (to.x == from.x - 1 && to.y == from.y) return kWest;
+  if (to.y == from.y + 1 && to.x == from.x) return kNorth;
+  if (to.y == from.y - 1 && to.x == from.x) return kSouth;
+  return -1;
+}
+
+}  // namespace
+
+Mesh::Mesh(int width, int height) : width_(width), height_(height) {
+  SCC_REQUIRE(width > 0 && height > 0, "mesh dimensions must be positive");
+  traffic_.assign(static_cast<std::size_t>(router_count()) * 4, 0);
+}
+
+int Mesh::hops(Coord from, Coord to) const {
+  SCC_REQUIRE(in_bounds(from) && in_bounds(to), "mesh coordinate out of bounds");
+  return std::abs(from.x - to.x) + std::abs(from.y - to.y);
+}
+
+std::vector<Link> Mesh::route(Coord from, Coord to) const {
+  SCC_REQUIRE(in_bounds(from) && in_bounds(to), "mesh coordinate out of bounds");
+  std::vector<Link> links;
+  Coord cur = from;
+  // X first, then Y: the SCC's dimension-ordered routing.
+  while (cur.x != to.x) {
+    const Coord next{cur.x + (to.x > cur.x ? 1 : -1), cur.y};
+    links.push_back(Link{cur, next});
+    cur = next;
+  }
+  while (cur.y != to.y) {
+    const Coord next{cur.x, cur.y + (to.y > cur.y ? 1 : -1)};
+    links.push_back(Link{cur, next});
+    cur = next;
+  }
+  return links;
+}
+
+std::size_t Mesh::link_index(Coord from, Coord to) const {
+  SCC_REQUIRE(in_bounds(from) && in_bounds(to), "mesh coordinate out of bounds");
+  const int dir = direction_of(from, to);
+  SCC_REQUIRE(dir >= 0, "link endpoints are not adjacent routers");
+  const int router = from.y * width_ + from.x;
+  return static_cast<std::size_t>(router) * 4 + static_cast<std::size_t>(dir);
+}
+
+void Mesh::record_transfer(Coord from, Coord to, bytes_t bytes) {
+  for (const Link& link : route(from, to)) {
+    traffic_[link_index(link.from, link.to)] += bytes;
+  }
+}
+
+bytes_t Mesh::link_traffic(Coord from, Coord to) const {
+  return traffic_[link_index(from, to)];
+}
+
+bytes_t Mesh::max_link_traffic() const {
+  return *std::max_element(traffic_.begin(), traffic_.end());
+}
+
+bytes_t Mesh::total_traffic() const {
+  bytes_t total = 0;
+  for (bytes_t t : traffic_) total += t;
+  return total;
+}
+
+void Mesh::reset_traffic() { std::fill(traffic_.begin(), traffic_.end(), 0); }
+
+}  // namespace scc::noc

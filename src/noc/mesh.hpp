@@ -1,0 +1,72 @@
+// 2D mesh network-on-chip model.
+//
+// The SCC's interconnect (Section II of the paper): a 6x4 grid of routers,
+// one per tile, with dimension-ordered (x,y) routing -- packets travel first
+// horizontally, then vertically. The model provides hop counts (the `n` in
+// the paper's Equation 1) and per-link traffic accounting used by the
+// ablation benches to show where congestion concentrates under each mapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace scc::noc {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Directed link between adjacent routers.
+struct Link {
+  Coord from;
+  Coord to;
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+class Mesh {
+ public:
+  Mesh(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int router_count() const { return width_ * height_; }
+
+  bool in_bounds(Coord c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  /// Manhattan distance == number of router-to-router hops under XY routing.
+  int hops(Coord from, Coord to) const;
+
+  /// The XY route as a sequence of directed links (empty when from == to).
+  std::vector<Link> route(Coord from, Coord to) const;
+
+  /// Accumulate `bytes` of traffic along the XY route from -> to.
+  void record_transfer(Coord from, Coord to, bytes_t bytes);
+
+  /// Traffic accumulated on the directed link from -> to (must be adjacent).
+  bytes_t link_traffic(Coord from, Coord to) const;
+
+  /// Highest per-link traffic recorded (the congestion hot spot).
+  bytes_t max_link_traffic() const;
+
+  /// Sum of traffic over all links.
+  bytes_t total_traffic() const;
+
+  void reset_traffic();
+
+ private:
+  std::size_t link_index(Coord from, Coord to) const;
+
+  int width_;
+  int height_;
+  // Four directed links per router (E, W, N, S); flat-indexed.
+  std::vector<bytes_t> traffic_;
+};
+
+}  // namespace scc::noc

@@ -1,0 +1,440 @@
+#include "rcce/rcce.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace scc::rcce {
+
+namespace {
+constexpr int kFlagCount = 64;
+}
+
+/// Shared state of one emulated RCCE execution. A single mutex/cv pair
+/// guards all blocking operations; with at most 48 UEs and functional (not
+/// timed) semantics, simplicity and clean poisoning beat fine-grained
+/// locking here.
+class Runtime {
+ public:
+  Runtime(int num_ues, const RuntimeOptions& options)
+      : options_(options),
+        num_ues_(num_ues),
+        freq_(chip::FrequencyConfig::conf0()),
+        start_(std::chrono::steady_clock::now()) {
+    SCC_REQUIRE(num_ues >= 1 && num_ues <= chip::kCoreCount,
+                "num_ues " << num_ues << " out of range [1,48]");
+    SCC_REQUIRE(options.mpb_bytes_per_core >= 256,
+                "MPB region too small: " << options.mpb_bytes_per_core);
+    if (options.explicit_cores.empty()) {
+      cores_ = chip::map_ues_to_cores(options.mapping, num_ues);
+    } else {
+      SCC_REQUIRE(static_cast<int>(options.explicit_cores.size()) == num_ues,
+                  "explicit core table size mismatch");
+      cores_ = options.explicit_cores;
+      for (int core : cores_) {
+        SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core " << core << " out of range");
+      }
+    }
+    mpb_.assign(static_cast<std::size_t>(num_ues) * options.mpb_bytes_per_core,
+                std::byte{0});
+    flags_.assign(static_cast<std::size_t>(num_ues) * kFlagCount, 0);
+    channels_.resize(static_cast<std::size_t>(num_ues) * static_cast<std::size_t>(num_ues));
+    shm_global_.assign(options.shared_memory_bytes, std::byte{0});
+    shm_shadow_.assign(static_cast<std::size_t>(num_ues), shm_global_);
+    shm_dirty_.assign(static_cast<std::size_t>(num_ues),
+                      std::vector<bool>(options.shared_memory_bytes, false));
+    shm_alloc_order_.assign(static_cast<std::size_t>(num_ues), 0);
+  }
+
+  int size() const { return num_ues_; }
+  int core_of(int rank) const { return cores_[static_cast<std::size_t>(rank)]; }
+  const std::vector<int>& cores() const { return cores_; }
+
+  double wtime() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  void barrier() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t generation = barrier_generation_;
+    if (++barrier_waiting_ == num_ues_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return poisoned_ || barrier_generation_ != generation; });
+    throw_if_poisoned();
+  }
+
+  void send(int src, int dest, const void* data, std::size_t bytes) {
+    check_rank(dest);
+    SCC_REQUIRE(dest != src, "send to self would deadlock (RCCE semantics)");
+    const std::size_t chunk_capacity = mpb_chunk_capacity();
+    const auto* in = static_cast<const std::byte*>(data);
+    std::size_t sent = 0;
+    // Zero-byte messages still perform one (empty) rendezvous so that a
+    // matching recv completes.
+    do {
+      const std::size_t chunk = std::min(chunk_capacity, bytes - sent);
+      Channel& ch = channel(src, dest);
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return poisoned_ || !ch.ready; });
+      throw_if_poisoned();
+      // Stage the chunk in the sender's MPB region, as RCCE_send does.
+      std::byte* region = mpb_region(src);
+      if (chunk > 0) std::memcpy(region, in + sent, chunk);
+      ch.bytes = chunk;
+      ch.total = bytes;
+      ch.ready = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return poisoned_ || !ch.ready; });
+      throw_if_poisoned();
+      sent += chunk;
+    } while (sent < bytes);
+  }
+
+  void recv(int dest, int src, void* data, std::size_t bytes) {
+    check_rank(src);
+    SCC_REQUIRE(src != dest, "recv from self would deadlock (RCCE semantics)");
+    auto* out = static_cast<std::byte*>(data);
+    std::size_t received = 0;
+    do {
+      Channel& ch = channel(src, dest);
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return poisoned_ || ch.ready; });
+      throw_if_poisoned();
+      SCC_REQUIRE(ch.total == bytes, "send size " << ch.total << " != recv size " << bytes
+                                                  << " between UEs " << src << "->" << dest);
+      const std::byte* region = mpb_region(src);
+      if (ch.bytes > 0) std::memcpy(out + received, region, ch.bytes);
+      received += ch.bytes;
+      ch.ready = false;
+      cv_.notify_all();
+    } while (received < bytes);
+  }
+
+  void put(int /*caller*/, int target, const void* src, std::size_t bytes, std::size_t offset) {
+    check_rank(target);
+    check_mpb_range(bytes, offset);
+    std::unique_lock lock(mutex_);
+    std::memcpy(mpb_region(target) + offset, src, bytes);
+  }
+
+  void get(int /*caller*/, int source, void* dst, std::size_t bytes, std::size_t offset) {
+    check_rank(source);
+    check_mpb_range(bytes, offset);
+    std::unique_lock lock(mutex_);
+    std::memcpy(dst, mpb_region(source) + offset, bytes);
+  }
+
+  void flag_set(int target, int flag_id, bool value) {
+    check_rank(target);
+    check_flag(flag_id);
+    std::unique_lock lock(mutex_);
+    flags_[static_cast<std::size_t>(target) * kFlagCount + static_cast<std::size_t>(flag_id)] =
+        value ? 1 : 0;
+    cv_.notify_all();
+  }
+
+  void flag_wait(int rank, int flag_id, bool value) {
+    check_flag(flag_id);
+    std::unique_lock lock(mutex_);
+    const std::size_t slot =
+        static_cast<std::size_t>(rank) * kFlagCount + static_cast<std::size_t>(flag_id);
+    cv_.wait(lock, [&] { return poisoned_ || (flags_[slot] != 0) == value; });
+    throw_if_poisoned();
+  }
+
+  void set_tile_core_mhz(int rank, int mhz) {
+    std::unique_lock lock(mutex_);
+    freq_.set_tile_core_mhz(chip::tile_of_core(core_of(rank)), mhz);
+  }
+
+  int tile_core_mhz(int rank) const {
+    std::unique_lock lock(mutex_);
+    return freq_.tile_core_mhz(chip::tile_of_core(core_of(rank)));
+  }
+
+  chip::FrequencyConfig frequencies() const {
+    std::unique_lock lock(mutex_);
+    return freq_;
+  }
+
+  std::size_t shmalloc(int rank, std::size_t bytes) {
+    SCC_REQUIRE(bytes > 0, "shmalloc of zero bytes");
+    std::unique_lock lock(mutex_);
+    // Collective allocation: the k-th call of every UE must request the same
+    // size; the first caller of each round records it, later callers verify.
+    const std::size_t round = shm_alloc_order_[static_cast<std::size_t>(rank)]++;
+    if (round == shm_alloc_sizes_.size()) {
+      SCC_REQUIRE(shm_alloc_base_ + bytes <= shm_global_.size(),
+                  "shared-memory arena exhausted: requested " << bytes << " with "
+                      << shm_global_.size() - shm_alloc_base_ << " free");
+      shm_alloc_sizes_.push_back(bytes);
+      shm_alloc_offsets_.push_back(shm_alloc_base_);
+      shm_alloc_base_ += bytes;
+    } else {
+      SCC_REQUIRE(round < shm_alloc_sizes_.size() && shm_alloc_sizes_[round] == bytes,
+                  "collective shmalloc mismatch: UE " << rank << " requested " << bytes
+                      << " in round " << round);
+    }
+    return shm_alloc_offsets_[round];
+  }
+
+  void shm_write(int rank, std::size_t offset, const void* data, std::size_t bytes) {
+    check_shm_range(offset, bytes);
+    std::unique_lock lock(mutex_);
+    auto& shadow = shm_shadow_[static_cast<std::size_t>(rank)];
+    auto& dirty = shm_dirty_[static_cast<std::size_t>(rank)];
+    std::memcpy(shadow.data() + offset, data, bytes);
+    for (std::size_t i = offset; i < offset + bytes; ++i) dirty[i] = true;
+  }
+
+  void shm_read(int rank, std::size_t offset, void* data, std::size_t bytes) const {
+    check_shm_range(offset, bytes);
+    std::unique_lock lock(mutex_);
+    // Reads come from the UE's cached view -- possibly stale, exactly as on
+    // the coherence-free SCC.
+    std::memcpy(data, shm_shadow_[static_cast<std::size_t>(rank)].data() + offset, bytes);
+  }
+
+  void shm_flush(int rank) {
+    std::unique_lock lock(mutex_);
+    auto& shadow = shm_shadow_[static_cast<std::size_t>(rank)];
+    auto& dirty = shm_dirty_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      if (dirty[i]) {
+        shm_global_[i] = shadow[i];
+        dirty[i] = false;
+      }
+    }
+  }
+
+  void shm_invalidate(int rank) {
+    std::unique_lock lock(mutex_);
+    auto& shadow = shm_shadow_[static_cast<std::size_t>(rank)];
+    auto& dirty = shm_dirty_[static_cast<std::size_t>(rank)];
+    // Clean lines refresh from the published state; dirty (unflushed) bytes
+    // survive, like a write-back cache invalidating clean lines only.
+    for (std::size_t i = 0; i < shadow.size(); ++i) {
+      if (!dirty[i]) shadow[i] = shm_global_[i];
+    }
+  }
+
+  void poison() {
+    std::unique_lock lock(mutex_);
+    poisoned_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  struct Channel {
+    bool ready = false;       ///< a staged chunk awaits the receiver
+    std::size_t bytes = 0;    ///< size of the staged chunk
+    std::size_t total = 0;    ///< total message size (for matching checks)
+  };
+
+  void check_rank(int rank) const {
+    SCC_REQUIRE(rank >= 0 && rank < num_ues_, "UE rank " << rank << " out of range");
+  }
+
+  void check_flag(int flag_id) const {
+    SCC_REQUIRE(flag_id >= 0 && flag_id < kFlagCount, "flag id " << flag_id << " out of range");
+  }
+
+  void check_shm_range(std::size_t offset, std::size_t bytes) const {
+    SCC_REQUIRE(offset + bytes <= shm_global_.size(),
+                "shared-memory access [" << offset << "," << offset + bytes
+                                         << ") exceeds arena of " << shm_global_.size()
+                                         << " bytes");
+  }
+
+  void check_mpb_range(std::size_t bytes, std::size_t offset) const {
+    SCC_REQUIRE(offset + bytes <= options_.mpb_bytes_per_core,
+                "MPB access [" << offset << "," << offset + bytes << ") exceeds region of "
+                               << options_.mpb_bytes_per_core << " bytes");
+  }
+
+  std::size_t mpb_chunk_capacity() const {
+    // RCCE reserves the tail of each region for flags; mirror that.
+    return options_.mpb_bytes_per_core - 64;
+  }
+
+  std::byte* mpb_region(int rank) {
+    return mpb_.data() + static_cast<std::size_t>(rank) * options_.mpb_bytes_per_core;
+  }
+
+  Channel& channel(int src, int dest) {
+    return channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ues_) +
+                     static_cast<std::size_t>(dest)];
+  }
+
+  void throw_if_poisoned() const {
+    if (poisoned_) {
+      throw SimulationError("RCCE runtime poisoned: another UE failed");
+    }
+  }
+
+  RuntimeOptions options_;
+  int num_ues_;
+  std::vector<int> cores_;
+  chip::FrequencyConfig freq_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool poisoned_ = false;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::vector<std::byte> mpb_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<Channel> channels_;
+
+  // Shared-memory emulation: the published arena, one cached view + dirty
+  // map per UE, and the collective-allocation bookkeeping.
+  std::vector<std::byte> shm_global_;
+  std::vector<std::vector<std::byte>> shm_shadow_;
+  std::vector<std::vector<bool>> shm_dirty_;
+  std::size_t shm_alloc_base_ = 0;
+  std::vector<std::size_t> shm_alloc_sizes_;
+  std::vector<std::size_t> shm_alloc_offsets_;
+  std::vector<std::size_t> shm_alloc_order_;
+};
+
+int Comm::size() const { return runtime_->size(); }
+int Comm::core() const { return runtime_->core_of(rank_); }
+int Comm::hops_to_memory() const { return chip::hops_to_memory(core()); }
+double Comm::wtime() const { return runtime_->wtime(); }
+void Comm::barrier() { runtime_->barrier(); }
+
+void Comm::send(const void* data, std::size_t bytes, int dest) {
+  runtime_->send(rank_, dest, data, bytes);
+}
+
+void Comm::recv(void* data, std::size_t bytes, int source) {
+  runtime_->recv(rank_, source, data, bytes);
+}
+
+void Comm::put(const void* src, std::size_t bytes, int target_ue, std::size_t offset) {
+  runtime_->put(rank_, target_ue, src, bytes, offset);
+}
+
+void Comm::get(void* dst, std::size_t bytes, int source_ue, std::size_t offset) {
+  runtime_->get(rank_, source_ue, dst, bytes, offset);
+}
+
+void Comm::flag_set(int flag_id, bool value, int target_ue) {
+  runtime_->flag_set(target_ue, flag_id, value);
+}
+
+void Comm::flag_wait(int flag_id, bool value) { runtime_->flag_wait(rank_, flag_id, value); }
+
+void Comm::bcast(void* data, std::size_t bytes, int root) {
+  SCC_REQUIRE(root >= 0 && root < size(), "bcast root out of range");
+  if (size() == 1) return;
+  // Simple linear broadcast, like RCCE_comm's default.
+  if (rank_ == root) {
+    for (int ue = 0; ue < size(); ++ue) {
+      if (ue != root) send(data, bytes, ue);
+    }
+  } else {
+    recv(data, bytes, root);
+  }
+}
+
+double Comm::reduce_sum(double value, int root) {
+  SCC_REQUIRE(root >= 0 && root < size(), "reduce root out of range");
+  if (rank_ == root) {
+    double acc = value;
+    for (int ue = 0; ue < size(); ++ue) {
+      if (ue == root) continue;
+      double incoming = 0.0;
+      recv(&incoming, sizeof incoming, ue);
+      acc += incoming;
+    }
+    return acc;
+  }
+  send(&value, sizeof value, root);
+  return 0.0;
+}
+
+double Comm::allreduce_sum(double value) {
+  double result = reduce_sum(value, 0);
+  bcast(&result, sizeof result, 0);
+  return result;
+}
+
+double Comm::allreduce_max(double value) {
+  double result = value;
+  if (rank_ == 0) {
+    for (int ue = 1; ue < size(); ++ue) {
+      double incoming = 0.0;
+      recv(&incoming, sizeof incoming, ue);
+      result = std::max(result, incoming);
+    }
+  } else {
+    send(&value, sizeof value, 0);
+  }
+  bcast(&result, sizeof result, 0);
+  return result;
+}
+
+void Comm::set_tile_core_mhz(int mhz) { runtime_->set_tile_core_mhz(rank_, mhz); }
+int Comm::tile_core_mhz() const { return runtime_->tile_core_mhz(rank_); }
+
+std::size_t Comm::shmalloc(std::size_t bytes) { return runtime_->shmalloc(rank_, bytes); }
+
+void Comm::shm_write(std::size_t offset, const void* data, std::size_t bytes) {
+  runtime_->shm_write(rank_, offset, data, bytes);
+}
+
+void Comm::shm_read(std::size_t offset, void* data, std::size_t bytes) const {
+  runtime_->shm_read(rank_, offset, data, bytes);
+}
+
+void Comm::shm_flush() { runtime_->shm_flush(rank_); }
+void Comm::shm_invalidate() { runtime_->shm_invalidate(rank_); }
+
+RunReport run(int num_ues, const std::function<void(Comm&)>& body,
+              const RuntimeOptions& options) {
+  SCC_REQUIRE(static_cast<bool>(body), "run requires a body function");
+  Runtime runtime(num_ues, options);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ues));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rank = 0; rank < num_ues; ++rank) {
+    threads.emplace_back([&, rank] {
+      Comm comm(runtime, rank);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        runtime.poison();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunReport report;
+  report.cores = runtime.cores();
+  report.frequencies = runtime.frequencies();
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+}  // namespace scc::rcce

@@ -1,0 +1,140 @@
+// Functional emulation of RCCE, Intel's lightweight message-passing library
+// for the SCC (van der Wijngaart et al., the library the paper parallelized
+// its SpMV with).
+//
+// Programs are written as a body function executed by `num_ues` units of
+// execution (UEs). As on the real chip:
+//  * UEs are addressed by rank, and the rank->core mapping is configurable
+//    (the paper's "standard" vs "distance reduction" configurations);
+//  * each core owns an 8 KB region of the message-passing buffer (MPB), and
+//    point-to-point transfers are chunked through it;
+//  * there is no cache coherence to rely on -- all sharing goes through
+//    explicit put/get/send/recv and flags;
+//  * RCCE_wtime() provides wall time independent of the core clock.
+// The emulation runs UEs as std::threads and is *functionally* faithful;
+// performance numbers come from sim::Engine, not from host wall time.
+//
+// Error model: a UE body that throws poisons the runtime; every UE blocked
+// in a communication call is released with a SimulationError, and `run`
+// rethrows the original exception after joining all threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scc/frequency.hpp"
+#include "scc/mapping.hpp"
+
+namespace scc::rcce {
+
+struct RuntimeOptions {
+  chip::MappingPolicy mapping = chip::MappingPolicy::kStandard;
+  /// When non-empty, overrides `mapping` with an explicit rank->core table
+  /// (RCCE's host file mechanism).
+  std::vector<int> explicit_cores;
+  /// MPB bytes per core; the SCC provides 8 KB per core (16 KB per tile).
+  std::size_t mpb_bytes_per_core = 8192;
+  /// Size of the off-chip shared-memory arena available through
+  /// shmalloc/shm_* (RCCE_shmalloc). The SCC shares a slice of DRAM between
+  /// all cores -- without any cache coherence, hence the explicit
+  /// flush/invalidate calls below.
+  std::size_t shared_memory_bytes = 256 * 1024;
+};
+
+class Runtime;
+class Comm;
+struct RunReport;
+RunReport run(int num_ues, const std::function<void(Comm&)>& body,
+              const RuntimeOptions& options);
+
+/// Per-UE communication handle, passed to the body function. Valid only for
+/// the duration of the body. All operations are blocking, like core RCCE.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  /// Physical core hosting this UE under the active mapping.
+  int core() const;
+  /// Mesh hops from this UE's core to its memory controller.
+  int hops_to_memory() const;
+
+  /// Wall time in seconds since the runtime started (RCCE_wtime).
+  double wtime() const;
+
+  /// Collective barrier over all UEs.
+  void barrier();
+
+  /// Blocking point-to-point transfer, chunked through the sender's MPB
+  /// region (RCCE_send / RCCE_recv). Matching is by (source, dest) pair;
+  /// message sizes must agree.
+  void send(const void* data, std::size_t bytes, int dest);
+  void recv(void* data, std::size_t bytes, int source);
+
+  /// One-sided MPB access (RCCE_put / RCCE_get): copy into / out of the MPB
+  /// region of `target_ue` at `offset`. The caller must synchronize with
+  /// flags; the emulation validates bounds only.
+  void put(const void* src, std::size_t bytes, int target_ue, std::size_t offset);
+  void get(void* dst, std::size_t bytes, int source_ue, std::size_t offset);
+
+  /// RCCE flags: binary synchronization variables living in MPB space.
+  /// `flag_id` must be in [0, 64).
+  void flag_set(int flag_id, bool value, int target_ue);
+  void flag_wait(int flag_id, bool value);
+
+  /// Collectives (built on send/recv like RCCE's comm layer).
+  void bcast(void* data, std::size_t bytes, int root);
+  double reduce_sum(double value, int root);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+  /// Power-management API (RCCE_power_domain et al.): requests a new core
+  /// frequency for this UE's tile. The emulation records it; the simulator
+  /// consumes the resulting FrequencyConfig.
+  void set_tile_core_mhz(int mhz);
+  int tile_core_mhz() const;
+
+  /// --- Shared off-chip memory (RCCE_shmalloc and friends). ---
+  ///
+  /// The SCC shares part of DRAM between all cores but provides NO cache
+  /// coherence: each core sees shared data through its own caches. The
+  /// emulation models that faithfully -- every UE has a cached view of the
+  /// arena. A write is invisible to peers until the writer calls
+  /// `shm_flush()`, and a reader keeps seeing its stale cached copy until it
+  /// calls `shm_invalidate()`. Forgetting either reproduces exactly the bug
+  /// you would have on silicon.
+  ///
+  /// `shmalloc` is collective: all UEs must call it in the same order and
+  /// with the same size; every UE receives the same offset. Returns the
+  /// offset into the arena. Throws when the arena is exhausted or the sizes
+  /// disagree across UEs.
+  std::size_t shmalloc(std::size_t bytes);
+  void shm_write(std::size_t offset, const void* data, std::size_t bytes);
+  void shm_read(std::size_t offset, void* data, std::size_t bytes) const;
+  void shm_flush();       ///< publish this UE's dirty shared-memory lines
+  void shm_invalidate();  ///< drop this UE's cached view; next reads see published data
+
+ private:
+  friend class Runtime;
+  friend RunReport run(int, const std::function<void(Comm&)>&, const RuntimeOptions&);
+  Comm(Runtime& runtime, int rank) : runtime_(&runtime), rank_(rank) {}
+  Runtime* runtime_;
+  int rank_;
+};
+
+struct RunReport {
+  std::vector<int> cores;  ///< rank -> physical core
+  /// Frequencies after any power-management calls the body made.
+  chip::FrequencyConfig frequencies = chip::FrequencyConfig::conf0();
+  double elapsed_seconds = 0.0;  ///< host wall time (diagnostic only)
+};
+
+/// Execute `body` on `num_ues` UEs (1..48). Returns after all UEs finish;
+/// rethrows the first exception a body raised.
+RunReport run(int num_ues, const std::function<void(Comm&)>& body,
+              const RuntimeOptions& options = RuntimeOptions{});
+
+}  // namespace scc::rcce

@@ -1,0 +1,61 @@
+#include "scc/frequency.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scc::chip {
+
+bool is_valid_core_mhz(int mhz) {
+  // 1600 MHz global clock divided by 2..16 (sccKit exposes this ladder).
+  static constexpr std::array<int, 8> kLadder = {100, 106, 114, 123, 133, 160, 200, 266};
+  if (mhz == 320 || mhz == 400 || mhz == 533 || mhz == 800) return true;
+  return std::find(kLadder.begin(), kLadder.end(), mhz) != kLadder.end();
+}
+
+bool is_valid_mesh_mhz(int mhz) { return mhz == 800 || mhz == 1600; }
+
+bool is_valid_memory_mhz(int mhz) { return mhz == 800 || mhz == 1066; }
+
+FrequencyConfig::FrequencyConfig(int core_mhz, int mesh_mhz, int memory_mhz)
+    : mesh_mhz_(mesh_mhz), memory_mhz_(memory_mhz) {
+  SCC_REQUIRE(is_valid_core_mhz(core_mhz), "invalid SCC core frequency " << core_mhz << " MHz");
+  SCC_REQUIRE(is_valid_mesh_mhz(mesh_mhz), "invalid SCC mesh frequency " << mesh_mhz << " MHz");
+  SCC_REQUIRE(is_valid_memory_mhz(memory_mhz),
+              "invalid SCC memory frequency " << memory_mhz << " MHz");
+  tile_core_mhz_.fill(core_mhz);
+}
+
+FrequencyConfig FrequencyConfig::conf0() { return FrequencyConfig(533, 800, 800); }
+FrequencyConfig FrequencyConfig::conf1() { return FrequencyConfig(800, 1600, 1066); }
+FrequencyConfig FrequencyConfig::conf2() { return FrequencyConfig(800, 1600, 800); }
+
+void FrequencyConfig::set_tile_core_mhz(int tile, int mhz) {
+  SCC_REQUIRE(tile >= 0 && tile < kTileCount, "tile id " << tile << " out of range");
+  SCC_REQUIRE(is_valid_core_mhz(mhz), "invalid SCC core frequency " << mhz << " MHz");
+  tile_core_mhz_[static_cast<std::size_t>(tile)] = mhz;
+}
+
+int FrequencyConfig::core_mhz(int core) const { return tile_core_mhz(tile_of_core(core)); }
+
+int FrequencyConfig::tile_core_mhz(int tile) const {
+  SCC_REQUIRE(tile >= 0 && tile < kTileCount, "tile id " << tile << " out of range");
+  return tile_core_mhz_[static_cast<std::size_t>(tile)];
+}
+
+std::string FrequencyConfig::describe() const {
+  const int lo = *std::min_element(tile_core_mhz_.begin(), tile_core_mhz_.end());
+  const int hi = *std::max_element(tile_core_mhz_.begin(), tile_core_mhz_.end());
+  std::ostringstream oss;
+  oss << "cores ";
+  if (lo == hi) {
+    oss << lo;
+  } else {
+    oss << lo << '-' << hi;
+  }
+  oss << " / mesh " << mesh_mhz_ << " / mem " << memory_mhz_ << " MHz";
+  return oss.str();
+}
+
+}  // namespace scc::chip

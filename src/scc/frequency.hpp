@@ -1,0 +1,60 @@
+// Clock-frequency domains of the SCC.
+//
+// Each of the 24 tiles has its own core-frequency domain settable from 100 to
+// 800 MHz; the mesh runs at 800 MHz or 1.6 GHz and the memory controllers at
+// 800 or 1066 MHz, both fixed at chip initialization (Section II). The
+// paper's three measured configurations (Section IV-D) are provided as
+// presets:
+//   conf0 (default): cores 533, mesh  800, memory  800
+//   conf1:           cores 800, mesh 1600, memory 1066
+//   conf2:           cores 800, mesh 1600, memory  800
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "scc/topology.hpp"
+
+namespace scc::chip {
+
+/// Valid per-tile core frequencies. The SCC derives tile clocks by dividing a
+/// 1600 MHz global clock; the divisors available in the production sccKit
+/// give this set.
+bool is_valid_core_mhz(int mhz);
+bool is_valid_mesh_mhz(int mhz);
+bool is_valid_memory_mhz(int mhz);
+
+class FrequencyConfig {
+ public:
+  /// All tiles at `core_mhz`; throws on invalid domain values.
+  FrequencyConfig(int core_mhz, int mesh_mhz, int memory_mhz);
+
+  /// Named presets matching the paper.
+  static FrequencyConfig conf0();
+  static FrequencyConfig conf1();
+  static FrequencyConfig conf2();
+
+  /// Set one tile's core-frequency domain (both cores of the tile).
+  void set_tile_core_mhz(int tile, int mhz);
+
+  int core_mhz(int core) const;
+  int tile_core_mhz(int tile) const;
+  int mesh_mhz() const { return mesh_mhz_; }
+  int memory_mhz() const { return memory_mhz_; }
+
+  double core_ghz(int core) const { return core_mhz(core) / 1000.0; }
+  double mesh_ghz() const { return mesh_mhz_ / 1000.0; }
+  double memory_ghz() const { return memory_mhz_ / 1000.0; }
+
+  /// "cores 533 / mesh 800 / mem 800" -- for bench output.
+  std::string describe() const;
+
+  friend bool operator==(const FrequencyConfig&, const FrequencyConfig&) = default;
+
+ private:
+  std::array<int, kTileCount> tile_core_mhz_{};
+  int mesh_mhz_ = 800;
+  int memory_mhz_ = 800;
+};
+
+}  // namespace scc::chip

@@ -1,0 +1,22 @@
+#include "scc/latency.hpp"
+
+#include "common/error.hpp"
+
+namespace scc::chip {
+
+double memory_latency_ns(const FrequencyConfig& freq, int core, int hops) {
+  SCC_REQUIRE(hops >= 0 && hops <= kMeshWidth + kMeshHeight - 2,
+              "hop count " << hops << " impossible on a 6x4 mesh");
+  const double core_period_ns = 1.0 / freq.core_ghz(core);
+  const double mesh_period_ns = 1.0 / freq.mesh_ghz();
+  const double mem_period_ns = 1.0 / freq.memory_ghz();
+  return kLatencyCoreCycles * core_period_ns +
+         kLatencyMeshCyclesPerHop * static_cast<double>(hops) * mesh_period_ns +
+         kLatencyMemoryCycles * mem_period_ns;
+}
+
+double memory_latency_ns(const FrequencyConfig& freq, int core) {
+  return memory_latency_ns(freq, core, hops_to_memory(core));
+}
+
+}  // namespace scc::chip

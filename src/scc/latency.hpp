@@ -1,0 +1,28 @@
+// The paper's Equation (1): time for a core to send a memory request and
+// receive the data,
+//
+//     t = 40*C_core + 4*n*2*C_mesh + 46*C_mem
+//
+// where C_* are the clock periods of the three frequency domains and n the
+// number of mesh hops between the core's router and its memory controller.
+// The 4*n*2 term is the round trip: 4 mesh cycles per hop, n hops, each way.
+#pragma once
+
+#include "scc/frequency.hpp"
+
+namespace scc::chip {
+
+/// Cycle weights of Equation 1, kept as named constants so tests and the
+/// documentation can reference them.
+inline constexpr double kLatencyCoreCycles = 40.0;
+inline constexpr double kLatencyMeshCyclesPerHop = 8.0;  // 4 cycles/hop, both ways
+inline constexpr double kLatencyMemoryCycles = 46.0;
+
+/// Round-trip memory latency in nanoseconds for a request from `core`
+/// travelling `hops` mesh hops under frequency configuration `freq`.
+double memory_latency_ns(const FrequencyConfig& freq, int core, int hops);
+
+/// Convenience: latency for a core to *its own* memory controller.
+double memory_latency_ns(const FrequencyConfig& freq, int core);
+
+}  // namespace scc::chip

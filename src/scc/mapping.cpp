@@ -1,0 +1,85 @@
+#include "scc/mapping.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace scc::chip {
+
+std::string to_string(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kStandard:
+      return "standard";
+    case MappingPolicy::kDistanceReduction:
+      return "distance-reduction";
+    case MappingPolicy::kContentionAware:
+      return "contention-aware";
+  }
+  return "unknown";
+}
+
+std::vector<int> map_ues_to_cores(MappingPolicy policy, int ue_count) {
+  SCC_REQUIRE(ue_count >= 1 && ue_count <= kCoreCount,
+              "ue_count " << ue_count << " out of range [1,48]");
+  std::vector<int> cores(static_cast<std::size_t>(kCoreCount));
+  std::iota(cores.begin(), cores.end(), 0);
+  switch (policy) {
+    case MappingPolicy::kStandard:
+      break;
+    case MappingPolicy::kDistanceReduction:
+      // Stable sort by hops keeps core-id order among equals, which
+      // reproduces the paper's 4-UE example {0, 1, 10, 11} (the four
+      // lowest-id cores on MC-adjacent tiles) and spreads equal-hop picks
+      // across all quadrants.
+      std::stable_sort(cores.begin(), cores.end(),
+                       [](int a, int b) { return hops_to_memory(a) < hops_to_memory(b); });
+      break;
+    case MappingPolicy::kContentionAware: {
+      // Round-robin over the MCs, taking each controller's lowest-hop free
+      // core in turn: the per-MC load never differs by more than one.
+      std::array<std::array<int, kCoreCount / kMemoryControllerCount>,
+                 kMemoryControllerCount>
+          by_mc{};
+      std::array<std::size_t, kMemoryControllerCount> cursor{};
+      for (int mc = 0; mc < kMemoryControllerCount; ++mc) {
+        by_mc[static_cast<std::size_t>(mc)] = cores_of_memory_controller(mc);
+        auto& list = by_mc[static_cast<std::size_t>(mc)];
+        std::stable_sort(list.begin(), list.end(),
+                         [](int a, int b) { return hops_to_memory(a) < hops_to_memory(b); });
+      }
+      cores.clear();
+      while (static_cast<int>(cores.size()) < kCoreCount) {
+        for (int mc = 0; mc < kMemoryControllerCount; ++mc) {
+          auto& pos = cursor[static_cast<std::size_t>(mc)];
+          if (pos < by_mc[static_cast<std::size_t>(mc)].size()) {
+            cores.push_back(by_mc[static_cast<std::size_t>(mc)][pos++]);
+          }
+        }
+      }
+      break;
+    }
+  }
+  cores.resize(static_cast<std::size_t>(ue_count));
+  return cores;
+}
+
+double average_hops(const std::vector<int>& cores) {
+  SCC_REQUIRE(!cores.empty(), "average_hops of empty core set");
+  double sum = 0.0;
+  for (int core : cores) sum += hops_to_memory(core);
+  return sum / static_cast<double>(cores.size());
+}
+
+int max_cores_per_mc(const std::vector<int>& cores) {
+  SCC_REQUIRE(!cores.empty(), "max_cores_per_mc of empty core set");
+  std::array<int, kMemoryControllerCount> counts{};
+  for (int core : cores) {
+    ++counts[static_cast<std::size_t>(memory_controller_of_core(core))];
+  }
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+}  // namespace scc::chip

@@ -1,0 +1,43 @@
+// Mapping units of execution (RCCE ranks) to physical cores.
+//
+// Section IV-A of the paper compares two configurations:
+//  * standard -- RCCE's default, rank k runs on core k. At intermediate core
+//    counts this crowds the bottom quadrants (their two memory controllers)
+//    and uses cores up to 3 hops from memory.
+//  * distance reduction -- the paper's proposal: pick the available cores
+//    with the fewest hops to their memory controller. With 4 UEs this
+//    selects cores 0, 1, 10, 11 (the MC-adjacent tiles), exactly the example
+//    in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scc/topology.hpp"
+
+namespace scc::chip {
+
+enum class MappingPolicy {
+  kStandard,
+  kDistanceReduction,
+  /// Extension beyond the paper: spread UEs round-robin over the four
+  /// memory controllers (minimizing the worst per-MC load) and pick the
+  /// lowest-hop free core within each. Coincides with distance reduction
+  /// whenever the UE count is a multiple of the MC count.
+  kContentionAware,
+};
+
+std::string to_string(MappingPolicy policy);
+
+/// Cores that will host UEs 0..ue_count-1, in rank order.
+/// Throws unless 1 <= ue_count <= 48.
+std::vector<int> map_ues_to_cores(MappingPolicy policy, int ue_count);
+
+/// Average hops-to-memory over a set of cores (reported by the mapping bench).
+double average_hops(const std::vector<int>& cores);
+
+/// Largest number of mapped cores sharing one memory controller -- the
+/// contention proxy that explains the standard mapping's slowdown.
+int max_cores_per_mc(const std::vector<int>& cores);
+
+}  // namespace scc::chip

@@ -1,0 +1,48 @@
+#include "scc/power.hpp"
+
+#include "common/error.hpp"
+#include "scc/mapping.hpp"
+
+namespace scc::chip {
+
+double tile_voltage_for_mhz(int core_mhz) {
+  SCC_REQUIRE(is_valid_core_mhz(core_mhz), "invalid core frequency " << core_mhz << " MHz");
+  return 0.6 + 0.625 * (core_mhz / 1000.0);
+}
+
+PowerModel::PowerModel(const PowerModelConfig& config) : config_(config) {
+  SCC_REQUIRE(config.static_watts >= 0.0 && config.core_watts_per_tile_ghz >= 0.0 &&
+                  config.mesh_watts_per_ghz >= 0.0 && config.memory_watts_per_ghz >= 0.0,
+              "power coefficients must be non-negative");
+  SCC_REQUIRE(config.idle_tile_factor >= 0.0 && config.idle_tile_factor <= 1.0,
+              "idle_tile_factor must be in [0,1]");
+}
+
+double PowerModel::chip_watts(const FrequencyConfig& freq, int active_cores) const {
+  SCC_REQUIRE(active_cores >= 0 && active_cores <= kCoreCount,
+              "active_cores " << active_cores << " out of range [0,48]");
+  // A tile is active when at least one of its cores hosts a UE. With the
+  // standard numbering, cores 2t/2t+1 share tile t; we conservatively treat
+  // the first ceil(active/2) tiles as active, matching a packed mapping.
+  const int active_tiles = (active_cores + kCoresPerTile - 1) / kCoresPerTile;
+  double core_term = 0.0;
+  const double v_ref = tile_voltage_for_mhz(533);
+  for (int tile = 0; tile < kTileCount; ++tile) {
+    const double f_ghz = freq.tile_core_mhz(tile) / 1000.0;
+    const double activity = tile < active_tiles ? 1.0 : config_.idle_tile_factor;
+    double scale = 1.0;
+    if (config_.model_voltage_scaling) {
+      const double v = tile_voltage_for_mhz(freq.tile_core_mhz(tile));
+      scale = (v / v_ref) * (v / v_ref);
+    }
+    core_term += config_.core_watts_per_tile_ghz * f_ghz * activity * scale;
+  }
+  return config_.static_watts + core_term + config_.mesh_watts_per_ghz * freq.mesh_ghz() +
+         config_.memory_watts_per_ghz * freq.memory_ghz();
+}
+
+double PowerModel::full_system_watts(const FrequencyConfig& freq) const {
+  return chip_watts(freq, kCoreCount);
+}
+
+}  // namespace scc::chip

@@ -1,0 +1,63 @@
+#include "scc/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace scc::chip {
+
+namespace {
+
+void check_core(int core) {
+  SCC_REQUIRE(core >= 0 && core < kCoreCount, "core id " << core << " out of range [0,48)");
+}
+
+void check_tile(int tile) {
+  SCC_REQUIRE(tile >= 0 && tile < kTileCount, "tile id " << tile << " out of range [0,24)");
+}
+
+}  // namespace
+
+int tile_of_core(int core) {
+  check_core(core);
+  return core / kCoresPerTile;
+}
+
+noc::Coord coord_of_tile(int tile) {
+  check_tile(tile);
+  return noc::Coord{tile % kMeshWidth, tile / kMeshWidth};
+}
+
+noc::Coord coord_of_core(int core) { return coord_of_tile(tile_of_core(core)); }
+
+std::array<int, kCoresPerTile> cores_of_tile(int tile) {
+  check_tile(tile);
+  return {tile * kCoresPerTile, tile * kCoresPerTile + 1};
+}
+
+int memory_controller_of_core(int core) {
+  const noc::Coord c = coord_of_core(core);
+  const int mc_col = c.x < kMeshWidth / 2 ? 0 : 1;
+  const int mc_row = c.y < kMeshHeight / 2 ? 0 : 1;
+  return mc_row * 2 + mc_col;
+}
+
+int hops_to_memory(int core) {
+  static const noc::Mesh mesh(kMeshWidth, kMeshHeight);
+  const int mc = memory_controller_of_core(core);
+  return mesh.hops(coord_of_core(core), kMcCoords[static_cast<std::size_t>(mc)]);
+}
+
+std::array<int, kCoreCount / kMemoryControllerCount> cores_of_memory_controller(int mc) {
+  SCC_REQUIRE(mc >= 0 && mc < kMemoryControllerCount, "mc id " << mc << " out of range [0,4)");
+  std::array<int, kCoreCount / kMemoryControllerCount> out{};
+  std::size_t n = 0;
+  for (int core = 0; core < kCoreCount; ++core) {
+    if (memory_controller_of_core(core) == mc) {
+      SCC_ASSERT(n < out.size(), "more than 12 cores mapped to MC " << mc);
+      out[n++] = core;
+    }
+  }
+  SCC_ASSERT(n == out.size(), "expected 12 cores on MC " << mc << ", found " << n);
+  return out;
+}
+
+}  // namespace scc::chip

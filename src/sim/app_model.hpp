@@ -1,0 +1,34 @@
+// End-to-end cost model of the distributed SpMV *application*, not just the
+// kernel: the paper times the kernel after the matrix has been distributed,
+// but a user of the chip pays for distribution too. This model combines the
+// communication primitives (comm_model) with the kernel engine to answer:
+// how expensive is the setup, and after how many repeated products does it
+// amortize? (Iterative solvers -- the kernel's raison d'etre -- run hundreds
+// of products per setup, which is why the paper's methodology is fair.)
+#pragma once
+
+#include "sim/comm_model.hpp"
+#include "sim/engine.hpp"
+
+namespace scc::sim {
+
+struct AppCosts {
+  double scatter_seconds = 0.0;    ///< root sends each UE its CSR slice
+  double broadcast_x_seconds = 0.0;///< root replicates x to every UE
+  double product_seconds = 0.0;    ///< one y = A*x (engine result, incl. barrier)
+  double gather_seconds = 0.0;     ///< UEs return their y blocks
+
+  double setup_seconds() const { return scatter_seconds + broadcast_x_seconds; }
+
+  /// Products needed before per-product cost is within `overhead` (e.g.
+  /// 0.05 = 5%) of the asymptotic kernel-only cost. At least 1.
+  double amortization_products(double overhead = 0.05) const;
+};
+
+/// Estimate the full distributed SpMV on `ue_count` UEs mapped by `policy`,
+/// with rank 0 initially owning A (CSR, 32-bit indices + doubles) and x.
+AppCosts estimate_distributed_spmv(const Engine& engine, const sparse::CsrMatrix& matrix,
+                                   int ue_count, chip::MappingPolicy policy,
+                                   const CommCostModel& comm = CommCostModel{});
+
+}  // namespace scc::sim

@@ -1,0 +1,83 @@
+#include "sim/comm_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "noc/mesh.hpp"
+#include "scc/topology.hpp"
+
+namespace scc::sim {
+
+namespace {
+
+int mesh_hops(int core_a, int core_b) {
+  static const noc::Mesh mesh(chip::kMeshWidth, chip::kMeshHeight);
+  return mesh.hops(chip::coord_of_core(core_a), chip::coord_of_core(core_b));
+}
+
+void check_core(int core) {
+  SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core id " << core << " out of range");
+}
+
+}  // namespace
+
+double mpb_access_ns(const chip::FrequencyConfig& freq, int core, int remote_core,
+                     const CommCostModel& model) {
+  check_core(core);
+  check_core(remote_core);
+  const double core_period = 1.0 / freq.core_ghz(core);
+  const double mesh_period = 1.0 / freq.mesh_ghz();
+  const double hops = mesh_hops(core, remote_core);
+  return model.mpb_access_core_cycles * core_period + 8.0 * hops * mesh_period;
+}
+
+double flag_wait_ns(const chip::FrequencyConfig& freq, int core, int remote_core,
+                    const CommCostModel& model) {
+  return model.poll_iterations * mpb_access_ns(freq, core, remote_core, model);
+}
+
+double send_ns(const chip::FrequencyConfig& freq, int src_core, int dst_core, double bytes,
+               const CommCostModel& model) {
+  SCC_REQUIRE(bytes >= 0.0, "negative message size");
+  const double src_period = 1.0 / freq.core_ghz(src_core);
+  const double dst_period = 1.0 / freq.core_ghz(dst_core);
+  const double chunks = std::max(1.0, std::ceil(bytes / model.mpb_chunk_bytes));
+  const double copy_in = bytes / model.mpb_bytes_per_core_cycle * src_period;
+  // Receiver pulls from the sender's MPB across the mesh: copy cost in its
+  // clock plus the per-chunk mesh round trips folded into the flag waits.
+  const double copy_out = bytes / model.mpb_bytes_per_core_cycle * dst_period;
+  const double handshakes =
+      chunks * (flag_wait_ns(freq, dst_core, src_core, model) +  // data-ready wait
+                flag_wait_ns(freq, src_core, src_core, model));  // ack wait
+  return copy_in + copy_out + handshakes;
+}
+
+double barrier_ns(const chip::FrequencyConfig& freq, std::span<const int> cores,
+                  const CommCostModel& model) {
+  SCC_REQUIRE(!cores.empty(), "barrier over empty core set");
+  if (cores.size() == 1) return 0.0;
+  const int master = cores.front();
+  double gather = 0.0;
+  double release = 0.0;
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    // Member writes its flag into the master's MPB; the master polls it,
+    // then writes the member's release flag, which the member is polling.
+    gather += mpb_access_ns(freq, cores[i], master, model) +
+              flag_wait_ns(freq, master, master, model);
+    release += mpb_access_ns(freq, master, cores[i], model) +
+               flag_wait_ns(freq, cores[i], cores[i], model);
+  }
+  return gather + release;
+}
+
+double broadcast_ns(const chip::FrequencyConfig& freq, std::span<const int> cores,
+                    double bytes, const CommCostModel& model) {
+  SCC_REQUIRE(!cores.empty(), "broadcast over empty core set");
+  double total = 0.0;
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    total += send_ns(freq, cores.front(), cores[i], bytes, model);
+  }
+  return total;
+}
+
+}  // namespace scc::sim

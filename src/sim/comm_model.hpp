@@ -1,0 +1,55 @@
+// First-principles timing of RCCE communication on the SCC.
+//
+// RCCE moves data through the per-core message-passing buffers: a remote MPB
+// access costs ~45 core cycles plus the mesh round trip (4 cycles per hop
+// each way, like Equation 1 without the DRAM term), and bulk copies move a
+// handful of bytes per core cycle. From those primitives this model derives
+// the cost of flags, sends, broadcasts and the linear gather/release barrier
+// -- the same barrier whose *calibrated* aggregate cost the engine charges
+// per product. The ablation bench prints derived vs. calibrated side by
+// side; the calibrated value is higher because it also absorbs fence and OS
+// noise the primitive model does not see.
+#pragma once
+
+#include <span>
+
+#include "scc/frequency.hpp"
+
+namespace scc::sim {
+
+struct CommCostModel {
+  /// Core cycles to issue one (uncached, word-sized) MPB access.
+  double mpb_access_core_cycles = 45.0;
+  /// Bulk copy throughput into/out of the MPB, bytes per core cycle.
+  double mpb_bytes_per_core_cycle = 4.0;
+  /// Average number of polls a waiter issues before its flag flips.
+  double poll_iterations = 12.0;
+  /// Usable chunk size when staging through an 8 KB MPB region.
+  double mpb_chunk_bytes = 8192.0 - 64.0;
+};
+
+/// One word-sized access from `core` to the MPB of `remote_core` (round trip
+/// over the mesh; zero mesh hops when both cores share a tile).
+double mpb_access_ns(const chip::FrequencyConfig& freq, int core, int remote_core,
+                     const CommCostModel& model = CommCostModel{});
+
+/// Busy-wait on a flag in `remote_core`'s MPB until it flips.
+double flag_wait_ns(const chip::FrequencyConfig& freq, int core, int remote_core,
+                    const CommCostModel& model = CommCostModel{});
+
+/// RCCE_send of `bytes` from `src_core` to `dst_core`: per chunk, the sender
+/// copies into its MPB, sets a flag, and the receiver copies out and acks.
+double send_ns(const chip::FrequencyConfig& freq, int src_core, int dst_core,
+               double bytes, const CommCostModel& model = CommCostModel{});
+
+/// Linear (master-based) barrier over the given physical cores, master =
+/// cores[0]: every member sets its flag in the master's region; the master
+/// polls them all, then releases each member.
+double barrier_ns(const chip::FrequencyConfig& freq, std::span<const int> cores,
+                  const CommCostModel& model = CommCostModel{});
+
+/// Linear broadcast of `bytes` from cores[0] to the rest (repeated send).
+double broadcast_ns(const chip::FrequencyConfig& freq, std::span<const int> cores,
+                    double bytes, const CommCostModel& model = CommCostModel{});
+
+}  // namespace scc::sim

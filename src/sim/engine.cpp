@@ -1,0 +1,246 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/format_traces.hpp"
+#include "sparse/properties.hpp"
+
+namespace scc::sim {
+
+namespace {
+
+/// Produces one core's trace and its kernel compute-cycle count; lets the
+/// CSR run and the format-study runs share the whole aggregation pipeline.
+using TraceFn = std::function<TraceResult(const sparse::RowBlock& block,
+                                          cache::Hierarchy& hierarchy, cache::Tlb* tlb,
+                                          double& compute_cycles)>;
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  SCC_REQUIRE(config_.kernel.cycles_per_nnz >= 0.0 && config_.kernel.cycles_per_row >= 0.0 &&
+                  config_.kernel.l2_hit_cycles >= 0.0,
+              "kernel cycle costs must be non-negative");
+  SCC_REQUIRE(config_.memory.miss_stall_fraction >= 0.0 &&
+                  config_.memory.miss_stall_fraction <= 1.0,
+              "miss_stall_fraction must be in [0,1]");
+  SCC_REQUIRE(config_.memory.mc_peak_fraction > 0.0 && config_.memory.mc_peak_fraction <= 1.0,
+              "mc_peak_fraction must be in (0,1]");
+}
+
+double Engine::mc_bandwidth_bytes_per_second() const {
+  // One DDR3 channel per controller: 8 bytes per memory clock at peak,
+  // derated for scattered 32-byte line transactions.
+  return config_.freq.memory_ghz() * 1e9 * 8.0 * config_.memory.mc_peak_fraction;
+}
+
+RunResult Engine::run(const sparse::CsrMatrix& matrix, int ue_count, chip::MappingPolicy policy,
+                      SpmvVariant variant) const {
+  return run_on_cores(matrix, chip::map_ues_to_cores(policy, ue_count), variant);
+}
+
+RunResult Engine::run_on_cores(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                               SpmvVariant variant) const {
+  return run_impl(matrix, cores, variant, /*forced_hops=*/-1);
+}
+
+RunResult Engine::run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
+                                          SpmvVariant variant) const {
+  SCC_REQUIRE(hops >= 0 && hops <= 3, "the default quadrant assignment has hop distances 0..3");
+  return run_impl(matrix, {0}, variant, hops);
+}
+
+RunResult Engine::run_format(const sparse::CsrMatrix& matrix, int ue_count,
+                             chip::MappingPolicy policy, StorageFormat format) const {
+  const auto cores = chip::map_ues_to_cores(policy, ue_count);
+  const KernelCostModel& k = config_.kernel;
+  TraceFn trace_fn;
+  switch (format) {
+    case StorageFormat::kCsr:
+      return run_on_cores(matrix, cores, SpmvVariant::kCsr);
+    case StorageFormat::kEll:
+      trace_fn = [&](const sparse::RowBlock& block, cache::Hierarchy& h, cache::Tlb* tlb,
+                     double& cycles) {
+        const FormatTraceResult r = run_ell_trace(matrix, block, h, tlb);
+        cycles = k.cycles_per_ell_slot * r.executed_elements +
+                 k.cycles_per_row * r.rows_iterated;
+        return r.trace;
+      };
+      break;
+    case StorageFormat::kBcsr2:
+    case StorageFormat::kBcsr4: {
+      const index_t b = format == StorageFormat::kBcsr2 ? 2 : 4;
+      trace_fn = [&, b](const sparse::RowBlock& block, cache::Hierarchy& h, cache::Tlb* tlb,
+                        double& cycles) {
+        const FormatTraceResult r = run_bcsr_trace(matrix, block, b, h, tlb);
+        cycles = k.cycles_per_bcsr_element * r.executed_elements +
+                 k.cycles_per_row * r.rows_iterated;
+        return r.trace;
+      };
+      break;
+    }
+    case StorageFormat::kHyb:
+      trace_fn = [&](const sparse::RowBlock& block, cache::Hierarchy& h, cache::Tlb* tlb,
+                     double& cycles) {
+        const FormatTraceResult r = run_hyb_trace(matrix, block, 0.33, h, tlb);
+        cycles = k.cycles_per_ell_slot * r.executed_elements +
+                 k.cycles_per_row * r.rows_iterated;
+        return r.trace;
+      };
+      break;
+  }
+  return run_generic(matrix, cores, /*forced_hops=*/-1, trace_fn);
+}
+
+std::string to_string(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kCsr:
+      return "CSR";
+    case StorageFormat::kEll:
+      return "ELL";
+    case StorageFormat::kBcsr2:
+      return "BCSR b=2";
+    case StorageFormat::kBcsr4:
+      return "BCSR b=4";
+    case StorageFormat::kHyb:
+      return "HYB";
+  }
+  return "unknown";
+}
+
+RunResult Engine::run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                           SpmvVariant variant, int forced_hops) const {
+  const KernelCostModel& k = config_.kernel;
+  TraceFn trace_fn = [&](const sparse::RowBlock& block, cache::Hierarchy& hierarchy,
+                         cache::Tlb* tlb, double& cycles) {
+    const TraceResult trace = run_spmv_trace(matrix, block, variant, hierarchy, tlb);
+    cycles = k.cycles_per_nnz * static_cast<double>(trace.nnz) +
+             k.cycles_per_row * static_cast<double>(trace.rows);
+    return trace;
+  };
+  return run_generic(matrix, cores, forced_hops, trace_fn);
+}
+
+RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                              int forced_hops,
+                              const std::function<TraceResult(const sparse::RowBlock&,
+                                                              cache::Hierarchy&, cache::Tlb*,
+                                                              double&)>& trace_fn) const {
+  SCC_REQUIRE(!cores.empty() && cores.size() <= static_cast<std::size_t>(chip::kCoreCount),
+              "core set size " << cores.size() << " out of range [1,48]");
+  std::set<int> unique(cores.begin(), cores.end());
+  SCC_REQUIRE(unique.size() == cores.size(), "core set contains duplicates");
+  for (int core : cores) {
+    SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core id " << core << " out of range");
+  }
+
+  const auto blocks =
+      sparse::partition_rows_balanced_nnz(matrix, static_cast<int>(cores.size()));
+
+  RunResult result;
+  result.cores.resize(cores.size());
+
+  for (std::size_t rank = 0; rank < cores.size(); ++rank) {
+    const int core = cores[rank];
+    CoreResult& cr = result.cores[rank];
+    cr.core = core;
+    cr.hops = forced_hops >= 0 ? forced_hops : chip::hops_to_memory(core);
+
+    cache::Hierarchy hierarchy(config_.hierarchy);
+    cache::Tlb tlb;
+    cache::Tlb* tlb_ptr = config_.memory.model_tlb ? &tlb : nullptr;
+    double compute_cycles = 0.0;
+    if (config_.measure_steady_state) {
+      // Per-core share of the paper's working-set formula: using ws/P keeps
+      // the same threshold semantics as the paper's "working set per core"
+      // discussion.
+      const double ws_per_core =
+          static_cast<double>(sparse::working_set_bytes(matrix)) /
+          static_cast<double>(cores.size());
+      const double cache_bytes = static_cast<double>(
+          config_.hierarchy.l2_enabled ? config_.hierarchy.l2.size_bytes
+                                       : config_.hierarchy.l1.size_bytes);
+      if (ws_per_core <= config_.warm_skip_factor * cache_bytes) {
+        // Warm pass: caches and TLB keep their state; traces count per-call,
+        // so the measured pass below reports steady-state numbers.
+        trace_fn(blocks[rank], hierarchy, tlb_ptr, compute_cycles);
+        hierarchy.reset_stats();
+      }
+    }
+    cr.trace = trace_fn(blocks[rank], hierarchy, tlb_ptr, compute_cycles);
+
+    const double core_hz = config_.freq.core_ghz(core) * 1e9;
+    cr.compute_seconds = compute_cycles / core_hz;
+    cr.l2_hit_seconds = config_.kernel.l2_hit_cycles *
+                        static_cast<double>(cr.trace.l2_hit_accesses) / core_hz;
+    const double latency_s = chip::memory_latency_ns(config_.freq, core, cr.hops) * 1e-9;
+    cr.stall_seconds = config_.memory.miss_stall_fraction * latency_s *
+                       static_cast<double>(cr.trace.memory_accesses);
+    cr.tlb_seconds = config_.memory.tlb_walk_memory_accesses * latency_s *
+                     static_cast<double>(cr.trace.tlb_misses);
+    cr.isolated_seconds =
+        cr.compute_seconds + cr.l2_hit_seconds + cr.stall_seconds + cr.tlb_seconds;
+
+    const int mc = chip::memory_controller_of_core(core);
+    // Page walks also fetch page-table lines through the controller.
+    const bytes_t walk_bytes =
+        static_cast<bytes_t>(config_.memory.tlb_walk_memory_accesses *
+                             static_cast<double>(cr.trace.tlb_misses)) *
+        config_.hierarchy.l1.line_bytes;
+    result.mc_bytes[static_cast<std::size_t>(mc)] +=
+        cr.trace.memory_read_bytes + cr.trace.memory_write_bytes + walk_bytes;
+  }
+
+  // Mesh-link accounting: read fills travel MC -> core, writebacks the other
+  // way, both along the XY route (forced-hop single-core experiments have no
+  // physical route, so they are skipped).
+  if (forced_hops < 0) {
+    noc::Mesh mesh(chip::kMeshWidth, chip::kMeshHeight);
+    for (const CoreResult& cr : result.cores) {
+      const int mc = chip::memory_controller_of_core(cr.core);
+      const noc::Coord mc_coord = chip::kMcCoords[static_cast<std::size_t>(mc)];
+      const noc::Coord core_coord = chip::coord_of_core(cr.core);
+      mesh.record_transfer(mc_coord, core_coord, cr.trace.memory_read_bytes);
+      mesh.record_transfer(core_coord, mc_coord, cr.trace.memory_write_bytes);
+    }
+    result.mesh.total_link_bytes = mesh.total_traffic();
+    result.mesh.max_link_bytes = mesh.max_link_traffic();
+  }
+
+  double slowest_core = 0.0;
+  for (const CoreResult& cr : result.cores) {
+    slowest_core = std::max(slowest_core, cr.isolated_seconds);
+  }
+
+  double slowest_mc = 0.0;
+  if (config_.memory.model_contention) {
+    const double bw = mc_bandwidth_bytes_per_second();
+    for (std::size_t mc = 0; mc < result.mc_bytes.size(); ++mc) {
+      result.mc_seconds[mc] = static_cast<double>(result.mc_bytes[mc]) / bw;
+      slowest_mc = std::max(slowest_mc, result.mc_seconds[mc]);
+    }
+  }
+
+  result.seconds = std::max(slowest_core, slowest_mc);
+  result.bandwidth_bound = slowest_mc > slowest_core;
+  if (cores.size() > 1) {
+    // The barrier's flag-polling loop runs in the core clock domain (MPB
+    // reads cost ~45 core cycles each); barrier_ns_per_ue is calibrated at
+    // the default 533 MHz, so rescale with the slowest participating core.
+    int slowest_core_mhz = config_.freq.core_mhz(cores.front());
+    for (int core : cores) {
+      slowest_core_mhz = std::min(slowest_core_mhz, config_.freq.core_mhz(core));
+    }
+    const double core_scale = 533.0 / static_cast<double>(slowest_core_mhz);
+    result.seconds += config_.kernel.barrier_ns_per_ue * core_scale * 1e-9 *
+                      static_cast<double>(cores.size());
+  }
+  SCC_ASSERT(result.seconds > 0.0, "simulated runtime must be positive");
+  result.gflops = 2.0 * static_cast<double>(matrix.nnz()) / result.seconds / 1e9;
+  return result;
+}
+
+}  // namespace scc::sim

@@ -1,0 +1,107 @@
+// The SCC SpMV simulation engine.
+//
+// Combines the pieces into the timing model that regenerates the paper's
+// figures:
+//   1. partition the matrix row-wise balancing nonzeros (Section III),
+//   2. map UEs to cores under the chosen policy (Section IV-A),
+//   3. drive each core's reference trace through its private L1/L2
+//      (Sections IV-B/IV-C),
+//   4. charge compute cycles in the core clock domain, L2-hit penalties, and
+//      full Equation-1 round trips for every memory-level miss (the P54C has
+//      blocking loads),
+//   5. apply per-memory-controller bandwidth contention, and take the
+//      slowest core as the parallel runtime (SpMV ends with a barrier).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scc/latency.hpp"
+#include "scc/mapping.hpp"
+#include "sim/config.hpp"
+#include "sim/spmv_trace.hpp"
+
+namespace scc::sim {
+
+/// Storage formats the engine can replay (the format-study extension: the
+/// CSR baseline vs. the optimized layouts of the paper's references [9]/[11]).
+enum class StorageFormat { kCsr, kEll, kBcsr2, kBcsr4, kHyb };
+
+std::string to_string(StorageFormat format);
+
+/// Per-core outcome of a simulated run.
+struct CoreResult {
+  int core = 0;
+  int hops = 0;
+  TraceResult trace;
+  double compute_seconds = 0.0;   ///< kernel cycles in the core clock domain
+  double l2_hit_seconds = 0.0;    ///< L1-miss/L2-hit penalties
+  double stall_seconds = 0.0;     ///< memory round trips (Equation 1)
+  double tlb_seconds = 0.0;       ///< page-walk stalls on TLB misses
+  double isolated_seconds = 0.0;  ///< sum of the above: runtime absent contention
+};
+
+/// Mesh-link traffic accumulated over the run (XY routes between each core
+/// and its memory controller: read fills flow MC->core, writebacks
+/// core->MC). `max_link` exposes the congestion hot spot the mapping
+/// policies fight over.
+struct MeshTraffic {
+  bytes_t total_link_bytes = 0;
+  bytes_t max_link_bytes = 0;
+};
+
+/// Whole-run outcome.
+struct RunResult {
+  std::vector<CoreResult> cores;
+  double seconds = 0.0;  ///< parallel runtime (slowest core, after contention)
+  double gflops = 0.0;   ///< 2*nnz / seconds / 1e9, the paper's metric
+  std::array<bytes_t, chip::kMemoryControllerCount> mc_bytes{};
+  std::array<double, chip::kMemoryControllerCount> mc_seconds{};
+  bool bandwidth_bound = false;  ///< true when an MC's bandwidth term set the runtime
+  MeshTraffic mesh;
+
+  double mflops() const { return gflops * 1000.0; }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = EngineConfig{});
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Simulate y = A*x on `ue_count` UEs mapped by `policy`.
+  RunResult run(const sparse::CsrMatrix& matrix, int ue_count, chip::MappingPolicy policy,
+                SpmvVariant variant = SpmvVariant::kCsr) const;
+
+  /// Simulate on an explicit core set (rank k on cores[k]).
+  RunResult run_on_cores(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                         SpmvVariant variant = SpmvVariant::kCsr) const;
+
+  /// Single-core run with a forced hop distance to memory -- the paper's
+  /// Figure 3 sweep over cores 0..3 hops from their controller.
+  RunResult run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
+                                    SpmvVariant variant = SpmvVariant::kCsr) const;
+
+  /// Simulate the same product with an alternative storage format (the
+  /// kernel structure and per-element costs change with the layout; the
+  /// partitioning stays the paper's row-wise nnz balance).
+  RunResult run_format(const sparse::CsrMatrix& matrix, int ue_count,
+                       chip::MappingPolicy policy, StorageFormat format) const;
+
+  /// Sustainable bandwidth of one memory controller under this config.
+  double mc_bandwidth_bytes_per_second() const;
+
+ private:
+  RunResult run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                     SpmvVariant variant, int forced_hops) const;
+  RunResult run_generic(
+      const sparse::CsrMatrix& matrix, const std::vector<int>& cores, int forced_hops,
+      const std::function<TraceResult(const sparse::RowBlock&, cache::Hierarchy&, cache::Tlb*,
+                                      double&)>& trace_fn) const;
+
+  EngineConfig config_;
+};
+
+}  // namespace scc::sim

@@ -1,0 +1,55 @@
+// Trace generation for the CSR SpMV kernel of the paper's Figure 2, driven
+// through one core's private cache hierarchy.
+//
+// Each unit of execution owns a contiguous row block (Section III: row-wise
+// partitioning balancing nonzeros). Its private memory holds the local
+// slices of ptr/index/da/y plus a full private copy of x (RCCE programs
+// replicate read-only inputs; the SCC offers no coherence to share them).
+// The reference stream per row r is
+//     load ptr[r+1]; { load index[k]; load da[k]; load x[index[k]]; }*; store y[r]
+// matching the paper's kernel, with ptr[r] carried in a register from the
+// previous iteration. The no-x-miss variant (Section IV-C) replaces
+// x[index[k]] by x[0], turning the indirect access into a guaranteed hit.
+#pragma once
+
+#include "cache/hierarchy.hpp"
+#include "cache/tlb.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace scc::sim {
+
+enum class SpmvVariant {
+  kCsr,         ///< the paper's baseline kernel
+  kCsrNoXMiss,  ///< every x reference rewritten to x[0] (Fig 8)
+};
+
+/// Element sizes of the paper's data layout: 32-bit indices, doubles.
+inline constexpr bytes_t kPtrBytes = 4;
+inline constexpr bytes_t kIndexBytes = 4;
+inline constexpr bytes_t kValueBytes = 8;
+
+/// Cache-behaviour summary of one core's traversal of its row block.
+struct TraceResult {
+  cache::CacheStats l1;
+  cache::CacheStats l2;
+  std::uint64_t memory_accesses = 0;  ///< references serviced by memory
+  std::uint64_t l2_hit_accesses = 0;  ///< references serviced by L2
+  bytes_t memory_read_bytes = 0;
+  bytes_t memory_write_bytes = 0;
+  std::uint64_t tlb_misses = 0;  ///< 0 when no TLB was supplied
+  nnz_t rows = 0;
+  nnz_t nnz = 0;
+};
+
+/// Run the access trace of `block` of `matrix` through `hierarchy` (which
+/// the caller constructs per core; it is mutated). The hierarchy starts as
+/// passed in -- pass a fresh one for a cold-cache run. When `tlb` is
+/// non-null every reference is also translated through it and misses are
+/// counted. The trailing cache flush the SCC needs for coherence is NOT
+/// issued here; the engine decides (it matters only for repeated products).
+TraceResult run_spmv_trace(const sparse::CsrMatrix& matrix, const sparse::RowBlock& block,
+                           SpmvVariant variant, cache::Hierarchy& hierarchy,
+                           cache::Tlb* tlb = nullptr);
+
+}  // namespace scc::sim

@@ -1,0 +1,76 @@
+// Shared plumbing for the trace generators: the virtual memory layout of a
+// core's private arrays, and the Tracker that funnels every reference
+// through the TLB and cache hierarchy while accumulating statistics.
+// Internal to scc_sim; not part of the public API.
+#pragma once
+
+#include "cache/hierarchy.hpp"
+#include "cache/tlb.hpp"
+#include "sim/spmv_trace.hpp"
+
+namespace scc::sim::detail {
+
+// Disjoint virtual base addresses for the arrays in a core's private domain.
+// Wide separation guarantees regions never overlap for realistic sizes; the
+// per-array stagger keeps bases from co-aligning in cache set 0 (a real
+// allocator's layout does not exhibit that pathology). Using identical bases
+// on every core is fine: each core owns a private hierarchy.
+inline constexpr std::uint64_t kStagger = 0x3520ULL;
+inline constexpr std::uint64_t kPtrBase = 0x1'0000'0000ULL + 1 * kStagger;
+inline constexpr std::uint64_t kIndexBase = 0x2'0000'0000ULL + 2 * kStagger;
+inline constexpr std::uint64_t kValueBase = 0x3'0000'0000ULL + 3 * kStagger;
+inline constexpr std::uint64_t kXBase = 0x4'0000'0000ULL + 4 * kStagger;
+inline constexpr std::uint64_t kYBase = 0x5'0000'0000ULL + 5 * kStagger;
+// Extra regions used by format traces (COO row stream of HYB).
+inline constexpr std::uint64_t kAuxBase = 0x6'0000'0000ULL + 6 * kStagger;
+
+/// Funnels references through the (optional) TLB and the hierarchy,
+/// accumulating the TraceResult counters.
+class Tracker {
+ public:
+  Tracker(cache::Hierarchy& hierarchy, cache::Tlb* tlb)
+      : hierarchy_(hierarchy), tlb_(tlb) {}
+
+  void access(std::uint64_t address, bool is_write) {
+    if (tlb_ != nullptr && !tlb_->access(address)) ++tlb_misses_;
+    const cache::MemoryEffect effect = hierarchy_.access(address, is_write);
+    switch (effect.level) {
+      case cache::ServicedBy::kL1:
+        break;
+      case cache::ServicedBy::kL2:
+        ++l2_hits_;
+        break;
+      case cache::ServicedBy::kMemory:
+        ++memory_;
+        break;
+    }
+    read_bytes_ += effect.memory_read_bytes;
+    write_bytes_ += effect.memory_write_bytes;
+  }
+
+  /// Snapshot the accumulated counters into a TraceResult.
+  TraceResult finish(nnz_t rows, nnz_t nnz) const {
+    TraceResult result;
+    result.l1 = hierarchy_.l1().stats();
+    result.l2 = hierarchy_.l2().stats();
+    result.l2_hit_accesses = l2_hits_;
+    result.memory_accesses = memory_;
+    result.memory_read_bytes = read_bytes_;
+    result.memory_write_bytes = write_bytes_;
+    result.tlb_misses = tlb_misses_;
+    result.rows = rows;
+    result.nnz = nnz;
+    return result;
+  }
+
+ private:
+  cache::Hierarchy& hierarchy_;
+  cache::Tlb* tlb_;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t memory_ = 0;
+  std::uint64_t tlb_misses_ = 0;
+  bytes_t read_bytes_ = 0;
+  bytes_t write_bytes_ = 0;
+};
+
+}  // namespace scc::sim::detail

@@ -1,0 +1,57 @@
+// Block Compressed Sparse Row (BCSR / register-blocked CSR).
+//
+// The register- and cache-blocking optimizations of Williams et al. (the
+// paper's reference [11]) store small dense r x c blocks instead of scalar
+// entries, amortizing index storage and enabling unrolled kernels. We
+// implement the square-block variant: the matrix is tiled into b x b blocks
+// aligned to multiples of b; every block containing at least one nonzero is
+// stored densely (explicit zeros fill the rest).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sparse {
+
+class BcsrMatrix {
+ public:
+  BcsrMatrix() = default;
+
+  /// Convert from CSR with block size `b` (1 <= b <= 16). Throws when fill-in
+  /// would exceed `max_fill_ratio` times the original nonzero count.
+  static BcsrMatrix from_csr(const CsrMatrix& csr, index_t b, double max_fill_ratio = 8.0);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t block_size() const { return b_; }
+  index_t block_rows() const { return block_rows_; }
+  nnz_t block_count() const { return static_cast<nnz_t>(block_col_.size()); }
+  nnz_t stored_nnz() const { return nnz_; }
+
+  /// Row-pointer over block rows (size block_rows+1).
+  std::span<const nnz_t> block_ptr() const { return block_ptr_; }
+  /// Block-column index per stored block.
+  std::span<const index_t> block_col() const { return block_col_; }
+  /// Dense block payloads, b*b values each, row-major within the block.
+  std::span<const real_t> values() const { return val_; }
+
+  /// Stored values (incl. explicit zeros) divided by original nonzeros.
+  double fill_ratio() const;
+
+  /// Expand back to CSR, dropping the explicit zeros that blocking added.
+  CsrMatrix to_csr() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t b_ = 1;
+  index_t block_rows_ = 0;
+  nnz_t nnz_ = 0;
+  std::vector<nnz_t> block_ptr_;
+  std::vector<index_t> block_col_;
+  std::vector<real_t> val_;
+};
+
+}  // namespace scc::sparse

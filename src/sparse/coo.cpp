@@ -1,0 +1,51 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scc::sparse {
+
+CooMatrix::CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  SCC_REQUIRE(rows > 0 && cols > 0,
+              "CooMatrix dimensions must be positive, got " << rows << "x" << cols);
+}
+
+void CooMatrix::add(index_t row, index_t col, real_t value) {
+  SCC_REQUIRE(row >= 0 && row < rows_, "row index " << row << " out of range [0," << rows_ << ")");
+  SCC_REQUIRE(col >= 0 && col < cols_, "col index " << col << " out of range [0," << cols_ << ")");
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooMatrix::reserve(nnz_t count) {
+  SCC_REQUIRE(count >= 0, "reserve count must be non-negative");
+  entries_.reserve(static_cast<std::size_t>(count));
+}
+
+void CooMatrix::normalize() {
+  std::sort(entries_.begin(), entries_.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+bool CooMatrix::is_normalized() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Triplet& prev = entries_[i - 1];
+    const Triplet& cur = entries_[i];
+    if (prev.row > cur.row) return false;
+    if (prev.row == cur.row && prev.col >= cur.col) return false;
+  }
+  return true;
+}
+
+}  // namespace scc::sparse

@@ -1,0 +1,57 @@
+// Coordinate (triplet) sparse-matrix format. COO is the assembly and
+// interchange format: generators and the Matrix Market reader produce COO,
+// which is then compressed to CSR for computation.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace scc::sparse {
+
+/// One nonzero entry.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  real_t value = 0.0;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format sparse matrix. Entries may be unsorted and may contain
+/// duplicates until `normalize()` is called; `CsrMatrix::from_coo` normalizes
+/// internally.
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  /// Create an empty rows x cols matrix. Both dimensions must be positive.
+  CooMatrix(index_t rows, index_t cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(entries_.size()); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+
+  /// Append one entry; indices are bounds-checked.
+  void add(index_t row, index_t col, real_t value);
+
+  /// Reserve storage for `count` entries.
+  void reserve(nnz_t count);
+
+  /// Sort entries row-major and sum duplicates. Entries whose summed value is
+  /// exactly zero are kept (they still occupy pattern positions, matching the
+  /// usual sparse-library convention of explicit zeros).
+  void normalize();
+
+  /// True if entries are row-major sorted with no duplicate coordinates.
+  bool is_normalized() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace scc::sparse

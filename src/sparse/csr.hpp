@@ -1,0 +1,69 @@
+// Compressed-Sparse-Row matrix — the format the paper's SpMV kernel (its
+// Figure 2) operates on: `ptr` (n+1 row offsets), `col` (column index per
+// nonzero) and `val` (value per nonzero), with nonzeros stored row-major.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/coo.hpp"
+
+namespace scc::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from raw arrays; validates the CSR invariants (see `validate`).
+  CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> ptr, std::vector<index_t> col,
+            std::vector<real_t> val);
+
+  /// Compress a COO matrix (normalized internally; duplicates are summed).
+  static CsrMatrix from_coo(CooMatrix coo);
+
+  /// Expand back to (normalized) COO.
+  CooMatrix to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(col_.size()); }
+
+  std::span<const nnz_t> ptr() const { return ptr_; }
+  std::span<const index_t> col() const { return col_; }
+  std::span<const real_t> val() const { return val_; }
+  std::span<real_t> val_mutable() { return val_; }
+
+  /// Number of stored entries in row `r`.
+  index_t row_length(index_t r) const;
+
+  /// Column indices / values of row `r` as spans.
+  std::span<const index_t> row_cols(index_t r) const;
+  std::span<const real_t> row_vals(index_t r) const;
+
+  /// A^T (also useful as a column-major view for tests).
+  CsrMatrix transpose() const;
+
+  /// Apply a symmetric permutation B = P A P^T, where `perm[new] = old`.
+  /// Requires a square matrix and a bijective permutation.
+  CsrMatrix permute_symmetric(std::span<const index_t> perm) const;
+
+  /// Check invariants: ptr monotone with ptr[0]=0 and ptr[n]=nnz, column
+  /// indices in range and strictly increasing within a row. Throws on
+  /// violation; returns normally otherwise.
+  void validate() const;
+
+  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<nnz_t> ptr_;
+  std::vector<index_t> col_;
+  std::vector<real_t> val_;
+};
+
+/// Dense reference product y = A*x used to verify every SpMV kernel.
+std::vector<real_t> dense_reference_spmv(const CsrMatrix& a, std::span<const real_t> x);
+
+}  // namespace scc::sparse

@@ -1,0 +1,45 @@
+// ELLPACK format: rows padded to a common width, stored column-major so a
+// SIMD/GPU-style kernel streams one "slice" at a time. Included because the
+// paper's architectural comparison (Fig 10) uses the Bell & Garland CUDA
+// kernels, whose workhorse format is ELL; our host ELL kernel plays that role.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sparse {
+
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+
+  /// Convert from CSR. Throws if padding would exceed `max_fill_ratio` times
+  /// the original nonzero count (guards against pathological row-length skew,
+  /// the same reason Bell & Garland fall back to a hybrid format).
+  static EllMatrix from_csr(const CsrMatrix& csr, double max_fill_ratio = 10.0);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t width() const { return width_; }
+  nnz_t stored_nnz() const { return nnz_; }
+
+  /// Padded storage: element (r, j) of the slice lives at j*rows + r.
+  /// Padding positions hold column 0 and value 0 (contributing nothing).
+  const std::vector<index_t>& col() const { return col_; }
+  const std::vector<real_t>& val() const { return val_; }
+
+  /// Fraction of padded slots, in [0, 1).
+  double padding_fraction() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  nnz_t nnz_ = 0;
+  std::vector<index_t> col_;
+  std::vector<real_t> val_;
+};
+
+}  // namespace scc::sparse

@@ -1,0 +1,29 @@
+// Matrix Market (.mtx) I/O. The paper's testbed is drawn from the University
+// of Florida collection, which is distributed in this format; supporting it
+// lets users run every bench and example on the real UFL files when they have
+// them, instead of the synthetic testbed.
+//
+// Supported header variants: `matrix coordinate (real|integer|pattern)
+// (general|symmetric)`. Pattern entries get value 1.0; symmetric files are
+// expanded to full storage (off-diagonal entries mirrored).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace scc::sparse {
+
+/// Parse a Matrix Market stream; throws std::invalid_argument on malformed
+/// input (bad header, out-of-range indices, wrong entry count).
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws if the file cannot be opened.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in `matrix coordinate real general` form (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix& matrix);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& matrix);
+
+}  // namespace scc::sparse

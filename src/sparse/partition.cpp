@@ -1,0 +1,85 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scc::sparse {
+
+std::vector<RowBlock> partition_rows_balanced_nnz(const CsrMatrix& matrix, int parts) {
+  SCC_REQUIRE(parts > 0, "parts must be positive, got " << parts);
+  const auto ptr = matrix.ptr();
+  const index_t n = matrix.rows();
+  const nnz_t total = matrix.nnz();
+  std::vector<RowBlock> blocks(static_cast<std::size_t>(parts));
+  index_t row = 0;
+  for (int p = 0; p < parts; ++p) {
+    // Target prefix nnz for the end of block p, rounded to nearest.
+    const nnz_t target = (total * (static_cast<nnz_t>(p) + 1) + parts / 2) / parts;
+    RowBlock& block = blocks[static_cast<std::size_t>(p)];
+    block.row_begin = row;
+    if (p == parts - 1) {
+      row = n;
+    } else {
+      while (row < n && ptr[static_cast<std::size_t>(row) + 1] <= target) ++row;
+    }
+    block.row_end = row;
+    block.nnz = ptr[static_cast<std::size_t>(block.row_end)] -
+                ptr[static_cast<std::size_t>(block.row_begin)];
+  }
+  validate_partition(matrix, blocks);
+  return blocks;
+}
+
+std::vector<RowBlock> partition_rows_equal_rows(const CsrMatrix& matrix, int parts) {
+  SCC_REQUIRE(parts > 0, "parts must be positive, got " << parts);
+  const auto ptr = matrix.ptr();
+  const index_t n = matrix.rows();
+  std::vector<RowBlock> blocks(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    RowBlock& block = blocks[static_cast<std::size_t>(p)];
+    block.row_begin = static_cast<index_t>(static_cast<nnz_t>(n) * p / parts);
+    block.row_end = static_cast<index_t>(static_cast<nnz_t>(n) * (p + 1) / parts);
+    block.nnz = ptr[static_cast<std::size_t>(block.row_end)] -
+                ptr[static_cast<std::size_t>(block.row_begin)];
+  }
+  validate_partition(matrix, blocks);
+  return blocks;
+}
+
+double partition_imbalance(const std::vector<RowBlock>& blocks) {
+  SCC_REQUIRE(!blocks.empty(), "imbalance of empty partition");
+  nnz_t total = 0;
+  nnz_t largest = 0;
+  for (const RowBlock& b : blocks) {
+    total += b.nnz;
+    largest = std::max(largest, b.nnz);
+  }
+  if (total == 0) return 1.0;
+  const double ideal = static_cast<double>(total) / static_cast<double>(blocks.size());
+  return static_cast<double>(largest) / ideal;
+}
+
+void validate_partition(const CsrMatrix& matrix, const std::vector<RowBlock>& blocks) {
+  SCC_REQUIRE(!blocks.empty(), "empty partition");
+  SCC_REQUIRE(blocks.front().row_begin == 0, "partition must start at row 0");
+  SCC_REQUIRE(blocks.back().row_end == matrix.rows(), "partition must end at the last row");
+  const auto ptr = matrix.ptr();
+  nnz_t total = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const RowBlock& b = blocks[i];
+    SCC_REQUIRE(b.row_begin <= b.row_end, "block " << i << " has negative extent");
+    if (i > 0) {
+      SCC_REQUIRE(blocks[i - 1].row_end == b.row_begin, "blocks " << i - 1 << "/" << i
+                                                                  << " not contiguous");
+    }
+    const nnz_t expected = ptr[static_cast<std::size_t>(b.row_end)] -
+                           ptr[static_cast<std::size_t>(b.row_begin)];
+    SCC_REQUIRE(b.nnz == expected,
+                "block " << i << " nnz " << b.nnz << " != actual " << expected);
+    total += b.nnz;
+  }
+  SCC_REQUIRE(total == matrix.nnz(), "partition nnz sum mismatch");
+}
+
+}  // namespace scc::sparse

@@ -1,0 +1,42 @@
+// Row-wise partitioning of a CSR matrix across units of execution.
+//
+// The paper: "The partitioning scheme splits the matrix row-wise in such a
+// way that the same amount of nonzeros would be assigned to each unit of
+// execution." `partition_rows_balanced_nnz` implements exactly that; the
+// naive equal-rows scheme is kept as an ablation baseline.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sparse {
+
+/// Contiguous row range [row_begin, row_end) owned by one unit of execution.
+struct RowBlock {
+  index_t row_begin = 0;
+  index_t row_end = 0;
+  nnz_t nnz = 0;
+
+  index_t row_count() const { return row_end - row_begin; }
+  friend bool operator==(const RowBlock&, const RowBlock&) = default;
+};
+
+/// Split into `parts` contiguous blocks with (approximately) equal nonzero
+/// counts: block k covers rows up to the first prefix-sum crossing of
+/// k/parts * nnz. Blocks cover all rows, never overlap, and may be empty for
+/// tiny matrices with more parts than rows.
+std::vector<RowBlock> partition_rows_balanced_nnz(const CsrMatrix& matrix, int parts);
+
+/// Naive equal-row-count split (ablation baseline).
+std::vector<RowBlock> partition_rows_equal_rows(const CsrMatrix& matrix, int parts);
+
+/// Largest block nnz divided by ideal nnz/parts; 1.0 is perfect balance.
+double partition_imbalance(const std::vector<RowBlock>& blocks);
+
+/// Throws unless blocks tile [0, rows) exactly and nnz counts match the
+/// matrix. Used by tests and asserted by the simulator on entry.
+void validate_partition(const CsrMatrix& matrix, const std::vector<RowBlock>& blocks);
+
+}  // namespace scc::sparse

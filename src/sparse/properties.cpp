@@ -1,0 +1,84 @@
+#include "sparse/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace scc::sparse {
+
+bytes_t working_set_bytes(index_t n, nnz_t nnz) {
+  SCC_REQUIRE(n >= 0 && nnz >= 0, "working_set_bytes requires non-negative sizes");
+  const auto un = static_cast<bytes_t>(n);
+  const auto unnz = static_cast<bytes_t>(nnz);
+  return 4 * ((un + 1) + unnz) + 8 * (unnz + 2 * un);
+}
+
+bytes_t working_set_bytes(const CsrMatrix& matrix) {
+  return working_set_bytes(matrix.rows(), matrix.nnz());
+}
+
+RowStats row_stats(const CsrMatrix& matrix) {
+  RowStats stats;
+  const index_t n = matrix.rows();
+  SCC_REQUIRE(n > 0, "row_stats requires a non-empty matrix");
+  stats.min_length = matrix.row_length(0);
+  stats.max_length = matrix.row_length(0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  index_t empty = 0;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t len = matrix.row_length(r);
+    stats.min_length = std::min(stats.min_length, len);
+    stats.max_length = std::max(stats.max_length, len);
+    sum += len;
+    sum_sq += static_cast<double>(len) * static_cast<double>(len);
+    if (len == 0) ++empty;
+  }
+  stats.mean_length = sum / static_cast<double>(n);
+  const double variance =
+      std::max(0.0, sum_sq / static_cast<double>(n) - stats.mean_length * stats.mean_length);
+  stats.stddev_length = std::sqrt(variance);
+  stats.empty_fraction = static_cast<double>(empty) / static_cast<double>(n);
+  return stats;
+}
+
+index_t bandwidth(const CsrMatrix& matrix) {
+  index_t bw = 0;
+  for (index_t r = 0; r < matrix.rows(); ++r) {
+    for (index_t c : matrix.row_cols(r)) {
+      bw = std::max(bw, static_cast<index_t>(std::abs(static_cast<long>(c) - r)));
+    }
+  }
+  return bw;
+}
+
+double mean_column_distance(const CsrMatrix& matrix) {
+  if (matrix.nnz() == 0) return 0.0;
+  double sum = 0.0;
+  for (index_t r = 0; r < matrix.rows(); ++r) {
+    for (index_t c : matrix.row_cols(r)) {
+      sum += std::abs(static_cast<double>(c) - static_cast<double>(r));
+    }
+  }
+  return sum / static_cast<double>(matrix.nnz());
+}
+
+double x_line_reuse_fraction(const CsrMatrix& matrix, bytes_t line_bytes) {
+  SCC_REQUIRE(line_bytes >= sizeof(real_t), "line smaller than one element");
+  const auto per_line = static_cast<index_t>(line_bytes / sizeof(real_t));
+  nnz_t pairs = 0;
+  nnz_t same_line = 0;
+  for (index_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      ++pairs;
+      if (cols[k] / per_line == cols[k - 1] / per_line) ++same_line;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(same_line) / static_cast<double>(pairs);
+}
+
+}  // namespace scc::sparse

@@ -1,0 +1,46 @@
+// Matrix properties the paper's evaluation keys on: the Table-I working-set
+// formula, row-length statistics (the nnz/n column and the short-row outliers
+// #24/#25), and locality measures for the irregular accesses to `x` (Fig 8).
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sparse {
+
+/// Table I working set in bytes, with the paper's storage assumptions
+/// (32-bit indices, 64-bit values):
+///   ws = 4*((n+1) + nnz) + 8*(nnz + 2n)
+/// i.e. ptr + col index arrays, plus values and the two dense vectors.
+bytes_t working_set_bytes(const CsrMatrix& matrix);
+
+/// Same, computed from raw dimensions (used by the testbed planner before a
+/// matrix is materialized).
+bytes_t working_set_bytes(index_t n, nnz_t nnz);
+
+struct RowStats {
+  double mean_length = 0.0;    ///< the paper's nnz/n column
+  index_t min_length = 0;
+  index_t max_length = 0;
+  double stddev_length = 0.0;
+  double empty_fraction = 0.0; ///< fraction of rows with no nonzeros
+};
+
+RowStats row_stats(const CsrMatrix& matrix);
+
+/// Matrix bandwidth: max |col - row| over stored entries (0 for diagonal-only
+/// and empty matrices). Low bandwidth means near-diagonal access to `x`.
+index_t bandwidth(const CsrMatrix& matrix);
+
+/// Mean |col - row| over stored entries; a finer-grained locality proxy than
+/// bandwidth (robust to a few stray far entries).
+double mean_column_distance(const CsrMatrix& matrix);
+
+/// Fraction of consecutive nonzeros (within a row) whose columns fall in the
+/// same `line_bytes`-sized cache line of `x`. High values mean the indirect
+/// x accesses behave almost like streaming; low values mean every access is
+/// a potential miss -- the regime where the paper's "no-x-miss" experiment
+/// shows >2x speedups.
+double x_line_reuse_fraction(const CsrMatrix& matrix, bytes_t line_bytes = 32);
+
+}  // namespace scc::sparse

@@ -1,0 +1,140 @@
+#include "spmv/kernels.hpp"
+
+#include "common/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace scc::spmv {
+
+namespace {
+
+void check_shapes(const sparse::CsrMatrix& a, std::span<const real_t> x,
+                  std::span<real_t> y) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+              "x size " << x.size() << " != cols " << a.cols());
+  SCC_REQUIRE(static_cast<index_t>(y.size()) == a.rows(),
+              "y size " << y.size() << " != rows " << a.rows());
+}
+
+}  // namespace
+
+void spmv_csr_range(const sparse::CsrMatrix& a, index_t row_begin, index_t row_end,
+                    std::span<const real_t> x, std::span<real_t> y) {
+  check_shapes(a, x, y);
+  SCC_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= a.rows(),
+              "row range [" << row_begin << "," << row_end << ") invalid");
+  const auto* ptr = a.ptr().data();
+  const auto* col = a.col().data();
+  const auto* val = a.val().data();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    real_t t = 0.0;
+    for (nnz_t k = ptr[i]; k < ptr[i + 1]; ++k) {
+      t += val[k] * x[static_cast<std::size_t>(col[k])];
+    }
+    y[static_cast<std::size_t>(i)] = t;
+  }
+}
+
+void spmv_csr(const sparse::CsrMatrix& a, std::span<const real_t> x, std::span<real_t> y) {
+  spmv_csr_range(a, 0, a.rows(), x, y);
+}
+
+void spmv_csr_no_x_miss(const sparse::CsrMatrix& a, std::span<const real_t> x,
+                        std::span<real_t> y) {
+  check_shapes(a, x, y);
+  const auto* ptr = a.ptr().data();
+  const auto* col = a.col().data();
+  const auto* val = a.val().data();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    real_t t = 0.0;
+    for (nnz_t k = ptr[i]; k < ptr[i + 1]; ++k) {
+      // `col[k]` is still loaded (the stream must stay identical); only the
+      // x subscript changes, exactly as in the paper's modified kernel.
+      t += val[k] * x[static_cast<std::size_t>(col[k] * 0)];
+    }
+    y[static_cast<std::size_t>(i)] = t;
+  }
+}
+
+void spmv_coo(const sparse::CooMatrix& a, std::span<const real_t> x, std::span<real_t> y) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(), "x size mismatch");
+  SCC_REQUIRE(static_cast<index_t>(y.size()) == a.rows(), "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (const sparse::Triplet& t : a.entries()) {
+    y[static_cast<std::size_t>(t.row)] += t.value * x[static_cast<std::size_t>(t.col)];
+  }
+}
+
+void spmv_ell(const sparse::EllMatrix& a, std::span<const real_t> x, std::span<real_t> y) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(), "x size mismatch");
+  SCC_REQUIRE(static_cast<index_t>(y.size()) == a.rows(), "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  const auto rows = static_cast<std::size_t>(a.rows());
+  const auto& col = a.col();
+  const auto& val = a.val();
+  for (index_t j = 0; j < a.width(); ++j) {
+    const std::size_t slice = static_cast<std::size_t>(j) * rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Padding slots hold value 0, so they contribute nothing.
+      y[r] += val[slice + r] * x[static_cast<std::size_t>(col[slice + r])];
+    }
+  }
+}
+
+void spmv_csr_parallel(const sparse::CsrMatrix& a, std::span<const real_t> x,
+                       std::span<real_t> y, int threads) {
+  check_shapes(a, x, y);
+  SCC_REQUIRE(threads > 0, "threads must be positive");
+  const auto blocks = sparse::partition_rows_balanced_nnz(a, threads);
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(static)
+#endif
+  for (int b = 0; b < threads; ++b) {
+    const auto& block = blocks[static_cast<std::size_t>(b)];
+    spmv_csr_range(a, block.row_begin, block.row_end, x, y);
+  }
+}
+
+void spmv_bcsr(const sparse::BcsrMatrix& a, std::span<const real_t> x, std::span<real_t> y) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(), "x size mismatch");
+  SCC_REQUIRE(static_cast<index_t>(y.size()) == a.rows(), "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  const index_t b = a.block_size();
+  const auto ptr = a.block_ptr();
+  const auto bcol = a.block_col();
+  const auto val = a.values();
+  for (index_t br = 0; br < a.block_rows(); ++br) {
+    const index_t row_base = br * b;
+    const index_t row_limit = std::min<index_t>(b, a.rows() - row_base);
+    for (nnz_t k = ptr[static_cast<std::size_t>(br)]; k < ptr[static_cast<std::size_t>(br) + 1];
+         ++k) {
+      const index_t col_base = bcol[static_cast<std::size_t>(k)] * b;
+      const index_t col_limit = std::min<index_t>(b, a.cols() - col_base);
+      const auto block =
+          val.subspan(static_cast<std::size_t>(k) * static_cast<std::size_t>(b) *
+                          static_cast<std::size_t>(b),
+                      static_cast<std::size_t>(b) * static_cast<std::size_t>(b));
+      for (index_t i = 0; i < row_limit; ++i) {
+        real_t acc = 0.0;
+        for (index_t j = 0; j < col_limit; ++j) {
+          acc += block[static_cast<std::size_t>(i * b + j)] *
+                 x[static_cast<std::size_t>(col_base + j)];
+        }
+        y[static_cast<std::size_t>(row_base + i)] += acc;
+      }
+    }
+  }
+}
+
+void spmv_hyb(const sparse::HybMatrix& a, std::span<const real_t> x, std::span<real_t> y) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(), "x size mismatch");
+  SCC_REQUIRE(static_cast<index_t>(y.size()) == a.rows(), "y size mismatch");
+  spmv_ell(a.ell(), x, y);  // fills y
+  for (const sparse::Triplet& t : a.coo().entries()) {
+    y[static_cast<std::size_t>(t.row)] += t.value * x[static_cast<std::size_t>(t.col)];
+  }
+}
+
+}  // namespace scc::spmv

@@ -1,0 +1,58 @@
+// Host SpMV kernels.
+//
+// `spmv_csr` is the paper's Figure-2 kernel verbatim: enumerate the stored
+// elements streaming `index` and `da` with unit stride, load/store each y
+// element once, access x indirectly. The no-x-miss variant is the paper's
+// Section IV-C instrument: every x reference is rewritten to x[0], which
+// preserves the instruction mix and the streaming behaviour but produces a
+// perfect access pattern on x -- and therefore DIFFERENT NUMERICAL RESULTS.
+// It exists to isolate the cost of irregular accesses, never to compute.
+//
+// COO/ELL kernels and an OpenMP CSR driver round out the comparison set used
+// by the microbenches and the architectural-comparison discussion.
+#pragma once
+
+#include <span>
+
+#include "sparse/bcsr.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hyb.hpp"
+#include "sparse/partition.hpp"
+
+namespace scc::spmv {
+
+/// y = A*x over rows [row_begin, row_end). All spans are bounds-checked once
+/// on entry. y indices follow the global row numbering.
+void spmv_csr_range(const sparse::CsrMatrix& a, index_t row_begin, index_t row_end,
+                    std::span<const real_t> x, std::span<real_t> y);
+
+/// y = A*x (full matrix) -- the paper's kernel.
+void spmv_csr(const sparse::CsrMatrix& a, std::span<const real_t> x, std::span<real_t> y);
+
+/// The Fig-8 instrument: like spmv_csr but every x access reads x[0].
+/// Intentionally wrong numerics; see the header comment.
+void spmv_csr_no_x_miss(const sparse::CsrMatrix& a, std::span<const real_t> x,
+                        std::span<real_t> y);
+
+/// y = A*x from the (normalized) COO representation.
+void spmv_coo(const sparse::CooMatrix& a, std::span<const real_t> x, std::span<real_t> y);
+
+/// y = A*x from ELLPACK storage.
+void spmv_ell(const sparse::EllMatrix& a, std::span<const real_t> x, std::span<real_t> y);
+
+/// OpenMP-parallel CSR SpMV over an nnz-balanced row partition (the scheme
+/// the paper used on its Xeon/Opteron comparison systems). Falls back to the
+/// serial kernel when built without OpenMP.
+void spmv_csr_parallel(const sparse::CsrMatrix& a, std::span<const real_t> x,
+                       std::span<real_t> y, int threads);
+
+/// y = A*x from register-blocked BCSR storage (Williams et al.'s blocking
+/// optimization): one unrolled dense b x b multiply per stored block.
+void spmv_bcsr(const sparse::BcsrMatrix& a, std::span<const real_t> x, std::span<real_t> y);
+
+/// y = A*x from the hybrid ELL+COO format (Bell & Garland's GPU kernel
+/// structure): ELL slab first, COO tail accumulated on top.
+void spmv_hyb(const sparse::HybMatrix& a, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace scc::spmv

@@ -1,0 +1,128 @@
+#include "spmv/rcce_spmv.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/partition.hpp"
+#include "spmv/kernels.hpp"
+
+namespace scc::spmv {
+
+namespace {
+
+/// CSR slice owned by one UE, with ptr rebased to start at 0.
+struct LocalBlock {
+  index_t row_begin = 0;
+  index_t rows = 0;
+  std::vector<nnz_t> ptr;
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+};
+
+}  // namespace
+
+RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, int num_ues,
+                         const rcce::RuntimeOptions& options, int repetitions) {
+  SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(), "x size mismatch");
+  SCC_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
+
+  const auto blocks = sparse::partition_rows_balanced_nnz(a, num_ues);
+  RcceSpmvResult result;
+  result.y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+
+  const auto n_cols = static_cast<std::size_t>(a.cols());
+
+  auto body = [&](rcce::Comm& comm) {
+    const int rank = comm.rank();
+    const int root = 0;
+
+    // --- distribute: root sends each UE its CSR slice, broadcasts x. ---
+    LocalBlock local;
+    std::vector<real_t> local_x(n_cols);
+    if (rank == root) {
+      std::copy(x.begin(), x.end(), local_x.begin());
+      for (int ue = 0; ue < comm.size(); ++ue) {
+        const sparse::RowBlock& b = blocks[static_cast<std::size_t>(ue)];
+        LocalBlock out;
+        out.row_begin = b.row_begin;
+        out.rows = b.row_count();
+        out.ptr.resize(static_cast<std::size_t>(out.rows) + 1);
+        const nnz_t base = a.ptr()[static_cast<std::size_t>(b.row_begin)];
+        for (index_t r = 0; r <= out.rows; ++r) {
+          out.ptr[static_cast<std::size_t>(r)] =
+              a.ptr()[static_cast<std::size_t>(b.row_begin + r)] - base;
+        }
+        out.col.assign(a.col().begin() + base, a.col().begin() + base + b.nnz);
+        out.val.assign(a.val().begin() + base, a.val().begin() + base + b.nnz);
+        if (ue == root) {
+          local = std::move(out);
+          continue;
+        }
+        const index_t header[2] = {out.row_begin, out.rows};
+        comm.send(header, sizeof header, ue);
+        const nnz_t block_nnz = b.nnz;
+        comm.send(&block_nnz, sizeof block_nnz, ue);
+        comm.send(out.ptr.data(), out.ptr.size() * sizeof(nnz_t), ue);
+        if (block_nnz > 0) {
+          comm.send(out.col.data(), out.col.size() * sizeof(index_t), ue);
+          comm.send(out.val.data(), out.val.size() * sizeof(real_t), ue);
+        }
+      }
+    } else {
+      index_t header[2] = {0, 0};
+      comm.recv(header, sizeof header, root);
+      local.row_begin = header[0];
+      local.rows = header[1];
+      nnz_t block_nnz = 0;
+      comm.recv(&block_nnz, sizeof block_nnz, root);
+      local.ptr.resize(static_cast<std::size_t>(local.rows) + 1);
+      comm.recv(local.ptr.data(), local.ptr.size() * sizeof(nnz_t), root);
+      local.col.resize(static_cast<std::size_t>(block_nnz));
+      local.val.resize(static_cast<std::size_t>(block_nnz));
+      if (block_nnz > 0) {
+        comm.recv(local.col.data(), local.col.size() * sizeof(index_t), root);
+        comm.recv(local.val.data(), local.val.size() * sizeof(real_t), root);
+      }
+    }
+    comm.bcast(local_x.data(), local_x.size() * sizeof(real_t), root);
+    comm.barrier();
+
+    // --- compute: Figure-2 kernel on the local slice. ---
+    std::vector<real_t> local_y(static_cast<std::size_t>(local.rows), 0.0);
+    const double t0 = comm.wtime();
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (index_t i = 0; i < local.rows; ++i) {
+        real_t t = 0.0;
+        for (nnz_t k = local.ptr[static_cast<std::size_t>(i)];
+             k < local.ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          t += local.val[static_cast<std::size_t>(k)] *
+               local_x[static_cast<std::size_t>(local.col[static_cast<std::size_t>(k)])];
+        }
+        local_y[static_cast<std::size_t>(i)] = t;
+      }
+    }
+    const double elapsed = comm.wtime() - t0;
+    const double slowest = comm.allreduce_max(elapsed);
+
+    // --- gather: root assembles y. ---
+    if (rank == root) {
+      std::copy(local_y.begin(), local_y.end(),
+                result.y.begin() + local.row_begin);
+      for (int ue = 1; ue < comm.size(); ++ue) {
+        const sparse::RowBlock& b = blocks[static_cast<std::size_t>(ue)];
+        if (b.row_count() > 0) {
+          comm.recv(result.y.data() + b.row_begin,
+                    static_cast<std::size_t>(b.row_count()) * sizeof(real_t), ue);
+        }
+      }
+      result.kernel_seconds = slowest;
+    } else if (local.rows > 0) {
+      comm.send(local_y.data(), local_y.size() * sizeof(real_t), root);
+    }
+  };
+
+  result.report = rcce::run(num_ues, body, options);
+  return result;
+}
+
+}  // namespace scc::spmv

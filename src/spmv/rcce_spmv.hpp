@@ -1,0 +1,32 @@
+// Distributed SpMV over the RCCE emulation -- the program the paper actually
+// ran on the SCC: the matrix is split row-wise balancing nonzeros across the
+// UEs, x is replicated to every UE (there is no coherent shared memory to
+// read it from), each UE computes its block with the Figure-2 kernel, and
+// the root gathers the y blocks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rcce/rcce.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::spmv {
+
+struct RcceSpmvResult {
+  std::vector<real_t> y;
+  rcce::RunReport report;
+  /// Slowest UE's kernel wall time across repetitions (diagnostic; figure
+  /// timing comes from sim::Engine).
+  double kernel_seconds = 0.0;
+};
+
+/// Compute y = A*x on `num_ues` emulated SCC cores. Rank 0 owns A and x,
+/// scatters CSR blocks and broadcasts x through the MPB-chunked transport,
+/// then gathers the result. `repetitions` reruns the local kernel (timing
+/// aid for the examples).
+RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, int num_ues,
+                         const rcce::RuntimeOptions& options = rcce::RuntimeOptions{},
+                         int repetitions = 1);
+
+}  // namespace scc::spmv

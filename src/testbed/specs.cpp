@@ -1,0 +1,130 @@
+#include "testbed/specs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+
+namespace scc::testbed {
+
+namespace {
+
+index_t scaled(index_t base, double scale, index_t floor_value) {
+  SCC_REQUIRE(scale > 0.0 && scale <= 4.0, "testbed scale " << scale << " out of (0,4]");
+  const double v = static_cast<double>(base) * scale;
+  return std::max(floor_value, static_cast<index_t>(std::llround(v)));
+}
+
+/// Seed space: one fixed seed per matrix id so patterns never depend on
+/// build order or scale adjustments elsewhere in the suite.
+std::uint64_t seed_for(int id) {
+  return std::uint64_t{0x5cc0000} + static_cast<std::uint64_t>(static_cast<unsigned>(id));
+}
+
+MatrixSpec fem(int id, const char* name, index_t blocks, index_t block, index_t couplings) {
+  return MatrixSpec{
+      .id = id,
+      .name = name,
+      .family = "fem",
+      .build = [=](double scale) {
+        return gen::fem_blocks(scaled(blocks, scale, 8), block, couplings, seed_for(id));
+      }};
+}
+
+MatrixSpec banded(int id, const char* name, index_t n, index_t half_bw, double fill) {
+  return MatrixSpec{
+      .id = id,
+      .name = name,
+      .family = "banded",
+      .build = [=](double scale) {
+        const index_t sn = scaled(n, scale, 64);
+        return gen::banded(sn, std::min<index_t>(half_bw, sn - 1), fill, seed_for(id));
+      }};
+}
+
+MatrixSpec power_law(int id, const char* name, index_t n, index_t avg_row, double alpha) {
+  return MatrixSpec{
+      .id = id,
+      .name = name,
+      .family = "power-law",
+      .build = [=](double scale) {
+        const index_t sn = scaled(n, scale, 64);
+        return gen::power_law(sn, std::min<index_t>(avg_row, sn / 2), alpha, seed_for(id));
+      }};
+}
+
+MatrixSpec random_uniform(int id, const char* name, index_t n, index_t row_nnz) {
+  return MatrixSpec{
+      .id = id,
+      .name = name,
+      .family = "random",
+      .build = [=](double scale) {
+        const index_t sn = scaled(n, scale, 64);
+        return gen::random_uniform(sn, std::min<index_t>(row_nnz, sn - 1), seed_for(id));
+      }};
+}
+
+MatrixSpec circuit(int id, const char* name, index_t n, double extra, double long_range) {
+  return MatrixSpec{
+      .id = id,
+      .name = name,
+      .family = "circuit",
+      .build = [=](double scale) {
+        return gen::circuit(scaled(n, scale, 64), extra, long_range, seed_for(id));
+      }};
+}
+
+}  // namespace
+
+const std::vector<MatrixSpec>& table1_specs() {
+  static const std::vector<MatrixSpec> specs = {
+      // Large working sets (capacity-miss regime at every core count).
+      fem(1, "TSOPF_FS_b300_c2", 2400, 24, 3),
+      fem(2, "F1", 5000, 16, 3),
+      fem(3, "ship_003", 3500, 18, 3),
+      banded(4, "thread", 30000, 60, 0.45),
+      power_law(5, "gupta3", 22000, 60, 0.85),
+      fem(6, "nd3k", 450, 48, 6),
+      fem(7, "sme3Dc", 3400, 14, 4),
+      banded(8, "pct20stif", 42000, 40, 0.30),
+      banded(9, "tsyl201", 18000, 90, 0.30),
+      fem(10, "exdata_1", 120, 84, 8),
+      fem(11, "mixtank_new", 1900, 16, 5),
+      banded(12, "crystk03", 25000, 45, 0.33),
+      power_law(13, "av41092", 35000, 20, 1.4),
+      random_uniform(14, "sparsine", 45000, 14),
+      circuit(15, "ncvxqp5", 60000, 8.0, 0.35),
+      power_law(16, "syn12000a", 11000, 50, 1.1),
+      random_uniform(17, "li", 21000, 22),
+      banded(18, "msc23052", 22000, 35, 0.30),
+      // Mid-size: fit the aggregate L2 at 24+ cores.
+      fem(19, "gyro_k", 1100, 17, 4),
+      fem(20, "sme3Da", 800, 20, 4),
+      power_law(21, "fp", 7500, 55, 1.2),
+      banded(22, "e40r0100", 17000, 30, 0.37),
+      power_law(23, "psmigr_1", 3100, 120, 0.7),
+      // The short-row outliers the paper discusses (#24/#25).
+      circuit(24, "rajat15", 85000, 1.6, 0.50),
+      circuit(25, "ncvxbqp1", 70000, 1.8, 0.40),
+      // Small working sets.
+      circuit(26, "nmos3", 17000, 12.0, 0.15),
+      power_law(27, "net25", 9000, 28, 1.3),
+      banded(28, "garon2", 13000, 25, 0.35),
+      banded(29, "bcsstm36", 22000, 8, 0.75),
+      fem(30, "Na5", 330, 26, 5),
+      fem(31, "tandem_vtx", 1100, 12, 3),
+      circuit(32, "lhr71", 17500, 10.0, 0.25),
+  };
+  SCC_ASSERT(specs.size() == 32, "Table I must have 32 matrices");
+  return specs;
+}
+
+const MatrixSpec& spec_by_id(int id) {
+  SCC_REQUIRE(id >= 1 && id <= 32, "Table I index " << id << " out of [1,32]");
+  const MatrixSpec& spec = table1_specs()[static_cast<std::size_t>(id - 1)];
+  SCC_ASSERT(spec.id == id, "spec table out of order at id " << id);
+  return spec;
+}
+
+}  // namespace scc::testbed

@@ -1,0 +1,57 @@
+#include "testbed/suite.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "testbed/cache.hpp"
+
+namespace scc::testbed {
+
+namespace {
+
+SuiteEntry make_entry(const MatrixSpec& spec, double scale, bool use_cache) {
+  SuiteEntry entry;
+  entry.id = spec.id;
+  entry.name = spec.name;
+  entry.family = spec.family;
+  if (use_cache) {
+    if (auto cached = load_cached(spec.name, scale)) {
+      entry.matrix = std::move(*cached);
+    }
+  }
+  if (entry.matrix.rows() == 0) {
+    entry.matrix = spec.build(scale);
+    if (use_cache) store_cached(spec.name, scale, entry.matrix);
+  }
+  entry.working_set = sparse::working_set_bytes(entry.matrix);
+  entry.nnz_per_row = static_cast<double>(entry.matrix.nnz()) /
+                      static_cast<double>(entry.matrix.rows());
+  return entry;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> build_suite(double scale, bool use_cache) {
+  std::vector<SuiteEntry> suite;
+  suite.reserve(table1_specs().size());
+  for (const MatrixSpec& spec : table1_specs()) {
+    suite.push_back(make_entry(spec, scale, use_cache));
+  }
+  return suite;
+}
+
+SuiteEntry build_entry(int id, double scale, bool use_cache) {
+  return make_entry(spec_by_id(id), scale, use_cache);
+}
+
+double suite_scale_from_env() {
+  if (const char* value = std::getenv("SCC_TESTBED_SCALE"); value != nullptr && *value != '\0') {
+    const double scale = std::strtod(value, nullptr);
+    SCC_REQUIRE(scale > 0.0 && scale <= 4.0,
+                "SCC_TESTBED_SCALE=" << value << " out of (0,4]");
+    return scale;
+  }
+  return 1.0;
+}
+
+}  // namespace scc::testbed

@@ -1,0 +1,34 @@
+// Suite construction: materialize the 32 Table-I stand-ins (through the
+// binary cache) together with the derived properties the benches print.
+#pragma once
+
+#include <vector>
+
+#include "sparse/properties.hpp"
+#include "testbed/specs.hpp"
+
+namespace scc::testbed {
+
+struct SuiteEntry {
+  int id = 0;
+  std::string name;
+  std::string family;
+  sparse::CsrMatrix matrix;
+  bytes_t working_set = 0;       ///< the paper's ws column (bytes)
+  double nnz_per_row = 0.0;      ///< the paper's nnz/n column
+};
+
+/// Build (or load) the whole suite at `scale`. The default scale gives
+/// working sets of roughly 2-23 MB -- the same regime structure as the
+/// paper's testbed (see specs.hpp) at a size a laptop-hosted trace
+/// simulation can sweep.
+std::vector<SuiteEntry> build_suite(double scale = 1.0, bool use_cache = true);
+
+/// Build a single entry by Table-I id.
+SuiteEntry build_entry(int id, double scale = 1.0, bool use_cache = true);
+
+/// Suite scale from $SCC_TESTBED_SCALE (default 1.0); benches honour this so
+/// a quick smoke run can use, e.g., SCC_TESTBED_SCALE=0.1.
+double suite_scale_from_env();
+
+}  // namespace scc::testbed

@@ -1,0 +1,106 @@
+#include "archcmp/machines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::archcmp {
+namespace {
+
+TEST(ArchCmp, FiveReferenceMachinesInPaperOrder) {
+  const auto& machines = reference_machines();
+  ASSERT_EQ(machines.size(), 5u);
+  EXPECT_EQ(machines[0].name, "Itanium2 Montvale");
+  EXPECT_EQ(machines[1].name, "Xeon X5570");
+  EXPECT_EQ(machines[2].name, "Opteron 6174");
+  EXPECT_EQ(machines[3].name, "Tesla C1060");
+  EXPECT_EQ(machines[4].name, "Tesla M2050");
+}
+
+TEST(ArchCmp, SpecsCompleteAndPlausible) {
+  for (const auto& m : reference_machines()) {
+    EXPECT_GT(m.cores, 0) << m.name;
+    EXPECT_GT(m.peak_dp_gflops, 0.0) << m.name;
+    EXPECT_GT(m.sustained_bw_gbs, 0.0) << m.name;
+    EXPECT_GT(m.tdp_watts, 0.0) << m.name;
+    EXPECT_GT(m.spmv_efficiency, 0.0) << m.name;
+    EXPECT_LE(m.spmv_efficiency, 1.0) << m.name;
+  }
+}
+
+TEST(ArchCmp, PaperStatedPeaks) {
+  // The paper quotes these peaks explicitly.
+  EXPECT_NEAR(machine_by_name("Itanium2 Montvale").peak_dp_gflops / 2.0, 6.4, 0.01);
+  EXPECT_NEAR(machine_by_name("Tesla C1060").peak_dp_gflops, 78.0, 0.1);
+  EXPECT_NEAR(machine_by_name("Tesla M2050").peak_dp_gflops, 515.2, 0.1);
+}
+
+TEST(ArchCmp, SpmvIsBandwidthBoundEverywhere) {
+  // For every machine the bandwidth roofline must bind, not the peak.
+  for (const auto& m : reference_machines()) {
+    EXPECT_LT(m.sustained_bw_gbs / kSpmvBytesPerFlop, m.peak_dp_gflops) << m.name;
+  }
+}
+
+TEST(ArchCmp, M2050AchievesPaperAverage) {
+  // Paper: Tesla M2050 averages ~7.9 GFLOPS on the suite.
+  EXPECT_NEAR(predicted_spmv_gflops(machine_by_name("Tesla M2050")), 7.9, 0.8);
+}
+
+TEST(ArchCmp, GpuSpeedupsOverCpusMatchPaper) {
+  // Paper: C1060 shows speedups of ~2.4x over the Xeon and ~1.7x over the
+  // Opteron.
+  const double c1060 = predicted_spmv_gflops(machine_by_name("Tesla C1060"));
+  const double xeon = predicted_spmv_gflops(machine_by_name("Xeon X5570"));
+  const double opteron = predicted_spmv_gflops(machine_by_name("Opteron 6174"));
+  EXPECT_NEAR(c1060 / xeon, 2.4, 0.5);
+  EXPECT_NEAR(c1060 / opteron, 1.7, 0.4);
+}
+
+TEST(ArchCmp, PerformanceOrderingMatchesFig10a) {
+  const double itanium = predicted_spmv_gflops(machine_by_name("Itanium2 Montvale"));
+  const double xeon = predicted_spmv_gflops(machine_by_name("Xeon X5570"));
+  const double opteron = predicted_spmv_gflops(machine_by_name("Opteron 6174"));
+  const double c1060 = predicted_spmv_gflops(machine_by_name("Tesla C1060"));
+  const double m2050 = predicted_spmv_gflops(machine_by_name("Tesla M2050"));
+  EXPECT_LT(itanium, xeon);
+  EXPECT_LT(xeon, opteron);
+  EXPECT_LT(opteron, c1060);
+  EXPECT_LT(c1060, m2050);
+}
+
+TEST(ArchCmp, M2050IsMostPowerEfficient) {
+  // Paper: the M2050 tops Fig 10b at ~35 MFLOPS/W.
+  const double m2050 = predicted_mflops_per_watt(machine_by_name("Tesla M2050"));
+  EXPECT_NEAR(m2050, 35.0, 5.0);
+  for (const auto& m : reference_machines()) {
+    EXPECT_LE(predicted_mflops_per_watt(m), m2050 + 1e-9) << m.name;
+  }
+}
+
+TEST(ArchCmp, C1060EfficiencySimilarToCpusDespiteSpeedup) {
+  // Paper: Xeon and Opteron efficiencies are "quite similar" to the C1060.
+  const double c1060 = predicted_mflops_per_watt(machine_by_name("Tesla C1060"));
+  const double xeon = predicted_mflops_per_watt(machine_by_name("Xeon X5570"));
+  const double opteron = predicted_mflops_per_watt(machine_by_name("Opteron 6174"));
+  EXPECT_NEAR(c1060 / xeon, 1.0, 0.35);
+  EXPECT_NEAR(c1060 / opteron, 1.0, 0.35);
+}
+
+TEST(ArchCmp, UnknownMachineThrows) {
+  EXPECT_THROW(machine_by_name("PDP-11"), std::invalid_argument);
+}
+
+TEST(ArchCmp, PredictorValidatesSpec) {
+  MachineSpec bad;
+  bad.name = "bad";
+  EXPECT_THROW(predicted_spmv_gflops(bad), std::invalid_argument);
+  bad.peak_dp_gflops = 10.0;
+  bad.sustained_bw_gbs = 10.0;
+  bad.spmv_efficiency = 2.0;
+  EXPECT_THROW(predicted_spmv_gflops(bad), std::invalid_argument);
+  bad.spmv_efficiency = 0.5;
+  bad.tdp_watts = 0.0;
+  EXPECT_THROW(predicted_mflops_per_watt(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scc::archcmp

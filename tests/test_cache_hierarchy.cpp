@@ -1,0 +1,147 @@
+#include "cache/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::cache {
+namespace {
+
+HierarchyConfig tiny() {
+  HierarchyConfig cfg;
+  cfg.l1 = CacheConfig{.size_bytes = 256, .line_bytes = 32, .ways = 2};
+  cfg.l2 = CacheConfig{.size_bytes = 1024, .line_bytes = 32, .ways = 4};
+  return cfg;
+}
+
+TEST(Hierarchy, SccDefaultsConstruct) {
+  EXPECT_NO_THROW(Hierarchy{HierarchyConfig{}});
+  Hierarchy h{HierarchyConfig{}};
+  EXPECT_EQ(h.l1().config().size_bytes, 16u * 1024);
+  EXPECT_EQ(h.l2().config().size_bytes, 256u * 1024);
+  EXPECT_TRUE(h.l2_enabled());
+}
+
+TEST(Hierarchy, RejectsMismatchedLines) {
+  HierarchyConfig cfg = tiny();
+  cfg.l2.line_bytes = 64;
+  EXPECT_THROW(Hierarchy{cfg}, std::invalid_argument);
+}
+
+TEST(Hierarchy, RejectsL1LargerThanL2) {
+  HierarchyConfig cfg = tiny();
+  cfg.l1.size_bytes = 4096;
+  EXPECT_THROW(Hierarchy{cfg}, std::invalid_argument);
+}
+
+TEST(Hierarchy, ColdAccessGoesToMemory) {
+  Hierarchy h(tiny());
+  const MemoryEffect e = h.access(0x1000, false);
+  EXPECT_EQ(e.level, ServicedBy::kMemory);
+  EXPECT_EQ(e.memory_read_bytes, 32u);
+  EXPECT_EQ(e.memory_write_bytes, 0u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h(tiny());
+  h.access(0x1000, false);
+  const MemoryEffect e = h.access(0x1008, false);
+  EXPECT_EQ(e.level, ServicedBy::kL1);
+  EXPECT_EQ(e.memory_read_bytes, 0u);
+}
+
+TEST(Hierarchy, L1EvictionFallsBackToL2) {
+  Hierarchy h(tiny());
+  // L1: 4 sets x 2 ways. Addresses with stride 128 share L1 set 0; L2 has 8
+  // sets so they spread there.
+  for (std::uint64_t i = 0; i < 3; ++i) h.access(i * 128, false);
+  // First line evicted from L1 but still in L2.
+  const MemoryEffect e = h.access(0, false);
+  EXPECT_EQ(e.level, ServicedBy::kL2);
+}
+
+TEST(Hierarchy, WorkingSetBeyondL2GoesToMemory) {
+  Hierarchy h(tiny());
+  // Two passes over 4 KB >> L2 (1 KB): second pass still misses to memory.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 4096; a += 32) h.access(a, false);
+  }
+  EXPECT_EQ(h.l2().stats().hits(), 0u);
+}
+
+TEST(Hierarchy, WorkingSetInsideL2SecondPassCheap) {
+  Hierarchy h(tiny());
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 512; a += 32) h.access(a, false);
+  }
+  // Pass 2: 16 lines; L1 holds 8 lines of these 16 -> mix of L1/L2 hits,
+  // zero memory traffic.
+  std::uint64_t mem = h.l2().stats().misses();
+  EXPECT_EQ(mem, 16u);  // only the cold pass missed
+}
+
+TEST(Hierarchy, DisabledL2GoesStraightToMemory) {
+  HierarchyConfig cfg = tiny();
+  cfg.l2_enabled = false;
+  Hierarchy h(cfg);
+  h.access(0, false);
+  for (std::uint64_t i = 0; i < 3; ++i) h.access(i * 128, false);
+  const MemoryEffect e = h.access(0, false);  // L1-evicted; L2 off
+  EXPECT_EQ(e.level, ServicedBy::kMemory);
+  EXPECT_EQ(h.l2().stats().accesses(), 0u);
+}
+
+TEST(Hierarchy, DisabledL2DirtyVictimWritesToMemory) {
+  HierarchyConfig cfg = tiny();
+  cfg.l2_enabled = false;
+  Hierarchy h(cfg);
+  h.access(0, true);  // dirty in L1 set 0
+  h.access(128, false);
+  const MemoryEffect e = h.access(256, false);  // evicts the dirty line
+  EXPECT_EQ(e.memory_write_bytes, 32u);
+}
+
+TEST(Hierarchy, DirtyL1VictimAbsorbedByL2) {
+  Hierarchy h(tiny());
+  h.access(0, true);
+  h.access(128, false);
+  const MemoryEffect e = h.access(256, false);  // L1 evicts dirty line 0
+  // The writeback lands in L2 (it is resident there); no memory write.
+  EXPECT_EQ(e.memory_write_bytes, 0u);
+}
+
+TEST(Hierarchy, DirtyL2EvictionWritesBack) {
+  Hierarchy h(tiny());
+  // Dirty a line, then stream 4 KB of reads to push it out of L2.
+  h.access(0x10000, true);
+  for (std::uint64_t a = 0; a < 4096; a += 32) h.access(a, false);
+  std::uint64_t writes = 0;
+  // Re-walk to find accumulated write traffic (returned per access; sum via
+  // stats instead).
+  EXPECT_GE(h.l2().stats().dirty_writebacks, 1u);
+  (void)writes;
+}
+
+TEST(Hierarchy, FlushReportsDirtyBytes) {
+  Hierarchy h(tiny());
+  h.access(0, true);
+  h.access(64, true);
+  const bytes_t flushed = h.flush();
+  EXPECT_EQ(flushed, 64u);  // two dirty 32B lines in L2... via L1 writeback
+}
+
+TEST(Hierarchy, FlushCleanCachesNoTraffic) {
+  Hierarchy h(tiny());
+  h.access(0, false);
+  h.access(64, false);
+  EXPECT_EQ(h.flush(), 0u);
+}
+
+TEST(Hierarchy, ResetStatsClearsBothLevels) {
+  Hierarchy h(tiny());
+  h.access(0, false);
+  h.reset_stats();
+  EXPECT_EQ(h.l1().stats().accesses(), 0u);
+  EXPECT_EQ(h.l2().stats().accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace scc::cache

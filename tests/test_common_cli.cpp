@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, KeyEqualsValue) {
+  const auto args = make({"prog", "--cores=24"});
+  EXPECT_EQ(args.get_or("cores", ""), "24");
+  EXPECT_EQ(args.get_int_or("cores", 0), 24);
+}
+
+TEST(Cli, KeySpaceValue) {
+  const auto args = make({"prog", "--cores", "24"});
+  EXPECT_EQ(args.get_int_or("cores", 0), 24);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto args = make({"prog", "--fast"});
+  EXPECT_TRUE(args.has("fast"));
+  EXPECT_TRUE(args.get_bool_or("fast", false));
+}
+
+TEST(Cli, FlagFollowedByFlag) {
+  const auto args = make({"prog", "--fast", "--cores=8"});
+  EXPECT_TRUE(args.get_bool_or("fast", false));
+  EXPECT_EQ(args.get_int_or("cores", 0), 8);
+}
+
+TEST(Cli, MissingKeyUsesFallback) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_int_or("cores", 48), 48);
+  EXPECT_DOUBLE_EQ(args.get_double_or("scale", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool_or("fast", false));
+  EXPECT_FALSE(args.get("cores").has_value());
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = make({"prog", "input.mtx", "--cores=2", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.mtx");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = make({"prog", "--scale=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("scale", 1.0), 0.25);
+}
+
+TEST(Cli, BoolSpellings) {
+  EXPECT_TRUE(make({"p", "--f=yes"}).get_bool_or("f", false));
+  EXPECT_TRUE(make({"p", "--f=1"}).get_bool_or("f", false));
+  EXPECT_TRUE(make({"p", "--f=on"}).get_bool_or("f", false));
+  EXPECT_FALSE(make({"p", "--f=no"}).get_bool_or("f", true));
+}
+
+TEST(Cli, KeysEnumerated) {
+  const auto args = make({"prog", "--a=1", "--b=2"});
+  const auto keys = args.keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const auto args = make({"prog", "--n=1", "--n=2"});
+  EXPECT_EQ(args.get_int_or("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace scc

@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace scc {
+namespace {
+
+TEST(Table, HeaderRequiredBeforeRows) {
+  Table t;
+  EXPECT_THROW(t.add_row({"a"}), std::invalid_argument);
+}
+
+TEST(Table, RowArityMustMatchHeader) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderCannotFollowRows) {
+  Table t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"b"}), std::invalid_argument);
+}
+
+TEST(Table, PrintContainsAllCells) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1.50"});
+  t.add_row({"beta", "2.25"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"with,comma", "1"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_NE(oss.str().find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t;
+  t.set_header({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(ClaimCheck, PassesWithinTolerance) {
+  std::ostringstream oss;
+  const bool ok = check_claims(oss, {{"claim", 1.0, 1.05, 0.10}});
+  EXPECT_TRUE(ok);
+  EXPECT_NE(oss.str().find("[ok]"), std::string::npos);
+}
+
+TEST(ClaimCheck, FailsOutsideTolerance) {
+  std::ostringstream oss;
+  const bool ok = check_claims(oss, {{"claim", 1.0, 2.0, 0.10}});
+  EXPECT_FALSE(ok);
+  EXPECT_NE(oss.str().find("[OFF]"), std::string::npos);
+}
+
+TEST(ClaimCheck, MixedClaimsReportEach) {
+  std::ostringstream oss;
+  const bool ok = check_claims(oss, {{"good", 10.0, 10.5, 0.10}, {"bad", 10.0, 20.0, 0.10}});
+  EXPECT_FALSE(ok);
+  EXPECT_NE(oss.str().find("good"), std::string::npos);
+  EXPECT_NE(oss.str().find("bad"), std::string::npos);
+}
+
+TEST(ClaimCheck, ZeroExpectedUsesAbsoluteDeviation) {
+  std::ostringstream oss;
+  EXPECT_TRUE(check_claims(oss, {{"zero", 0.0, 0.05, 0.10}}));
+}
+
+}  // namespace
+}  // namespace scc

@@ -1,0 +1,209 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/properties.hpp"
+
+namespace scc::gen {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(Banded, StaysInsideBand) {
+  const auto m = banded(500, 10, 0.5, 1);
+  EXPECT_LE(sparse::bandwidth(m), 10);
+}
+
+TEST(Banded, HasFullDiagonal) {
+  const auto m = banded(300, 5, 0.2, 2);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    bool diag = false;
+    for (index_t c : m.row_cols(i)) diag = diag || c == i;
+    EXPECT_TRUE(diag) << "row " << i;
+  }
+}
+
+TEST(Banded, FillControlsDensity) {
+  const auto sparse_m = banded(1000, 20, 0.1, 3);
+  const auto dense_m = banded(1000, 20, 0.9, 3);
+  EXPECT_LT(sparse_m.nnz(), dense_m.nnz());
+  // Expected nnz/n ~ 1 + 2*hb*fill.
+  const double got = static_cast<double>(dense_m.nnz()) / 1000.0;
+  EXPECT_NEAR(got, 1.0 + 2.0 * 20.0 * 0.9, 3.0);
+}
+
+TEST(Banded, DeterministicForSeed) {
+  EXPECT_EQ(banded(200, 8, 0.4, 7), banded(200, 8, 0.4, 7));
+  EXPECT_NE(banded(200, 8, 0.4, 7).nnz(), banded(200, 8, 0.4, 8).nnz());
+}
+
+TEST(Banded, ZeroFillIsDiagonal) {
+  const auto m = banded(100, 10, 0.0, 1);
+  EXPECT_EQ(m.nnz(), 100);
+}
+
+TEST(Banded, RejectsBadArguments) {
+  EXPECT_THROW(banded(0, 1, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(banded(10, 10, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(banded(10, 2, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Stencil2d, SizeAndPattern) {
+  const auto m = stencil_2d(7, 9);
+  EXPECT_EQ(m.rows(), 63);
+  // nnz = 5*n - 2*nx - 2*ny (boundary corrections).
+  EXPECT_EQ(m.nnz(), 5 * 63 - 2 * 7 - 2 * 9);
+  EXPECT_EQ(sparse::bandwidth(m), 7);
+}
+
+TEST(Stencil2d, RowSumsAreNonNegative) {
+  // Laplacian: diagonal 4, neighbours -1; row sums >= 0 everywhere.
+  const auto m = stencil_2d(6, 6);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    real_t sum = 0.0;
+    for (real_t v : m.row_vals(r)) sum += v;
+    EXPECT_GE(sum, 0.0);
+  }
+}
+
+TEST(Stencil3d, SizeAndPattern) {
+  const auto m = stencil_3d(4, 5, 6);
+  EXPECT_EQ(m.rows(), 120);
+  const auto stats = sparse::row_stats(m);
+  EXPECT_EQ(stats.max_length, 7);
+  EXPECT_EQ(stats.min_length, 4);  // corner: diagonal + 3 neighbours
+}
+
+TEST(FemBlocks, DiagonalBlocksAreDense) {
+  const auto m = fem_blocks(10, 6, 0, 5);
+  EXPECT_EQ(m.rows(), 60);
+  // No couplings: exactly blocks * block^2 entries.
+  EXPECT_EQ(m.nnz(), 10 * 36);
+}
+
+TEST(FemBlocks, CouplingsAddSymmetricEntries) {
+  const auto m = fem_blocks(30, 4, 2, 6);
+  EXPECT_GT(m.nnz(), 30 * 16);
+  // Structural symmetry: pattern equals its transpose's pattern.
+  const auto t = m.transpose();
+  for (index_t r = 0; r < m.rows(); ++r) {
+    ASSERT_EQ(m.row_length(r), t.row_length(r)) << "row " << r;
+  }
+}
+
+TEST(FemBlocks, MeanRowLengthTracksBlockSize) {
+  const auto m = fem_blocks(50, 12, 0, 7);
+  EXPECT_NEAR(sparse::row_stats(m).mean_length, 12.0, 1e-9);
+}
+
+TEST(RandomUniform, RowLengthsExact) {
+  const auto m = random_uniform(400, 9, 8);
+  const auto stats = sparse::row_stats(m);
+  EXPECT_EQ(stats.min_length, 10);  // 9 + diagonal
+  EXPECT_EQ(stats.max_length, 10);
+}
+
+TEST(RandomUniform, ColumnsSpreadWidely) {
+  const auto m = random_uniform(5000, 10, 9);
+  EXPECT_GT(sparse::mean_column_distance(m), 1000.0);
+}
+
+TEST(RandomUniform, RejectsRowNnzTooLarge) {
+  EXPECT_THROW(random_uniform(10, 10, 1), std::invalid_argument);
+}
+
+TEST(PowerLaw, MeanRowLengthNearTarget) {
+  const auto m = power_law(4000, 12, 1.1, 10);
+  const double mean_len = sparse::row_stats(m).mean_length;
+  // Diagonal + avg extras, minus duplicate collisions on hub columns.
+  EXPECT_GT(mean_len, 6.0);
+  EXPECT_LT(mean_len, 14.0);
+}
+
+TEST(PowerLaw, HubColumnsExist) {
+  const auto m = power_law(4000, 12, 1.1, 10);
+  // Column in-degree skew: the most popular column should be hit far more
+  // often than the mean.
+  const auto t = m.transpose();
+  const auto stats = sparse::row_stats(t);
+  EXPECT_GT(static_cast<double>(stats.max_length), 10.0 * stats.mean_length);
+}
+
+TEST(PowerLaw, AlphaControlsSkew) {
+  const auto mild = power_law(3000, 10, 0.6, 11);
+  const auto steep = power_law(3000, 10, 1.6, 11);
+  const auto hub = [](const CsrMatrix& m) {
+    return static_cast<double>(sparse::row_stats(m.transpose()).max_length);
+  };
+  EXPECT_GT(hub(steep), hub(mild));
+}
+
+TEST(Circuit, ShortRowsOnAverage) {
+  const auto m = circuit(20000, 1.6, 0.5, 12);
+  const double mean_len = sparse::row_stats(m).mean_length;
+  EXPECT_GT(mean_len, 2.0);
+  EXPECT_LT(mean_len, 3.0);
+}
+
+TEST(Circuit, LongRangeControlsLocality) {
+  const auto local = circuit(10000, 4.0, 0.0, 13);
+  const auto global = circuit(10000, 4.0, 1.0, 13);
+  EXPECT_LT(sparse::mean_column_distance(local), 20.0);
+  EXPECT_GT(sparse::mean_column_distance(global), 500.0);
+}
+
+TEST(Circuit, FractionalExtraPerRow) {
+  const auto m = circuit(30000, 0.5, 0.2, 14);
+  const double mean_len = sparse::row_stats(m).mean_length;
+  EXPECT_NEAR(mean_len, 1.5, 0.15);
+}
+
+TEST(DiagonallyDominant, EnforcesDominance) {
+  auto m = random_uniform(200, 6, 15);
+  make_diagonally_dominant(m, 2.0);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_vals(r);
+    real_t diag = 0.0;
+    real_t off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) {
+        diag = vals[k];
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    EXPECT_GE(diag, off + 2.0 - 1e-12) << "row " << r;
+  }
+}
+
+TEST(DiagonallyDominant, ThrowsWithoutDiagonal) {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  auto m = sparse::CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(make_diagonally_dominant(m), std::invalid_argument);
+}
+
+/// Determinism sweep: all generators reproduce bit-identical matrices.
+class GeneratorDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameMatrix) {
+  auto build = [&](std::uint64_t seed) -> CsrMatrix {
+    switch (GetParam()) {
+      case 0: return banded(300, 7, 0.3, seed);
+      case 1: return fem_blocks(20, 8, 3, seed);
+      case 2: return random_uniform(300, 5, seed);
+      case 3: return power_law(300, 6, 1.2, seed);
+      default: return circuit(300, 2.5, 0.3, seed);
+    }
+  };
+  EXPECT_EQ(build(99), build(99));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GeneratorDeterminism, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace scc::gen

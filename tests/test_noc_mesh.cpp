@@ -1,0 +1,113 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::noc {
+namespace {
+
+TEST(Mesh, Dimensions) {
+  Mesh m(6, 4);
+  EXPECT_EQ(m.width(), 6);
+  EXPECT_EQ(m.height(), 4);
+  EXPECT_EQ(m.router_count(), 24);
+}
+
+TEST(Mesh, RejectsBadDimensions) {
+  EXPECT_THROW(Mesh(0, 4), std::invalid_argument);
+  EXPECT_THROW(Mesh(6, -1), std::invalid_argument);
+}
+
+TEST(Mesh, HopsIsManhattanDistance) {
+  Mesh m(6, 4);
+  EXPECT_EQ(m.hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(m.hops({0, 0}, {5, 0}), 5);
+  EXPECT_EQ(m.hops({0, 0}, {5, 3}), 8);
+  EXPECT_EQ(m.hops({2, 1}, {4, 3}), 4);
+}
+
+TEST(Mesh, HopsSymmetric) {
+  Mesh m(6, 4);
+  EXPECT_EQ(m.hops({1, 2}, {4, 0}), m.hops({4, 0}, {1, 2}));
+}
+
+TEST(Mesh, HopsRejectsOutOfBounds) {
+  Mesh m(6, 4);
+  EXPECT_THROW(m.hops({6, 0}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(m.hops({0, 0}, {0, 4}), std::invalid_argument);
+}
+
+TEST(Mesh, RouteIsXThenY) {
+  Mesh m(6, 4);
+  const auto links = m.route({1, 1}, {3, 3});
+  ASSERT_EQ(links.size(), 4u);
+  // Horizontal first (XY routing).
+  EXPECT_EQ(links[0], (Link{{1, 1}, {2, 1}}));
+  EXPECT_EQ(links[1], (Link{{2, 1}, {3, 1}}));
+  EXPECT_EQ(links[2], (Link{{3, 1}, {3, 2}}));
+  EXPECT_EQ(links[3], (Link{{3, 2}, {3, 3}}));
+}
+
+TEST(Mesh, RouteHandlesNegativeDirections) {
+  Mesh m(6, 4);
+  const auto links = m.route({3, 2}, {1, 0});
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0], (Link{{3, 2}, {2, 2}}));
+  EXPECT_EQ(links[3], (Link{{1, 1}, {1, 0}}));
+}
+
+TEST(Mesh, RouteSelfIsEmpty) {
+  Mesh m(6, 4);
+  EXPECT_TRUE(m.route({2, 2}, {2, 2}).empty());
+}
+
+TEST(Mesh, RouteLengthEqualsHops) {
+  Mesh m(6, 4);
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      const Coord from{x, y};
+      const Coord to{5 - x, 3 - y};
+      EXPECT_EQ(static_cast<int>(m.route(from, to).size()), m.hops(from, to));
+    }
+  }
+}
+
+TEST(Mesh, RecordTransferAccumulatesOnRoute) {
+  Mesh m(6, 4);
+  m.record_transfer({0, 0}, {2, 0}, 100);
+  EXPECT_EQ(m.link_traffic({0, 0}, {1, 0}), 100u);
+  EXPECT_EQ(m.link_traffic({1, 0}, {2, 0}), 100u);
+  EXPECT_EQ(m.link_traffic({1, 0}, {0, 0}), 0u);  // directional
+  EXPECT_EQ(m.total_traffic(), 200u);
+}
+
+TEST(Mesh, MaxLinkTrafficFindsHotspot) {
+  Mesh m(6, 4);
+  m.record_transfer({0, 0}, {3, 0}, 10);
+  m.record_transfer({1, 0}, {3, 0}, 10);
+  // Link (1,0)->(2,0) carries both flows.
+  EXPECT_EQ(m.max_link_traffic(), 20u);
+  EXPECT_EQ(m.link_traffic({1, 0}, {2, 0}), 20u);
+}
+
+TEST(Mesh, LinkTrafficRequiresAdjacency) {
+  Mesh m(6, 4);
+  EXPECT_THROW(m.link_traffic({0, 0}, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(m.link_traffic({0, 0}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Mesh, ResetTrafficZeroes) {
+  Mesh m(6, 4);
+  m.record_transfer({0, 0}, {1, 0}, 5);
+  m.reset_traffic();
+  EXPECT_EQ(m.total_traffic(), 0u);
+}
+
+TEST(Mesh, ZeroByteTransferIsNoop) {
+  Mesh m(6, 4);
+  m.record_transfer({0, 0}, {5, 3}, 0);
+  EXPECT_EQ(m.total_traffic(), 0u);
+  EXPECT_EQ(m.max_link_traffic(), 0u);
+}
+
+}  // namespace
+}  // namespace scc::noc

@@ -1,0 +1,388 @@
+#include "rcce/rcce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scc::rcce {
+namespace {
+
+TEST(Rcce, RunsAllUes) {
+  std::atomic<int> count{0};
+  run(8, [&](Comm&) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Rcce, RanksAreDistinctAndComplete) {
+  std::vector<std::atomic<int>> seen(16);
+  run(16, [&](Comm& comm) { ++seen[static_cast<std::size_t>(comm.rank())]; });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Rcce, SizeVisibleToBodies) {
+  run(5, [&](Comm& comm) { EXPECT_EQ(comm.size(), 5); });
+}
+
+TEST(Rcce, RejectsBadUeCount) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(run(49, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Rcce, StandardMappingCores) {
+  const RunReport report = run(4, [](Comm&) {});
+  EXPECT_EQ(report.cores, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Rcce, DistanceReductionMappingCores) {
+  RuntimeOptions opts;
+  opts.mapping = chip::MappingPolicy::kDistanceReduction;
+  const RunReport report = run(4, [](Comm&) {}, opts);
+  EXPECT_EQ(report.cores, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(Rcce, ExplicitCoreTable) {
+  RuntimeOptions opts;
+  opts.explicit_cores = {7, 3, 40};
+  std::vector<std::atomic<int>> core_of_rank(3);
+  const RunReport report = run(3, [&](Comm& comm) {
+    core_of_rank[static_cast<std::size_t>(comm.rank())] = comm.core();
+  }, opts);
+  EXPECT_EQ(core_of_rank[0].load(), 7);
+  EXPECT_EQ(core_of_rank[1].load(), 3);
+  EXPECT_EQ(core_of_rank[2].load(), 40);
+  EXPECT_EQ(report.cores, opts.explicit_cores);
+}
+
+TEST(Rcce, ExplicitCoreTableValidated) {
+  RuntimeOptions opts;
+  opts.explicit_cores = {0, 1};
+  EXPECT_THROW(run(3, [](Comm&) {}, opts), std::invalid_argument);
+  opts.explicit_cores = {0, 99};
+  EXPECT_THROW(run(2, [](Comm&) {}, opts), std::invalid_argument);
+}
+
+TEST(Rcce, SendRecvSmallMessage) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int payload = 12345;
+      comm.send(&payload, sizeof payload, 1);
+    } else {
+      int received = 0;
+      comm.recv(&received, sizeof received, 0);
+      EXPECT_EQ(received, 12345);
+    }
+  });
+}
+
+TEST(Rcce, SendRecvLargerThanMpbIsChunked) {
+  // 100 KB through an 8 KB MPB region: must chunk and still arrive intact.
+  const std::size_t n = 100 * 1024 / sizeof(double);
+  run(2, [n](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data(n);
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send(data.data(), data.size() * sizeof(double), 1);
+    } else {
+      std::vector<double> data(n, -1.0);
+      comm.recv(data.data(), data.size() * sizeof(double), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(data[i], static_cast<double>(i)) << i;
+      }
+    }
+  });
+}
+
+TEST(Rcce, SendSizeMismatchFailsCleanly) {
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    std::int32_t small = 0;
+    std::int64_t large = 0;
+    if (comm.rank() == 0) {
+      comm.send(&small, sizeof small, 1);
+    } else {
+      comm.recv(&large, sizeof large, 0);
+    }
+  }), std::invalid_argument);
+}
+
+TEST(Rcce, SendToSelfRejected) {
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    int x = 0;
+    comm.send(&x, sizeof x, comm.rank());
+  }), std::invalid_argument);
+}
+
+TEST(Rcce, ZeroByteMessageCompletes) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(nullptr, 0, 1);
+    } else {
+      comm.recv(nullptr, 0, 0);
+    }
+  });
+}
+
+TEST(Rcce, BarrierOrdersPhases) {
+  std::atomic<int> phase1{0};
+  bool saw_all = false;
+  run(8, [&](Comm& comm) {
+    ++phase1;
+    comm.barrier();
+    if (comm.rank() == 0) saw_all = phase1.load() == 8;
+    comm.barrier();
+  });
+  EXPECT_TRUE(saw_all);
+}
+
+TEST(Rcce, RepeatedBarriers) {
+  run(6, [](Comm& comm) {
+    for (int i = 0; i < 25; ++i) comm.barrier();
+  });
+}
+
+TEST(Rcce, PutGetThroughMpb) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double value = 2.5;
+      comm.put(&value, sizeof value, 1, 128);
+      comm.flag_set(0, true, 1);
+    } else {
+      comm.flag_wait(0, true);
+      double value = 0.0;
+      comm.get(&value, sizeof value, comm.rank(), 128);
+      EXPECT_DOUBLE_EQ(value, 2.5);
+    }
+  });
+}
+
+TEST(Rcce, MpbBoundsChecked) {
+  EXPECT_THROW(run(1, [](Comm& comm) {
+    char buf[16] = {};
+    comm.put(buf, sizeof buf, 0, 8192 - 8);  // crosses the region end
+  }), std::invalid_argument);
+}
+
+TEST(Rcce, FlagIdValidated) {
+  EXPECT_THROW(run(1, [](Comm& comm) { comm.flag_set(64, true, 0); }),
+               std::invalid_argument);
+}
+
+TEST(Rcce, BcastDeliversToAll) {
+  run(8, [](Comm& comm) {
+    double value = comm.rank() == 3 ? 9.75 : 0.0;
+    comm.bcast(&value, sizeof value, 3);
+    EXPECT_DOUBLE_EQ(value, 9.75);
+  });
+}
+
+TEST(Rcce, ReduceSumAtRoot) {
+  run(8, [](Comm& comm) {
+    const double contribution = static_cast<double>(comm.rank() + 1);
+    const double total = comm.reduce_sum(contribution, 0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(total, 36.0);  // 1+..+8
+    }
+  });
+}
+
+TEST(Rcce, AllreduceSumEverywhere) {
+  run(6, [](Comm& comm) {
+    const double total = comm.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(total, 6.0);
+  });
+}
+
+TEST(Rcce, AllreduceMaxEverywhere) {
+  run(7, [](Comm& comm) {
+    const double max = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(max, 6.0);
+  });
+}
+
+TEST(Rcce, SingleUeCollectivesDegenerate) {
+  run(1, [](Comm& comm) {
+    double v = 5.0;
+    comm.bcast(&v, sizeof v, 0);
+    EXPECT_DOUBLE_EQ(comm.reduce_sum(v, 0), 5.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(v), 5.0);
+    comm.barrier();
+  });
+}
+
+TEST(Rcce, WtimeMonotone) {
+  run(1, [](Comm& comm) {
+    const double a = comm.wtime();
+    const double b = comm.wtime();
+    EXPECT_GE(b, a);
+  });
+}
+
+TEST(Rcce, PowerApiRecordsTileFrequency) {
+  RuntimeOptions opts;
+  const RunReport report = run(2, [](Comm& comm) {
+    if (comm.rank() == 0) comm.set_tile_core_mhz(800);
+    comm.barrier();
+  }, opts);
+  // Ranks 0/1 share tile 0 under the standard mapping.
+  EXPECT_EQ(report.frequencies.tile_core_mhz(0), 800);
+  EXPECT_EQ(report.frequencies.tile_core_mhz(1), 533);
+}
+
+TEST(Rcce, BodyExceptionPropagatesAndUnblocksPeers) {
+  // UE 1 throws while UE 0 waits on a barrier; the runtime must poison the
+  // barrier and rethrow the original error rather than deadlock.
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      throw std::runtime_error("deliberate failure");
+    }
+    comm.barrier();
+  }), std::runtime_error);
+}
+
+TEST(RcceShm, CollectiveAllocationSameOffsetEverywhere) {
+  std::vector<std::atomic<std::size_t>> offsets(6);
+  run(6, [&](Comm& comm) {
+    const std::size_t a = comm.shmalloc(128);
+    const std::size_t b = comm.shmalloc(64);
+    EXPECT_EQ(b, a + 128);
+    offsets[static_cast<std::size_t>(comm.rank())] = a;
+  });
+  for (auto& o : offsets) EXPECT_EQ(o.load(), offsets[0].load());
+}
+
+TEST(RcceShm, FlushAndInvalidatePropagateData) {
+  run(3, [](Comm& comm) {
+    const std::size_t slot = comm.shmalloc(sizeof(double));
+    if (comm.rank() == 0) {
+      const double value = 6.5;
+      comm.shm_write(slot, &value, sizeof value);
+      comm.shm_flush();
+    }
+    comm.barrier();
+    if (comm.rank() != 0) {
+      comm.shm_invalidate();
+      double value = 0.0;
+      comm.shm_read(slot, &value, sizeof value);
+      EXPECT_DOUBLE_EQ(value, 6.5);
+    }
+  });
+}
+
+TEST(RcceShm, StaleReadWithoutInvalidate) {
+  // The coherence-free semantics: a peer that skips shm_invalidate keeps
+  // seeing its cached (zero-initialized) view even after the writer flushed.
+  run(2, [](Comm& comm) {
+    const std::size_t slot = comm.shmalloc(sizeof(int));
+    // Both UEs touch the line first so it is in their "cache".
+    int dummy = 0;
+    comm.shm_read(slot, &dummy, sizeof dummy);
+    if (comm.rank() == 0) {
+      const int value = 42;
+      comm.shm_write(slot, &value, sizeof value);
+      comm.shm_flush();
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      int stale = -1;
+      comm.shm_read(slot, &stale, sizeof stale);
+      EXPECT_EQ(stale, 0);  // still the old view
+      comm.shm_invalidate();
+      int fresh = -1;
+      comm.shm_read(slot, &fresh, sizeof fresh);
+      EXPECT_EQ(fresh, 42);
+    }
+  });
+}
+
+TEST(RcceShm, UnflushedWritesStayPrivate) {
+  run(2, [](Comm& comm) {
+    const std::size_t slot = comm.shmalloc(sizeof(int));
+    if (comm.rank() == 0) {
+      const int value = 7;
+      comm.shm_write(slot, &value, sizeof value);
+      // no flush
+    }
+    comm.barrier();
+    if (comm.rank() == 1) {
+      comm.shm_invalidate();
+      int seen = -1;
+      comm.shm_read(slot, &seen, sizeof seen);
+      EXPECT_EQ(seen, 0);
+    }
+  });
+}
+
+TEST(RcceShm, InvalidatePreservesOwnDirtyWrites) {
+  run(1, [](Comm& comm) {
+    const std::size_t slot = comm.shmalloc(sizeof(int));
+    const int value = 9;
+    comm.shm_write(slot, &value, sizeof value);
+    comm.shm_invalidate();  // must not destroy the unflushed write
+    int seen = 0;
+    comm.shm_read(slot, &seen, sizeof seen);
+    EXPECT_EQ(seen, 9);
+  });
+}
+
+TEST(RcceShm, ArenaExhaustionThrows) {
+  RuntimeOptions opts;
+  opts.shared_memory_bytes = 256;
+  EXPECT_THROW(run(1, [](Comm& comm) { comm.shmalloc(512); }, opts), std::invalid_argument);
+}
+
+TEST(RcceShm, MismatchedCollectiveAllocationThrows) {
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    comm.shmalloc(comm.rank() == 0 ? 64u : 128u);
+    comm.barrier();
+  }), std::invalid_argument);
+}
+
+TEST(RcceShm, BoundsChecked) {
+  RuntimeOptions opts;
+  opts.shared_memory_bytes = 128;
+  EXPECT_THROW(run(1, [](Comm& comm) {
+    char buf[64] = {};
+    comm.shm_write(100, buf, sizeof buf);
+  }, opts), std::invalid_argument);
+}
+
+TEST(RcceStress, RandomSizedMessagesAllArrive) {
+  // Ring exchange of pseudo-random-sized payloads, several rounds; checks
+  // both chunked transport and ordering under concurrency.
+  const int ues = 8;
+  run(ues, [&](Comm& comm) {
+    std::uint64_t state = 77;
+    for (int round = 0; round < 10; ++round) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::size_t bytes = 1 + static_cast<std::size_t>(state % 40000);
+      std::vector<std::uint8_t> out(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        out[i] = static_cast<std::uint8_t>((i * 31 + static_cast<std::size_t>(round)) & 0xff);
+      }
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      std::vector<std::uint8_t> in(bytes, 0);
+      if (comm.rank() % 2 == 0) {
+        comm.send(out.data(), bytes, next);
+        comm.recv(in.data(), bytes, prev);
+      } else {
+        comm.recv(in.data(), bytes, prev);
+        comm.send(out.data(), bytes, next);
+      }
+      ASSERT_EQ(in, out) << "round " << round;
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Rcce, HopsToMemoryVisible) {
+  RuntimeOptions opts;
+  opts.mapping = chip::MappingPolicy::kDistanceReduction;
+  run(4, [](Comm& comm) { EXPECT_EQ(comm.hops_to_memory(), 0); }, opts);
+}
+
+}  // namespace
+}  // namespace scc::rcce

@@ -1,0 +1,93 @@
+#include "scc/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::chip {
+namespace {
+
+TEST(Frequency, PaperPresets) {
+  const auto c0 = FrequencyConfig::conf0();
+  EXPECT_EQ(c0.core_mhz(0), 533);
+  EXPECT_EQ(c0.mesh_mhz(), 800);
+  EXPECT_EQ(c0.memory_mhz(), 800);
+
+  const auto c1 = FrequencyConfig::conf1();
+  EXPECT_EQ(c1.core_mhz(0), 800);
+  EXPECT_EQ(c1.mesh_mhz(), 1600);
+  EXPECT_EQ(c1.memory_mhz(), 1066);
+
+  const auto c2 = FrequencyConfig::conf2();
+  EXPECT_EQ(c2.core_mhz(0), 800);
+  EXPECT_EQ(c2.mesh_mhz(), 1600);
+  EXPECT_EQ(c2.memory_mhz(), 800);
+}
+
+TEST(Frequency, ValidCoreLadder) {
+  EXPECT_TRUE(is_valid_core_mhz(100));
+  EXPECT_TRUE(is_valid_core_mhz(533));
+  EXPECT_TRUE(is_valid_core_mhz(800));
+  EXPECT_FALSE(is_valid_core_mhz(900));
+  EXPECT_FALSE(is_valid_core_mhz(0));
+  EXPECT_FALSE(is_valid_core_mhz(-533));
+}
+
+TEST(Frequency, MeshAndMemoryChoices) {
+  EXPECT_TRUE(is_valid_mesh_mhz(800));
+  EXPECT_TRUE(is_valid_mesh_mhz(1600));
+  EXPECT_FALSE(is_valid_mesh_mhz(1000));
+  EXPECT_TRUE(is_valid_memory_mhz(800));
+  EXPECT_TRUE(is_valid_memory_mhz(1066));
+  EXPECT_FALSE(is_valid_memory_mhz(1333));
+}
+
+TEST(Frequency, ConstructorValidates) {
+  EXPECT_THROW(FrequencyConfig(999, 800, 800), std::invalid_argument);
+  EXPECT_THROW(FrequencyConfig(533, 900, 800), std::invalid_argument);
+  EXPECT_THROW(FrequencyConfig(533, 800, 900), std::invalid_argument);
+}
+
+TEST(Frequency, PerTileDomains) {
+  auto cfg = FrequencyConfig::conf0();
+  cfg.set_tile_core_mhz(3, 800);
+  EXPECT_EQ(cfg.tile_core_mhz(3), 800);
+  EXPECT_EQ(cfg.tile_core_mhz(2), 533);
+  // Both cores of tile 3 see the new clock.
+  EXPECT_EQ(cfg.core_mhz(6), 800);
+  EXPECT_EQ(cfg.core_mhz(7), 800);
+  EXPECT_EQ(cfg.core_mhz(8), 533);
+}
+
+TEST(Frequency, SetTileValidates) {
+  auto cfg = FrequencyConfig::conf0();
+  EXPECT_THROW(cfg.set_tile_core_mhz(24, 800), std::invalid_argument);
+  EXPECT_THROW(cfg.set_tile_core_mhz(0, 999), std::invalid_argument);
+}
+
+TEST(Frequency, GhzConversions) {
+  const auto c1 = FrequencyConfig::conf1();
+  EXPECT_DOUBLE_EQ(c1.core_ghz(0), 0.8);
+  EXPECT_DOUBLE_EQ(c1.mesh_ghz(), 1.6);
+  EXPECT_NEAR(c1.memory_ghz(), 1.066, 1e-12);
+}
+
+TEST(Frequency, DescribeUniform) {
+  EXPECT_EQ(FrequencyConfig::conf0().describe(), "cores 533 / mesh 800 / mem 800 MHz");
+}
+
+TEST(Frequency, DescribeMixed) {
+  auto cfg = FrequencyConfig::conf0();
+  cfg.set_tile_core_mhz(0, 800);
+  EXPECT_EQ(cfg.describe(), "cores 533-800 / mesh 800 / mem 800 MHz");
+}
+
+TEST(Frequency, EqualityComparesDomains) {
+  EXPECT_EQ(FrequencyConfig::conf0(), FrequencyConfig::conf0());
+  EXPECT_NE(FrequencyConfig::conf0(), FrequencyConfig::conf1());
+  auto a = FrequencyConfig::conf0();
+  auto b = FrequencyConfig::conf0();
+  a.set_tile_core_mhz(5, 800);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace scc::chip

@@ -1,0 +1,73 @@
+#include "scc/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::chip {
+namespace {
+
+TEST(Latency, EquationOneAtDefaultConfig) {
+  // conf0: 40/0.533 + 8h/0.8 + 46/0.8 ns.
+  const auto freq = FrequencyConfig::conf0();
+  const double zero_hop = memory_latency_ns(freq, 0, 0);
+  EXPECT_NEAR(zero_hop, 40.0 / 0.533 + 46.0 / 0.8, 1e-9);
+  const double three_hop = memory_latency_ns(freq, 0, 3);
+  EXPECT_NEAR(three_hop - zero_hop, 24.0 / 0.8, 1e-9);
+}
+
+TEST(Latency, MonotoneInHops) {
+  const auto freq = FrequencyConfig::conf0();
+  double prev = memory_latency_ns(freq, 0, 0);
+  for (int h = 1; h <= 3; ++h) {
+    const double cur = memory_latency_ns(freq, 0, h);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Latency, FasterClocksReduceLatency) {
+  const double slow = memory_latency_ns(FrequencyConfig::conf0(), 0, 2);
+  const double fast = memory_latency_ns(FrequencyConfig::conf1(), 0, 2);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Latency, MemoryClockOnlyAffectsMemoryTerm) {
+  // conf1 vs conf2 differ only in memory clock.
+  const double c1 = memory_latency_ns(FrequencyConfig::conf1(), 0, 2);
+  const double c2 = memory_latency_ns(FrequencyConfig::conf2(), 0, 2);
+  EXPECT_NEAR(c2 - c1, 46.0 / 0.8 - 46.0 / 1.066, 1e-9);
+}
+
+TEST(Latency, PerTileCoreClockUsed) {
+  auto freq = FrequencyConfig::conf0();
+  freq.set_tile_core_mhz(0, 800);  // cores 0 and 1
+  const double fast_core = memory_latency_ns(freq, 0, 0);
+  const double slow_core = memory_latency_ns(freq, 2, 0);
+  EXPECT_NEAR(slow_core - fast_core, 40.0 / 0.533 - 40.0 / 0.8, 1e-9);
+}
+
+TEST(Latency, DefaultHopsVariantMatchesTopology) {
+  const auto freq = FrequencyConfig::conf0();
+  EXPECT_DOUBLE_EQ(memory_latency_ns(freq, 0),
+                   memory_latency_ns(freq, 0, hops_to_memory(0)));
+  // Core 16 is 3 hops out (tile 8 = coord (2,1) -> MC at (0,0)).
+  EXPECT_EQ(hops_to_memory(16), 3);
+  EXPECT_DOUBLE_EQ(memory_latency_ns(freq, 16), memory_latency_ns(freq, 16, 3));
+}
+
+TEST(Latency, RejectsImpossibleHops) {
+  const auto freq = FrequencyConfig::conf0();
+  EXPECT_THROW(memory_latency_ns(freq, 0, -1), std::invalid_argument);
+  EXPECT_THROW(memory_latency_ns(freq, 0, 9), std::invalid_argument);
+}
+
+TEST(Latency, ThreeHopPenaltyIsAboutTwentyPercentAtConf0) {
+  // Sanity anchor for Fig 3: the raw latency gap at conf0 is ~23%; the
+  // measured runtime gap (~12%) is smaller because compute overlaps.
+  const auto freq = FrequencyConfig::conf0();
+  const double ratio = memory_latency_ns(freq, 0, 3) / memory_latency_ns(freq, 0, 0);
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.30);
+}
+
+}  // namespace
+}  // namespace scc::chip

@@ -1,0 +1,156 @@
+#include "scc/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scc::chip {
+namespace {
+
+TEST(Mapping, StandardIsIdentity) {
+  const auto cores = map_ues_to_cores(MappingPolicy::kStandard, 6);
+  ASSERT_EQ(cores.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(cores[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Mapping, DistanceReductionMatchesPaperExample) {
+  // The paper: with 4 UEs, distance reduction selects cores 0, 1, 10, 11.
+  const auto cores = map_ues_to_cores(MappingPolicy::kDistanceReduction, 4);
+  EXPECT_EQ(cores, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(Mapping, DistanceReductionEightZeroHopCores) {
+  const auto cores = map_ues_to_cores(MappingPolicy::kDistanceReduction, 8);
+  EXPECT_EQ(cores, (std::vector<int>{0, 1, 10, 11, 24, 25, 34, 35}));
+  for (int core : cores) EXPECT_EQ(hops_to_memory(core), 0);
+}
+
+TEST(Mapping, OneAndTwoUesIdenticalAcrossPolicies) {
+  // The paper notes no difference for 1 and 2 cores.
+  for (int n : {1, 2}) {
+    EXPECT_EQ(map_ues_to_cores(MappingPolicy::kStandard, n),
+              map_ues_to_cores(MappingPolicy::kDistanceReduction, n));
+  }
+}
+
+TEST(Mapping, FullChipUsesAllCoresBothPolicies) {
+  for (auto policy : {MappingPolicy::kStandard, MappingPolicy::kDistanceReduction}) {
+    const auto cores = map_ues_to_cores(policy, 48);
+    std::set<int> unique(cores.begin(), cores.end());
+    EXPECT_EQ(unique.size(), 48u);
+  }
+}
+
+TEST(Mapping, NoDuplicatesAtAnyCount) {
+  for (int n = 1; n <= 48; ++n) {
+    for (auto policy : {MappingPolicy::kStandard, MappingPolicy::kDistanceReduction}) {
+      const auto cores = map_ues_to_cores(policy, n);
+      std::set<int> unique(cores.begin(), cores.end());
+      EXPECT_EQ(unique.size(), static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(Mapping, DistanceReductionNeverWorseOnAverageHops) {
+  for (int n = 1; n <= 48; ++n) {
+    const double std_hops = average_hops(map_ues_to_cores(MappingPolicy::kStandard, n));
+    const double dr_hops =
+        average_hops(map_ues_to_cores(MappingPolicy::kDistanceReduction, n));
+    EXPECT_LE(dr_hops, std_hops + 1e-12) << n << " UEs";
+  }
+}
+
+TEST(Mapping, DistanceReductionHopsNondecreasingInRank) {
+  const auto cores = map_ues_to_cores(MappingPolicy::kDistanceReduction, 48);
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    EXPECT_LE(hops_to_memory(cores[i - 1]), hops_to_memory(cores[i]));
+  }
+}
+
+TEST(Mapping, DistanceReductionSpreadsAcrossMcs) {
+  // 24 UEs: standard crowds 12 cores on each bottom MC; distance reduction
+  // puts 6 on each of the four.
+  const auto std_cores = map_ues_to_cores(MappingPolicy::kStandard, 24);
+  const auto dr_cores = map_ues_to_cores(MappingPolicy::kDistanceReduction, 24);
+  EXPECT_EQ(max_cores_per_mc(std_cores), 12);
+  EXPECT_EQ(max_cores_per_mc(dr_cores), 6);
+}
+
+TEST(Mapping, RejectsBadUeCount) {
+  EXPECT_THROW(map_ues_to_cores(MappingPolicy::kStandard, 0), std::invalid_argument);
+  EXPECT_THROW(map_ues_to_cores(MappingPolicy::kStandard, 49), std::invalid_argument);
+}
+
+TEST(Mapping, ToStringNames) {
+  EXPECT_EQ(to_string(MappingPolicy::kStandard), "standard");
+  EXPECT_EQ(to_string(MappingPolicy::kDistanceReduction), "distance-reduction");
+}
+
+TEST(Mapping, AverageHopsOfZeroHopSet) {
+  EXPECT_DOUBLE_EQ(average_hops({0, 1, 10, 11}), 0.0);
+}
+
+TEST(Mapping, HelpersRejectEmpty) {
+  EXPECT_THROW(average_hops({}), std::invalid_argument);
+  EXPECT_THROW(max_cores_per_mc({}), std::invalid_argument);
+}
+
+TEST(Mapping, ContentionAwareMinimizesPerMcLoad) {
+  for (int n = 1; n <= 48; ++n) {
+    const auto cores = map_ues_to_cores(MappingPolicy::kContentionAware, n);
+    const int optimal = (n + kMemoryControllerCount - 1) / kMemoryControllerCount;
+    EXPECT_EQ(max_cores_per_mc(cores), optimal) << n << " UEs";
+  }
+}
+
+TEST(Mapping, ContentionAwareCoincidesWithDrAtBalancedCounts) {
+  // When the UE count divides evenly into complete hop-tiers (8 zero-hop
+  // cores, then 16 one-hop, ...), both policies pick the same core *sets*
+  // (order may differ: contention-aware interleaves MCs).
+  for (int n : {8, 24, 48}) {
+    auto dr = map_ues_to_cores(MappingPolicy::kDistanceReduction, n);
+    auto ca = map_ues_to_cores(MappingPolicy::kContentionAware, n);
+    std::sort(dr.begin(), dr.end());
+    std::sort(ca.begin(), ca.end());
+    EXPECT_EQ(dr, ca) << n << " UEs";
+  }
+}
+
+TEST(Mapping, ContentionAwareBeatsDrOnLoadAtOddCounts) {
+  // 6 UEs: distance reduction takes the first six zero-hop cores (0,1,10,
+  // 11,24,25 -> two on MC0); contention-aware caps every MC at two.
+  const auto dr = map_ues_to_cores(MappingPolicy::kDistanceReduction, 6);
+  const auto ca = map_ues_to_cores(MappingPolicy::kContentionAware, 6);
+  EXPECT_EQ(max_cores_per_mc(ca), 2);
+  EXPECT_LE(max_cores_per_mc(ca), max_cores_per_mc(dr));
+  EXPECT_EQ(average_hops(ca), 0.0);  // still zero-hop cores only
+}
+
+TEST(Mapping, ContentionAwareHopsNeverWorseThanStandard) {
+  for (int n = 1; n <= 48; ++n) {
+    EXPECT_LE(average_hops(map_ues_to_cores(MappingPolicy::kContentionAware, n)),
+              average_hops(map_ues_to_cores(MappingPolicy::kStandard, n)) + 1e-12)
+        << n << " UEs";
+  }
+}
+
+TEST(Mapping, ContentionAwareToString) {
+  EXPECT_EQ(to_string(MappingPolicy::kContentionAware), "contention-aware");
+}
+
+/// Parameterized: at every UE count, distance reduction minimizes the
+/// maximum per-MC load among hop-minimal choices (never exceeds standard).
+class MappingLoadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingLoadSweep, DistanceReductionLoadNotWorse) {
+  const int n = GetParam();
+  const auto std_cores = map_ues_to_cores(MappingPolicy::kStandard, n);
+  const auto dr_cores = map_ues_to_cores(MappingPolicy::kDistanceReduction, n);
+  EXPECT_LE(max_cores_per_mc(dr_cores), max_cores_per_mc(std_cores));
+}
+
+INSTANTIATE_TEST_SUITE_P(UeCounts, MappingLoadSweep,
+                         ::testing::Values(4, 8, 12, 16, 24, 32, 40, 48));
+
+}  // namespace
+}  // namespace scc::chip

@@ -1,0 +1,132 @@
+#include "scc/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scc::chip {
+namespace {
+
+TEST(Power, Conf0FullSystemMatchesPaperMeasurement) {
+  // The paper measures 83.3 W running SpMV on all 48 cores at conf0.
+  PowerModel model;
+  EXPECT_NEAR(model.full_system_watts(FrequencyConfig::conf0()), 83.3, 0.5);
+}
+
+TEST(Power, Conf1FullSystemNearPaperMeasurement) {
+  // Conf1 raises the measurement to ~107 W; the model lands within a few %.
+  PowerModel model;
+  const double watts = model.full_system_watts(FrequencyConfig::conf1());
+  EXPECT_GT(watts, 100.0);
+  EXPECT_LT(watts, 115.0);
+}
+
+TEST(Power, Conf2BetweenConf0AndConf1) {
+  PowerModel model;
+  const double p0 = model.full_system_watts(FrequencyConfig::conf0());
+  const double p1 = model.full_system_watts(FrequencyConfig::conf1());
+  const double p2 = model.full_system_watts(FrequencyConfig::conf2());
+  EXPECT_GT(p2, p0);
+  EXPECT_LT(p2, p1);
+}
+
+TEST(Power, MonotoneInActiveCores) {
+  PowerModel model;
+  const auto freq = FrequencyConfig::conf0();
+  double prev = model.chip_watts(freq, 0);
+  for (int cores = 2; cores <= 48; cores += 2) {
+    const double cur = model.chip_watts(freq, cores);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Power, IdleChipStillDrawsStaticPower) {
+  PowerModel model;
+  EXPECT_GT(model.chip_watts(FrequencyConfig::conf0(), 0),
+            model.config().static_watts);
+}
+
+TEST(Power, PerTileFrequencyRaisesPower) {
+  PowerModel model;
+  auto freq = FrequencyConfig::conf0();
+  const double base = model.full_system_watts(freq);
+  freq.set_tile_core_mhz(0, 800);
+  EXPECT_GT(model.full_system_watts(freq), base);
+}
+
+TEST(Power, ActiveCoresValidated) {
+  PowerModel model;
+  EXPECT_THROW(model.chip_watts(FrequencyConfig::conf0(), -1), std::invalid_argument);
+  EXPECT_THROW(model.chip_watts(FrequencyConfig::conf0(), 49), std::invalid_argument);
+}
+
+TEST(Power, ConfigValidation) {
+  PowerModelConfig bad;
+  bad.idle_tile_factor = 1.5;
+  EXPECT_THROW(PowerModel{bad}, std::invalid_argument);
+  bad = PowerModelConfig{};
+  bad.static_watts = -1.0;
+  EXPECT_THROW(PowerModel{bad}, std::invalid_argument);
+}
+
+TEST(Power, MemoryClockContributionIsolated) {
+  // conf1 vs conf2 differ only in memory clock; the delta must equal the
+  // memory coefficient times the frequency delta.
+  PowerModel model;
+  const double delta = model.full_system_watts(FrequencyConfig::conf1()) -
+                       model.full_system_watts(FrequencyConfig::conf2());
+  EXPECT_NEAR(delta, model.config().memory_watts_per_ghz * (1.066 - 0.8), 1e-9);
+}
+
+TEST(Power, VoltageLadderAnchors) {
+  EXPECT_NEAR(tile_voltage_for_mhz(533), 0.933, 0.01);
+  EXPECT_NEAR(tile_voltage_for_mhz(800), 1.1, 0.01);
+  EXPECT_LT(tile_voltage_for_mhz(100), tile_voltage_for_mhz(800));
+  EXPECT_THROW(tile_voltage_for_mhz(999), std::invalid_argument);
+}
+
+TEST(Power, VoltageScalingLeavesConf0Unchanged) {
+  // The DVFS mode is normalized at the 533 MHz calibration point.
+  PowerModelConfig dvfs;
+  dvfs.model_voltage_scaling = true;
+  EXPECT_NEAR(PowerModel(dvfs).full_system_watts(FrequencyConfig::conf0()),
+              PowerModel().full_system_watts(FrequencyConfig::conf0()), 1e-9);
+}
+
+TEST(Power, VoltageScalingRaisesConf1Power) {
+  PowerModelConfig dvfs;
+  dvfs.model_voltage_scaling = true;
+  const double linear = PowerModel().full_system_watts(FrequencyConfig::conf1());
+  const double scaled = PowerModel(dvfs).full_system_watts(FrequencyConfig::conf1());
+  // f*V^2 at 800 MHz adds ~39% to the core term over frequency-only scaling.
+  EXPECT_GT(scaled, linear + 15.0);
+}
+
+TEST(Power, VoltageScalingWouldBreakConf1EfficiencyWin) {
+  // The analysis behind the default: the paper's measured conf1 power
+  // (~107 W) matches frequency-only scaling; with a full DVFS ladder the
+  // conf1 efficiency advantage (speedup ~1.45) would disappear.
+  PowerModelConfig dvfs;
+  dvfs.model_voltage_scaling = true;
+  const PowerModel model(dvfs);
+  const double p0 = model.full_system_watts(FrequencyConfig::conf0());
+  const double p1 = model.full_system_watts(FrequencyConfig::conf1());
+  EXPECT_LT(1.45 / (p1 / p0), 1.0);
+}
+
+TEST(Power, EfficiencyOrderingMatchesPaper) {
+  // With the paper's speedups (conf1 ~1.45x, conf2 ~1.2x), the model must
+  // give conf1 the best MFLOPS/W and conf0 ~ conf2 (Fig 9b).
+  PowerModel model;
+  const double p0 = model.full_system_watts(FrequencyConfig::conf0());
+  const double p1 = model.full_system_watts(FrequencyConfig::conf1());
+  const double p2 = model.full_system_watts(FrequencyConfig::conf2());
+  const double eff0 = 1.0 / p0;
+  const double eff1 = 1.45 / p1;
+  const double eff2 = 1.2 / p2;
+  EXPECT_GT(eff1, eff0);
+  EXPECT_GT(eff1, eff2);
+  EXPECT_NEAR(eff2 / eff0, 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace scc::chip

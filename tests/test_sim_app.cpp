@@ -1,0 +1,84 @@
+#include "sim/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace scc::sim {
+namespace {
+
+TEST(AppModel, AllPhasesPositive) {
+  const Engine engine;
+  const auto m = gen::banded(20000, 15, 0.5, 1);
+  const AppCosts costs = estimate_distributed_spmv(engine, m, 8,
+                                                   chip::MappingPolicy::kDistanceReduction);
+  EXPECT_GT(costs.scatter_seconds, 0.0);
+  EXPECT_GT(costs.broadcast_x_seconds, 0.0);
+  EXPECT_GT(costs.product_seconds, 0.0);
+  EXPECT_GT(costs.gather_seconds, 0.0);
+}
+
+TEST(AppModel, SetupDominatesSingleProduct) {
+  // Moving the whole matrix through 8 KB MPB chunks costs far more than one
+  // product -- the reason the paper times repeated products.
+  const Engine engine;
+  const auto m = gen::banded(20000, 15, 0.5, 1);
+  const AppCosts costs = estimate_distributed_spmv(engine, m, 8,
+                                                   chip::MappingPolicy::kDistanceReduction);
+  EXPECT_GT(costs.setup_seconds(), costs.product_seconds);
+}
+
+TEST(AppModel, AmortizationAtLeastOne) {
+  const Engine engine;
+  const auto m = gen::stencil_2d(60, 60);
+  const AppCosts costs =
+      estimate_distributed_spmv(engine, m, 4, chip::MappingPolicy::kStandard);
+  EXPECT_GE(costs.amortization_products(0.05), 1.0);
+  // Tighter overhead target needs more products.
+  EXPECT_GE(costs.amortization_products(0.01), costs.amortization_products(0.10));
+}
+
+TEST(AppModel, SingleUeHasNoScatterOrGather) {
+  const Engine engine;
+  const auto m = gen::stencil_2d(40, 40);
+  const AppCosts costs =
+      estimate_distributed_spmv(engine, m, 1, chip::MappingPolicy::kStandard);
+  EXPECT_DOUBLE_EQ(costs.scatter_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(costs.gather_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(costs.broadcast_x_seconds, 0.0);
+}
+
+TEST(AppModel, MoreUesMoreSetupTraffic) {
+  const Engine engine;
+  const auto m = gen::banded(20000, 15, 0.5, 1);
+  const AppCosts c8 = estimate_distributed_spmv(engine, m, 8,
+                                                chip::MappingPolicy::kDistanceReduction);
+  const AppCosts c32 = estimate_distributed_spmv(engine, m, 32,
+                                                 chip::MappingPolicy::kDistanceReduction);
+  // The broadcast of x grows linearly with receivers.
+  EXPECT_GT(c32.broadcast_x_seconds, c8.broadcast_x_seconds * 3.0);
+}
+
+TEST(AppModel, FasterClocksReduceSetup) {
+  Engine conf0;
+  EngineConfig cfg1;
+  cfg1.freq = chip::FrequencyConfig::conf1();
+  Engine conf1(cfg1);
+  const auto m = gen::banded(10000, 10, 0.5, 2);
+  const auto c0 = estimate_distributed_spmv(conf0, m, 8,
+                                            chip::MappingPolicy::kDistanceReduction);
+  const auto c1 = estimate_distributed_spmv(conf1, m, 8,
+                                            chip::MappingPolicy::kDistanceReduction);
+  EXPECT_LT(c1.setup_seconds(), c0.setup_seconds());
+}
+
+TEST(AppModel, AmortizationValidatesInputs) {
+  AppCosts costs;
+  costs.product_seconds = 0.0;
+  EXPECT_THROW(costs.amortization_products(), std::invalid_argument);
+  costs.product_seconds = 1.0;
+  EXPECT_THROW(costs.amortization_products(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scc::sim

@@ -1,0 +1,100 @@
+#include "sim/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scc/mapping.hpp"
+
+namespace scc::sim {
+namespace {
+
+const chip::FrequencyConfig kConf0 = chip::FrequencyConfig::conf0();
+
+TEST(CommModel, MpbAccessLocalVsRemote) {
+  // Cores 0 and 1 share tile (0,0): zero mesh hops. Core 10 is 5 hops away.
+  const double local = mpb_access_ns(kConf0, 0, 1);
+  const double remote = mpb_access_ns(kConf0, 0, 10);
+  EXPECT_GT(remote, local);
+  EXPECT_NEAR(remote - local, 8.0 * 5.0 / 0.8, 1e-9);
+}
+
+TEST(CommModel, MpbAccessCoreClockScales) {
+  const double slow = mpb_access_ns(kConf0, 0, 1);
+  const double fast = mpb_access_ns(chip::FrequencyConfig::conf1(), 0, 1);
+  EXPECT_NEAR(slow / fast, 800.0 / 533.0, 1e-9);
+}
+
+TEST(CommModel, MeshClockAffectsRemoteOnly) {
+  const auto conf_fast_mesh = chip::FrequencyConfig(533, 1600, 800);
+  EXPECT_DOUBLE_EQ(mpb_access_ns(kConf0, 0, 1), mpb_access_ns(conf_fast_mesh, 0, 1));
+  EXPECT_GT(mpb_access_ns(kConf0, 0, 10), mpb_access_ns(conf_fast_mesh, 0, 10));
+}
+
+TEST(CommModel, FlagWaitIsPollMultiple) {
+  CommCostModel model;
+  EXPECT_NEAR(flag_wait_ns(kConf0, 0, 1, model),
+              model.poll_iterations * mpb_access_ns(kConf0, 0, 1, model), 1e-9);
+}
+
+TEST(CommModel, SendCostGrowsLinearlyInSize) {
+  const double small = send_ns(kConf0, 0, 2, 1024.0);
+  const double large = send_ns(kConf0, 0, 2, 64.0 * 1024.0);
+  EXPECT_GT(large, small);
+  // Chunking adds handshakes: doubling again roughly doubles the cost.
+  const double larger = send_ns(kConf0, 0, 2, 128.0 * 1024.0);
+  EXPECT_NEAR(larger / large, 2.0, 0.2);
+}
+
+TEST(CommModel, SendRejectsNegativeSize) {
+  EXPECT_THROW(send_ns(kConf0, 0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(CommModel, BarrierSingleUeFree) {
+  const std::vector<int> one = {0};
+  EXPECT_DOUBLE_EQ(barrier_ns(kConf0, one, CommCostModel{}), 0.0);
+}
+
+TEST(CommModel, BarrierLinearInUeCount) {
+  const auto cores12 = chip::map_ues_to_cores(chip::MappingPolicy::kDistanceReduction, 12);
+  const auto cores24 = chip::map_ues_to_cores(chip::MappingPolicy::kDistanceReduction, 24);
+  const auto cores48 = chip::map_ues_to_cores(chip::MappingPolicy::kDistanceReduction, 48);
+  const double b12 = barrier_ns(kConf0, cores12);
+  const double b24 = barrier_ns(kConf0, cores24);
+  const double b48 = barrier_ns(kConf0, cores48);
+  EXPECT_GT(b24, b12);
+  EXPECT_GT(b48, b24);
+  EXPECT_NEAR(b48 / b24, 2.0, 0.3);
+}
+
+TEST(CommModel, BarrierSameOrderOfMagnitudeAsEngineCalibration) {
+  // The engine charges 6 us/UE at conf0 (calibrated against the paper's
+  // aggregate behaviour); the derived primitive cost must land within an
+  // order of magnitude -- it is lower because it excludes fences/OS noise.
+  const auto cores = chip::map_ues_to_cores(chip::MappingPolicy::kStandard, 48);
+  const double derived_per_ue = barrier_ns(kConf0, cores) / 48.0;
+  EXPECT_GT(derived_per_ue, 600.0);     // > 0.6 us
+  EXPECT_LT(derived_per_ue, 60000.0);   // < 60 us
+}
+
+TEST(CommModel, BarrierFasterAtHigherClocks) {
+  const auto cores = chip::map_ues_to_cores(chip::MappingPolicy::kStandard, 24);
+  EXPECT_LT(barrier_ns(chip::FrequencyConfig::conf1(), cores), barrier_ns(kConf0, cores));
+}
+
+TEST(CommModel, BroadcastLinearInReceivers) {
+  const auto cores8 = chip::map_ues_to_cores(chip::MappingPolicy::kStandard, 8);
+  const auto cores16 = chip::map_ues_to_cores(chip::MappingPolicy::kStandard, 16);
+  const double b8 = broadcast_ns(kConf0, cores8, 4096.0);
+  const double b16 = broadcast_ns(kConf0, cores16, 4096.0);
+  EXPECT_NEAR(b16 / b8, 15.0 / 7.0, 0.4);
+}
+
+TEST(CommModel, ValidatesCoreIds) {
+  EXPECT_THROW(mpb_access_ns(kConf0, -1, 0), std::invalid_argument);
+  EXPECT_THROW(mpb_access_ns(kConf0, 0, 48), std::invalid_argument);
+  EXPECT_THROW(barrier_ns(kConf0, std::vector<int>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scc::sim

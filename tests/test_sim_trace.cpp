@@ -1,0 +1,155 @@
+#include "sim/spmv_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sparse/partition.hpp"
+
+namespace scc::sim {
+namespace {
+
+cache::Hierarchy scc_hierarchy(bool l2_enabled = true) {
+  cache::HierarchyConfig cfg;
+  cfg.l2_enabled = l2_enabled;
+  return cache::Hierarchy(cfg);
+}
+
+sparse::RowBlock whole(const sparse::CsrMatrix& m) {
+  return sparse::RowBlock{0, m.rows(), m.nnz()};
+}
+
+TEST(Trace, AccessCountsMatchKernelShape) {
+  // Accesses = rows (ptr) + rows (y) + 3*nnz (index, da, x).
+  const auto m = gen::banded(1000, 5, 0.5, 1);
+  auto h = scc_hierarchy();
+  const TraceResult r = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  const auto expected = static_cast<std::uint64_t>(2 * m.rows()) +
+                        static_cast<std::uint64_t>(3 * m.nnz());
+  EXPECT_EQ(h.l1().stats().accesses(), expected);
+  EXPECT_EQ(r.rows, m.rows());
+  EXPECT_EQ(r.nnz, m.nnz());
+}
+
+TEST(Trace, LevelsPartitionAllAccesses) {
+  const auto m = gen::random_uniform(3000, 10, 2);
+  auto h = scc_hierarchy();
+  const TraceResult r = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  const std::uint64_t l1_hits = h.l1().stats().hits();
+  EXPECT_EQ(l1_hits + r.l2_hit_accesses + r.memory_accesses, h.l1().stats().accesses());
+}
+
+TEST(Trace, MemoryReadBytesAreLineMultiples) {
+  const auto m = gen::random_uniform(2000, 8, 3);
+  auto h = scc_hierarchy();
+  const TraceResult r = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  EXPECT_EQ(r.memory_read_bytes % 32, 0u);
+  EXPECT_EQ(r.memory_write_bytes % 32, 0u);
+  EXPECT_GT(r.memory_read_bytes, 0u);
+}
+
+TEST(Trace, StreamingArraysMissOncePerLine) {
+  // Diagonal-only matrix: all x accesses are sequential (x[i] for row i), so
+  // every array streams; memory reads ~ (4+4+8+8)B/elem + 4B/row ptr.
+  const index_t n = 20000;
+  auto coo = sparse::CooMatrix(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  const auto m = sparse::CsrMatrix::from_coo(std::move(coo));
+  auto h = scc_hierarchy();
+  const TraceResult r = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  const double bytes_per_row = 4 + 4 + 8 + 8 + 8;  // ptr+idx+da+x+y
+  const double expected = static_cast<double>(n) * bytes_per_row;
+  EXPECT_NEAR(static_cast<double>(r.memory_read_bytes), expected, expected * 0.05);
+}
+
+TEST(Trace, NoXMissVariantReducesMemoryTraffic) {
+  const auto m = gen::random_uniform(20000, 10, 4);  // scattered x accesses
+  auto h1 = scc_hierarchy();
+  const TraceResult base = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h1);
+  auto h2 = scc_hierarchy();
+  const TraceResult noxm = run_spmv_trace(m, whole(m), SpmvVariant::kCsrNoXMiss, h2);
+  EXPECT_LT(noxm.memory_accesses, base.memory_accesses);
+  // For a scattered matrix the reduction is large (x dominates misses).
+  EXPECT_LT(static_cast<double>(noxm.memory_accesses),
+            0.8 * static_cast<double>(base.memory_accesses));
+}
+
+TEST(Trace, NoXMissOnBandedMatrixChangesLittle) {
+  // Near-diagonal matrices already have good x locality.
+  const auto m = gen::banded(20000, 4, 1.0, 5);
+  auto h1 = scc_hierarchy();
+  const TraceResult base = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h1);
+  auto h2 = scc_hierarchy();
+  const TraceResult noxm = run_spmv_trace(m, whole(m), SpmvVariant::kCsrNoXMiss, h2);
+  EXPECT_NEAR(static_cast<double>(noxm.memory_accesses),
+              static_cast<double>(base.memory_accesses),
+              0.15 * static_cast<double>(base.memory_accesses));
+}
+
+TEST(Trace, DisablingL2IncreasesMemoryAccesses) {
+  const auto m = gen::banded(5000, 20, 0.5, 6);
+  auto with_l2 = scc_hierarchy(true);
+  const TraceResult a = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, with_l2);
+  auto without_l2 = scc_hierarchy(false);
+  const TraceResult b = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, without_l2);
+  EXPECT_GE(b.memory_accesses, a.memory_accesses);
+}
+
+TEST(Trace, BlockSubsetTouchesOnlyItsShare) {
+  const auto m = gen::banded(4000, 6, 0.5, 7);
+  const auto blocks = sparse::partition_rows_balanced_nnz(m, 4);
+  std::uint64_t total = 0;
+  for (const auto& b : blocks) {
+    auto h = scc_hierarchy();
+    const TraceResult r = run_spmv_trace(m, b, SpmvVariant::kCsr, h);
+    EXPECT_EQ(r.rows, b.row_count());
+    EXPECT_EQ(r.nnz, b.nnz);
+    total += static_cast<std::uint64_t>(r.nnz);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(m.nnz()));
+}
+
+TEST(Trace, SmallWorkingSetSecondRunHitsCache) {
+  // A matrix fitting in L2: run the trace twice through the SAME hierarchy;
+  // the second pass must generate almost no memory traffic (only conflict
+  // noise) -- the mechanism behind the paper's Fig 6 small-matrix boost.
+  const auto m = gen::banded(1500, 4, 0.8, 8);  // ws ~ 100 KB < 256 KB
+  auto h = scc_hierarchy();
+  const TraceResult first = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  h.reset_stats();
+  const TraceResult second = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  EXPECT_LT(static_cast<double>(second.memory_accesses),
+            0.05 * static_cast<double>(first.memory_accesses));
+}
+
+TEST(Trace, LargeWorkingSetSecondRunStillMisses) {
+  const auto m = gen::banded(30000, 20, 0.5, 9);  // ws ~ 4 MB >> 256 KB
+  auto h = scc_hierarchy();
+  const TraceResult first = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  h.reset_stats();
+  const TraceResult second = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h);
+  EXPECT_GT(static_cast<double>(second.memory_accesses),
+            0.7 * static_cast<double>(first.memory_accesses));
+}
+
+TEST(Trace, RejectsBadBlock) {
+  const auto m = gen::stencil_2d(10, 10);
+  auto h = scc_hierarchy();
+  EXPECT_THROW(run_spmv_trace(m, sparse::RowBlock{0, 101, 0}, SpmvVariant::kCsr, h),
+               std::invalid_argument);
+  EXPECT_THROW(run_spmv_trace(m, sparse::RowBlock{5, 4, 0}, SpmvVariant::kCsr, h),
+               std::invalid_argument);
+}
+
+TEST(Trace, DeterministicAcrossRuns) {
+  const auto m = gen::power_law(5000, 8, 1.2, 10);
+  auto h1 = scc_hierarchy();
+  auto h2 = scc_hierarchy();
+  const TraceResult a = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h1);
+  const TraceResult b = run_spmv_trace(m, whole(m), SpmvVariant::kCsr, h2);
+  EXPECT_EQ(a.memory_accesses, b.memory_accesses);
+  EXPECT_EQ(a.memory_read_bytes, b.memory_read_bytes);
+  EXPECT_EQ(a.l2_hit_accesses, b.l2_hit_accesses);
+}
+
+}  // namespace
+}  // namespace scc::sim

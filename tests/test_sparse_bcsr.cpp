@@ -1,0 +1,121 @@
+#include "sparse/bcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "spmv/kernels.hpp"
+
+namespace scc::sparse {
+namespace {
+
+CsrMatrix block_friendly() {
+  // 3x3 dense blocks along the diagonal: perfect for b=3 blocking.
+  return gen::fem_blocks(40, 3, 0, 1);
+}
+
+TEST(Bcsr, BlockSizeOneIsPlainCsr) {
+  const auto m = gen::power_law(200, 6, 1.2, 2);
+  const auto b = BcsrMatrix::from_csr(m, 1);
+  EXPECT_EQ(b.block_count(), m.nnz());
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+  EXPECT_EQ(b.to_csr(), m);
+}
+
+TEST(Bcsr, PerfectBlockingHasNoFill) {
+  const auto m = block_friendly();
+  const auto b = BcsrMatrix::from_csr(m, 3);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+  EXPECT_EQ(b.block_count(), 40);
+}
+
+TEST(Bcsr, MisalignedBlockingAddsFill) {
+  const auto m = block_friendly();
+  const auto b = BcsrMatrix::from_csr(m, 2);
+  EXPECT_GT(b.fill_ratio(), 1.0);
+}
+
+TEST(Bcsr, RoundTripDropsExplicitZeros) {
+  const auto m = gen::banded(300, 5, 0.5, 3);
+  for (index_t b : {2, 3, 4, 8}) {
+    EXPECT_EQ(BcsrMatrix::from_csr(m, b).to_csr(), m) << "block " << b;
+  }
+}
+
+TEST(Bcsr, FillGuardTrips) {
+  // Diagonal matrix blocked at 16: fill ratio 16 > limit 8.
+  CooMatrix coo(256, 256);
+  for (index_t i = 0; i < 256; ++i) coo.add(i, i, 1.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(BcsrMatrix::from_csr(m, 16), std::invalid_argument);
+  EXPECT_NO_THROW(BcsrMatrix::from_csr(m, 16, 20.0));
+}
+
+TEST(Bcsr, BlockSizeValidated) {
+  const auto m = gen::stencil_2d(4, 4);
+  EXPECT_THROW(BcsrMatrix::from_csr(m, 0), std::invalid_argument);
+  EXPECT_THROW(BcsrMatrix::from_csr(m, 17), std::invalid_argument);
+}
+
+TEST(Bcsr, RaggedEdgeHandled) {
+  // 10 rows blocked at 4: last block row covers rows 8..9 only.
+  const auto m = gen::banded(10, 2, 1.0, 4);
+  const auto b = BcsrMatrix::from_csr(m, 4, 16.0);
+  EXPECT_EQ(b.block_rows(), 3);
+  EXPECT_EQ(b.to_csr(), m);
+}
+
+TEST(Bcsr, SpmvMatchesReference) {
+  const auto m = gen::fem_blocks(60, 4, 2, 5);
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.1 * static_cast<double>(i % 13) - 0.5;
+  const auto ref = dense_reference_spmv(m, x);
+  for (index_t bs : {1, 2, 4, 5}) {
+    const auto b = BcsrMatrix::from_csr(m, bs, 50.0);
+    std::vector<real_t> y(static_cast<std::size_t>(m.rows()), -3.0);
+    spmv::spmv_bcsr(b, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], ref[i], 1e-9) << "block " << bs << " row " << i;
+    }
+  }
+}
+
+TEST(Bcsr, SpmvShapeChecked) {
+  const auto b = BcsrMatrix::from_csr(gen::stencil_2d(4, 4), 2);
+  std::vector<real_t> x(5), y(16);
+  EXPECT_THROW(spmv::spmv_bcsr(b, x, y), std::invalid_argument);
+}
+
+/// Property sweep over block sizes and families.
+struct BcsrCase {
+  int family;
+  index_t block;
+};
+
+class BcsrSweep : public ::testing::TestWithParam<BcsrCase> {};
+
+TEST_P(BcsrSweep, RoundTripAndSpmv) {
+  const auto [family, block] = GetParam();
+  CsrMatrix m;
+  switch (family) {
+    case 0: m = gen::banded(257, 7, 0.4, 9); break;   // prime-ish size: ragged edges
+    case 1: m = gen::random_uniform(130, 4, 9); break;
+    default: m = gen::fem_blocks(30, 6, 2, 9); break;
+  }
+  const auto b = BcsrMatrix::from_csr(m, block, 1000.0);
+  EXPECT_EQ(b.to_csr(), m);
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()), 1.25);
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()));
+  spmv::spmv_bcsr(b, x, y);
+  const auto ref = dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], ref[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BcsrSweep,
+    ::testing::Values(BcsrCase{0, 2}, BcsrCase{0, 3}, BcsrCase{0, 8}, BcsrCase{1, 2},
+                      BcsrCase{1, 5}, BcsrCase{2, 3}, BcsrCase{2, 6}, BcsrCase{2, 7}));
+
+}  // namespace
+}  // namespace scc::sparse

@@ -1,0 +1,99 @@
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace scc::sparse {
+namespace {
+
+TEST(Coo, ConstructionValidatesShape) {
+  EXPECT_THROW(CooMatrix(0, 5), std::invalid_argument);
+  EXPECT_THROW(CooMatrix(5, 0), std::invalid_argument);
+  EXPECT_NO_THROW(CooMatrix(1, 1));
+}
+
+TEST(Coo, AddBoundsChecked) {
+  CooMatrix m(3, 3);
+  EXPECT_THROW(m.add(3, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add(0, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add(-1, 0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(m.add(2, 2, 1.0));
+}
+
+TEST(Coo, NnzCountsEntries) {
+  CooMatrix m(2, 2);
+  EXPECT_EQ(m.nnz(), 0);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 2.0);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(Coo, NormalizeSortsRowMajor) {
+  CooMatrix m(3, 3);
+  m.add(2, 0, 1.0);
+  m.add(0, 2, 2.0);
+  m.add(0, 1, 3.0);
+  m.normalize();
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.entries()[0], (Triplet{0, 1, 3.0}));
+  EXPECT_EQ(m.entries()[1], (Triplet{0, 2, 2.0}));
+  EXPECT_EQ(m.entries()[2], (Triplet{2, 0, 1.0}));
+}
+
+TEST(Coo, NormalizeSumsDuplicates) {
+  CooMatrix m(2, 2);
+  m.add(1, 1, 1.5);
+  m.add(1, 1, 2.5);
+  m.add(0, 0, 1.0);
+  m.normalize();
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.entries()[1].value, 4.0);
+}
+
+TEST(Coo, NormalizeKeepsExplicitZeroSums) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, -1.0);
+  m.normalize();
+  ASSERT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.entries()[0].value, 0.0);
+}
+
+TEST(Coo, IsNormalizedDetectsOrder) {
+  CooMatrix m(2, 2);
+  m.add(1, 0, 1.0);
+  m.add(0, 0, 1.0);
+  EXPECT_FALSE(m.is_normalized());
+  m.normalize();
+  EXPECT_TRUE(m.is_normalized());
+}
+
+TEST(Coo, IsNormalizedDetectsDuplicates) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, 2.0);
+  EXPECT_FALSE(m.is_normalized());
+}
+
+TEST(Coo, EmptyMatrixIsNormalized) {
+  CooMatrix m(4, 4);
+  EXPECT_TRUE(m.is_normalized());
+  m.normalize();
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Coo, ReserveRejectsNegative) {
+  CooMatrix m(2, 2);
+  EXPECT_THROW(m.reserve(-1), std::invalid_argument);
+}
+
+TEST(Coo, RectangularShapeKept) {
+  CooMatrix m(2, 5);
+  m.add(1, 4, 1.0);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 5);
+}
+
+}  // namespace
+}  // namespace scc::sparse

@@ -1,0 +1,194 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace scc::sparse {
+namespace {
+
+/// The 5x5 example matrix of the paper's Figure 2 style illustrations.
+CsrMatrix example_matrix() {
+  CooMatrix coo(5, 5);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 3, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 2, 4.0);
+  coo.add(2, 4, 5.0);
+  coo.add(3, 0, 6.0);
+  coo.add(3, 3, 7.0);
+  coo.add(4, 4, 8.0);
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+TEST(Csr, FromCooShapesAndCounts) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m.nnz(), 8);
+}
+
+TEST(Csr, PtrIsPrefixSumOfRowLengths) {
+  const CsrMatrix m = example_matrix();
+  const auto ptr = m.ptr();
+  EXPECT_EQ(ptr[0], 0);
+  EXPECT_EQ(ptr[1], 2);
+  EXPECT_EQ(ptr[2], 3);
+  EXPECT_EQ(ptr[3], 5);
+  EXPECT_EQ(ptr[4], 7);
+  EXPECT_EQ(ptr[5], 8);
+}
+
+TEST(Csr, RowAccessors) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_EQ(m.row_length(0), 2);
+  EXPECT_EQ(m.row_length(1), 1);
+  const auto cols = m.row_cols(2);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 2);
+  EXPECT_EQ(cols[1], 4);
+  const auto vals = m.row_vals(2);
+  EXPECT_DOUBLE_EQ(vals[0], 4.0);
+  EXPECT_DOUBLE_EQ(vals[1], 5.0);
+}
+
+TEST(Csr, RowAccessorsBoundsChecked) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_THROW(m.row_length(5), std::invalid_argument);
+  EXPECT_THROW(m.row_cols(-1), std::invalid_argument);
+}
+
+TEST(Csr, RoundTripThroughCoo) {
+  const CsrMatrix m = example_matrix();
+  const CsrMatrix round = CsrMatrix::from_coo(m.to_coo());
+  EXPECT_EQ(m, round);
+}
+
+TEST(Csr, FromCooMergesDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 1, 2.0);
+  const CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 3.0);
+}
+
+TEST(Csr, ValidateRejectsBadPtr) {
+  // ptr[n] != nnz
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 3}, {0, 1}, {1.0, 2.0}), std::invalid_argument);
+  // ptr not starting at zero
+  EXPECT_THROW(CsrMatrix(2, 2, {1, 1, 2}, {0, 1}, {1.0, 2.0}), std::invalid_argument);
+  // non-monotone ptr
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Csr, ValidateRejectsBadColumns) {
+  // out of range column
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 2}, {0, 2}, {1.0, 2.0}), std::invalid_argument);
+  // duplicate column in one row
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}), std::invalid_argument);
+  // decreasing columns in a row
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Csr, ValidConstructionAccepted) {
+  EXPECT_NO_THROW(CsrMatrix(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0}));
+}
+
+TEST(Csr, TransposeInvolution) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Csr, TransposeMovesEntry) {
+  const CsrMatrix m = example_matrix();
+  const CsrMatrix t = m.transpose();
+  // m(0,3)=2.0 must appear as t(3,0)=2.0.
+  const auto cols = t.row_cols(3);
+  const auto vals = t.row_vals(3);
+  bool found = false;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == 0) {
+      found = true;
+      EXPECT_DOUBLE_EQ(vals[k], 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Csr, TransposeRectangular) {
+  CooMatrix coo(2, 4);
+  coo.add(0, 3, 1.0);
+  coo.add(1, 0, 2.0);
+  const CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+  const CsrMatrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.nnz(), 2);
+}
+
+TEST(Csr, PermuteIdentityIsNoop) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<index_t> id{0, 1, 2, 3, 4};
+  EXPECT_EQ(m.permute_symmetric(id), m);
+}
+
+TEST(Csr, PermuteReversalPreservesSpmvUpToPermutation) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<index_t> rev{4, 3, 2, 1, 0};
+  const CsrMatrix p = m.permute_symmetric(rev);
+  std::vector<real_t> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  // permuted x: px[new] = x[perm[new]]
+  std::vector<real_t> px(5);
+  for (std::size_t i = 0; i < 5; ++i) px[i] = x[static_cast<std::size_t>(rev[i])];
+  const auto y = dense_reference_spmv(m, x);
+  const auto py = dense_reference_spmv(p, px);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(py[i], y[static_cast<std::size_t>(rev[i])]) << i;
+  }
+}
+
+TEST(Csr, PermuteRejectsNonBijection) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<index_t> bad{0, 0, 2, 3, 4};
+  EXPECT_THROW(m.permute_symmetric(bad), std::invalid_argument);
+}
+
+TEST(Csr, PermuteRejectsWrongSize) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<index_t> bad{0, 1, 2};
+  EXPECT_THROW(m.permute_symmetric(bad), std::invalid_argument);
+}
+
+TEST(Csr, DenseReferenceMatchesHandComputation) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<real_t> x{1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto y = dense_reference_spmv(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);   // 1 + 2
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);   // 4 + 5
+  EXPECT_DOUBLE_EQ(y[3], 13.0);  // 6 + 7
+  EXPECT_DOUBLE_EQ(y[4], 8.0);
+}
+
+TEST(Csr, DenseReferenceRejectsWrongXSize) {
+  const CsrMatrix m = example_matrix();
+  const std::vector<real_t> x{1.0};
+  EXPECT_THROW(dense_reference_spmv(m, x), std::invalid_argument);
+}
+
+/// Property sweep over generated matrices: COO<->CSR round trips.
+class CsrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRoundTrip, GeneratedMatrixRoundTrips) {
+  const auto m = gen::random_uniform(200, 8, GetParam());
+  EXPECT_EQ(CsrMatrix::from_coo(m.to_coo()), m);
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRoundTrip, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace scc::sparse

@@ -1,0 +1,89 @@
+#include "sparse/ell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "spmv/kernels.hpp"
+
+namespace scc::sparse {
+namespace {
+
+CsrMatrix small() {
+  CooMatrix coo(3, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 2, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(2, 0, 4.0);
+  coo.add(2, 2, 5.0);
+  coo.add(2, 3, 6.0);
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+TEST(Ell, WidthIsMaxRowLength) {
+  const EllMatrix e = EllMatrix::from_csr(small());
+  EXPECT_EQ(e.width(), 3);
+  EXPECT_EQ(e.rows(), 3);
+  EXPECT_EQ(e.cols(), 4);
+  EXPECT_EQ(e.stored_nnz(), 6);
+}
+
+TEST(Ell, ColumnMajorSliceLayout) {
+  const EllMatrix e = EllMatrix::from_csr(small());
+  // slice 0 holds the first entry of each row: cols 0, 1, 0.
+  EXPECT_EQ(e.col()[0], 0);
+  EXPECT_EQ(e.col()[1], 1);
+  EXPECT_EQ(e.col()[2], 0);
+  EXPECT_DOUBLE_EQ(e.val()[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.val()[1], 3.0);
+  EXPECT_DOUBLE_EQ(e.val()[2], 4.0);
+}
+
+TEST(Ell, PaddingSlotsAreNeutral) {
+  const EllMatrix e = EllMatrix::from_csr(small());
+  // Row 1 has 1 entry; its slot in slice 1 must be padding (value 0).
+  EXPECT_DOUBLE_EQ(e.val()[3 + 1], 0.0);
+}
+
+TEST(Ell, PaddingFraction) {
+  const EllMatrix e = EllMatrix::from_csr(small());
+  // 9 slots, 6 filled.
+  EXPECT_NEAR(e.padding_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Ell, FillRatioGuardTrips) {
+  // One long row among many short ones -> pathological padding.
+  CooMatrix coo(100, 100);
+  for (index_t i = 0; i < 100; ++i) coo.add(i, i, 1.0);
+  for (index_t j = 0; j < 100; ++j) {
+    if (j != 0) coo.add(0, j, 1.0);
+  }
+  const CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(EllMatrix::from_csr(m, 10.0), std::invalid_argument);
+  EXPECT_NO_THROW(EllMatrix::from_csr(m, 60.0));
+}
+
+TEST(Ell, SpmvMatchesCsrReference) {
+  const auto csr = gen::banded(300, 10, 0.4, 99);
+  const EllMatrix ell = EllMatrix::from_csr(csr);
+  std::vector<real_t> x(static_cast<std::size_t>(csr.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.25 * static_cast<double>(i % 17) - 1.0;
+  const auto expected = dense_reference_spmv(csr, x);
+  std::vector<real_t> y(static_cast<std::size_t>(csr.rows()), -7.0);
+  spmv::spmv_ell(ell, x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(Ell, EmptyMatrixWidthZero) {
+  CooMatrix coo(4, 4);
+  const CsrMatrix m = CsrMatrix::from_coo(std::move(coo));
+  const EllMatrix e = EllMatrix::from_csr(m);
+  EXPECT_EQ(e.width(), 0);
+  EXPECT_DOUBLE_EQ(e.padding_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace scc::sparse

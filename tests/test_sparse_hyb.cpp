@@ -1,0 +1,106 @@
+#include "sparse/hyb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "spmv/kernels.hpp"
+
+namespace scc::sparse {
+namespace {
+
+TEST(Hyb, SplitConservesNonzeros) {
+  const auto m = gen::power_law(500, 8, 1.3, 1);
+  const auto h = HybMatrix::from_csr(m);
+  EXPECT_EQ(h.ell_nnz() + h.coo_nnz(), m.nnz());
+}
+
+TEST(Hyb, UniformRowsAllInEllAtZeroSpill) {
+  const auto m = gen::random_uniform(300, 7, 2);  // every row exactly 8 entries
+  const auto h = HybMatrix::from_csr(m, 0.0);
+  EXPECT_EQ(h.ell_width(), 8);
+  EXPECT_EQ(h.coo_nnz(), 0);
+}
+
+TEST(Hyb, SpillBudgetRespected) {
+  const auto m = gen::random_uniform(300, 7, 2);
+  const auto h = HybMatrix::from_csr(m, 0.33);
+  EXPECT_LE(static_cast<double>(h.coo_nnz()), 0.33 * static_cast<double>(m.nnz()) + 1.0);
+  // The splitter picks the *smallest* width within budget, so some spill
+  // occurs whenever the budget allows trimming whole slices.
+  EXPECT_LE(h.ell_width(), 8);
+}
+
+TEST(Hyb, SkewedRowsSpillToCoo) {
+  // One huge row among diagonal rows: the tail must go to COO.
+  CooMatrix coo(200, 200);
+  for (index_t i = 0; i < 200; ++i) coo.add(i, i, 1.0);
+  for (index_t j = 1; j < 150; ++j) coo.add(0, j, 2.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const auto h = HybMatrix::from_csr(m, 0.40);
+  EXPECT_GT(h.coo_nnz(), 0);
+  EXPECT_LT(h.ell_width(), 150);
+  EXPECT_LE(static_cast<double>(h.coo_nnz()),
+            0.40 * static_cast<double>(m.nnz()) + 1.0);
+}
+
+TEST(Hyb, ZeroSpillFractionMeansFullWidth) {
+  const auto m = gen::power_law(300, 6, 1.2, 3);
+  const auto h = HybMatrix::from_csr(m, 0.0);
+  EXPECT_EQ(h.coo_nnz(), 0);
+}
+
+TEST(Hyb, SpillFractionValidated) {
+  const auto m = gen::stencil_2d(4, 4);
+  EXPECT_THROW(HybMatrix::from_csr(m, 1.0), std::invalid_argument);
+  EXPECT_THROW(HybMatrix::from_csr(m, -0.1), std::invalid_argument);
+}
+
+TEST(Hyb, SpmvMatchesReference) {
+  const auto m = gen::power_law(800, 10, 1.1, 4);
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 + 0.01 * static_cast<double>(i % 31);
+  const auto ref = dense_reference_spmv(m, x);
+  for (double spill : {0.0, 0.1, 0.33, 0.9}) {
+    const auto h = HybMatrix::from_csr(m, spill);
+    std::vector<real_t> y(static_cast<std::size_t>(m.rows()), -1.0);
+    spmv::spmv_hyb(h, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], ref[i], 1e-9) << "spill " << spill << " row " << i;
+    }
+  }
+}
+
+TEST(Hyb, EmptyMatrix) {
+  CooMatrix coo(8, 8);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const auto h = HybMatrix::from_csr(m);
+  EXPECT_EQ(h.ell_width(), 0);
+  EXPECT_EQ(h.coo_nnz(), 0);
+}
+
+/// Sweep: nonzero conservation and SpMV correctness across families.
+class HybSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybSweep, ConservesAndComputes) {
+  CsrMatrix m;
+  switch (GetParam()) {
+    case 0: m = gen::banded(400, 6, 0.5, 7); break;
+    case 1: m = gen::circuit(400, 3.0, 0.4, 7); break;
+    case 2: m = gen::power_law(400, 9, 1.4, 7); break;
+    default: m = gen::fem_blocks(40, 8, 2, 7); break;
+  }
+  const auto h = HybMatrix::from_csr(m);
+  EXPECT_EQ(h.ell_nnz() + h.coo_nnz(), m.nnz());
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()), 0.5);
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()));
+  spmv::spmv_hyb(h, x, y);
+  const auto ref = dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], ref[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, HybSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace scc::sparse

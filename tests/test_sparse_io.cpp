@@ -1,0 +1,141 @@
+#include "sparse/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace scc::sparse {
+namespace {
+
+TEST(MatrixMarket, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 2 4.25\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 1.5);
+  EXPECT_EQ(m.row_cols(1)[0], 2);
+  EXPECT_DOUBLE_EQ(m.row_vals(2)[0], 4.25);
+}
+
+TEST(MatrixMarket, ReadPatternAssignsOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.row_vals(1)[0], 1.0);
+}
+
+TEST(MatrixMarket, ReadSymmetricMirrorsOffDiagonals) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 3.0\n"
+      "3 3 4.0\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 4);  // diagonal entries not duplicated
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[1], 3.0);  // mirrored (1,2)
+}
+
+TEST(MatrixMarket, ReadIntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 1 7\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 7.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::istringstream in("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, RejectsEmptyStream) {
+  std::istringstream in("");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(MatrixMarket, SkipsBlankAndCommentLines) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "\n"
+      "2 2 1\n"
+      "% another\n"
+      "\n"
+      "2 2 5.0\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix m = gen::random_uniform(60, 5, 77);
+  std::stringstream buffer;
+  write_matrix_market(buffer, m);
+  const CsrMatrix back = read_matrix_market(buffer);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.nnz(), m.nnz());
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const auto a = m.row_vals(r);
+    const auto b = back.row_vals(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a[k], b[k]);
+    }
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const CsrMatrix m = gen::banded(40, 4, 0.5, 3);
+  const std::string path = ::testing::TempDir() + "/scc_spmv_io_test.mtx";
+  write_matrix_market_file(path, m);
+  const CsrMatrix back = read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), m.nnz());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/dir/none.mtx"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scc::sparse

@@ -1,0 +1,130 @@
+#include "sparse/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace scc::sparse {
+namespace {
+
+TEST(Partition, SinglePartTakesEverything) {
+  const auto m = gen::stencil_2d(10, 10);
+  const auto blocks = partition_rows_balanced_nnz(m, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].row_begin, 0);
+  EXPECT_EQ(blocks[0].row_end, m.rows());
+  EXPECT_EQ(blocks[0].nnz, m.nnz());
+}
+
+TEST(Partition, BlocksTileAllRows) {
+  const auto m = gen::random_uniform(500, 6, 21);
+  for (int parts : {2, 3, 7, 16, 48}) {
+    const auto blocks = partition_rows_balanced_nnz(m, parts);
+    EXPECT_NO_THROW(validate_partition(m, blocks)) << parts << " parts";
+  }
+}
+
+TEST(Partition, UniformRowsSplitEvenly) {
+  // Every row has the same nnz, so nnz balance == row balance.
+  const auto m = gen::random_uniform(480, 9, 5);  // 10 nnz per row incl diagonal
+  const auto blocks = partition_rows_balanced_nnz(m, 8);
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.row_count(), 60);
+  }
+}
+
+TEST(Partition, ImbalanceNearOneForUniformRows) {
+  const auto m = gen::random_uniform(1000, 7, 9);
+  const auto blocks = partition_rows_balanced_nnz(m, 16);
+  EXPECT_LT(partition_imbalance(blocks), 1.05);
+}
+
+TEST(Partition, BalancedBeatsEqualRowsOnSkewedMatrix) {
+  // First 100 rows dense, rest nearly empty: equal-rows is terrible.
+  CooMatrix coo(1000, 1000);
+  for (index_t i = 0; i < 100; ++i) {
+    for (index_t j = 0; j < 100; ++j) coo.add(i, j, 1.0);
+  }
+  for (index_t i = 100; i < 1000; ++i) coo.add(i, i, 1.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const auto balanced = partition_rows_balanced_nnz(m, 10);
+  const auto equal = partition_rows_equal_rows(m, 10);
+  EXPECT_LT(partition_imbalance(balanced), partition_imbalance(equal));
+  EXPECT_GT(partition_imbalance(equal), 5.0);
+}
+
+TEST(Partition, MorePartsThanRowsYieldsEmptyBlocks) {
+  const auto m = gen::stencil_2d(2, 2);  // 4 rows
+  const auto blocks = partition_rows_balanced_nnz(m, 8);
+  EXPECT_NO_THROW(validate_partition(m, blocks));
+  int non_empty = 0;
+  for (const auto& b : blocks) {
+    if (b.row_count() > 0) ++non_empty;
+  }
+  EXPECT_LE(non_empty, 4);
+  EXPECT_GE(non_empty, 1);
+}
+
+TEST(Partition, RejectsNonPositiveParts) {
+  const auto m = gen::stencil_2d(4, 4);
+  EXPECT_THROW(partition_rows_balanced_nnz(m, 0), std::invalid_argument);
+  EXPECT_THROW(partition_rows_equal_rows(m, -1), std::invalid_argument);
+}
+
+TEST(Partition, ValidateCatchesGap) {
+  const auto m = gen::stencil_2d(4, 4);
+  auto blocks = partition_rows_balanced_nnz(m, 2);
+  blocks[1].row_begin += 1;  // introduce a gap
+  EXPECT_THROW(validate_partition(m, blocks), std::invalid_argument);
+}
+
+TEST(Partition, ValidateCatchesWrongNnz) {
+  const auto m = gen::stencil_2d(4, 4);
+  auto blocks = partition_rows_balanced_nnz(m, 2);
+  blocks[0].nnz += 1;
+  EXPECT_THROW(validate_partition(m, blocks), std::invalid_argument);
+}
+
+TEST(Partition, EqualRowsTilesRows) {
+  const auto m = gen::banded(103, 5, 0.5, 4);  // prime-ish row count
+  const auto blocks = partition_rows_equal_rows(m, 7);
+  EXPECT_NO_THROW(validate_partition(m, blocks));
+}
+
+/// Property sweep: partition invariants hold for every (generator, parts)
+/// combination.
+struct PartitionCase {
+  int gen_kind;
+  int parts;
+};
+
+class PartitionSweep : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionSweep, InvariantsHold) {
+  const auto [kind, parts] = GetParam();
+  CsrMatrix m;
+  switch (kind) {
+    case 0: m = gen::banded(700, 12, 0.4, 11); break;
+    case 1: m = gen::random_uniform(700, 5, 11); break;
+    case 2: m = gen::power_law(700, 8, 1.2, 11); break;
+    default: m = gen::circuit(700, 2.0, 0.3, 11); break;
+  }
+  const auto blocks = partition_rows_balanced_nnz(m, parts);
+  EXPECT_NO_THROW(validate_partition(m, blocks));
+  // nnz-balance: no block exceeds ideal by more than the largest row.
+  index_t max_row = 0;
+  for (index_t r = 0; r < m.rows(); ++r) max_row = std::max(max_row, m.row_length(r));
+  const double ideal = static_cast<double>(m.nnz()) / parts;
+  for (const auto& b : blocks) {
+    EXPECT_LE(static_cast<double>(b.nnz), ideal + static_cast<double>(max_row) + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PartitionSweep,
+    ::testing::Values(PartitionCase{0, 2}, PartitionCase{0, 8}, PartitionCase{0, 48},
+                      PartitionCase{1, 3}, PartitionCase{1, 24}, PartitionCase{2, 8},
+                      PartitionCase{2, 48}, PartitionCase{3, 8}, PartitionCase{3, 31}));
+
+}  // namespace
+}  // namespace scc::sparse

@@ -1,0 +1,105 @@
+#include "sparse/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace scc::sparse {
+namespace {
+
+TEST(Properties, WorkingSetFormulaMatchesPaper) {
+  // ws = 4*((n+1)+nnz) + 8*(nnz+2n) with n=1000, nnz=10000:
+  // 4*(1001+10000) + 8*(10000+2000) = 44004 + 96000 = 140004.
+  EXPECT_EQ(working_set_bytes(1000, 10000), 140004u);
+}
+
+TEST(Properties, WorkingSetOfMatrixUsesItsCounts) {
+  const auto m = gen::stencil_2d(20, 20);
+  EXPECT_EQ(working_set_bytes(m), working_set_bytes(m.rows(), m.nnz()));
+}
+
+TEST(Properties, WorkingSetRejectsNegative) {
+  EXPECT_THROW(working_set_bytes(-1, 0), std::invalid_argument);
+}
+
+TEST(Properties, WorkingSetGrowsWithBothDims) {
+  EXPECT_LT(working_set_bytes(100, 1000), working_set_bytes(200, 1000));
+  EXPECT_LT(working_set_bytes(100, 1000), working_set_bytes(100, 2000));
+}
+
+TEST(Properties, RowStatsOfStencil) {
+  // Interior rows of a 5-point stencil have 5 entries, corners 3.
+  const auto m = gen::stencil_2d(10, 10);
+  const RowStats stats = row_stats(m);
+  EXPECT_EQ(stats.min_length, 3);
+  EXPECT_EQ(stats.max_length, 5);
+  EXPECT_GT(stats.mean_length, 4.0);
+  EXPECT_LT(stats.mean_length, 5.0);
+  EXPECT_DOUBLE_EQ(stats.empty_fraction, 0.0);
+}
+
+TEST(Properties, RowStatsDetectsEmptyRows) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 2, 1.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const RowStats stats = row_stats(m);
+  EXPECT_EQ(stats.min_length, 0);
+  EXPECT_DOUBLE_EQ(stats.empty_fraction, 0.5);
+}
+
+TEST(Properties, BandwidthOfDiagonalIsZero) {
+  CooMatrix coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 1.0);
+  EXPECT_EQ(bandwidth(CsrMatrix::from_coo(std::move(coo))), 0);
+}
+
+TEST(Properties, BandwidthOfStencilIsGridWidth) {
+  const auto m = gen::stencil_2d(8, 8);
+  EXPECT_EQ(bandwidth(m), 8);
+}
+
+TEST(Properties, BandwidthFindsFarEntry) {
+  CooMatrix coo(100, 100);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 99, 1.0);
+  EXPECT_EQ(bandwidth(CsrMatrix::from_coo(std::move(coo))), 99);
+}
+
+TEST(Properties, MeanColumnDistanceDiagonalZero) {
+  CooMatrix coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 1.0);
+  EXPECT_DOUBLE_EQ(mean_column_distance(CsrMatrix::from_coo(std::move(coo))), 0.0);
+}
+
+TEST(Properties, MeanColumnDistanceOrdersLocalityClasses) {
+  const auto local = gen::banded(2000, 8, 0.5, 1);
+  const auto scattered = gen::random_uniform(2000, 8, 1);
+  EXPECT_LT(mean_column_distance(local), mean_column_distance(scattered));
+}
+
+TEST(Properties, XLineReuseHighForBanded) {
+  const auto m = gen::banded(2000, 4, 1.0, 2);
+  // Dense band: consecutive columns adjacent -> mostly same 32B line.
+  EXPECT_GT(x_line_reuse_fraction(m), 0.5);
+}
+
+TEST(Properties, XLineReuseLowForRandom) {
+  const auto m = gen::random_uniform(20000, 12, 2);
+  EXPECT_LT(x_line_reuse_fraction(m), 0.05);
+}
+
+TEST(Properties, XLineReuseRejectsTinyLine) {
+  const auto m = gen::stencil_2d(4, 4);
+  EXPECT_THROW(x_line_reuse_fraction(m, 4), std::invalid_argument);
+}
+
+TEST(Properties, XLineReuseEmptyPairsIsZero) {
+  // One entry per row -> no consecutive pairs.
+  CooMatrix coo(4, 4);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  EXPECT_DOUBLE_EQ(x_line_reuse_fraction(CsrMatrix::from_coo(std::move(coo))), 0.0);
+}
+
+}  // namespace
+}  // namespace scc::sparse

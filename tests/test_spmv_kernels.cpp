@@ -1,0 +1,188 @@
+#include "spmv/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+
+namespace scc::spmv {
+namespace {
+
+using sparse::CsrMatrix;
+
+std::vector<real_t> test_vector(index_t n) {
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(static_cast<double>(i) * 0.37) + 2.0;
+  }
+  return x;
+}
+
+void expect_near(std::span<const real_t> got, std::span<const real_t> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + std::abs(want[i]))) << "row " << i;
+  }
+}
+
+TEST(Kernels, CsrMatchesDenseReference) {
+  const auto m = gen::power_law(800, 7, 1.1, 1);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()));
+  spmv_csr(m, x, y);
+  expect_near(y, sparse::dense_reference_spmv(m, x));
+}
+
+TEST(Kernels, CsrShapeChecked) {
+  const auto m = gen::stencil_2d(5, 5);
+  std::vector<real_t> x(10), y(25);
+  EXPECT_THROW(spmv_csr(m, x, y), std::invalid_argument);
+  std::vector<real_t> x2(25), y2(10);
+  EXPECT_THROW(spmv_csr(m, x2, y2), std::invalid_argument);
+}
+
+TEST(Kernels, CsrRangeComputesOnlyRequestedRows) {
+  const auto m = gen::banded(100, 5, 0.5, 2);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> y(100, -99.0);
+  spmv_csr_range(m, 10, 20, x, y);
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (index_t r = 0; r < 100; ++r) {
+    if (r >= 10 && r < 20) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(r)], ref[static_cast<std::size_t>(r)], 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(r)], -99.0);
+    }
+  }
+}
+
+TEST(Kernels, CsrRangeValidatesRange) {
+  const auto m = gen::stencil_2d(4, 4);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> y(16);
+  EXPECT_THROW(spmv_csr_range(m, 5, 4, x, y), std::invalid_argument);
+  EXPECT_THROW(spmv_csr_range(m, 0, 17, x, y), std::invalid_argument);
+}
+
+TEST(Kernels, EmptyRowsProduceZero) {
+  sparse::CooMatrix coo(4, 4);
+  coo.add(1, 1, 3.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const auto x = test_vector(4);
+  std::vector<real_t> y(4, -1.0);
+  spmv_csr(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(Kernels, NoXMissUsesOnlyFirstElement) {
+  const auto m = gen::random_uniform(200, 5, 3);
+  auto x = test_vector(m.cols());
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()));
+  spmv_csr_no_x_miss(m, x, y);
+  // Every product term uses x[0]: y[i] = x[0] * sum(row values).
+  for (index_t r = 0; r < m.rows(); ++r) {
+    real_t row_sum = 0.0;
+    for (real_t v : m.row_vals(r)) row_sum += v;
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], x[0] * row_sum, 1e-9);
+  }
+}
+
+TEST(Kernels, NoXMissMatchesCsrWhenXIsConstant) {
+  // With a constant x the two kernels must agree exactly in math.
+  const auto m = gen::power_law(300, 6, 1.2, 4);
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()), 1.5);
+  std::vector<real_t> a(static_cast<std::size_t>(m.rows()));
+  std::vector<real_t> b(static_cast<std::size_t>(m.rows()));
+  spmv_csr(m, x, a);
+  spmv_csr_no_x_miss(m, x, b);
+  expect_near(a, b);
+}
+
+TEST(Kernels, CooMatchesCsr) {
+  const auto m = gen::circuit(500, 3.0, 0.4, 5);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> y_csr(static_cast<std::size_t>(m.rows()));
+  std::vector<real_t> y_coo(static_cast<std::size_t>(m.rows()));
+  spmv_csr(m, x, y_csr);
+  spmv_coo(m.to_coo(), x, y_coo);
+  expect_near(y_coo, y_csr);
+}
+
+TEST(Kernels, ParallelMatchesSerial) {
+  const auto m = gen::power_law(2000, 9, 1.0, 6);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> serial(static_cast<std::size_t>(m.rows()));
+  spmv_csr(m, x, serial);
+  for (int threads : {1, 2, 3, 8}) {
+    std::vector<real_t> parallel(static_cast<std::size_t>(m.rows()));
+    spmv_csr_parallel(m, x, parallel, threads);
+    expect_near(parallel, serial);
+  }
+}
+
+TEST(Kernels, ParallelRejectsBadThreadCount) {
+  const auto m = gen::stencil_2d(4, 4);
+  const auto x = test_vector(m.cols());
+  std::vector<real_t> y(16);
+  EXPECT_THROW(spmv_csr_parallel(m, x, y, 0), std::invalid_argument);
+}
+
+TEST(Kernels, RectangularMatrixSupported) {
+  sparse::CooMatrix coo(3, 6);
+  coo.add(0, 5, 2.0);
+  coo.add(2, 0, 3.0);
+  const auto m = CsrMatrix::from_coo(std::move(coo));
+  const auto x = test_vector(6);
+  std::vector<real_t> y(3);
+  spmv_csr(m, x, y);
+  EXPECT_NEAR(y[0], 2.0 * x[5], 1e-12);
+  EXPECT_NEAR(y[2], 3.0 * x[0], 1e-12);
+}
+
+/// Cross-kernel equivalence sweep across matrix families and sizes.
+struct KernelCase {
+  int family;
+  index_t n;
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, AllKernelsAgree) {
+  const auto [family, n] = GetParam();
+  CsrMatrix m;
+  switch (family) {
+    case 0: m = gen::banded(n, 6, 0.5, 11); break;
+    case 1: m = gen::random_uniform(n, 5, 11); break;
+    case 2: m = gen::power_law(n, 6, 1.2, 11); break;
+    case 3: m = gen::circuit(n, 2.0, 0.3, 11); break;
+    default: m = gen::fem_blocks(n / 8, 8, 2, 11); break;
+  }
+  const auto x = test_vector(m.cols());
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  std::vector<real_t> y(static_cast<std::size_t>(m.rows()));
+
+  spmv_csr(m, x, y);
+  expect_near(y, ref);
+
+  spmv_coo(m.to_coo(), x, y);
+  expect_near(y, ref);
+
+  const auto ell = sparse::EllMatrix::from_csr(m, 1000.0);
+  spmv_ell(ell, x, y);
+  expect_near(y, ref);
+
+  spmv_csr_parallel(m, x, y, 4);
+  expect_near(y, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KernelEquivalence,
+    ::testing::Values(KernelCase{0, 64}, KernelCase{0, 997}, KernelCase{1, 256},
+                      KernelCase{1, 1024}, KernelCase{2, 512}, KernelCase{3, 2048},
+                      KernelCase{4, 512}));
+
+}  // namespace
+}  // namespace scc::spmv

@@ -1,0 +1,95 @@
+#include "spmv/rcce_spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+
+namespace scc::spmv {
+namespace {
+
+std::vector<real_t> test_vector(index_t n) {
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::cos(static_cast<double>(i) * 0.11) + 1.5;
+  }
+  return x;
+}
+
+void expect_matches_reference(const sparse::CsrMatrix& m, int ues,
+                              const rcce::RuntimeOptions& opts = {}) {
+  const auto x = test_vector(m.cols());
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  const RcceSpmvResult result = rcce_spmv(m, x, ues, opts);
+  ASSERT_EQ(result.y.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(result.y[i], ref[i], 1e-9 * (1.0 + std::abs(ref[i]))) << "row " << i;
+  }
+}
+
+TEST(RcceSpmv, SingleUe) {
+  expect_matches_reference(gen::banded(300, 5, 0.5, 1), 1);
+}
+
+TEST(RcceSpmv, MatchesReferenceOnIrregularMatrix) {
+  expect_matches_reference(gen::power_law(1000, 8, 1.1, 2), 6);
+}
+
+TEST(RcceSpmv, MatchesReferenceOnCircuitMatrix) {
+  expect_matches_reference(gen::circuit(2000, 2.0, 0.4, 3), 8);
+}
+
+TEST(RcceSpmv, FullChipUeCount) {
+  expect_matches_reference(gen::random_uniform(3000, 6, 4), 48);
+}
+
+TEST(RcceSpmv, MoreUesThanRows) {
+  expect_matches_reference(gen::stencil_2d(5, 5), 37);
+}
+
+TEST(RcceSpmv, DistanceReductionMappingGivesSameResult) {
+  rcce::RuntimeOptions opts;
+  opts.mapping = chip::MappingPolicy::kDistanceReduction;
+  expect_matches_reference(gen::banded(1200, 10, 0.4, 5), 12, opts);
+}
+
+TEST(RcceSpmv, ReportsMappingCores) {
+  const auto m = gen::banded(500, 5, 0.5, 6);
+  const auto x = test_vector(m.cols());
+  rcce::RuntimeOptions opts;
+  opts.mapping = chip::MappingPolicy::kDistanceReduction;
+  const auto result = rcce_spmv(m, x, 4, opts);
+  EXPECT_EQ(result.report.cores, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(RcceSpmv, KernelTimeRecorded) {
+  const auto m = gen::banded(2000, 10, 0.5, 7);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 4, {}, /*repetitions=*/3);
+  EXPECT_GT(result.kernel_seconds, 0.0);
+}
+
+TEST(RcceSpmv, RepetitionsValidated) {
+  const auto m = gen::stencil_2d(4, 4);
+  const auto x = test_vector(m.cols());
+  EXPECT_THROW(rcce_spmv(m, x, 2, {}, 0), std::invalid_argument);
+}
+
+TEST(RcceSpmv, XSizeValidated) {
+  const auto m = gen::stencil_2d(4, 4);
+  const std::vector<real_t> x(3, 1.0);
+  EXPECT_THROW(rcce_spmv(m, x, 2), std::invalid_argument);
+}
+
+/// Sweep: result equals the serial reference for every UE count tried.
+class RcceSpmvUeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcceSpmvUeSweep, MatchesReference) {
+  expect_matches_reference(gen::power_law(1500, 7, 1.2, 8), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(UeCounts, RcceSpmvUeSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 24));
+
+}  // namespace
+}  // namespace scc::spmv

@@ -1,0 +1,154 @@
+#include "cli_commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "sparse/io.hpp"
+#include "sparse/properties.hpp"
+
+namespace scc::tools {
+namespace {
+
+CliArgs make(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "scc-spmv");
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(Cli, NoCommandPrintsUsage) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({}), out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandRejected) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"frobnicate"}), out, err), 2);
+}
+
+TEST(Cli, ErrorsMapToExitOne) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"analyze"}), out, err), 1);  // neither --matrix nor --id
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+}
+
+TEST(Cli, GenerateWritesReadableMatrix) {
+  const std::string path = temp_path("cli_gen.mtx");
+  std::ostringstream out, err;
+  const int rc = run_cli(make({"generate", "--family=random", "--n=200", "--row-nnz=5",
+                               ("--out=" + path).c_str()}),
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const auto m = sparse::read_matrix_market_file(path);
+  EXPECT_EQ(m.rows(), 200);
+  EXPECT_EQ(m.nnz(), 200 * 6);
+}
+
+TEST(Cli, GenerateEveryFamily) {
+  for (const char* family :
+       {"banded", "stencil2d", "stencil3d", "fem", "random", "power-law", "circuit"}) {
+    const std::string path = temp_path(std::string("cli_fam_") + family + ".mtx");
+    std::ostringstream out, err;
+    const std::string fam_arg = std::string("--family=") + family;
+    const std::string out_arg = "--out=" + path;
+    const int rc = run_cli(
+        make({"generate", fam_arg.c_str(), "--n=300", "--side=8", "--blocks=20", out_arg.c_str()}),
+        out, err);
+    EXPECT_EQ(rc, 0) << family << ": " << err.str();
+    EXPECT_GT(sparse::read_matrix_market_file(path).nnz(), 0) << family;
+  }
+}
+
+TEST(Cli, GenerateRejectsUnknownFamily) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"generate", "--family=quantum"}), out, err), 1);
+}
+
+TEST(Cli, TestbedExportsById) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  const std::string path = temp_path("cli_testbed.mtx");
+  std::ostringstream out, err;
+  const std::string out_arg = "--out=" + path;
+  const int rc = run_cli(make({"testbed", "--id=24", out_arg.c_str()}), out, err);
+  unsetenv("SCC_TESTBED_SCALE");
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("rajat15"), std::string::npos);
+  EXPECT_GT(sparse::read_matrix_market_file(path).nnz(), 0);
+}
+
+TEST(Cli, AnalyzeReportsProperties) {
+  const std::string path = temp_path("cli_analyze.mtx");
+  std::ostringstream out, err;
+  std::string out_arg = "--out=" + path;
+  ASSERT_EQ(run_cli(make({"generate", "--family=banded", "--n=500", out_arg.c_str()}), out,
+                    err),
+            0);
+  std::ostringstream report;
+  std::string matrix_arg = "--matrix=" + path;
+  ASSERT_EQ(run_cli(make({"analyze", matrix_arg.c_str()}), report, err), 0);
+  EXPECT_NE(report.str().find("working set"), std::string::npos);
+  EXPECT_NE(report.str().find("500"), std::string::npos);
+}
+
+TEST(Cli, SimulateReportsPerformance) {
+  const std::string path = temp_path("cli_sim.mtx");
+  std::ostringstream out, err;
+  std::string out_arg = "--out=" + path;
+  ASSERT_EQ(run_cli(make({"generate", "--family=random", "--n=2000", out_arg.c_str()}), out,
+                    err),
+            0);
+  std::ostringstream report;
+  std::string matrix_arg = "--matrix=" + path;
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=8", "--mapping=ca",
+                          "--conf=1", "--format=hyb"}),
+                    report, err),
+            0)
+      << err.str();
+  EXPECT_NE(report.str().find("MFLOPS"), std::string::npos);
+  EXPECT_NE(report.str().find("HYB"), std::string::npos);
+  EXPECT_NE(report.str().find("contention-aware"), std::string::npos);
+}
+
+TEST(Cli, SimulateValidatesOptions) {
+  const std::string path = temp_path("cli_sim2.mtx");
+  std::ostringstream out, err;
+  std::string out_arg = "--out=" + path;
+  ASSERT_EQ(run_cli(make({"generate", "--family=banded", "--n=100", out_arg.c_str()}), out,
+                    err),
+            0);
+  std::string matrix_arg = "--matrix=" + path;
+  EXPECT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--mapping=bogus"}), out, err), 1);
+  EXPECT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--conf=7"}), out, err), 1);
+  EXPECT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--format=csr5"}), out, err), 1);
+}
+
+TEST(Cli, ConvertWithRcmReducesBandwidth) {
+  const std::string in_path = temp_path("cli_conv_in.mtx");
+  const std::string out_path = temp_path("cli_conv_out.mtx");
+  std::ostringstream out, err;
+  std::string out_arg = "--out=" + in_path;
+  // Circuit matrices are scattered; RCM should tighten them.
+  ASSERT_EQ(run_cli(make({"generate", "--family=circuit", "--n=1500", out_arg.c_str()}), out,
+                    err),
+            0);
+  std::ostringstream conv;
+  std::string matrix_arg = "--matrix=" + in_path;
+  std::string out2_arg = "--out=" + out_path;
+  ASSERT_EQ(run_cli(make({"convert", matrix_arg.c_str(), "--rcm", out2_arg.c_str()}), conv,
+                    err),
+            0)
+      << err.str();
+  const auto before = sparse::read_matrix_market_file(in_path);
+  const auto after = sparse::read_matrix_market_file(out_path);
+  EXPECT_EQ(before.nnz(), after.nnz());
+  EXPECT_LT(sparse::bandwidth(after), sparse::bandwidth(before));
+}
+
+}  // namespace
+}  // namespace scc::tools

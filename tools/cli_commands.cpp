@@ -1,0 +1,217 @@
+#include "cli_commands.hpp"
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "gen/generators.hpp"
+#include "sim/engine.hpp"
+#include "sparse/io.hpp"
+#include "sparse/properties.hpp"
+#include "sparse/reorder.hpp"
+#include "testbed/suite.hpp"
+
+namespace scc::tools {
+
+namespace {
+
+sparse::CsrMatrix build_family(const CliArgs& args) {
+  const std::string family = args.get_or("family", "banded");
+  const auto n = static_cast<index_t>(args.get_int_or("n", 10000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  if (family == "banded") {
+    return gen::banded(n, static_cast<index_t>(args.get_int_or("half-bandwidth", 20)),
+                       args.get_double_or("fill", 0.4), seed);
+  }
+  if (family == "stencil2d") {
+    const auto side = static_cast<index_t>(args.get_int_or("side", 100));
+    return gen::stencil_2d(side, side);
+  }
+  if (family == "stencil3d") {
+    const auto side = static_cast<index_t>(args.get_int_or("side", 22));
+    return gen::stencil_3d(side, side, side);
+  }
+  if (family == "fem") {
+    return gen::fem_blocks(static_cast<index_t>(args.get_int_or("blocks", 500)),
+                           static_cast<index_t>(args.get_int_or("block-size", 8)),
+                           static_cast<index_t>(args.get_int_or("couplings", 3)), seed);
+  }
+  if (family == "random") {
+    return gen::random_uniform(n, static_cast<index_t>(args.get_int_or("row-nnz", 10)), seed);
+  }
+  if (family == "power-law") {
+    return gen::power_law(n, static_cast<index_t>(args.get_int_or("avg-row-nnz", 10)),
+                          args.get_double_or("alpha", 1.2), seed);
+  }
+  if (family == "circuit") {
+    return gen::circuit(n, args.get_double_or("extra-per-row", 2.0),
+                        args.get_double_or("long-range", 0.4), seed);
+  }
+  SCC_REQUIRE(false, "unknown family '" << family
+                                        << "' (banded|stencil2d|stencil3d|fem|random|"
+                                           "power-law|circuit)");
+  return {};
+}
+
+sparse::CsrMatrix load_input(const CliArgs& args) {
+  if (const auto path = args.get("matrix")) {
+    return sparse::read_matrix_market_file(*path);
+  }
+  if (args.has("id")) {
+    return testbed::build_entry(static_cast<int>(args.get_int_or("id", 1)),
+                                testbed::suite_scale_from_env())
+        .matrix;
+  }
+  SCC_REQUIRE(false, "provide --matrix <file.mtx> or --id <1..32>");
+  return {};
+}
+
+chip::MappingPolicy mapping_from(const CliArgs& args) {
+  const std::string name = args.get_or("mapping", "dr");
+  if (name == "standard" || name == "std") return chip::MappingPolicy::kStandard;
+  if (name == "dr" || name == "distance-reduction") {
+    return chip::MappingPolicy::kDistanceReduction;
+  }
+  if (name == "ca" || name == "contention-aware") return chip::MappingPolicy::kContentionAware;
+  SCC_REQUIRE(false, "unknown mapping '" << name << "' (standard|dr|ca)");
+  return chip::MappingPolicy::kStandard;
+}
+
+chip::FrequencyConfig conf_from(const CliArgs& args) {
+  switch (args.get_int_or("conf", 0)) {
+    case 0:
+      return chip::FrequencyConfig::conf0();
+    case 1:
+      return chip::FrequencyConfig::conf1();
+    case 2:
+      return chip::FrequencyConfig::conf2();
+    default:
+      SCC_REQUIRE(false, "conf must be 0, 1 or 2");
+  }
+  return chip::FrequencyConfig::conf0();
+}
+
+sim::StorageFormat format_from(const CliArgs& args) {
+  const std::string name = args.get_or("format", "csr");
+  if (name == "csr") return sim::StorageFormat::kCsr;
+  if (name == "ell") return sim::StorageFormat::kEll;
+  if (name == "bcsr2") return sim::StorageFormat::kBcsr2;
+  if (name == "bcsr4") return sim::StorageFormat::kBcsr4;
+  if (name == "hyb") return sim::StorageFormat::kHyb;
+  SCC_REQUIRE(false, "unknown format '" << name << "' (csr|ell|bcsr2|bcsr4|hyb)");
+  return sim::StorageFormat::kCsr;
+}
+
+}  // namespace
+
+int cmd_generate(const CliArgs& args, std::ostream& out) {
+  const auto matrix = build_family(args);
+  const std::string path = args.get_or("out", "matrix.mtx");
+  sparse::write_matrix_market_file(path, matrix);
+  out << "wrote " << path << ": " << matrix.rows() << " rows, " << matrix.nnz()
+      << " nonzeros\n";
+  return 0;
+}
+
+int cmd_testbed(const CliArgs& args, std::ostream& out) {
+  const int id = static_cast<int>(args.get_int_or("id", 1));
+  const auto entry = testbed::build_entry(id, testbed::suite_scale_from_env());
+  const std::string path = args.get_or("out", entry.name + ".mtx");
+  sparse::write_matrix_market_file(path, entry.matrix);
+  out << "wrote " << path << " (#" << id << " " << entry.name << ", " << entry.family << "): "
+      << entry.matrix.rows() << " rows, " << entry.matrix.nnz() << " nonzeros\n";
+  return 0;
+}
+
+int cmd_analyze(const CliArgs& args, std::ostream& out) {
+  const auto m = load_input(args);
+  const auto stats = sparse::row_stats(m);
+  Table t("matrix analysis");
+  t.set_header({"property", "value"});
+  t.add_row({"rows", Table::integer(m.rows())});
+  t.add_row({"cols", Table::integer(m.cols())});
+  t.add_row({"nonzeros", Table::integer(m.nnz())});
+  t.add_row({"nnz/row mean", Table::num(stats.mean_length, 2)});
+  t.add_row({"nnz/row min/max",
+             Table::integer(stats.min_length) + "/" + Table::integer(stats.max_length)});
+  t.add_row({"empty rows", Table::num(stats.empty_fraction * 100.0, 1) + "%"});
+  t.add_row({"working set",
+             Table::num(static_cast<double>(sparse::working_set_bytes(m)) / 1048576.0, 2) +
+                 " MB"});
+  t.add_row({"bandwidth", Table::integer(sparse::bandwidth(m))});
+  t.add_row({"x line reuse", Table::num(sparse::x_line_reuse_fraction(m), 3)});
+  t.print(out);
+  return 0;
+}
+
+int cmd_simulate(const CliArgs& args, std::ostream& out) {
+  const auto m = load_input(args);
+  sim::EngineConfig cfg;
+  cfg.freq = conf_from(args);
+  const sim::Engine engine(cfg);
+  const int cores = static_cast<int>(args.get_int_or("cores", 24));
+  const auto policy = mapping_from(args);
+  const auto format = format_from(args);
+  const auto r = engine.run_format(m, cores, policy, format);
+
+  Table t("simulated SCC run");
+  t.set_header({"property", "value"});
+  t.add_row({"configuration", cfg.freq.describe()});
+  t.add_row({"cores / mapping",
+             Table::integer(cores) + " / " + chip::to_string(policy)});
+  t.add_row({"format", sim::to_string(format)});
+  t.add_row({"time", Table::num(r.seconds * 1e3, 3) + " ms"});
+  t.add_row({"performance", Table::num(r.mflops(), 1) + " MFLOPS/s"});
+  t.add_row({"bound by", r.bandwidth_bound ? "memory bandwidth" : "slowest core"});
+  t.add_row({"mesh hot link",
+             Table::num(static_cast<double>(r.mesh.max_link_bytes) / 1048576.0, 2) + " MB"});
+  t.print(out);
+  return 0;
+}
+
+int cmd_convert(const CliArgs& args, std::ostream& out) {
+  auto m = load_input(args);
+  if (args.get_bool_or("rcm", false)) {
+    const auto perm = sparse::reverse_cuthill_mckee(m);
+    const auto before = sparse::bandwidth(m);
+    m = m.permute_symmetric(perm);
+    out << "RCM: bandwidth " << before << " -> " << sparse::bandwidth(m) << '\n';
+  }
+  const std::string path = args.get_or("out", "converted.mtx");
+  sparse::write_matrix_market_file(path, m);
+  out << "wrote " << path << '\n';
+  return 0;
+}
+
+int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  static constexpr const char* kUsage =
+      "usage: scc-spmv <command> [options]\n"
+      "  generate  --family F --n N [--seed S] --out FILE      synthesize a matrix\n"
+      "  testbed   --id 1..32 [--out FILE]                     export a Table-I stand-in\n"
+      "  analyze   --matrix FILE | --id K                      structural report\n"
+      "  simulate  --matrix FILE | --id K [--cores C] [--mapping standard|dr|ca]\n"
+      "            [--conf 0|1|2] [--format csr|ell|bcsr2|bcsr4|hyb]\n"
+      "  convert   --matrix FILE [--rcm] --out FILE            normalize / reorder\n";
+  try {
+    if (args.positional().empty()) {
+      err << kUsage;
+      return 2;
+    }
+    const std::string& command = args.positional().front();
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "testbed") return cmd_testbed(args, out);
+    if (command == "analyze") return cmd_analyze(args, out);
+    if (command == "simulate") return cmd_simulate(args, out);
+    if (command == "convert") return cmd_convert(args, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace scc::tools

@@ -1,0 +1,29 @@
+// Implementation of the `scc-spmv` command-line tool, split from main() so
+// every command is unit-testable in-process. Each command takes parsed
+// arguments plus the output stream and returns a process exit code.
+//
+// Commands:
+//   generate  -- write a synthetic matrix (any generator family) as .mtx
+//   testbed   -- export a Table-I stand-in as .mtx
+//   analyze   -- structural + locality report for a matrix
+//   simulate  -- run the SCC simulator on a matrix (cores/mapping/conf/format)
+//   convert   -- normalize / RCM-reorder a Matrix Market file
+#pragma once
+
+#include <iosfwd>
+
+#include "common/cli.hpp"
+
+namespace scc::tools {
+
+int cmd_generate(const CliArgs& args, std::ostream& out);
+int cmd_testbed(const CliArgs& args, std::ostream& out);
+int cmd_analyze(const CliArgs& args, std::ostream& out);
+int cmd_simulate(const CliArgs& args, std::ostream& out);
+int cmd_convert(const CliArgs& args, std::ostream& out);
+
+/// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
+/// or missing command.
+int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err);
+
+}  // namespace scc::tools

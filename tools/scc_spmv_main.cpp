@@ -1,0 +1,11 @@
+// Entry point of the `scc-spmv` command-line tool; all logic lives in
+// cli_commands.cpp so it can be tested in-process.
+#include <iostream>
+
+#include "cli_commands.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  const scc::CliArgs args(argc, argv);
+  return scc::tools::run_cli(args, std::cout, std::cerr);
+}
