@@ -7,6 +7,7 @@
 // that silently produces wrong numbers is worse than one that aborts).
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,65 @@ namespace scc {
 class SimulationError : public std::runtime_error {
  public:
   explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Watchdog expiry on a blocking RCCE operation: converts what would be an
+/// infinite hang (lost flag, mismatched rendezvous, dead peer never noticed)
+/// into a diagnosable failure naming the blocked op, rank, peer and flag.
+class TimeoutError : public SimulationError {
+ public:
+  /// `peer` / `flag_id` are -1 when the op has no such participant.
+  TimeoutError(const std::string& op, int rank, int peer, int flag_id, double seconds);
+
+  const std::string& op() const { return op_; }
+  int rank() const { return rank_; }
+  int peer() const { return peer_; }
+  int flag_id() const { return flag_id_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  std::string op_;
+  int rank_;
+  int peer_;
+  int flag_id_;
+  double seconds_;
+};
+
+/// A blocking RCCE operation aborted because the peer UE died. The emulation
+/// raises this immediately once a rank is marked dead (on silicon the same
+/// condition would surface as a TimeoutError); both belong to the watchdog
+/// layer and callers usually handle them together.
+class PeerDeadError : public SimulationError {
+ public:
+  PeerDeadError(const std::string& op, int rank, int peer);
+
+  const std::string& op() const { return op_; }
+  int rank() const { return rank_; }
+  int peer() const { return peer_; }
+
+ private:
+  std::string op_;
+  int rank_;
+  int peer_;
+};
+
+/// Mismatched send/recv sizes detected on a (source, dest) rendezvous --
+/// the RCCE bug class that on silicon silently corrupts or deadlocks.
+class MessageSizeMismatchError : public SimulationError {
+ public:
+  MessageSizeMismatchError(int source, int dest, std::size_t send_bytes,
+                           std::size_t recv_bytes);
+
+  int source() const { return source_; }
+  int dest() const { return dest_; }
+  std::size_t send_bytes() const { return send_bytes_; }
+  std::size_t recv_bytes() const { return recv_bytes_; }
+
+ private:
+  int source_;
+  int dest_;
+  std::size_t send_bytes_;
+  std::size_t recv_bytes_;
 };
 
 namespace detail {

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "common/error.hpp"
 
@@ -13,16 +15,24 @@ namespace scc::rcce {
 
 namespace {
 constexpr int kFlagCount = 64;
+
+std::string bytes_detail(std::size_t bytes) {
+  std::ostringstream oss;
+  oss << bytes << " bytes";
+  return oss.str();
 }
+}  // namespace
 
 /// Shared state of one emulated RCCE execution. A single mutex/cv pair
 /// guards all blocking operations; with at most 48 UEs and functional (not
 /// timed) semantics, simplicity and clean poisoning beat fine-grained
-/// locking here.
+/// locking here. The same mutex also serializes the fault-event log and the
+/// per-UE op counters, which keeps the watchdog and injector race-free.
 class Runtime {
  public:
   Runtime(int num_ues, const RuntimeOptions& options)
       : options_(options),
+        injector_(options.injector.get()),
         num_ues_(num_ues),
         freq_(chip::FrequencyConfig::conf0()),
         start_(std::chrono::steady_clock::now()) {
@@ -30,6 +40,8 @@ class Runtime {
                 "num_ues " << num_ues << " out of range [1,48]");
     SCC_REQUIRE(options.mpb_bytes_per_core >= 256,
                 "MPB region too small: " << options.mpb_bytes_per_core);
+    SCC_REQUIRE(options.max_transfer_retries >= 0,
+                "max_transfer_retries must be >= 0");
     if (options.explicit_cores.empty()) {
       cores_ = chip::map_ues_to_cores(options.mapping, num_ues);
     } else {
@@ -44,11 +56,14 @@ class Runtime {
                 std::byte{0});
     flags_.assign(static_cast<std::size_t>(num_ues) * kFlagCount, 0);
     channels_.resize(static_cast<std::size_t>(num_ues) * static_cast<std::size_t>(num_ues));
+    msg_counts_.assign(channels_.size(), 0);
     shm_global_.assign(options.shared_memory_bytes, std::byte{0});
     shm_shadow_.assign(static_cast<std::size_t>(num_ues), shm_global_);
     shm_dirty_.assign(static_cast<std::size_t>(num_ues),
                       std::vector<bool>(options.shared_memory_bytes, false));
     shm_alloc_order_.assign(static_cast<std::size_t>(num_ues), 0);
+    dead_.assign(static_cast<std::size_t>(num_ues), 0);
+    op_counts_.assign(static_cast<std::size_t>(num_ues), 0);
   }
 
   int size() const { return num_ues_; }
@@ -60,22 +75,53 @@ class Runtime {
     return std::chrono::duration<double>(now - start_).count();
   }
 
-  void barrier() {
+  bool ue_alive(int rank) const {
+    check_rank(rank);
+    std::unique_lock lock(mutex_);
+    return dead_[static_cast<std::size_t>(rank)] == 0;
+  }
+
+  void barrier(int rank) {
+    const OpTicket ticket = begin_op(rank, fault::Op::kBarrier);
     std::unique_lock lock(mutex_);
     const std::uint64_t generation = barrier_generation_;
-    if (++barrier_waiting_ == num_ues_) {
-      barrier_waiting_ = 0;
-      ++barrier_generation_;
-      cv_.notify_all();
+    ++barrier_waiting_;
+    if (barrier_waiting_ >= alive_count_locked()) {
+      release_barrier_locked();
       return;
     }
-    cv_.wait(lock, [&] { return poisoned_ || barrier_generation_ != generation; });
+    wait_or_timeout(lock, [&] { return poisoned_ || barrier_generation_ != generation; },
+                    "barrier", rank, /*peer=*/-1, /*flag_id=*/-1, ticket.op_index);
     throw_if_poisoned();
   }
 
   void send(int src, int dest, const void* data, std::size_t bytes) {
     check_rank(dest);
     SCC_REQUIRE(dest != src, "send to self would deadlock (RCCE semantics)");
+    const OpTicket ticket = begin_op(src, fault::Op::kSend);
+
+    // Message-level fault decision: the n-th send on the (src, dest) channel
+    // is a deterministic site regardless of thread interleaving.
+    fault::Injector::TransferAction transfer{};
+    if (injector_) {
+      std::uint64_t message_index = 0;
+      {
+        std::unique_lock lock(mutex_);
+        message_index = msg_counts_[channel_slot(src, dest)]++;
+      }
+      transfer = injector_->on_transfer(src, dest, message_index);
+      if (transfer.mode == fault::TransferMode::kDrop) {
+        // The whole message (doorbell included) is lost: the sender believes
+        // it delivered, the receiver's watchdog eventually fires.
+        record({fault::EventType::kTransferDrop, src, dest, ticket.op_index, "send",
+                bytes_detail(bytes)});
+        return;
+      }
+      if (transfer.mode == fault::TransferMode::kTransient) {
+        retry_transient(src, dest, ticket.op_index, transfer.transient_failures);
+      }
+    }
+
     const std::size_t chunk_capacity = mpb_chunk_capacity();
     const auto* in = static_cast<const std::byte*>(data);
     std::size_t sent = 0;
@@ -85,17 +131,30 @@ class Runtime {
       const std::size_t chunk = std::min(chunk_capacity, bytes - sent);
       Channel& ch = channel(src, dest);
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return poisoned_ || !ch.ready; });
+      wait_or_timeout(lock, [&] { return poisoned_ || dead_at(dest) || !ch.ready; },
+                      "send", src, dest, /*flag_id=*/-1, ticket.op_index);
       throw_if_poisoned();
+      throw_if_peer_dead_locked("send", src, dest, ticket.op_index);
       // Stage the chunk in the sender's MPB region, as RCCE_send does.
       std::byte* region = mpb_region(src);
       if (chunk > 0) std::memcpy(region, in + sent, chunk);
+      if (transfer.mode == fault::TransferMode::kCorrupt && sent == 0 && chunk > 0) {
+        // Flip the staged payload; the receiver gets garbage, deterministically.
+        for (std::size_t i = 0; i < chunk; ++i) region[i] ^= std::byte{0xff};
+        record_locked({fault::EventType::kTransferCorrupt, src, dest, ticket.op_index,
+                       "send", bytes_detail(chunk)});
+      }
       ch.bytes = chunk;
       ch.total = bytes;
       ch.ready = true;
       cv_.notify_all();
-      cv_.wait(lock, [&] { return poisoned_ || !ch.ready; });
+      wait_or_timeout(lock, [&] { return poisoned_ || dead_at(dest) || !ch.ready; },
+                      "send", src, dest, /*flag_id=*/-1, ticket.op_index);
       throw_if_poisoned();
+      if (ch.ready) {
+        // Woken by the receiver's death before it consumed the chunk.
+        throw_if_peer_dead_locked("send", src, dest, ticket.op_index);
+      }
       sent += chunk;
     } while (sent < bytes);
   }
@@ -103,15 +162,24 @@ class Runtime {
   void recv(int dest, int src, void* data, std::size_t bytes) {
     check_rank(src);
     SCC_REQUIRE(src != dest, "recv from self would deadlock (RCCE semantics)");
+    const OpTicket ticket = begin_op(dest, fault::Op::kRecv);
     auto* out = static_cast<std::byte*>(data);
     std::size_t received = 0;
     do {
       Channel& ch = channel(src, dest);
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return poisoned_ || ch.ready; });
+      wait_or_timeout(lock, [&] { return poisoned_ || ch.ready || dead_at(src); },
+                      "recv", dest, src, /*flag_id=*/-1, ticket.op_index);
       throw_if_poisoned();
-      SCC_REQUIRE(ch.total == bytes, "send size " << ch.total << " != recv size " << bytes
-                                                  << " between UEs " << src << "->" << dest);
+      if (!ch.ready) {
+        // Woken by the sender's death with nothing staged.
+        throw_if_peer_dead_locked("recv", dest, src, ticket.op_index);
+      }
+      if (ch.total != bytes) {
+        // Mismatched rendezvous: on silicon this silently corrupts or
+        // deadlocks; here both directions of the mismatch are named.
+        throw MessageSizeMismatchError(src, dest, ch.total, bytes);
+      }
       const std::byte* region = mpb_region(src);
       if (ch.bytes > 0) std::memcpy(out + received, region, ch.bytes);
       received += ch.bytes;
@@ -120,23 +188,33 @@ class Runtime {
     } while (received < bytes);
   }
 
-  void put(int /*caller*/, int target, const void* src, std::size_t bytes, std::size_t offset) {
+  void put(int caller, int target, const void* src, std::size_t bytes, std::size_t offset) {
     check_rank(target);
     check_mpb_range(bytes, offset);
+    begin_op(caller, fault::Op::kPut);
     std::unique_lock lock(mutex_);
     std::memcpy(mpb_region(target) + offset, src, bytes);
   }
 
-  void get(int /*caller*/, int source, void* dst, std::size_t bytes, std::size_t offset) {
+  void get(int caller, int source, void* dst, std::size_t bytes, std::size_t offset) {
     check_rank(source);
     check_mpb_range(bytes, offset);
+    begin_op(caller, fault::Op::kGet);
     std::unique_lock lock(mutex_);
     std::memcpy(dst, mpb_region(source) + offset, bytes);
   }
 
-  void flag_set(int target, int flag_id, bool value) {
+  void flag_set(int caller, int target, int flag_id, bool value) {
     check_rank(target);
     check_flag(flag_id);
+    const OpTicket ticket = begin_op(caller, fault::Op::kFlagSet);
+    if (ticket.drop_flag) {
+      std::ostringstream detail;
+      detail << "flag " << flag_id << " := " << (value ? "true" : "false") << " lost";
+      record({fault::EventType::kFlagDrop, caller, target, ticket.op_index, "flag_set",
+              detail.str()});
+      return;
+    }
     std::unique_lock lock(mutex_);
     flags_[static_cast<std::size_t>(target) * kFlagCount + static_cast<std::size_t>(flag_id)] =
         value ? 1 : 0;
@@ -145,10 +223,12 @@ class Runtime {
 
   void flag_wait(int rank, int flag_id, bool value) {
     check_flag(flag_id);
+    const OpTicket ticket = begin_op(rank, fault::Op::kFlagWait);
     std::unique_lock lock(mutex_);
     const std::size_t slot =
         static_cast<std::size_t>(rank) * kFlagCount + static_cast<std::size_t>(flag_id);
-    cv_.wait(lock, [&] { return poisoned_ || (flags_[slot] != 0) == value; });
+    wait_or_timeout(lock, [&] { return poisoned_ || (flags_[slot] != 0) == value; },
+                    "flag_wait", rank, /*peer=*/-1, flag_id, ticket.op_index);
     throw_if_poisoned();
   }
 
@@ -169,23 +249,46 @@ class Runtime {
 
   std::size_t shmalloc(int rank, std::size_t bytes) {
     SCC_REQUIRE(bytes > 0, "shmalloc of zero bytes");
+    const OpTicket ticket = begin_op(rank, fault::Op::kShmalloc);
     std::unique_lock lock(mutex_);
     // Collective allocation: the k-th call of every UE must request the same
     // size; the first caller of each round records it, later callers verify.
     const std::size_t round = shm_alloc_order_[static_cast<std::size_t>(rank)]++;
-    if (round == shm_alloc_sizes_.size()) {
+    if (injector_ && injector_->exhaust_shmalloc(round)) {
+      record_locked({fault::EventType::kArenaExhaust, rank, -1, ticket.op_index, "shmalloc",
+                     bytes_detail(bytes)});
+      std::ostringstream oss;
+      oss << "shared-memory arena exhausted (injected fault): UE " << rank << " requested "
+          << bytes << " bytes in round " << round;
+      throw SimulationError(oss.str());
+    }
+    if (round == shm_rounds_.size()) {
       SCC_REQUIRE(shm_alloc_base_ + bytes <= shm_global_.size(),
                   "shared-memory arena exhausted: requested " << bytes << " with "
                       << shm_global_.size() - shm_alloc_base_ << " free");
-      shm_alloc_sizes_.push_back(bytes);
-      shm_alloc_offsets_.push_back(shm_alloc_base_);
+      shm_rounds_.push_back(ShmRound{bytes, shm_alloc_base_, rank, {rank}});
       shm_alloc_base_ += bytes;
     } else {
-      SCC_REQUIRE(round < shm_alloc_sizes_.size() && shm_alloc_sizes_[round] == bytes,
-                  "collective shmalloc mismatch: UE " << rank << " requested " << bytes
-                      << " in round " << round);
+      SCC_REQUIRE(round < shm_rounds_.size(),
+                  "collective shmalloc order violation: UE " << rank
+                      << " is ahead of every other UE at round " << round);
+      ShmRound& r = shm_rounds_[round];
+      if (r.bytes != bytes) {
+        // Name the disagreeing parties, not just "sizes disagree": the rank
+        // that established the round, everyone who agreed, and the outlier.
+        std::ostringstream who;
+        for (std::size_t i = 0; i < r.completed.size(); ++i) {
+          who << (i ? "," : "") << r.completed[i];
+        }
+        SCC_REQUIRE(false, "collective shmalloc mismatch in round "
+                               << round << ": UE " << rank << " requested " << bytes
+                               << " bytes, but UE " << r.first_rank
+                               << " established the round with " << r.bytes
+                               << " bytes (agreeing ranks: " << who.str() << ")");
+      }
+      r.completed.push_back(rank);
     }
-    return shm_alloc_offsets_[round];
+    return shm_rounds_[round].offset;
   }
 
   void shm_write(int rank, std::size_t offset, const void* data, std::size_t bytes) {
@@ -234,12 +337,132 @@ class Runtime {
     cv_.notify_all();
   }
 
+  /// Injected death of `rank`: survivors blocked on it are woken (and raise
+  /// PeerDeadError); barriers re-balance to the remaining live UEs.
+  void mark_dead(int rank) {
+    std::unique_lock lock(mutex_);
+    if (dead_[static_cast<std::size_t>(rank)]) return;
+    dead_[static_cast<std::size_t>(rank)] = 1;
+    ++dead_count_;
+    if (barrier_waiting_ > 0 && barrier_waiting_ >= alive_count_locked()) {
+      release_barrier_locked();
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<int> dead_ranks() const {
+    std::unique_lock lock(mutex_);
+    std::vector<int> dead;
+    for (int rank = 0; rank < num_ues_; ++rank) {
+      if (dead_[static_cast<std::size_t>(rank)]) dead.push_back(rank);
+    }
+    return dead;
+  }
+
+  /// Drain the fault log in a deterministic order: each UE's own events are
+  /// already ordered by op index; cross-UE order is fixed by sorting, so
+  /// thread interleaving cannot leak into the report.
+  std::vector<fault::Event> take_events() {
+    std::unique_lock lock(mutex_);
+    std::vector<fault::Event> events = std::move(events_);
+    events_.clear();
+    std::sort(events.begin(), events.end(), [](const fault::Event& a, const fault::Event& b) {
+      return std::tie(a.rank, a.op_index, a.type, a.peer, a.op, a.detail) <
+             std::tie(b.rank, b.op_index, b.type, b.peer, b.op, b.detail);
+    });
+    return events;
+  }
+
  private:
   struct Channel {
     bool ready = false;       ///< a staged chunk awaits the receiver
     std::size_t bytes = 0;    ///< size of the staged chunk
     std::size_t total = 0;    ///< total message size (for matching checks)
   };
+
+  struct ShmRound {
+    std::size_t bytes = 0;      ///< agreed allocation size
+    std::size_t offset = 0;     ///< arena offset handed to every UE
+    int first_rank = -1;        ///< UE that established the round
+    std::vector<int> completed; ///< ranks that agreed so far
+  };
+
+  /// Outcome of entering one RCCE op: its per-UE index plus any injected
+  /// behaviour that the caller has to apply.
+  struct OpTicket {
+    std::uint64_t op_index = 0;
+    bool drop_flag = false;
+  };
+
+  /// Count the op, consult the injector, record/apply straggler delays and
+  /// planned kills. Called on entry of every instrumented RCCE call.
+  OpTicket begin_op(int rank, fault::Op op) {
+    OpTicket ticket;
+    double delay_seconds = 0.0;
+    {
+      std::unique_lock lock(mutex_);
+      ticket.op_index = op_counts_[static_cast<std::size_t>(rank)]++;
+      if (injector_) {
+        const fault::Injector::OpAction action = injector_->on_op(rank, op, ticket.op_index);
+        if (action.kill) {
+          record_locked({fault::EventType::kKill, rank, -1, ticket.op_index,
+                         fault::to_string(op), ""});
+          throw fault::UeKilledError(rank, ticket.op_index);
+        }
+        if (action.delay_seconds > 0.0) {
+          std::ostringstream detail;
+          detail << action.delay_seconds << "s straggler stall";
+          record_locked({fault::EventType::kDelay, rank, -1, ticket.op_index,
+                         fault::to_string(op), detail.str()});
+          delay_seconds = action.delay_seconds;
+        }
+        ticket.drop_flag = action.drop_flag;
+      }
+    }
+    if (delay_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+    }
+    return ticket;
+  }
+
+  /// Simulate the failed staging attempts of a transient transfer, with
+  /// bounded retry and linear backoff. Throws once the retry budget is spent.
+  void retry_transient(int src, int dest, std::uint64_t op_index, int failures) {
+    for (int attempt = 1; attempt <= failures; ++attempt) {
+      if (attempt > options_.max_transfer_retries) {
+        std::ostringstream oss;
+        oss << "transfer UE " << src << " -> UE " << dest << " still failing after "
+            << options_.max_transfer_retries << " retries (giving up)";
+        throw SimulationError(oss.str());
+      }
+      std::ostringstream detail;
+      detail << "transient failure, retry " << attempt << "/" << options_.max_transfer_retries;
+      record({fault::EventType::kRetry, src, dest, op_index, "send", detail.str()});
+      if (options_.retry_backoff_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options_.retry_backoff_seconds * attempt));
+      }
+    }
+  }
+
+  /// Condition wait guarded by the watchdog. On expiry the timeout is logged
+  /// and TimeoutError names the op, rank, peer and flag.
+  template <typename Pred>
+  void wait_or_timeout(std::unique_lock<std::mutex>& lock, const Pred& pred, const char* op,
+                       int rank, int peer, int flag_id, std::uint64_t op_index) {
+    const double timeout = options_.watchdog_timeout_seconds;
+    if (timeout <= 0.0) {
+      cv_.wait(lock, pred);
+      return;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                               std::chrono::duration<double>(timeout));
+    if (!cv_.wait_until(lock, deadline, pred)) {
+      record_locked({fault::EventType::kTimeout, rank, peer, op_index, op, ""});
+      throw TimeoutError(op, rank, peer, flag_id, timeout);
+    }
+  }
 
   void check_rank(int rank) const {
     SCC_REQUIRE(rank >= 0 && rank < num_ues_, "UE rank " << rank << " out of range");
@@ -271,9 +494,21 @@ class Runtime {
     return mpb_.data() + static_cast<std::size_t>(rank) * options_.mpb_bytes_per_core;
   }
 
-  Channel& channel(int src, int dest) {
-    return channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ues_) +
-                     static_cast<std::size_t>(dest)];
+  std::size_t channel_slot(int src, int dest) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ues_) +
+           static_cast<std::size_t>(dest);
+  }
+
+  Channel& channel(int src, int dest) { return channels_[channel_slot(src, dest)]; }
+
+  bool dead_at(int rank) const { return dead_[static_cast<std::size_t>(rank)] != 0; }
+
+  int alive_count_locked() const { return num_ues_ - dead_count_; }
+
+  void release_barrier_locked() {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
   }
 
   void throw_if_poisoned() const {
@@ -282,7 +517,24 @@ class Runtime {
     }
   }
 
+  /// Requires mutex_ held. Logs and raises the dead-peer abort.
+  void throw_if_peer_dead_locked(const char* op, int rank, int peer,
+                                 std::uint64_t op_index) {
+    if (!dead_at(peer)) return;
+    record_locked({fault::EventType::kPeerDead, rank, peer, op_index, op, ""});
+    throw PeerDeadError(op, rank, peer);
+  }
+
+  void record(fault::Event event) {
+    std::unique_lock lock(mutex_);
+    record_locked(std::move(event));
+  }
+
+  /// Requires mutex_ held.
+  void record_locked(fault::Event event) { events_.push_back(std::move(event)); }
+
   RuntimeOptions options_;
+  const fault::Injector* injector_;  ///< borrowed from options_, may be null
   int num_ues_;
   std::vector<int> cores_;
   chip::FrequencyConfig freq_;
@@ -297,14 +549,21 @@ class Runtime {
   std::vector<std::uint8_t> flags_;
   std::vector<Channel> channels_;
 
+  // Resilience state: per-UE liveness and op counters, per-channel message
+  // counters, and the fault-event log (all under mutex_).
+  std::vector<std::uint8_t> dead_;
+  int dead_count_ = 0;
+  std::vector<std::uint64_t> op_counts_;
+  std::vector<std::uint64_t> msg_counts_;
+  std::vector<fault::Event> events_;
+
   // Shared-memory emulation: the published arena, one cached view + dirty
   // map per UE, and the collective-allocation bookkeeping.
   std::vector<std::byte> shm_global_;
   std::vector<std::vector<std::byte>> shm_shadow_;
   std::vector<std::vector<bool>> shm_dirty_;
   std::size_t shm_alloc_base_ = 0;
-  std::vector<std::size_t> shm_alloc_sizes_;
-  std::vector<std::size_t> shm_alloc_offsets_;
+  std::vector<ShmRound> shm_rounds_;
   std::vector<std::size_t> shm_alloc_order_;
 };
 
@@ -312,7 +571,8 @@ int Comm::size() const { return runtime_->size(); }
 int Comm::core() const { return runtime_->core_of(rank_); }
 int Comm::hops_to_memory() const { return chip::hops_to_memory(core()); }
 double Comm::wtime() const { return runtime_->wtime(); }
-void Comm::barrier() { runtime_->barrier(); }
+void Comm::barrier() { runtime_->barrier(rank_); }
+bool Comm::ue_alive(int rank) const { return runtime_->ue_alive(rank); }
 
 void Comm::send(const void* data, std::size_t bytes, int dest) {
   runtime_->send(rank_, dest, data, bytes);
@@ -331,7 +591,7 @@ void Comm::get(void* dst, std::size_t bytes, int source_ue, std::size_t offset) 
 }
 
 void Comm::flag_set(int flag_id, bool value, int target_ue) {
-  runtime_->flag_set(target_ue, flag_id, value);
+  runtime_->flag_set(rank_, target_ue, flag_id, value);
 }
 
 void Comm::flag_wait(int flag_id, bool value) { runtime_->flag_wait(rank_, flag_id, value); }
@@ -417,6 +677,10 @@ RunReport run(int num_ues, const std::function<void(Comm&)>& body,
       Comm comm(runtime, rank);
       try {
         body(comm);
+      } catch (const fault::UeKilledError&) {
+        // An injected death is part of the experiment, not a failure of the
+        // run: the rank goes dead and the survivors carry on.
+        runtime.mark_dead(rank);
       } catch (...) {
         {
           std::scoped_lock lock(error_mutex);
@@ -434,6 +698,8 @@ RunReport run(int num_ues, const std::function<void(Comm&)>& body,
   report.frequencies = runtime.frequencies();
   report.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  report.fault_log = runtime.take_events();
+  report.dead_ues = runtime.dead_ranks();
   return report;
 }
 

@@ -17,15 +17,27 @@
 // Error model: a UE body that throws poisons the runtime; every UE blocked
 // in a communication call is released with a SimulationError, and `run`
 // rethrows the original exception after joining all threads.
+//
+// Resilience layer: every blocking call is guarded by a watchdog
+// (`RuntimeOptions::watchdog_timeout_seconds`) that converts an infinite
+// hang into a TimeoutError naming the blocked op, rank, peer and flag. An
+// optional `fault::Injector` deterministically kills UEs, drops/corrupts
+// transfers, inserts straggler delays and exhausts the shared arena; an
+// injected kill marks the rank *dead* instead of poisoning the runtime, so
+// survivors can detect it (PeerDeadError / TimeoutError) and degrade
+// gracefully. All injected faults, retries, timeouts and deaths are
+// recorded in `RunReport::fault_log`, sorted deterministically.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "scc/frequency.hpp"
 #include "scc/mapping.hpp"
 
@@ -43,6 +55,21 @@ struct RuntimeOptions {
   /// all cores -- without any cache coherence, hence the explicit
   /// flush/invalidate calls below.
   std::size_t shared_memory_bytes = 256 * 1024;
+
+  /// Watchdog deadline for every blocking call (barrier, send, recv,
+  /// flag_wait and the collectives built on them). When the deadline passes
+  /// the blocked UE raises TimeoutError instead of hanging forever. <= 0
+  /// restores the legacy block-forever behaviour.
+  double watchdog_timeout_seconds = 30.0;
+  /// Bounded retry for transfers the injector marks transient: a message is
+  /// re-staged at most this many times before the send fails permanently.
+  int max_transfer_retries = 3;
+  /// Base host-time backoff between transient retries; attempt k sleeps
+  /// k * retry_backoff_seconds.
+  double retry_backoff_seconds = 0.0002;
+  /// Optional deterministic fault injector. Null (the default) leaves the
+  /// zero-fault path untouched: no faults fire and no events are logged.
+  std::shared_ptr<const fault::Injector> injector;
 };
 
 class Runtime;
@@ -65,8 +92,13 @@ class Comm {
   /// Wall time in seconds since the runtime started (RCCE_wtime).
   double wtime() const;
 
-  /// Collective barrier over all UEs.
+  /// Collective barrier over all *live* UEs (ranks killed by the fault plan
+  /// no longer participate).
   void barrier();
+
+  /// False once `rank` has been killed by the fault plan. Survivor-side
+  /// recovery code uses this to pick repartition targets.
+  bool ue_alive(int rank) const;
 
   /// Blocking point-to-point transfer, chunked through the sender's MPB
   /// region (RCCE_send / RCCE_recv). Matching is by (source, dest) pair;
@@ -130,6 +162,12 @@ struct RunReport {
   /// Frequencies after any power-management calls the body made.
   chip::FrequencyConfig frequencies = chip::FrequencyConfig::conf0();
   double elapsed_seconds = 0.0;  ///< host wall time (diagnostic only)
+  /// Every injected fault, retry, timeout, death and (driver-level)
+  /// repartition, sorted by (rank, op_index, type, peer) so the log is
+  /// identical across runs with the same fault seed.
+  std::vector<fault::Event> fault_log;
+  /// Ranks killed by the fault plan, ascending.
+  std::vector<int> dead_ues;
 };
 
 /// Execute `body` on `num_ues` UEs (1..48). Returns after all UEs finish;

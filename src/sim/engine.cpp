@@ -47,6 +47,51 @@ RunResult Engine::run_on_cores(const sparse::CsrMatrix& matrix, const std::vecto
   return run_impl(matrix, cores, variant, /*forced_hops=*/-1);
 }
 
+DegradedRunResult Engine::run_degraded(const sparse::CsrMatrix& matrix, int ue_count,
+                                       chip::MappingPolicy policy,
+                                       const std::vector<int>& dead_ranks,
+                                       double detection_seconds, SpmvVariant variant) const {
+  SCC_REQUIRE(detection_seconds >= 0.0, "detection_seconds must be non-negative");
+  const auto cores = chip::map_ues_to_cores(policy, ue_count);
+  std::set<int> dead;
+  for (int rank : dead_ranks) {
+    SCC_REQUIRE(rank >= 0 && rank < ue_count, "dead rank " << rank << " out of range");
+    SCC_REQUIRE(rank != 0, "rank 0 owns the matrix and cannot be recovered from");
+    dead.insert(rank);
+  }
+  SCC_REQUIRE(static_cast<int>(dead.size()) < ue_count, "at least one UE must survive");
+
+  std::vector<int> survivor_cores;
+  survivor_cores.reserve(cores.size() - dead.size());
+  for (int rank = 0; rank < ue_count; ++rank) {
+    if (!dead.contains(rank)) survivor_cores.push_back(cores[static_cast<std::size_t>(rank)]);
+  }
+
+  DegradedRunResult degraded;
+  degraded.dead_count = static_cast<int>(dead.size());
+  // The survivors redo the whole product over the re-balanced partition (the
+  // paper's partitioner splits by nnz, so this equals a fresh run on the
+  // surviving cores).
+  degraded.result = run_on_cores(matrix, survivor_cores, variant);
+
+  // Recovery cost: each dead block's CSR slice (rebased ptr + col + val) is
+  // re-shipped from the matrix owner through the memory controllers, after
+  // one watchdog detection window per failure.
+  const auto blocks = sparse::partition_rows_balanced_nnz(matrix, ue_count);
+  for (int rank : dead) {
+    const sparse::RowBlock& b = blocks[static_cast<std::size_t>(rank)];
+    degraded.reshipped_bytes +=
+        static_cast<bytes_t>(b.row_count() + 1) * sizeof(nnz_t) +
+        static_cast<bytes_t>(b.nnz) * (sizeof(index_t) + sizeof(real_t));
+  }
+  degraded.recovery_seconds =
+      detection_seconds * static_cast<double>(degraded.dead_count) +
+      static_cast<double>(degraded.reshipped_bytes) / mc_bandwidth_bytes_per_second();
+  degraded.seconds = degraded.result.seconds + degraded.recovery_seconds;
+  degraded.gflops = 2.0 * static_cast<double>(matrix.nnz()) / degraded.seconds / 1e9;
+  return degraded;
+}
+
 RunResult Engine::run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
                                           SpmvVariant variant) const {
   SCC_REQUIRE(hops >= 0 && hops <= 3, "the default quadrant assignment has hop distances 0..3");

@@ -65,6 +65,17 @@ struct RunResult {
   double mflops() const { return gflops * 1000.0; }
 };
 
+/// Outcome of a degraded run: the survivors absorb the dead ranks' rows and
+/// pay a recovery cost for re-shipping the repartitioned CSR blocks.
+struct DegradedRunResult {
+  RunResult result;               ///< simulated run on the surviving cores
+  int dead_count = 0;             ///< UEs removed from the run
+  bytes_t reshipped_bytes = 0;    ///< CSR bytes of the repartitioned blocks
+  double recovery_seconds = 0.0;  ///< detection + re-distribution overhead
+  double seconds = 0.0;           ///< result.seconds + recovery_seconds
+  double gflops = 0.0;            ///< effective GFLOPS including recovery
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config = EngineConfig{});
@@ -92,6 +103,16 @@ class Engine {
 
   /// Sustainable bandwidth of one memory controller under this config.
   double mc_bandwidth_bytes_per_second() const;
+
+  /// Timing-model counterpart of the resilient RCCE SpMV: `dead_ranks` UEs
+  /// fail permanently, their nnz-balanced row blocks are repartitioned over
+  /// the survivors, and the recovery pays one watchdog detection window plus
+  /// the re-shipping of the dead blocks' CSR data through the MCs. Requires
+  /// at least one survivor; rank 0 (the matrix owner) must not be dead.
+  DegradedRunResult run_degraded(const sparse::CsrMatrix& matrix, int ue_count,
+                                 chip::MappingPolicy policy, const std::vector<int>& dead_ranks,
+                                 double detection_seconds = 0.001,
+                                 SpmvVariant variant = SpmvVariant::kCsr) const;
 
  private:
   RunResult run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,

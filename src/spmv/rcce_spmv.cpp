@@ -1,6 +1,7 @@
 #include "spmv/rcce_spmv.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "sparse/partition.hpp"
@@ -19,6 +20,91 @@ struct LocalBlock {
   std::vector<real_t> val;
 };
 
+/// Rebased row-pointer array for rows [row_begin, row_end) of `a`.
+std::vector<nnz_t> rebased_ptr(const sparse::CsrMatrix& a, index_t row_begin, index_t row_end) {
+  const nnz_t base = a.ptr()[static_cast<std::size_t>(row_begin)];
+  std::vector<nnz_t> ptr(static_cast<std::size_t>(row_end - row_begin) + 1);
+  for (index_t r = 0; r <= row_end - row_begin; ++r) {
+    ptr[static_cast<std::size_t>(r)] = a.ptr()[static_cast<std::size_t>(row_begin + r)] - base;
+  }
+  return ptr;
+}
+
+/// Root-side: ship rows [row_begin, row_end) of `a` to `ue` as
+/// header / nnz / ptr / col / val messages.
+void send_csr_rows(rcce::Comm& comm, const sparse::CsrMatrix& a, index_t row_begin,
+                   index_t row_end, int ue) {
+  const index_t rows = row_end - row_begin;
+  const index_t header[2] = {row_begin, rows};
+  comm.send(header, sizeof header, ue);
+  const nnz_t base = a.ptr()[static_cast<std::size_t>(row_begin)];
+  const nnz_t block_nnz = a.ptr()[static_cast<std::size_t>(row_end)] - base;
+  comm.send(&block_nnz, sizeof block_nnz, ue);
+  const auto ptr = rebased_ptr(a, row_begin, row_end);
+  comm.send(ptr.data(), ptr.size() * sizeof(nnz_t), ue);
+  if (block_nnz > 0) {
+    comm.send(a.col().data() + base, static_cast<std::size_t>(block_nnz) * sizeof(index_t), ue);
+    comm.send(a.val().data() + base, static_cast<std::size_t>(block_nnz) * sizeof(real_t), ue);
+  }
+}
+
+/// Worker-side: receive the payload that follows a {row_begin, rows} header.
+LocalBlock recv_csr_payload(rcce::Comm& comm, index_t row_begin, index_t rows, int root) {
+  LocalBlock local;
+  local.row_begin = row_begin;
+  local.rows = rows;
+  nnz_t block_nnz = 0;
+  comm.recv(&block_nnz, sizeof block_nnz, root);
+  local.ptr.resize(static_cast<std::size_t>(rows) + 1);
+  comm.recv(local.ptr.data(), local.ptr.size() * sizeof(nnz_t), root);
+  local.col.resize(static_cast<std::size_t>(block_nnz));
+  local.val.resize(static_cast<std::size_t>(block_nnz));
+  if (block_nnz > 0) {
+    comm.recv(local.col.data(), local.col.size() * sizeof(index_t), root);
+    comm.recv(local.val.data(), local.val.size() * sizeof(real_t), root);
+  }
+  return local;
+}
+
+/// The paper's Figure-2 CSR kernel over one local block.
+void compute_block(const LocalBlock& local, std::span<const real_t> x,
+                   std::vector<real_t>& y) {
+  y.assign(static_cast<std::size_t>(local.rows), 0.0);
+  for (index_t i = 0; i < local.rows; ++i) {
+    real_t t = 0.0;
+    for (nnz_t k = local.ptr[static_cast<std::size_t>(i)];
+         k < local.ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      t += local.val[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(local.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = t;
+  }
+}
+
+/// Split `block`'s rows into `parts` contiguous nnz-balanced sub-blocks,
+/// reusing the paper's partitioner on the extracted sub-matrix. Returned
+/// blocks use absolute row indices of `a`.
+std::vector<sparse::RowBlock> repartition_block(const sparse::CsrMatrix& a,
+                                                const sparse::RowBlock& block, int parts) {
+  const nnz_t base = a.ptr()[static_cast<std::size_t>(block.row_begin)];
+  sparse::CsrMatrix sub(
+      block.row_count(), a.cols(), rebased_ptr(a, block.row_begin, block.row_end),
+      {a.col().begin() + base, a.col().begin() + base + block.nnz},
+      {a.val().begin() + base, a.val().begin() + base + block.nnz});
+  auto sub_blocks = sparse::partition_rows_balanced_nnz(sub, parts);
+  for (sparse::RowBlock& b : sub_blocks) {
+    b.row_begin += block.row_begin;
+    b.row_end += block.row_begin;
+  }
+  return sub_blocks;
+}
+
+std::string block_detail(const sparse::RowBlock& block) {
+  std::ostringstream oss;
+  oss << "rows [" << block.row_begin << "," << block.row_end << "), " << block.nnz << " nnz";
+  return oss.str();
+}
+
 }  // namespace
 
 RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, int num_ues,
@@ -31,6 +117,10 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
   result.y.assign(static_cast<std::size_t>(a.rows()), 0.0);
 
   const auto n_cols = static_cast<std::size_t>(a.cols());
+  const bool resilient = options.injector != nullptr;
+  // Repartition decisions the root makes during recovery. Root is the only
+  // writer and the main thread reads after rcce::run joins, so no lock.
+  std::vector<fault::Event> driver_log;
 
   auto body = [&](rcce::Comm& comm) {
     const int rank = comm.rank();
@@ -39,89 +129,187 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
     // --- distribute: root sends each UE its CSR slice, broadcasts x. ---
     LocalBlock local;
     std::vector<real_t> local_x(n_cols);
+    // Root's view of which workers still answer; only updated from
+    // rendezvous outcomes so recovery replays identically for a fixed seed.
+    std::vector<std::uint8_t> answering(static_cast<std::size_t>(comm.size()), 1);
     if (rank == root) {
       std::copy(x.begin(), x.end(), local_x.begin());
-      for (int ue = 0; ue < comm.size(); ++ue) {
+      local.row_begin = blocks[0].row_begin;
+      local.rows = blocks[0].row_count();
+      local.ptr = rebased_ptr(a, blocks[0].row_begin, blocks[0].row_end);
+      const nnz_t base = a.ptr()[static_cast<std::size_t>(blocks[0].row_begin)];
+      local.col.assign(a.col().begin() + base, a.col().begin() + base + blocks[0].nnz);
+      local.val.assign(a.val().begin() + base, a.val().begin() + base + blocks[0].nnz);
+      for (int ue = 1; ue < comm.size(); ++ue) {
         const sparse::RowBlock& b = blocks[static_cast<std::size_t>(ue)];
-        LocalBlock out;
-        out.row_begin = b.row_begin;
-        out.rows = b.row_count();
-        out.ptr.resize(static_cast<std::size_t>(out.rows) + 1);
-        const nnz_t base = a.ptr()[static_cast<std::size_t>(b.row_begin)];
-        for (index_t r = 0; r <= out.rows; ++r) {
-          out.ptr[static_cast<std::size_t>(r)] =
-              a.ptr()[static_cast<std::size_t>(b.row_begin + r)] - base;
-        }
-        out.col.assign(a.col().begin() + base, a.col().begin() + base + b.nnz);
-        out.val.assign(a.val().begin() + base, a.val().begin() + base + b.nnz);
-        if (ue == root) {
-          local = std::move(out);
+        if (!resilient) {
+          send_csr_rows(comm, a, b.row_begin, b.row_end, ue);
+          comm.send(local_x.data(), local_x.size() * sizeof(real_t), ue);
           continue;
         }
-        const index_t header[2] = {out.row_begin, out.rows};
-        comm.send(header, sizeof header, ue);
-        const nnz_t block_nnz = b.nnz;
-        comm.send(&block_nnz, sizeof block_nnz, ue);
-        comm.send(out.ptr.data(), out.ptr.size() * sizeof(nnz_t), ue);
-        if (block_nnz > 0) {
-          comm.send(out.col.data(), out.col.size() * sizeof(index_t), ue);
-          comm.send(out.val.data(), out.val.size() * sizeof(real_t), ue);
+        try {
+          send_csr_rows(comm, a, b.row_begin, b.row_end, ue);
+          comm.send(local_x.data(), local_x.size() * sizeof(real_t), ue);
+        } catch (const PeerDeadError&) {
+          answering[static_cast<std::size_t>(ue)] = 0;
+        } catch (const TimeoutError&) {
+          answering[static_cast<std::size_t>(ue)] = 0;
         }
       }
     } else {
       index_t header[2] = {0, 0};
       comm.recv(header, sizeof header, root);
-      local.row_begin = header[0];
-      local.rows = header[1];
-      nnz_t block_nnz = 0;
-      comm.recv(&block_nnz, sizeof block_nnz, root);
-      local.ptr.resize(static_cast<std::size_t>(local.rows) + 1);
-      comm.recv(local.ptr.data(), local.ptr.size() * sizeof(nnz_t), root);
-      local.col.resize(static_cast<std::size_t>(block_nnz));
-      local.val.resize(static_cast<std::size_t>(block_nnz));
-      if (block_nnz > 0) {
-        comm.recv(local.col.data(), local.col.size() * sizeof(index_t), root);
-        comm.recv(local.val.data(), local.val.size() * sizeof(real_t), root);
-      }
+      local = recv_csr_payload(comm, header[0], header[1], root);
+      comm.recv(local_x.data(), local_x.size() * sizeof(real_t), root);
     }
-    comm.bcast(local_x.data(), local_x.size() * sizeof(real_t), root);
-    comm.barrier();
+    if (!resilient) comm.barrier();
 
     // --- compute: Figure-2 kernel on the local slice. ---
-    std::vector<real_t> local_y(static_cast<std::size_t>(local.rows), 0.0);
+    std::vector<real_t> local_y;
     const double t0 = comm.wtime();
-    for (int rep = 0; rep < repetitions; ++rep) {
-      for (index_t i = 0; i < local.rows; ++i) {
-        real_t t = 0.0;
-        for (nnz_t k = local.ptr[static_cast<std::size_t>(i)];
-             k < local.ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-          t += local.val[static_cast<std::size_t>(k)] *
-               local_x[static_cast<std::size_t>(local.col[static_cast<std::size_t>(k)])];
+    for (int rep = 0; rep < repetitions; ++rep) compute_block(local, local_x, local_y);
+    const double elapsed = comm.wtime() - t0;
+    // The timing allreduce is not fault-tolerant; in resilient mode the root
+    // reports its own kernel time instead.
+    const double slowest = resilient ? elapsed : comm.allreduce_max(elapsed);
+
+    // --- gather: root assembles y; workers hand their block back. ---
+    if (rank != root) {
+      if (local.rows > 0) comm.send(local_y.data(), local_y.size() * sizeof(real_t), root);
+      if (resilient) {
+        // Recovery service: accept repartitioned row ranges until the root
+        // sends an empty assignment (or stops answering).
+        while (true) {
+          index_t header[2] = {0, 0};
+          try {
+            comm.recv(header, sizeof header, root);
+          } catch (const PeerDeadError&) {
+            break;
+          } catch (const TimeoutError&) {
+            break;
+          }
+          if (header[1] == 0) break;
+          const LocalBlock extra = recv_csr_payload(comm, header[0], header[1], root);
+          std::vector<real_t> extra_y;
+          compute_block(extra, local_x, extra_y);
+          comm.send(extra_y.data(), extra_y.size() * sizeof(real_t), root);
         }
-        local_y[static_cast<std::size_t>(i)] = t;
+      }
+      return;
+    }
+
+    std::copy(local_y.begin(), local_y.end(), result.y.begin() + local.row_begin);
+    result.kernel_seconds = slowest;
+
+    // Blocks whose y the root is still missing after each phase.
+    std::vector<sparse::RowBlock> pending;
+    for (int ue = 1; ue < comm.size(); ++ue) {
+      const sparse::RowBlock& b = blocks[static_cast<std::size_t>(ue)];
+      if (!answering[static_cast<std::size_t>(ue)]) {
+        if (b.row_count() > 0) pending.push_back(b);
+        continue;
+      }
+      if (b.row_count() == 0) continue;
+      if (!resilient) {
+        comm.recv(result.y.data() + b.row_begin,
+                  static_cast<std::size_t>(b.row_count()) * sizeof(real_t), ue);
+        continue;
+      }
+      try {
+        comm.recv(result.y.data() + b.row_begin,
+                  static_cast<std::size_t>(b.row_count()) * sizeof(real_t), ue);
+      } catch (const PeerDeadError&) {
+        answering[static_cast<std::size_t>(ue)] = 0;
+        pending.push_back(b);
+      } catch (const TimeoutError&) {
+        // The worker may be alive with the message lost; keep it in the
+        // survivor pool but recompute its rows.
+        pending.push_back(b);
       }
     }
-    const double elapsed = comm.wtime() - t0;
-    const double slowest = comm.allreduce_max(elapsed);
 
-    // --- gather: root assembles y. ---
-    if (rank == root) {
-      std::copy(local_y.begin(), local_y.end(),
-                result.y.begin() + local.row_begin);
+    if (resilient) {
+      // --- degrade: repartition missing row blocks across the survivors. ---
+      constexpr int kMaxRecoveryRounds = 3;
+      for (int round = 0; round < kMaxRecoveryRounds && !pending.empty(); ++round) {
+        std::vector<int> survivors;
+        for (int ue = 1; ue < comm.size(); ++ue) {
+          if (answering[static_cast<std::size_t>(ue)]) survivors.push_back(ue);
+        }
+        if (survivors.empty()) break;
+        std::vector<sparse::RowBlock> requeued;
+        for (const sparse::RowBlock& block : pending) {
+          const auto shares =
+              repartition_block(a, block, static_cast<int>(survivors.size()));
+          std::vector<std::pair<int, sparse::RowBlock>> assigned;
+          for (std::size_t i = 0; i < shares.size(); ++i) {
+            const sparse::RowBlock& share = shares[i];
+            if (share.row_count() == 0) continue;
+            const int ue = survivors[i];
+            if (!answering[static_cast<std::size_t>(ue)]) {
+              requeued.push_back(share);
+              continue;
+            }
+            try {
+              send_csr_rows(comm, a, share.row_begin, share.row_end, ue);
+              driver_log.push_back({fault::EventType::kRepartition, ue, -1,
+                                    static_cast<std::uint64_t>(round), "spmv",
+                                    block_detail(share)});
+              assigned.emplace_back(ue, share);
+            } catch (const PeerDeadError&) {
+              answering[static_cast<std::size_t>(ue)] = 0;
+              requeued.push_back(share);
+            } catch (const TimeoutError&) {
+              requeued.push_back(share);
+            }
+          }
+          for (const auto& [ue, share] : assigned) {
+            try {
+              comm.recv(result.y.data() + share.row_begin,
+                        static_cast<std::size_t>(share.row_count()) * sizeof(real_t), ue);
+            } catch (const PeerDeadError&) {
+              answering[static_cast<std::size_t>(ue)] = 0;
+              requeued.push_back(share);
+            } catch (const TimeoutError&) {
+              requeued.push_back(share);
+            }
+          }
+        }
+        pending = std::move(requeued);
+      }
+      // Last resort: the root owns A and x, so any rows still missing are
+      // computed locally rather than failing the product.
+      for (const sparse::RowBlock& block : pending) {
+        LocalBlock rest;
+        rest.row_begin = block.row_begin;
+        rest.rows = block.row_count();
+        rest.ptr = rebased_ptr(a, block.row_begin, block.row_end);
+        const nnz_t base = a.ptr()[static_cast<std::size_t>(block.row_begin)];
+        rest.col.assign(a.col().begin() + base, a.col().begin() + base + block.nnz);
+        rest.val.assign(a.val().begin() + base, a.val().begin() + base + block.nnz);
+        std::vector<real_t> rest_y;
+        compute_block(rest, local_x, rest_y);
+        std::copy(rest_y.begin(), rest_y.end(), result.y.begin() + rest.row_begin);
+        driver_log.push_back({fault::EventType::kRepartition, root, -1,
+                              static_cast<std::uint64_t>(kMaxRecoveryRounds), "spmv",
+                              block_detail(block) + " (root fallback)"});
+      }
+      // Release the recovery service loops.
       for (int ue = 1; ue < comm.size(); ++ue) {
-        const sparse::RowBlock& b = blocks[static_cast<std::size_t>(ue)];
-        if (b.row_count() > 0) {
-          comm.recv(result.y.data() + b.row_begin,
-                    static_cast<std::size_t>(b.row_count()) * sizeof(real_t), ue);
+        if (!answering[static_cast<std::size_t>(ue)]) continue;
+        const index_t done[2] = {0, 0};
+        try {
+          comm.send(done, sizeof done, ue);
+        } catch (const PeerDeadError&) {
+        } catch (const TimeoutError&) {
         }
       }
-      result.kernel_seconds = slowest;
-    } else if (local.rows > 0) {
-      comm.send(local_y.data(), local_y.size() * sizeof(real_t), root);
     }
   };
 
   result.report = rcce::run(num_ues, body, options);
+  result.report.fault_log.insert(result.report.fault_log.end(), driver_log.begin(),
+                                 driver_log.end());
   return result;
 }
 

@@ -3,6 +3,17 @@
 // UEs, x is replicated to every UE (there is no coherent shared memory to
 // read it from), each UE computes its block with the Figure-2 kernel, and
 // the root gathers the y blocks.
+//
+// When `RuntimeOptions::injector` is set the driver switches to a resilient
+// protocol: the root detects UEs that died or stopped answering (via
+// PeerDeadError / the watchdog's TimeoutError), repartitions the missing row
+// blocks across the survivors with the paper's nnz-balanced partitioner, and
+// -- as a last resort -- computes any still-missing rows itself, so the
+// product completes with a correct y. Every kill, retry, timeout and
+// repartition is recorded in `report.fault_log`, deterministically for a
+// fixed fault seed. The root (rank 0) owns A and x and must survive;
+// straggler delays must stay below the watchdog timeout or a slow UE is
+// treated as failed.
 #pragma once
 
 #include <span>

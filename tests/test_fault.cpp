@@ -1,0 +1,154 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scc::fault {
+namespace {
+
+TEST(FaultPlan, EmptyByDefault) {
+  EXPECT_TRUE(Plan{}.empty());
+}
+
+TEST(FaultPlan, AnyFaultMakesItNonEmpty) {
+  Plan kills;
+  kills.kills.push_back({1, 0});
+  EXPECT_FALSE(kills.empty());
+
+  Plan rates;
+  rates.transient_rate = 0.1;
+  EXPECT_FALSE(rates.empty());
+
+  Plan arena;
+  arena.arena_exhaust_rounds.push_back(0);
+  EXPECT_FALSE(arena.empty());
+}
+
+TEST(FaultInjector, ExplicitKillFiresOnlyAtItsSite) {
+  Plan plan;
+  plan.kills.push_back({2, 5});
+  const Injector injector(plan);
+  EXPECT_TRUE(injector.on_op(2, Op::kBarrier, 5).kill);
+  EXPECT_FALSE(injector.on_op(2, Op::kBarrier, 4).kill);
+  EXPECT_FALSE(injector.on_op(2, Op::kBarrier, 6).kill);
+  EXPECT_FALSE(injector.on_op(1, Op::kBarrier, 5).kill);
+}
+
+TEST(FaultInjector, ExplicitDelayAndFlagDrop) {
+  Plan plan;
+  plan.delays.push_back({0, 3, 0.25});
+  plan.flag_drops.push_back({1, 7});
+  const Injector injector(plan);
+  EXPECT_DOUBLE_EQ(injector.on_op(0, Op::kSend, 3).delay_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(injector.on_op(0, Op::kSend, 2).delay_seconds, 0.0);
+  EXPECT_TRUE(injector.on_op(1, Op::kFlagSet, 7).drop_flag);
+  EXPECT_FALSE(injector.on_op(1, Op::kFlagSet, 6).drop_flag);
+}
+
+TEST(FaultInjector, ExplicitTransferAddressesOneMessage) {
+  Plan plan;
+  plan.transfers.push_back({0, 1, 2, TransferMode::kCorrupt, 1});
+  const Injector injector(plan);
+  EXPECT_EQ(injector.on_transfer(0, 1, 2).mode, TransferMode::kCorrupt);
+  EXPECT_EQ(injector.on_transfer(0, 1, 1).mode, TransferMode::kNone);
+  EXPECT_EQ(injector.on_transfer(1, 0, 2).mode, TransferMode::kNone);
+}
+
+TEST(FaultInjector, TransientCarriesItsFailureBudget) {
+  Plan plan;
+  plan.transfers.push_back({3, 4, 0, TransferMode::kTransient, 7});
+  const Injector injector(plan);
+  const auto action = injector.on_transfer(3, 4, 0);
+  EXPECT_EQ(action.mode, TransferMode::kTransient);
+  EXPECT_EQ(action.transient_failures, 7);
+}
+
+TEST(FaultInjector, ShmallocExhaustionByRound) {
+  Plan plan;
+  plan.arena_exhaust_rounds = {1, 3};
+  const Injector injector(plan);
+  EXPECT_FALSE(injector.exhaust_shmalloc(0));
+  EXPECT_TRUE(injector.exhaust_shmalloc(1));
+  EXPECT_FALSE(injector.exhaust_shmalloc(2));
+  EXPECT_TRUE(injector.exhaust_shmalloc(3));
+}
+
+TEST(FaultInjector, StochasticDrawsArePureFunctionsOfTheSite) {
+  Plan plan;
+  plan.seed = 1234;
+  plan.drop_rate = 0.5;
+  const Injector a(plan);
+  const Injector b(plan);
+  // Same seed: every site agrees between independent injectors, and asking
+  // twice gives the same answer (the oracle is stateless).
+  for (std::uint64_t msg = 0; msg < 64; ++msg) {
+    EXPECT_EQ(a.on_transfer(0, 1, msg).mode, b.on_transfer(0, 1, msg).mode) << msg;
+    EXPECT_EQ(a.on_transfer(0, 1, msg).mode, a.on_transfer(0, 1, msg).mode) << msg;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentSchedules) {
+  Plan p1;
+  p1.seed = 1;
+  p1.drop_rate = 0.5;
+  Plan p2 = p1;
+  p2.seed = 2;
+  const Injector a(p1);
+  const Injector b(p2);
+  int disagreements = 0;
+  for (std::uint64_t msg = 0; msg < 64; ++msg) {
+    disagreements += a.on_transfer(0, 1, msg).mode != b.on_transfer(0, 1, msg).mode;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjector, RateZeroNeverFiresRateOneAlwaysFires) {
+  Plan quiet;
+  quiet.delay_rate = 0.0;
+  quiet.transient_rate = 0.0;
+  const Injector silent(quiet);
+  Plan loud;
+  loud.drop_rate = 1.0;
+  const Injector noisy(loud);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(silent.on_op(0, Op::kSend, i).delay_seconds, 0.0);
+    EXPECT_EQ(silent.on_transfer(0, 1, i).mode, TransferMode::kNone);
+    EXPECT_EQ(noisy.on_transfer(0, 1, i).mode, TransferMode::kDrop);
+  }
+}
+
+TEST(FaultEvent, DescribeAndCount) {
+  const std::vector<Event> log = {
+      {EventType::kKill, 2, -1, 4, "recv", ""},
+      {EventType::kRetry, 0, 1, 3, "send", "attempt 1"},
+      {EventType::kRetry, 3, 0, 9, "send", "attempt 1"},
+  };
+  EXPECT_EQ(count(log, EventType::kRetry), 2u);
+  EXPECT_EQ(count(log, EventType::kKill), 1u);
+  EXPECT_EQ(count(log, EventType::kTimeout), 0u);
+  const std::string line = describe(log[0]);
+  EXPECT_NE(line.find("kill"), std::string::npos) << line;
+  EXPECT_NE(line.find("UE 2"), std::string::npos) << line;
+  EXPECT_NE(line.find("recv"), std::string::npos) << line;
+}
+
+TEST(FaultEvent, UeKilledErrorCarriesItsSite) {
+  const UeKilledError error(3, 17);
+  EXPECT_EQ(error.rank(), 3);
+  EXPECT_EQ(error.op_index(), 17u);
+  EXPECT_NE(std::string(error.what()).find("UE 3"), std::string::npos);
+}
+
+TEST(FaultInjector, RejectsInvalidPlans) {
+  Plan negative_rate;
+  negative_rate.drop_rate = -0.5;
+  EXPECT_THROW(Injector{negative_rate}, std::invalid_argument);
+  Plan over_one;
+  over_one.transient_rate = 1.5;
+  EXPECT_THROW(Injector{over_one}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scc::fault

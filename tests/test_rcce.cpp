@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstring>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 
 namespace scc::rcce {
 namespace {
@@ -97,15 +101,25 @@ TEST(Rcce, SendRecvLargerThanMpbIsChunked) {
 }
 
 TEST(Rcce, SendSizeMismatchFailsCleanly) {
-  EXPECT_THROW(run(2, [](Comm& comm) {
-    std::int32_t small = 0;
-    std::int64_t large = 0;
-    if (comm.rank() == 0) {
-      comm.send(&small, sizeof small, 1);
-    } else {
-      comm.recv(&large, sizeof large, 0);
-    }
-  }), std::invalid_argument);
+  // The mismatch is a rendezvous-level protocol error naming both parties
+  // and both sizes, not a plain argument error.
+  try {
+    run(2, [](Comm& comm) {
+      std::int32_t small = 0;
+      std::int64_t large = 0;
+      if (comm.rank() == 0) {
+        comm.send(&small, sizeof small, 1);
+      } else {
+        comm.recv(&large, sizeof large, 0);
+      }
+    });
+    FAIL() << "expected MessageSizeMismatchError";
+  } catch (const MessageSizeMismatchError& e) {
+    EXPECT_EQ(e.source(), 0);
+    EXPECT_EQ(e.dest(), 1);
+    EXPECT_EQ(e.send_bytes(), sizeof(std::int32_t));
+    EXPECT_EQ(e.recv_bytes(), sizeof(std::int64_t));
+  }
 }
 
 TEST(Rcce, SendToSelfRejected) {
@@ -240,6 +254,220 @@ TEST(Rcce, BodyExceptionPropagatesAndUnblocksPeers) {
     }
     comm.barrier();
   }), std::runtime_error);
+}
+
+TEST(Rcce, BodyExceptionUnblocksPeerMidRecv) {
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      throw std::runtime_error("deliberate failure");
+    }
+    int value = 0;
+    comm.recv(&value, sizeof value, 1);
+  }), std::runtime_error);
+}
+
+TEST(Rcce, BodyExceptionUnblocksPeerMidFlagWait) {
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      throw std::runtime_error("deliberate failure");
+    }
+    comm.flag_wait(0, true);
+  }), std::runtime_error);
+}
+
+rcce::RuntimeOptions with_plan(fault::Plan plan, double timeout = 5.0) {
+  RuntimeOptions opts;
+  opts.watchdog_timeout_seconds = timeout;
+  opts.injector = std::make_shared<fault::Injector>(std::move(plan));
+  return opts;
+}
+
+TEST(RcceResilience, EmptyPlanLeavesRunUntouched) {
+  const RunReport report = run(4, [](Comm& comm) {
+    double v = comm.rank() == 0 ? 3.5 : 0.0;
+    comm.bcast(&v, sizeof v, 0);
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    comm.barrier();
+  }, with_plan(fault::Plan{}));
+  EXPECT_TRUE(report.fault_log.empty());
+  EXPECT_TRUE(report.dead_ues.empty());
+}
+
+TEST(RcceResilience, KilledUeIsRecordedAndBarrierRebalances) {
+  fault::Plan plan;
+  plan.kills.push_back({1, 0});  // UE 1 dies entering its first op
+  const RunReport report = run(3, [](Comm& comm) {
+    comm.barrier();  // must release with only the survivors
+    if (comm.rank() != 1) {
+      EXPECT_TRUE(comm.ue_alive(comm.rank()));
+      EXPECT_FALSE(comm.ue_alive(1));
+    }
+  }, with_plan(plan));
+  EXPECT_EQ(report.dead_ues, (std::vector<int>{1}));
+  EXPECT_EQ(fault::count(report.fault_log, fault::EventType::kKill), 1u);
+}
+
+TEST(RcceResilience, SendToDeadPeerRaisesPeerDead) {
+  fault::Plan plan;
+  plan.kills.push_back({1, 0});
+  try {
+    run(2, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        int value = 7;
+        comm.send(&value, sizeof value, 1);
+      } else {
+        comm.barrier();  // killed here
+      }
+    }, with_plan(plan));
+    FAIL() << "expected PeerDeadError";
+  } catch (const PeerDeadError& e) {
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.peer(), 1);
+  }
+}
+
+TEST(RcceResilience, DroppedFlagSetTimesOutTheWaiter) {
+  fault::Plan plan;
+  plan.flag_drops.push_back({0, 0});  // rank 0's first op is the flag_set
+  try {
+    run(2, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.flag_set(3, true, 1);
+      } else {
+        comm.flag_wait(3, true);
+      }
+    }, with_plan(plan, 0.2));
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.op(), "flag_wait");
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.flag_id(), 3);
+    EXPECT_DOUBLE_EQ(e.seconds(), 0.2);
+  }
+}
+
+TEST(RcceResilience, DroppedMessageTimesOutTheReceiver) {
+  fault::Plan plan;
+  plan.transfers.push_back({0, 1, 0, fault::TransferMode::kDrop, 1});
+  try {
+    run(2, [](Comm& comm) {
+      int value = 11;
+      if (comm.rank() == 0) {
+        comm.send(&value, sizeof value, 1);
+      } else {
+        comm.recv(&value, sizeof value, 0);
+      }
+    }, with_plan(plan, 0.2));
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.op(), "recv");
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.peer(), 0);
+  }
+}
+
+TEST(RcceResilience, TransientTransferRetriesThenDelivers) {
+  fault::Plan plan;
+  plan.transfers.push_back({0, 1, 0, fault::TransferMode::kTransient, 2});
+  int received = 0;
+  const RunReport report = run(2, [&](Comm& comm) {
+    const int value = 99;
+    if (comm.rank() == 0) {
+      comm.send(&value, sizeof value, 1);
+    } else {
+      comm.recv(&received, sizeof received, 0);
+    }
+  }, with_plan(plan));
+  EXPECT_EQ(received, 99);
+  EXPECT_EQ(fault::count(report.fault_log, fault::EventType::kRetry), 2u);
+}
+
+TEST(RcceResilience, TransientTransferExhaustsRetryBudget) {
+  fault::Plan plan;
+  plan.transfers.push_back({0, 1, 0, fault::TransferMode::kTransient, 10});
+  RuntimeOptions opts = with_plan(plan, 1.0);
+  opts.max_transfer_retries = 2;  // fewer than the 10 injected failures
+  EXPECT_THROW(run(2, [](Comm& comm) {
+    int value = 0;
+    if (comm.rank() == 0) {
+      comm.send(&value, sizeof value, 1);
+    } else {
+      comm.recv(&value, sizeof value, 0);
+    }
+  }, opts), SimulationError);
+}
+
+TEST(RcceResilience, CorruptedTransferFlipsPayloadAndIsLogged) {
+  fault::Plan plan;
+  plan.transfers.push_back({0, 1, 0, fault::TransferMode::kCorrupt, 1});
+  std::array<std::uint8_t, 4> received{};
+  const RunReport report = run(2, [&](Comm& comm) {
+    const std::array<std::uint8_t, 4> sent = {0x10, 0x20, 0x30, 0x40};
+    if (comm.rank() == 0) {
+      comm.send(sent.data(), sent.size(), 1);
+    } else {
+      comm.recv(received.data(), received.size(), 0);
+    }
+  }, with_plan(plan));
+  EXPECT_EQ(received, (std::array<std::uint8_t, 4>{0xef, 0xdf, 0xcf, 0xbf}));
+  EXPECT_EQ(fault::count(report.fault_log, fault::EventType::kTransferCorrupt), 1u);
+}
+
+TEST(RcceResilience, StragglerDelayIsLoggedButHarmless) {
+  fault::Plan plan;
+  plan.delays.push_back({1, 0, 0.01});
+  const RunReport report = run(2, [](Comm& comm) {
+    comm.barrier();
+  }, with_plan(plan));
+  EXPECT_EQ(fault::count(report.fault_log, fault::EventType::kDelay), 1u);
+  EXPECT_TRUE(report.dead_ues.empty());
+}
+
+TEST(RcceResilience, InjectedArenaExhaustionThrows) {
+  fault::Plan plan;
+  plan.arena_exhaust_rounds.push_back(1);  // second collective round fails
+  EXPECT_THROW(run(1, [](Comm& comm) {
+    comm.shmalloc(64);   // round 0: fine
+    comm.shmalloc(64);   // round 1: injected exhaustion
+  }, with_plan(plan)), SimulationError);
+}
+
+TEST(RcceResilience, MismatchedShmallocNamesTheDisagreeingRanks) {
+  try {
+    run(2, [](Comm& comm) {
+      comm.shmalloc(comm.rank() == 0 ? 64u : 128u);
+      comm.barrier();
+    });
+    FAIL() << "expected a collective-mismatch error";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UE 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("UE 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+    EXPECT_NE(what.find("128"), std::string::npos) << what;
+  }
+}
+
+TEST(RcceResilience, StochasticFaultLogIsDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    fault::Plan plan;
+    plan.seed = seed;
+    plan.transient_rate = 0.3;
+    plan.delay_rate = 0.2;
+    plan.delay_seconds = 0.0001;
+    return run(4, [](Comm& comm) {
+      for (int round = 0; round < 5; ++round) {
+        double v = comm.rank() == 0 ? 1.0 : 0.0;
+        comm.bcast(&v, sizeof v, 0);
+        comm.barrier();
+      }
+    }, with_plan(plan)).fault_log;
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());  // the rates are high enough to fire at least once
+  EXPECT_NE(a, run_once(43));
 }
 
 TEST(RcceShm, CollectiveAllocationSameOffsetEverywhere) {

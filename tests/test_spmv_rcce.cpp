@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "fault/fault.hpp"
 #include "gen/generators.hpp"
 
 namespace scc::spmv {
@@ -80,6 +82,95 @@ TEST(RcceSpmv, XSizeValidated) {
   const auto m = gen::stencil_2d(4, 4);
   const std::vector<real_t> x(3, 1.0);
   EXPECT_THROW(rcce_spmv(m, x, 2), std::invalid_argument);
+}
+
+rcce::RuntimeOptions resilient_options(fault::Plan plan) {
+  rcce::RuntimeOptions opts;
+  opts.watchdog_timeout_seconds = 5.0;
+  opts.injector = std::make_shared<fault::Injector>(std::move(plan));
+  return opts;
+}
+
+TEST(RcceSpmvResilience, EmptyPlanGivesIdenticalResultToPlainRun) {
+  const auto m = gen::banded(1500, 12, 0.4, 9);
+  const auto x = test_vector(m.cols());
+  const auto plain = rcce_spmv(m, x, 6);
+  const auto resilient = rcce_spmv(m, x, 6, resilient_options(fault::Plan{}));
+  EXPECT_EQ(plain.y, resilient.y);  // byte-identical, not merely close
+  EXPECT_TRUE(resilient.report.fault_log.empty());
+  EXPECT_TRUE(resilient.report.dead_ues.empty());
+}
+
+TEST(RcceSpmvResilience, SurvivesOneUeKilledMidRun) {
+  fault::Plan plan;
+  plan.kills.push_back({2, 4});  // UE 2 dies partway through its op sequence
+  const auto m = gen::banded(2000, 14, 0.4, 10);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 6, resilient_options(plan));
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(result.y[i], ref[i], 1e-9 * (1.0 + std::abs(ref[i]))) << "row " << i;
+  }
+  EXPECT_EQ(result.report.dead_ues, (std::vector<int>{2}));
+  EXPECT_GE(fault::count(result.report.fault_log, fault::EventType::kRepartition), 1u);
+}
+
+TEST(RcceSpmvResilience, SurvivesTwoUesKilledMidRun) {
+  fault::Plan plan;
+  plan.kills.push_back({1, 3});
+  plan.kills.push_back({4, 5});
+  const auto m = gen::power_law(1800, 9, 1.2, 11);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 6, resilient_options(plan));
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(result.y[i], ref[i], 1e-9 * (1.0 + std::abs(ref[i]))) << "row " << i;
+  }
+  EXPECT_EQ(result.report.dead_ues, (std::vector<int>{1, 4}));
+}
+
+TEST(RcceSpmvResilience, SurvivesUeKilledBeforeDistribution) {
+  fault::Plan plan;
+  plan.kills.push_back({3, 0});  // dead before it ever receives its block
+  const auto m = gen::banded(1200, 10, 0.5, 12);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 5, resilient_options(plan));
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(result.y[i], ref[i], 1e-9 * (1.0 + std::abs(ref[i]))) << "row " << i;
+  }
+  EXPECT_EQ(result.report.dead_ues, (std::vector<int>{3}));
+}
+
+TEST(RcceSpmvResilience, TransientFaultsRetryWithoutChangingTheProduct) {
+  fault::Plan plan;
+  plan.seed = 99;
+  plan.transient_rate = 0.15;
+  const auto m = gen::banded(1500, 12, 0.4, 13);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 6, resilient_options(plan));
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(result.y[i], ref[i], 1e-9 * (1.0 + std::abs(ref[i]))) << "row " << i;
+  }
+  EXPECT_GE(fault::count(result.report.fault_log, fault::EventType::kRetry), 1u);
+}
+
+TEST(RcceSpmvResilience, FaultLogIsDeterministicPerSeed) {
+  const auto m = gen::banded(1600, 12, 0.4, 14);
+  const auto x = test_vector(m.cols());
+  const auto run_once = [&] {
+    fault::Plan plan;
+    plan.seed = 7;
+    plan.kills.push_back({2, 4});
+    plan.transient_rate = 0.1;
+    return rcce_spmv(m, x, 6, resilient_options(plan)).report;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.fault_log, b.fault_log);
+  EXPECT_EQ(a.dead_ues, b.dead_ues);
+  EXPECT_FALSE(a.fault_log.empty());
 }
 
 /// Sweep: result equals the serial reference for every UE count tried.

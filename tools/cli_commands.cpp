@@ -5,13 +5,19 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <memory>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "fault/fault.hpp"
 #include "gen/generators.hpp"
 #include "sim/engine.hpp"
 #include "sparse/io.hpp"
 #include "sparse/properties.hpp"
 #include "sparse/reorder.hpp"
+#include "spmv/rcce_spmv.hpp"
 #include "testbed/suite.hpp"
 
 namespace scc::tools {
@@ -105,6 +111,26 @@ sim::StorageFormat format_from(const CliArgs& args) {
   return sim::StorageFormat::kCsr;
 }
 
+std::vector<int> parse_rank_list(const std::string& text) {
+  std::vector<int> ranks;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t used = 0;
+    int rank = -1;
+    try {
+      rank = std::stoi(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    SCC_REQUIRE(used == item.size(),
+                "--kill-ranks expects a comma-separated rank list, got '" << item << "'");
+    ranks.push_back(rank);
+  }
+  return ranks;
+}
+
 }  // namespace
 
 int cmd_generate(const CliArgs& args, std::ostream& out) {
@@ -186,6 +212,84 @@ int cmd_convert(const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_resilience(const CliArgs& args, std::ostream& out) {
+  const auto m = (args.has("matrix") || args.has("id")) ? load_input(args) : build_family(args);
+  const int ues = static_cast<int>(args.get_int_or("ues", 8));
+
+  fault::Plan plan;
+  plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 0x5cc));
+  const auto kill_op = static_cast<std::uint64_t>(args.get_int_or("kill-op", 4));
+  for (const int rank : parse_rank_list(args.get_or("kill-ranks", ""))) {
+    SCC_REQUIRE(rank > 0 && rank < ues,
+                "--kill-ranks entries must be survivable worker ranks (1.." << ues - 1 << ")");
+    plan.kills.push_back({rank, kill_op});
+  }
+  plan.transient_rate = args.get_double_or("transient-rate", 0.0);
+  plan.drop_rate = args.get_double_or("drop-rate", 0.0);
+  plan.delay_rate = args.get_double_or("delay-rate", 0.0);
+  plan.delay_seconds = args.get_double_or("delay-seconds", 0.0005);
+
+  rcce::RuntimeOptions options;
+  options.watchdog_timeout_seconds = args.get_double_or("timeout", 2.0);
+  options.injector = std::make_shared<fault::Injector>(plan);
+
+  std::vector<real_t> x(static_cast<std::size_t>(m.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::cos(static_cast<double>(i) * 0.25);
+  }
+
+  const auto run = spmv::rcce_spmv(m, x, ues, options);
+  const auto reference = sparse::dense_reference_spmv(m, x);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    max_error = std::max(max_error, std::abs(run.y[i] - reference[i]));
+  }
+  const bool correct = max_error <= 1e-9;
+
+  const auto& log = run.report.fault_log;
+  Table t("resilience report");
+  t.set_header({"property", "value"});
+  t.add_row({"matrix", Table::integer(m.rows()) + " rows, " + Table::integer(m.nnz()) + " nnz"});
+  t.add_row({"UEs / watchdog",
+             Table::integer(ues) + " / " + Table::num(options.watchdog_timeout_seconds, 2) + " s"});
+  const auto events = [&log](fault::EventType type) {
+    return Table::integer(static_cast<long long>(fault::count(log, type)));
+  };
+  t.add_row({"fault seed", Table::integer(static_cast<long long>(plan.seed))});
+  t.add_row({"UEs killed", Table::integer(static_cast<long long>(run.report.dead_ues.size()))});
+  t.add_row({"transfer drops", events(fault::EventType::kTransferDrop)});
+  t.add_row({"transient retries", events(fault::EventType::kRetry)});
+  t.add_row({"straggler delays", events(fault::EventType::kDelay)});
+  t.add_row({"watchdog timeouts", events(fault::EventType::kTimeout)});
+  t.add_row({"repartitions", events(fault::EventType::kRepartition)});
+  t.add_row({"max |y - y_ref|", Table::num(max_error, 12)});
+  t.add_row({"product", correct ? "recovered correctly" : "WRONG"});
+  t.print(out);
+
+  if (args.get_bool_or("log", false)) {
+    out << '\n';
+    for (const auto& event : log) out << "  " << fault::describe(event) << '\n';
+  }
+
+  if (!run.report.dead_ues.empty()) {
+    const sim::Engine engine;
+    const auto healthy = engine.run(m, ues, chip::MappingPolicy::kDistanceReduction);
+    const auto degraded = engine.run_degraded(m, ues, chip::MappingPolicy::kDistanceReduction,
+                                              run.report.dead_ues);
+    out << '\n';
+    Table model("timing-model impact (Section V machine)");
+    model.set_header({"property", "value"});
+    model.add_row({"healthy GFLOPS", Table::num(healthy.gflops, 4)});
+    model.add_row({"degraded GFLOPS", Table::num(degraded.gflops, 4)});
+    model.add_row({"recovery overhead", Table::num(degraded.recovery_seconds * 1e3, 3) + " ms"});
+    model.add_row(
+        {"reshipped CSR", Table::num(static_cast<double>(degraded.reshipped_bytes) / 1024.0, 1) +
+                              " KB"});
+    model.print(out);
+  }
+  return correct ? 0 : 1;
+}
+
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
   static constexpr const char* kUsage =
       "usage: scc-spmv <command> [options]\n"
@@ -194,7 +298,10 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "  analyze   --matrix FILE | --id K                      structural report\n"
       "  simulate  --matrix FILE | --id K [--cores C] [--mapping standard|dr|ca]\n"
       "            [--conf 0|1|2] [--format csr|ell|bcsr2|bcsr4|hyb]\n"
-      "  convert   --matrix FILE [--rcm] --out FILE            normalize / reorder\n";
+      "  convert   --matrix FILE [--rcm] --out FILE            normalize / reorder\n"
+      "  resilience [--matrix FILE | --id K | --family F] [--ues U]\n"
+      "            [--kill-ranks 1,3 --kill-op N] [--transient-rate P] [--drop-rate P]\n"
+      "            [--delay-rate P] [--timeout S] [--fault-seed S] [--log]\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
@@ -206,6 +313,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (command == "analyze") return cmd_analyze(args, out);
     if (command == "simulate") return cmd_simulate(args, out);
     if (command == "convert") return cmd_convert(args, out);
+    if (command == "resilience") return cmd_resilience(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -8,6 +8,7 @@
 //   analyze   -- structural + locality report for a matrix
 //   simulate  -- run the SCC simulator on a matrix (cores/mapping/conf/format)
 //   convert   -- normalize / RCM-reorder a Matrix Market file
+//   resilience -- run the fault-injected RCCE SpMV and report the recovery
 #pragma once
 
 #include <iosfwd>
@@ -21,6 +22,7 @@ int cmd_testbed(const CliArgs& args, std::ostream& out);
 int cmd_analyze(const CliArgs& args, std::ostream& out);
 int cmd_simulate(const CliArgs& args, std::ostream& out);
 int cmd_convert(const CliArgs& args, std::ostream& out);
+int cmd_resilience(const CliArgs& args, std::ostream& out);
 
 /// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
 /// or missing command.
