@@ -18,7 +18,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Ablation", "model ingredients and the RCM locality cure");
+  benchutil::Reporter rep("ablation_model");
+  rep.banner("Ablation", "model ingredients and the RCM locality cure");
   const auto suite = benchutil::load_suite();
 
   // --- A: contention on/off at 24 cores, standard mapping. ---
@@ -39,7 +40,7 @@ int main() {
       t.add_row({cfg->memory.model_contention ? "contention on" : "contention off",
                  Table::num(std_perf, 1), Table::num(dr_perf / std_perf, 3)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_contention");
     std::cout << '\n';
   }
 
@@ -57,7 +58,7 @@ int main() {
                  Table::num(sparse::partition_imbalance(balanced), 3),
                  Table::num(sparse::partition_imbalance(equal), 3)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_partitioning");
     std::cout << '\n';
   }
 
@@ -83,7 +84,7 @@ int main() {
       t.add_row({Table::integer(id), e.name, Table::num(base, 1), Table::num(rcm, 1),
                  Table::num(bound, 1), Table::num(recovered, 0)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_rcm");
   }
 
   // --- D: RCCE barrier -- first-principles cost vs the engine's calibrated
@@ -101,7 +102,7 @@ int main() {
       t.add_row({Table::integer(ues), Table::num(derived, 1), Table::num(calibrated, 1),
                  Table::num(calibrated / derived, 2)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_barrier");
     std::cout << '\n';
   }
 
@@ -129,7 +130,7 @@ int main() {
                  Table::num(speedups[c] / (pl / p0_lin), 3),
                  Table::num(speedups[c] / (pd / p0_dvfs), 3)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_power");
     std::cout << '\n';
   }
 
@@ -149,7 +150,7 @@ int main() {
       }
       t.add_row(std::move(row));
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_mapping_ext");
   }
 
   // --- G: whole-application view -- distributing the matrix through the
@@ -169,9 +170,9 @@ int main() {
                  Table::num(costs.product_seconds * 1e3, 3),
                  Table::num(costs.amortization_products(0.05), 0)});
     }
-    t.print(std::cout);
+    rep.emit(t, "ablation_amortization");
   }
 
   std::cout << "\nAblation bench completed (informational; no pass/fail claims).\n";
-  return 0;
+  return rep.finish(true);
 }

@@ -14,8 +14,9 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Format study (extension)",
-                    "CSR vs ELL vs BCSR vs HYB on the simulated SCC, 24 cores");
+  benchutil::Reporter rep("ext_format_study");
+  rep.banner("Format study (extension)",
+             "CSR vs ELL vs BCSR vs HYB on the simulated SCC, 24 cores");
   const auto suite = benchutil::load_suite();
   const sim::Engine engine;
 
@@ -66,7 +67,7 @@ int main() {
     row.push_back(best_name);
     table.add_row(std::move(row));
   }
-  benchutil::emit(table, "ext_format_study");
+  rep.emit(table, "ext_format_study");
 
   std::cout << "\nReading: CSR holds up remarkably well on the SCC -- the in-order P54C gains"
             << "\nlittle from padding/coalescing tricks designed for SIMD/GPU pipelines."
@@ -76,8 +77,7 @@ int main() {
             << Table::num(hyb_on_skewed, 0) << ") -- consistent with why Bell & Garland's GPU"
             << "\nlibrary (the paper's Fig 10 comparator) defaults to HYB.\n";
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"ELL slower than CSR on skewed rows (1=yes)", 1.0,
         ell_on_skewed < csr_on_skewed ? 1.0 : 0.0, 0.0},
        {"HYB recovers most of ELL's skew loss (1=yes)", 1.0,
@@ -86,5 +86,5 @@ int main() {
         bcsr2_never_worse_than_bcsr4 ? 1.0 : 0.0, 0.0},
        {"BCSR b=2 beats CSR on the blocked mass matrix (1=yes)", 1.0,
         bcsr2_on_mass > csr_on_mass ? 1.0 : 0.0, 0.0}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -67,7 +67,8 @@ std::string count_cell(std::size_t n) { return Table::integer(static_cast<long l
 
 int main() {
   using namespace scc;
-  benchutil::banner("Fault sweep", "fault rate vs. GFLOPS and recovery overhead");
+  benchutil::Reporter rep("fault_sweep");
+  rep.banner("Fault sweep", "fault rate vs. GFLOPS and recovery overhead");
 
   const auto m = gen::banded(4000, 24, 0.4, 7);
   std::vector<real_t> x(static_cast<std::size_t>(m.cols()));
@@ -88,7 +89,7 @@ int main() {
       t.add_row({Table::num(rate, 2), Table::num(rate / 4.0, 3), count_cell(r.retries),
                  count_cell(r.drops), count_cell(r.timeouts), r.correct ? "yes" : "NO"});
     }
-    benchutil::emit(t, "fault_sweep_rates");
+    rep.emit(t, "fault_sweep_rates");
   }
 
   // --- Part 1b: permanent UE deaths and the degraded-mode recovery. ---
@@ -105,7 +106,7 @@ int main() {
       t.add_row({Table::integer(kills), count_cell(r.dead), count_cell(r.repartitions),
                  r.correct ? "yes" : "NO"});
     }
-    benchutil::emit(t, "fault_sweep_kills");
+    rep.emit(t, "fault_sweep_kills");
   }
 
   // --- Part 2: what the deaths cost on the Section-V machine model. ---
@@ -127,8 +128,8 @@ int main() {
                  Table::num(d.recovery_seconds * 1e3, 3),
                  Table::num(static_cast<double>(d.reshipped_bytes) / 1024.0, 1)});
     }
-    benchutil::emit(t, "fault_sweep_model");
+    rep.emit(t, "fault_sweep_model");
   }
 
-  return 0;
+  return rep.finish(true);
 }

@@ -13,7 +13,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 10", "architectural comparison: CPUs, GPUs and the SCC");
+  benchutil::Reporter rep("fig10_archcmp");
+  rep.banner("Figure 10", "architectural comparison: CPUs, GPUs and the SCC");
   const auto suite = benchutil::load_suite();
 
   // SCC measurements (48 cores, distance-reduction mapping).
@@ -54,7 +55,7 @@ int main() {
     table.add_row({p.name, Table::num(p.gflops, 2), Table::num(p.watts, 1),
                    Table::num(rows.back().mflops_per_watt, 1)});
   }
-  benchutil::emit(table, "fig10_archcmp");
+  rep.emit(table, "fig10_archcmp");
 
   auto find = [&](const std::string& name) -> const Row& {
     for (const auto& r : rows) {
@@ -66,8 +67,7 @@ int main() {
   const Row& m2050 = find("Tesla M2050");
   const Row& scc0 = find("SCC conf0");
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"M2050 average (paper: ~7.9 GFLOPS)", 7.9, m2050.gflops, 0.15},
        {"M2050 speedup over SCC conf0 (paper: ~7.6x)", 7.6, m2050.gflops / scc0.gflops, 0.35},
        {"SCC outperforms the Itanium2 (perf ratio > 1)", 1.25,
@@ -76,5 +76,5 @@ int main() {
         scc0.mflops_per_watt / itanium.mflops_per_watt, 0.5},
        {"M2050 tops power efficiency (paper: ~35 MFLOPS/W)", 35.0, m2050.mflops_per_watt,
         0.15}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -7,7 +7,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 3", "single-core performance vs. hops to the memory controller");
+  benchutil::Reporter rep("fig3_hops");
+  rep.banner("Figure 3", "single-core performance vs. hops to the memory controller");
   const auto suite = benchutil::load_suite();
   const sim::Engine engine;  // conf0 defaults
 
@@ -24,15 +25,14 @@ int main() {
                    Table::num(perf[h] / perf[0], 3),
                    Table::num(chip::memory_latency_ns(engine.config().freq, 0, hops), 1)});
   }
-  benchutil::emit(table, "fig3_hops");
+  rep.emit(table, "fig3_hops");
 
   const double degradation_3hop = 1.0 - perf[3] / perf[0];
   std::cout << "\n3-hop degradation: " << Table::num(degradation_3hop * 100.0, 1) << "%\n";
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"3-hop degradation (paper: ~12%)", 0.12, degradation_3hop, 0.5},
        {"performance monotonically decreasing (1=yes)", 1.0,
         (perf[0] > perf[1] && perf[1] > perf[2] && perf[2] > perf[3]) ? 1.0 : 0.0, 0.0}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

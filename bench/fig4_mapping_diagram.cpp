@@ -50,7 +50,8 @@ void print_chip(std::ostream& os, const std::vector<int>& cores) {
 }  // namespace
 
 int main() {
-  benchutil::banner("Figure 4", "UE-to-core mapping diagrams (standard vs distance reduction)");
+  benchutil::Reporter rep("fig4_mapping_diagram");
+  rep.banner("Figure 4", "UE-to-core mapping diagrams (standard vs distance reduction)");
 
   bool example_ok = true;
   for (int ues : {4, 24}) {
@@ -69,8 +70,7 @@ int main() {
       chip::map_ues_to_cores(chip::MappingPolicy::kDistanceReduction, 4);
   example_ok = example == std::vector<int>{0, 1, 10, 11};
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"4-UE distance-reduction example is cores {0,1,10,11} (1=yes)", 1.0,
         example_ok ? 1.0 : 0.0, 0.0},
        {"standard 4-UE example is cores {0,1,2,3} (1=yes)", 1.0,
@@ -79,5 +79,5 @@ int main() {
             ? 1.0
             : 0.0,
         0.0}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -9,7 +9,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 5", "standard vs. distance-reduction mapping");
+  benchutil::Reporter rep("fig5_mapping");
+  rep.banner("Figure 5", "standard vs. distance-reduction mapping");
   const auto suite = benchutil::load_suite();
   const sim::Engine engine;
 
@@ -37,11 +38,10 @@ int main() {
          Table::num(chip::average_hops(chip::map_ues_to_cores(
                         chip::MappingPolicy::kDistanceReduction, cores)), 2)});
   }
-  benchutil::emit(table, "fig5_mapping");
+  rep.emit(table, "fig5_mapping");
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"max speedup of distance reduction (paper: up to ~1.23)", 1.23, best_speedup, 0.15},
        {"no difference at 2 cores (same core sets)", 1.0, speedup_at_2, 0.001}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

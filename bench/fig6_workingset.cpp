@@ -10,7 +10,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 6", "performance vs. working-set size at 8/24/48 cores");
+  benchutil::Reporter rep("fig6_workingset");
+  rep.banner("Figure 6", "performance vs. working-set size at 8/24/48 cores");
   const auto suite = benchutil::load_suite();
   const sim::Engine engine;
 
@@ -42,7 +43,7 @@ int main() {
       large24.push_back(p24);
     }
   }
-  benchutil::emit(table, "fig6_workingset");
+  rep.emit(table, "fig6_workingset");
 
   const double peak_small = max_value(small24);
   const double mean_large = mean(large24);
@@ -51,13 +52,12 @@ int main() {
             << " MFLOPS; short-row outliers #24/#25: " << Table::num(perf24_m24, 0) << " / "
             << Table::num(perf24_m25, 0) << " MFLOPS\n";
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"peak small-matrix perf @24 cores (paper: ~1000 MFLOPS)", 1000.0, peak_small, 0.5},
        {"large-matrix band @24 cores (paper: ~450 MFLOPS)", 450.0, mean_large, 0.6},
        {"small matrices boosted vs large (ratio > 1)", 2.0, peak_small / mean_large, 0.6},
        {"outlier #24 below the small-matrix peak (ratio)", 0.4, perf24_m24 / peak_small, 0.9},
        {"outlier #25 below the small-matrix peak (ratio)", 0.4, perf24_m25 / peak_small,
         0.9}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

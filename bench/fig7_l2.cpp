@@ -8,7 +8,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 7", "effect of disabling the per-core L2 caches");
+  benchutil::Reporter rep("fig7_l2");
+  rep.banner("Figure 7", "effect of disabling the per-core L2 caches");
   const auto suite = benchutil::load_suite();
 
   sim::EngineConfig cfg_with;
@@ -35,7 +36,7 @@ int main() {
     table.add_row({Table::integer(cores), Table::num(a, 1), Table::num(b, 1),
                    Table::num(degradation * 100.0, 1)});
   }
-  benchutil::emit(table, "fig7_l2");
+  rep.emit(table, "fig7_l2");
 
   // Secondary observation: with L2 off, per-matrix perf at 48 cores loses
   // its correlation with working-set size (everything misses).
@@ -55,8 +56,7 @@ int main() {
             << Table::num(flat_ratio, 2) << " (with L2 this ratio is >> 1; flat ~1 means the"
             << " working-set effect disappeared, as the paper observes)\n";
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       // The surviving paper text prints "3% when using 48 cores" with a digit
       // lost to OCR; 30% is the most conservative reading (could be 3x%/5x%).
       // Our trace model credits L2 somewhat more than that reading, hence the
@@ -65,5 +65,5 @@ int main() {
        {"degradation grows with core count (1=yes)", 1.0,
         degradation_48 > degradation_4 ? 1.0 : 0.0, 0.0},
        {"no small-matrix boost without L2 (ratio ~1)", 1.0, flat_ratio, 0.45}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -9,7 +9,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 8", "impact of irregular accesses on vector x");
+  benchutil::Reporter rep("fig8_irregular");
+  rep.banner("Figure 8", "impact of irregular accesses on vector x");
   const auto suite = benchutil::load_suite();
   const sim::Engine engine;
 
@@ -40,7 +41,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  benchutil::emit(table, "fig8_irregular");
+  rep.emit(table, "fig8_irregular");
 
   std::cout << '\n';
   double min_fraction = 1.0;
@@ -52,11 +53,10 @@ int main() {
               << Table::num(frac * 100.0, 0) << "%\n";
   }
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"fraction with speedup>1.10 at every core count (paper: >50%)", 0.60, min_fraction,
         0.4},
        {"outlier #24 speedup at 24 cores (paper: >2)", 2.2, speedup_m24, 0.5},
        {"outlier #25 speedup at 24 cores (paper: >2)", 2.2, speedup_m25, 0.5}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

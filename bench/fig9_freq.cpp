@@ -11,7 +11,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Figure 9", "performance and power efficiency of SCC configurations");
+  benchutil::Reporter rep("fig9_freq");
+  rep.banner("Figure 9", "performance and power efficiency of SCC configurations");
   const auto suite = benchutil::load_suite();
 
   struct Conf {
@@ -44,7 +45,7 @@ int main() {
     row.push_back(Table::num(at_count[2] / at_count[0], 3));
     perf_table.add_row(std::move(row));
   }
-  benchutil::emit(perf_table, "fig9a_performance");
+  rep.emit(perf_table, "fig9a_performance");
 
   double best_speedup1 = 0.0;
   double best_speedup2 = 0.0;
@@ -68,10 +69,9 @@ int main() {
     eff_table.add_row({confs[c].name, confs[c].freq.describe(), Table::num(mflops, 1),
                        Table::num(watts, 1), Table::num(mflops / watts, 2)});
   }
-  benchutil::emit(eff_table, "fig9b_efficiency");
+  rep.emit(eff_table, "fig9b_efficiency");
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"conf1 max speedup (paper: up to ~1.45)", 1.45, best_speedup1, 0.25},
        {"conf2 speedup (paper: ~1.2)", 1.2, best_speedup2, 0.25},
        {"conf1 over conf2 at 48 cores (paper: ~15% memory-clock gain)", 1.15,
@@ -81,5 +81,5 @@ int main() {
        {"conf1 most power-efficient (1=yes)", 1.0,
         (efficiency[1] > efficiency[0] && efficiency[1] > efficiency[2]) ? 1.0 : 0.0, 0.0},
        {"conf0 ~ conf2 efficiency (ratio ~1)", 1.0, efficiency[2] / efficiency[0], 0.12}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -7,7 +7,8 @@
 
 int main() {
   using namespace scc;
-  benchutil::banner("Table I", "matrix benchmark suite");
+  benchutil::Reporter rep("table1_suite");
+  rep.banner("Table I", "matrix benchmark suite");
   const auto suite = benchutil::load_suite();
 
   Table table("Table I -- matrix benchmark suite (synthetic stand-ins, see DESIGN.md)");
@@ -20,7 +21,7 @@ int main() {
                    Table::integer(sparse::bandwidth(e.matrix)),
                    Table::num(sparse::x_line_reuse_fraction(e.matrix), 2)});
   }
-  scc::benchutil::emit(table, "table1_suite");
+  rep.emit(table, "table1_suite");
 
   // Regime checks that the paper's Fig 6 discussion depends on.
   int fits_l2_at_24 = 0;
@@ -39,8 +40,7 @@ int main() {
             << "  matrices with ws/core < 256KB at 8 cores:  " << fits_l2_at_8 << "\n"
             << "  matrices with ws/core < 256KB at 24 cores: " << fits_l2_at_24 << "\n";
 
-  const bool ok = check_claims(
-      std::cout,
+  const bool ok = rep.check_claims(
       {{"suite size", 32.0, static_cast<double>(suite.size()), 0.0},
        {"no matrix fits L2 per-core at 8 cores (paper, Sec IV-B)", 0.0,
         static_cast<double>(fits_l2_at_8), 0.0},
@@ -48,5 +48,5 @@ int main() {
         0.5},
        {"shortest rows at #24 (rajat15)", 2.6, suite[23].nnz_per_row, 0.3},
        {"shortest rows at #25 (ncvxbqp1)", 2.8, suite[24].nnz_per_row, 0.3}});
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

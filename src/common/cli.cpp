@@ -66,4 +66,19 @@ std::vector<std::string> CliArgs::keys() const {
   return out;
 }
 
+OutputOptions parse_output_options(const CliArgs& args) {
+  OutputOptions options;
+  if (const auto json = args.get("json")) {
+    options.format = OutputFormat::kJson;
+    // A bare `--json` parses as the value "true": JSON to stdout.
+    if (*json != "true") options.json_path = *json;
+  }
+  if (const auto trace = args.get("trace")) {
+    SCC_REQUIRE(*trace != "true" && !trace->empty(),
+                "--trace requires a file: --trace=FILE");
+    options.trace_path = *trace;
+  }
+  return options;
+}
+
 }  // namespace scc

@@ -3,6 +3,10 @@
 // Supports `--key=value`, `--key value` and boolean `--flag` forms; anything
 // not starting with "--" is a positional argument. Unknown keys are kept so
 // binaries can reject them explicitly.
+//
+// Also home of the shared output-selection flags every scc-spmv subcommand
+// understands (`--json[=FILE]`, `--trace=FILE`), parsed once by
+// `parse_output_options` so the commands agree on semantics.
 #pragma once
 
 #include <map>
@@ -37,5 +41,22 @@ class CliArgs {
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// How a command renders its result.
+enum class OutputFormat { kTable, kJson };
+
+/// Shared output flags: `--json` selects JSON on stdout, `--json=FILE`
+/// JSON into FILE; `--trace=FILE` requests a JSON-lines span/event trace.
+struct OutputOptions {
+  OutputFormat format = OutputFormat::kTable;
+  std::string json_path;   ///< destination file; empty = stdout
+  std::string trace_path;  ///< empty = tracing disabled
+
+  bool json() const { return format == OutputFormat::kJson; }
+};
+
+/// Parse `--json[=FILE]` / `--trace=FILE` from `args`. Throws on a bare
+/// `--trace` with no file.
+OutputOptions parse_output_options(const CliArgs& args);
 
 }  // namespace scc

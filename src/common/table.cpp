@@ -91,14 +91,22 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-bool check_claims(std::ostream& os, std::vector<ClaimCheck> claims) {
+bool evaluate_claims(std::vector<ClaimCheck>& claims) {
   bool all_ok = true;
-  os << "\n-- reproduction check (paper vs. this simulator) --\n";
   for (auto& c : claims) {
     const double denom = std::abs(c.expected) > 1e-12 ? std::abs(c.expected) : 1.0;
-    const double rel = std::abs(c.measured - c.expected) / denom;
-    c.ok = rel <= c.tolerance;
+    c.ok = std::abs(c.measured - c.expected) / denom <= c.tolerance;
     all_ok = all_ok && c.ok;
+  }
+  return all_ok;
+}
+
+bool check_claims(std::ostream& os, std::vector<ClaimCheck> claims) {
+  const bool all_ok = evaluate_claims(claims);
+  os << "\n-- reproduction check (paper vs. this simulator) --\n";
+  for (const auto& c : claims) {
+    const double denom = std::abs(c.expected) > 1e-12 ? std::abs(c.expected) : 1.0;
+    const double rel = std::abs(c.measured - c.expected) / denom;
     os << "  [" << (c.ok ? "ok" : "OFF") << "] " << c.claim << ": paper=" << Table::num(c.expected)
        << " measured=" << Table::num(c.measured) << " (rel.dev " << Table::num(rel * 100.0, 1)
        << "%, tol " << Table::num(c.tolerance * 100.0, 0) << "%)\n";

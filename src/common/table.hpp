@@ -32,6 +32,7 @@ class Table {
   void print_csv(std::ostream& os) const;
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
   const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
@@ -49,6 +50,11 @@ struct ClaimCheck {
   double tolerance;       ///< acceptable relative deviation (e.g. 0.5 = 50%)
   bool ok = false;
 };
+
+/// Fill every claim's `ok` from its tolerance; returns true when all pass.
+/// The evaluation behind `check_claims`, reusable when the filled-in claims
+/// are needed afterwards (the bench JSON artifacts).
+bool evaluate_claims(std::vector<ClaimCheck>& claims);
 
 /// Evaluate and pretty-print a block of reproduction claims; returns true if
 /// every claim is within tolerance. Used at the bottom of each figure bench.

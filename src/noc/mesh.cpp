@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <tuple>
 
 namespace scc::noc {
 
@@ -74,6 +75,27 @@ bytes_t Mesh::total_traffic() const {
   bytes_t total = 0;
   for (bytes_t t : traffic_) total += t;
   return total;
+}
+
+std::vector<Mesh::LinkLoad> Mesh::busiest_links(std::size_t n) const {
+  std::vector<LinkLoad> loads;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Coord from{x, y};
+      for (const Coord to : {Coord{x + 1, y}, Coord{x - 1, y}, Coord{x, y + 1},
+                             Coord{x, y - 1}}) {
+        if (!in_bounds(to)) continue;
+        const bytes_t bytes = traffic_[link_index(from, to)];
+        if (bytes > 0) loads.push_back(LinkLoad{Link{from, to}, bytes});
+      }
+    }
+  }
+  std::sort(loads.begin(), loads.end(), [](const LinkLoad& a, const LinkLoad& b) {
+    return std::tie(b.bytes, a.link.from.y, a.link.from.x, a.link.to.y, a.link.to.x) <
+           std::tie(a.bytes, b.link.from.y, b.link.from.x, b.link.to.y, b.link.to.x);
+  });
+  if (loads.size() > n) loads.resize(n);
+  return loads;
 }
 
 void Mesh::reset_traffic() { std::fill(traffic_.begin(), traffic_.end(), 0); }

@@ -55,6 +55,15 @@ class Mesh {
   /// Highest per-link traffic recorded (the congestion hot spot).
   bytes_t max_link_traffic() const;
 
+  /// The `n` busiest links with non-zero traffic, descending by bytes (ties
+  /// broken by coordinates so the order is deterministic). Feeds the mesh
+  /// section of the observability report.
+  struct LinkLoad {
+    Link link;
+    bytes_t bytes = 0;
+  };
+  std::vector<LinkLoad> busiest_links(std::size_t n) const;
+
   /// Sum of traffic over all links.
   bytes_t total_traffic() const;
 

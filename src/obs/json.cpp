@@ -1,0 +1,451 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scc::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 200;
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest representation that parses back to the same double -- keeps the
+/// reports readable (0.19, not 0.19000000000000000) yet lossless.
+void dump_double(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  std::string text = buf;
+  // "5" round-trips but would re-parse as an integer; keep the type explicit.
+  if (text.find_first_of(".eE") == std::string::npos &&
+      text.find_first_of("nN") == std::string::npos) {
+    text += ".0";
+  }
+  os << text;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SimulationError("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json object = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      const std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(key, parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return object;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json array = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return array;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the basic-multilingual-plane code point (surrogate
+          // pairs are not needed by any producer in this repo).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (is_double) {
+      return Json(std::strtod(token.c_str(), nullptr));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0') {
+      // Out of int64 range: fall back to double rather than failing.
+      return Json(std::strtod(token.c_str(), nullptr));
+    }
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  SCC_REQUIRE(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+long long Json::as_int() const {
+  SCC_REQUIRE(type_ == Type::kInt, "JSON value is not an integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  SCC_REQUIRE(type_ == Type::kDouble, "JSON value is not a number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  SCC_REQUIRE(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+Json& Json::push_back(Json value) {
+  SCC_REQUIRE(type_ == Type::kArray, "push_back on a non-array JSON value");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const Json& Json::at(std::size_t index) const {
+  SCC_REQUIRE(type_ == Type::kArray, "indexed access on a non-array JSON value");
+  SCC_REQUIRE(index < array_.size(), "JSON array index " << index << " out of range");
+  return array_[index];
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  SCC_REQUIRE(type_ == Type::kObject, "set on a non-object JSON value");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+bool Json::has(const std::string& key) const { return find(key) != nullptr; }
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  SCC_REQUIRE(found != nullptr, "JSON object has no key '" << key << "'");
+  return *found;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  SCC_REQUIRE(type_ == Type::kObject, "items() on a non-object JSON value");
+  return object_;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      os << int_;
+      break;
+    case Type::kDouble:
+      dump_double(os, double_);
+      break;
+    case Type::kString:
+      dump_string(os, string_);
+      break;
+    case Type::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_pad(depth + 1);
+        array_[i].dump_impl(os, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_pad(depth);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_pad(depth + 1);
+        dump_string(os, object_[i].first);
+        os << (indent < 0 ? ":" : ": ");
+        object_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_pad(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream oss;
+  dump(oss, indent);
+  return oss.str();
+}
+
+void Json::dump(std::ostream& os, int indent) const { dump_impl(os, indent, 0); }
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace scc::obs

@@ -1,0 +1,92 @@
+// Minimal JSON value type for the observability layer.
+//
+// The simulator's reports, bench artifacts and trace sinks all speak one
+// schema-versioned JSON dialect (docs/OBSERVABILITY.md); this header provides
+// the value model, a writer with deterministic key order (insertion order is
+// preserved, so reports diff cleanly), and a strict recursive-descent parser
+// used by the `report` subcommand and the schema checker. No third-party
+// dependency: the container must build from the base toolchain alone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace scc::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  Json(T value) : type_(Type::kInt), int_(static_cast<long long>(value)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw SimulationError on a type mismatch.
+  bool as_bool() const;
+  long long as_int() const;
+  double as_double() const;  ///< accepts kInt and kDouble
+  const std::string& as_string() const;
+
+  /// Array/object element count; 0 for scalars.
+  std::size_t size() const;
+
+  /// Array building / access.
+  Json& push_back(Json value);
+  const Json& at(std::size_t index) const;
+
+  /// Object building / access. `set` replaces an existing key in place so
+  /// key order stays the insertion order of the first set.
+  Json& set(const std::string& key, Json value);
+  bool has(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  /// Pointer lookup: null when absent (or when this is not an object).
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Serialize. indent < 0 renders compact on one line; indent >= 0 renders
+  /// pretty-printed with that many spaces per level. Non-finite doubles
+  /// render as null (JSON has no NaN/Inf).
+  std::string dump(int indent = -1) const;
+  void dump(std::ostream& os, int indent = -1) const;
+
+  /// Strict parse of a complete JSON document; throws SimulationError with
+  /// the byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace scc::obs

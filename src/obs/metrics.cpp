@@ -1,0 +1,120 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  SCC_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    SCC_REQUIRE(bounds_[i - 1] < bounds_[i], "histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto slot = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[slot].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered well;
+  // the CAS loop is portable and this path is not the hot one.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::seconds_buckets() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(3.0 * decade);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+std::vector<double> Histogram::bytes_buckets() {
+  std::vector<double> bounds;
+  for (double b = 64.0; b <= 1024.0 * 1024.0 * 1024.0; b *= 16.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(upper_bounds);
+  } else {
+    SCC_REQUIRE(slot->upper_bounds() == upper_bounds,
+                "histogram '" << name << "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+bool Registry::empty() const {
+  std::scoped_lock lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+Json Registry::to_json() const {
+  std::scoped_lock lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, counter] : counters_) counters.set(name, counter->value());
+  Json gauges = Json::object();
+  for (const auto& [name, gauge] : gauges_) gauges.set(name, gauge->value());
+  Json histograms = Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    Json buckets = Json::array();
+    const auto counts = histogram->bucket_counts();
+    const auto& bounds = histogram->upper_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      Json bucket = Json::object();
+      if (i < bounds.size()) {
+        bucket.set("le", bounds[i]);
+      } else {
+        bucket.set("le", "inf");
+      }
+      bucket.set("count", counts[i]);
+      buckets.push_back(std::move(bucket));
+    }
+    Json h = Json::object();
+    h.set("count", histogram->count());
+    h.set("sum", histogram->sum());
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace scc::obs

@@ -1,0 +1,92 @@
+// Thread-safe metrics for the simulator and the RCCE emulation.
+//
+// Three metric kinds, deliberately minimal: monotonically increasing
+// Counters, last-write-wins Gauges, and fixed-bucket Histograms. All update
+// paths are lock-free atomics so instrumented hot loops (trace replay, the
+// threaded RCCE runtime) pay a relaxed fetch_add at most; the Registry's
+// mutex is taken only on registration and export. Metric objects are owned
+// by the Registry and their addresses are stable for its lifetime, so call
+// sites may cache `Counter&` references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace scc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed upper bounds. An observation lands in the first
+/// bucket whose bound is >= the value (cumulative "le" semantics when
+/// exported); values above the last bound land in the implicit +inf
+/// overflow bucket.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == upper_bounds().size() + 1 (overflow last).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Canned layouts so every subsystem buckets the same way.
+  static std::vector<double> seconds_buckets();  ///< 1 us .. 10 s, decades x {1,3}
+  static std::vector<double> bytes_buckets();    ///< 64 B .. 1 GB, powers of 16
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metrics, one namespace per Registry. Lookup registers on first use;
+/// re-registering a histogram with different bounds throws.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, const std::vector<double>& upper_bounds);
+
+  bool empty() const;
+
+  /// Export every metric, keys sorted by name:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///   {"count": n, "sum": s, "buckets": [{"le": bound|"inf", "count": n}...]}}}
+  Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace scc::obs

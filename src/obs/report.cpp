@@ -1,0 +1,223 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+namespace scc::obs {
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& what) {
+  if (!ok) problems.push_back(what);
+}
+
+bool check_number(std::vector<std::string>& problems, const Json& parent, const char* key) {
+  const Json* v = parent.find(key);
+  if (v == nullptr || !v->is_number()) {
+    problems.push_back(std::string("missing or non-numeric key '") + key + "'");
+    return false;
+  }
+  return true;
+}
+
+const Json* check_section(std::vector<std::string>& problems, const Json& report,
+                          const char* key, Json::Type type) {
+  const Json* section = report.find(key);
+  if (section == nullptr || section->type() != type) {
+    problems.push_back(std::string("missing or mistyped section '") + key + "'");
+    return nullptr;
+  }
+  return section;
+}
+
+void validate_cache_stats(std::vector<std::string>& problems, const Json& core,
+                          const char* level) {
+  const Json* stats = core.find(level);
+  if (stats == nullptr || !stats->is_object()) {
+    problems.push_back(std::string("per_core entry missing '") + level + "' section");
+    return;
+  }
+  for (const char* key : {"hits", "misses", "miss_rate", "evictions", "dirty_writebacks"}) {
+    check_number(problems, *stats, key);
+  }
+}
+
+void validate_run(std::vector<std::string>& problems, const Json& report) {
+  check_section(problems, report, "config", Json::Type::kObject);
+  if (const Json* run = check_section(problems, report, "run", Json::Type::kObject)) {
+    const Json* cores = run->find("cores");
+    require(problems, cores != nullptr && cores->is_array() && cores->size() > 0,
+            "run.cores must be a non-empty array");
+  }
+  if (const Json* result = check_section(problems, report, "result", Json::Type::kObject)) {
+    check_number(problems, *result, "seconds");
+    check_number(problems, *result, "gflops");
+    const Json* bound = result->find("bandwidth_bound");
+    require(problems, bound != nullptr && bound->is_bool(),
+            "result.bandwidth_bound must be a bool");
+  }
+  if (const Json* per_core =
+          check_section(problems, report, "per_core", Json::Type::kArray)) {
+    require(problems, per_core->size() > 0, "per_core must not be empty");
+    for (std::size_t i = 0; i < per_core->size(); ++i) {
+      const Json& core = per_core->at(i);
+      if (!core.is_object()) {
+        problems.push_back("per_core entries must be objects");
+        break;
+      }
+      for (const char* key :
+           {"core", "hops", "compute_seconds", "stall_seconds", "isolated_seconds",
+            "tlb_misses", "memory_read_bytes", "memory_write_bytes"}) {
+        check_number(problems, core, key);
+      }
+      validate_cache_stats(problems, core, "l1");
+      validate_cache_stats(problems, core, "l2");
+    }
+  }
+  if (const Json* per_mc = check_section(problems, report, "per_mc", Json::Type::kArray)) {
+    for (std::size_t i = 0; i < per_mc->size(); ++i) {
+      const Json& mc = per_mc->at(i);
+      if (!mc.is_object()) {
+        problems.push_back("per_mc entries must be objects");
+        break;
+      }
+      check_number(problems, mc, "mc");
+      check_number(problems, mc, "bytes");
+      check_number(problems, mc, "seconds");
+    }
+  }
+  if (const Json* mesh = check_section(problems, report, "mesh", Json::Type::kObject)) {
+    check_number(problems, *mesh, "total_link_bytes");
+    check_number(problems, *mesh, "max_link_bytes");
+  }
+  if (const Json* log = report.find("fault_log")) {
+    if (!log->is_array()) {
+      problems.push_back("fault_log must be an array when present");
+    } else {
+      for (std::size_t i = 0; i < log->size(); ++i) {
+        const Json& event = log->at(i);
+        require(problems,
+                event.is_object() && event.find("type") != nullptr &&
+                    event.at("type").is_string() && event.find("rank") != nullptr,
+                "fault_log entries need string 'type' and 'rank'");
+      }
+    }
+  }
+}
+
+void validate_bench(std::vector<std::string>& problems, const Json& report) {
+  const Json* name = report.find("name");
+  require(problems, name != nullptr && name->is_string() && !name->as_string().empty(),
+          "bench report needs a non-empty string 'name'");
+  check_number(problems, report, "testbed_scale");
+  if (const Json* tables = check_section(problems, report, "tables", Json::Type::kArray)) {
+    for (std::size_t t = 0; t < tables->size(); ++t) {
+      const Json& table = tables->at(t);
+      if (!table.is_object()) {
+        problems.push_back("tables entries must be objects");
+        break;
+      }
+      const Json* stem = table.find("stem");
+      require(problems, stem != nullptr && stem->is_string(),
+              "table entry needs a string 'stem'");
+      const Json* header = table.find("header");
+      const Json* rows = table.find("rows");
+      if (header == nullptr || !header->is_array() || rows == nullptr || !rows->is_array()) {
+        problems.push_back("table entry needs 'header' and 'rows' arrays");
+        continue;
+      }
+      for (std::size_t r = 0; r < rows->size(); ++r) {
+        if (!rows->at(r).is_array() || rows->at(r).size() != header->size()) {
+          std::ostringstream oss;
+          oss << "table row " << r << " arity differs from header";
+          problems.push_back(oss.str());
+          break;
+        }
+      }
+    }
+  }
+  if (const Json* claims = check_section(problems, report, "claims", Json::Type::kArray)) {
+    for (std::size_t i = 0; i < claims->size(); ++i) {
+      const Json& claim = claims->at(i);
+      if (!claim.is_object()) {
+        problems.push_back("claims entries must be objects");
+        break;
+      }
+      const Json* text = claim.find("claim");
+      require(problems, text != nullptr && text->is_string(),
+              "claim entry needs a string 'claim'");
+      check_number(problems, claim, "expected");
+      check_number(problems, claim, "measured");
+      check_number(problems, claim, "tolerance");
+      const Json* ok = claim.find("ok");
+      require(problems, ok != nullptr && ok->is_bool(), "claim entry needs a bool 'ok'");
+    }
+  }
+  const Json* ok = report.find("ok");
+  require(problems, ok != nullptr && ok->is_bool(), "bench report needs a bool 'ok'");
+}
+
+}  // namespace
+
+Json report_skeleton(const std::string& kind) {
+  Json report = Json::object();
+  report.set("schema_version", kSchemaVersion);
+  report.set("kind", kind);
+  return report;
+}
+
+Json table_json(const Table& table, const std::string& stem) {
+  Json j = Json::object();
+  j.set("stem", stem);
+  j.set("title", table.title());
+  Json header = Json::array();
+  for (const std::string& cell : table.header()) header.push_back(Json(cell));
+  j.set("header", std::move(header));
+  Json rows = Json::array();
+  for (const std::vector<std::string>& row : table.rows()) {
+    Json r = Json::array();
+    for (const std::string& cell : row) r.push_back(Json(cell));
+    rows.push_back(std::move(r));
+  }
+  j.set("rows", std::move(rows));
+  return j;
+}
+
+Json claim_json(const ClaimCheck& claim) {
+  Json j = Json::object();
+  j.set("claim", claim.claim);
+  j.set("expected", claim.expected);
+  j.set("measured", claim.measured);
+  j.set("tolerance", claim.tolerance);
+  j.set("ok", claim.ok);
+  return j;
+}
+
+std::vector<std::string> validate_report(const Json& report) {
+  std::vector<std::string> problems;
+  if (!report.is_object()) {
+    problems.push_back("report must be a JSON object");
+    return problems;
+  }
+  const Json* version = report.find("schema_version");
+  if (version == nullptr || !version->is_int()) {
+    problems.push_back("missing integer 'schema_version'");
+  } else if (version->as_int() != kSchemaVersion) {
+    std::ostringstream oss;
+    oss << "schema_version " << version->as_int() << " != supported " << kSchemaVersion;
+    problems.push_back(oss.str());
+  }
+  const Json* kind = report.find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    problems.push_back("missing string 'kind'");
+    return problems;
+  }
+  if (kind->as_string() == kKindRun) {
+    validate_run(problems, report);
+  } else if (kind->as_string() == kKindBench) {
+    validate_bench(problems, report);
+  }
+  // Other kinds only need the envelope.
+  return problems;
+}
+
+}  // namespace scc::obs

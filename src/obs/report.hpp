@@ -1,0 +1,47 @@
+// The stable, versioned report schema shared by `scc-spmv --json`, the
+// bench artifacts (BENCH_<name>.json) and the trajectory tooling.
+//
+// Every report is a JSON object carrying at least
+//   {"schema_version": 1, "kind": "<run|bench|analysis|...>"}
+// and kind-specific sections documented in docs/OBSERVABILITY.md. The
+// section *builders* for simulator results live in sim/report.hpp (the
+// engine types live there); this header owns the version number, the
+// skeleton and the structural validator used by the `scc-json-check` tool,
+// the CI bench-smoke job and the round-trip tests.
+//
+// Versioning rule: additive keys keep schema_version; renaming, removing or
+// re-typing any documented key bumps it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace scc::obs {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// Report kinds the repo emits today.
+inline constexpr const char* kKindRun = "run";          ///< one engine simulation
+inline constexpr const char* kKindBench = "bench";      ///< a figure/table bench artifact
+inline constexpr const char* kKindAnalysis = "analysis";///< `scc-spmv analyze`
+inline constexpr const char* kKindReport = "report";    ///< aggregation of other reports
+
+/// {"schema_version": kSchemaVersion, "kind": kind}
+Json report_skeleton(const std::string& kind);
+
+/// Structural validation against the documented schema. Returns a list of
+/// human-readable problems; empty means valid. Checks the envelope for every
+/// kind, plus the section layout for "run" and "bench" reports.
+std::vector<std::string> validate_report(const Json& report);
+
+/// One rendered table as {"stem": stem, "title": ..., "header": [...],
+/// "rows": [[...], ...]} -- the shape the bench-report validator checks.
+Json table_json(const Table& table, const std::string& stem);
+
+/// One reproduction claim as {"claim","expected","measured","tolerance","ok"}.
+Json claim_json(const ClaimCheck& claim);
+
+}  // namespace scc::obs

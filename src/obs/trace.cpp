@@ -1,0 +1,51 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace scc::obs {
+
+void Recorder::event(std::string name, Attributes attrs) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_seconds = now_seconds();
+  e.is_span = false;
+  e.attrs = std::move(attrs);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void Recorder::span(std::string name, double start_seconds, double duration_seconds,
+                    Attributes attrs) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_seconds = start_seconds;
+  e.duration_seconds = duration_seconds;
+  e.is_span = true;
+  e.attrs = std::move(attrs);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> Recorder::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void Recorder::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& e : events()) {
+    Json line = Json::object();
+    line.set("type", e.is_span ? "span" : "event");
+    line.set("name", e.name);
+    line.set("ts", e.start_seconds);
+    if (e.is_span) line.set("dur", e.duration_seconds);
+    if (!e.attrs.empty()) {
+      Json attrs = Json::object();
+      for (const auto& [key, value] : e.attrs) attrs.set(key, value);
+      line.set("attrs", std::move(attrs));
+    }
+    line.dump(os);
+    os << '\n';
+  }
+}
+
+}  // namespace scc::obs

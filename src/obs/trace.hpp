@@ -1,0 +1,98 @@
+// Structured tracing: named spans and instant events with wall-clock
+// timestamps relative to the Recorder's construction, plus an embedded
+// metrics Registry so one `Recorder*` carries the whole observability
+// context through an instrumented call tree.
+//
+// The null-recorder convention keeps the zero-observability path free:
+// every instrumentation site takes `Recorder*` and does nothing -- not even
+// a clock read -- when it is null. `ScopedSpan` packages that check so hot
+// code reads as one line:
+//
+//   obs::ScopedSpan span(recorder, "engine.core_trace", {{"core", "12"}});
+//
+// Span naming convention (docs/OBSERVABILITY.md): dotted lowercase
+// "<subsystem>.<phase>", e.g. "engine.partition", "spmv.gather".
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace scc::obs {
+
+using Attributes = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  std::string name;
+  double start_seconds = 0.0;     ///< relative to the recorder's epoch
+  double duration_seconds = 0.0;  ///< 0 for instant events
+  bool is_span = false;
+  Attributes attrs;
+};
+
+class Recorder {
+ public:
+  Recorder() : epoch_(std::chrono::steady_clock::now()) {}
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Seconds since this recorder was constructed.
+  double now_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+  /// Record an instant event at the current time.
+  void event(std::string name, Attributes attrs = {});
+
+  /// Record a completed span (ScopedSpan is the usual front end).
+  void span(std::string name, double start_seconds, double duration_seconds,
+            Attributes attrs = {});
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+
+  std::vector<TraceEvent> events() const;
+
+  /// One JSON object per line:
+  /// {"type":"span"|"event","name":...,"ts":seconds,"dur":seconds,"attrs":{...}}
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  Registry metrics_;
+};
+
+/// RAII span that tolerates a null recorder with zero work.
+class ScopedSpan {
+ public:
+  ScopedSpan(Recorder* recorder, const char* name, Attributes attrs = {})
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    name_ = name;
+    attrs_ = std::move(attrs);
+    start_seconds_ = recorder_->now_seconds();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->span(std::move(name_), start_seconds_,
+                    recorder_->now_seconds() - start_seconds_, std::move(attrs_));
+  }
+
+ private:
+  Recorder* recorder_;
+  std::string name_;
+  Attributes attrs_;
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace scc::obs

@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace scc::rcce {
 
@@ -84,14 +85,18 @@ class Runtime {
   void barrier(int rank) {
     const OpTicket ticket = begin_op(rank, fault::Op::kBarrier);
     std::unique_lock lock(mutex_);
+    ++stats_.barriers;
     const std::uint64_t generation = barrier_generation_;
     ++barrier_waiting_;
     if (barrier_waiting_ >= alive_count_locked()) {
       release_barrier_locked();
       return;
     }
+    const auto wait_start = std::chrono::steady_clock::now();
     wait_or_timeout(lock, [&] { return poisoned_ || barrier_generation_ != generation; },
                     "barrier", rank, /*peer=*/-1, /*flag_id=*/-1, ticket.op_index);
+    stats_.barrier_wait_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start).count();
     throw_if_poisoned();
   }
 
@@ -99,6 +104,11 @@ class Runtime {
     check_rank(dest);
     SCC_REQUIRE(dest != src, "send to self would deadlock (RCCE semantics)");
     const OpTicket ticket = begin_op(src, fault::Op::kSend);
+    {
+      std::unique_lock lock(mutex_);
+      ++stats_.messages_sent;
+      stats_.bytes_sent += bytes;
+    }
 
     // Message-level fault decision: the n-th send on the (src, dest) channel
     // is a deterministic site regardless of thread interleaving.
@@ -193,6 +203,7 @@ class Runtime {
     check_mpb_range(bytes, offset);
     begin_op(caller, fault::Op::kPut);
     std::unique_lock lock(mutex_);
+    ++stats_.puts;
     std::memcpy(mpb_region(target) + offset, src, bytes);
   }
 
@@ -201,6 +212,7 @@ class Runtime {
     check_mpb_range(bytes, offset);
     begin_op(caller, fault::Op::kGet);
     std::unique_lock lock(mutex_);
+    ++stats_.gets;
     std::memcpy(dst, mpb_region(source) + offset, bytes);
   }
 
@@ -216,6 +228,7 @@ class Runtime {
       return;
     }
     std::unique_lock lock(mutex_);
+    ++stats_.flag_sets;
     flags_[static_cast<std::size_t>(target) * kFlagCount + static_cast<std::size_t>(flag_id)] =
         value ? 1 : 0;
     cv_.notify_all();
@@ -225,6 +238,7 @@ class Runtime {
     check_flag(flag_id);
     const OpTicket ticket = begin_op(rank, fault::Op::kFlagWait);
     std::unique_lock lock(mutex_);
+    ++stats_.flag_waits;
     const std::size_t slot =
         static_cast<std::size_t>(rank) * kFlagCount + static_cast<std::size_t>(flag_id);
     wait_or_timeout(lock, [&] { return poisoned_ || (flags_[slot] != 0) == value; },
@@ -350,6 +364,11 @@ class Runtime {
     cv_.notify_all();
   }
 
+  CommStats comm_stats() const {
+    std::unique_lock lock(mutex_);
+    return stats_;
+  }
+
   std::vector<int> dead_ranks() const {
     std::unique_lock lock(mutex_);
     std::vector<int> dead;
@@ -437,7 +456,11 @@ class Runtime {
       }
       std::ostringstream detail;
       detail << "transient failure, retry " << attempt << "/" << options_.max_transfer_retries;
-      record({fault::EventType::kRetry, src, dest, op_index, "send", detail.str()});
+      {
+        std::unique_lock lock(mutex_);
+        ++stats_.retries;
+        record_locked({fault::EventType::kRetry, src, dest, op_index, "send", detail.str()});
+      }
       if (options_.retry_backoff_seconds > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(options_.retry_backoff_seconds * attempt));
@@ -459,6 +482,7 @@ class Runtime {
         std::chrono::steady_clock::now() + std::chrono::duration_cast<std::chrono::nanoseconds>(
                                                std::chrono::duration<double>(timeout));
     if (!cv_.wait_until(lock, deadline, pred)) {
+      ++stats_.timeouts;
       record_locked({fault::EventType::kTimeout, rank, peer, op_index, op, ""});
       throw TimeoutError(op, rank, peer, flag_id, timeout);
     }
@@ -556,6 +580,7 @@ class Runtime {
   std::vector<std::uint64_t> op_counts_;
   std::vector<std::uint64_t> msg_counts_;
   std::vector<fault::Event> events_;
+  CommStats stats_;
 
   // Shared-memory emulation: the published arena, one cached view + dirty
   // map per UE, and the collective-allocation bookkeeping.
@@ -700,6 +725,20 @@ RunReport run(int num_ues, const std::function<void(Comm&)>& body,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   report.fault_log = runtime.take_events();
   report.dead_ues = runtime.dead_ranks();
+  report.comm = runtime.comm_stats();
+  if (options.recorder != nullptr) {
+    obs::Registry& metrics = options.recorder->metrics();
+    metrics.counter("rcce.messages_sent").add(report.comm.messages_sent);
+    metrics.counter("rcce.bytes_sent").add(report.comm.bytes_sent);
+    metrics.counter("rcce.puts").add(report.comm.puts);
+    metrics.counter("rcce.gets").add(report.comm.gets);
+    metrics.counter("rcce.flag_sets").add(report.comm.flag_sets);
+    metrics.counter("rcce.flag_waits").add(report.comm.flag_waits);
+    metrics.counter("rcce.barriers").add(report.comm.barriers);
+    metrics.counter("rcce.retries").add(report.comm.retries);
+    metrics.counter("rcce.timeouts").add(report.comm.timeouts);
+    metrics.gauge("rcce.barrier_wait_seconds").set(report.comm.barrier_wait_seconds);
+  }
   return report;
 }
 

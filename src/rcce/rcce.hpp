@@ -31,6 +31,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,10 @@
 #include "fault/fault.hpp"
 #include "scc/frequency.hpp"
 #include "scc/mapping.hpp"
+
+namespace scc::obs {
+class Recorder;
+}
 
 namespace scc::rcce {
 
@@ -70,6 +75,25 @@ struct RuntimeOptions {
   /// Optional deterministic fault injector. Null (the default) leaves the
   /// zero-fault path untouched: no faults fire and no events are logged.
   std::shared_ptr<const fault::Injector> injector;
+  /// Optional observability sink. When set, `run` mirrors the final
+  /// CommStats into the recorder's metrics registry under "rcce.*" and the
+  /// body may use it for spans; null costs nothing.
+  obs::Recorder* recorder = nullptr;
+};
+
+/// Aggregate communication counters of one emulated run, across all UEs.
+/// Tracked under the runtime mutex, so they are exact, not sampled.
+struct CommStats {
+  std::uint64_t messages_sent = 0;  ///< send() calls that staged data
+  std::uint64_t bytes_sent = 0;     ///< payload bytes over all sends
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t flag_sets = 0;
+  std::uint64_t flag_waits = 0;
+  std::uint64_t barriers = 0;       ///< barrier entries (per UE, not per episode)
+  std::uint64_t retries = 0;        ///< transient-transfer staging retries
+  std::uint64_t timeouts = 0;       ///< watchdog expiries
+  double barrier_wait_seconds = 0.0;  ///< host time UEs spent blocked in barriers
 };
 
 class Runtime;
@@ -168,6 +192,8 @@ struct RunReport {
   std::vector<fault::Event> fault_log;
   /// Ranks killed by the fault plan, ascending.
   std::vector<int> dead_ues;
+  /// Communication counters aggregated over the whole run.
+  CommStats comm;
 };
 
 /// Execute `body` on `num_ues` UEs (1..48). Returns after all UEs finish;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "sim/format_traces.hpp"
 #include "sparse/properties.hpp"
 
@@ -17,6 +19,11 @@ namespace {
 using TraceFn = std::function<TraceResult(const sparse::RowBlock& block,
                                           cache::Hierarchy& hierarchy, cache::Tlb* tlb,
                                           double& compute_cycles)>;
+
+std::vector<int> resolve_cores(const RunSpec& spec) {
+  if (!spec.cores.empty()) return spec.cores;
+  return chip::map_ues_to_cores(spec.policy, spec.ue_count);
+}
 
 }  // namespace
 
@@ -37,75 +44,35 @@ double Engine::mc_bandwidth_bytes_per_second() const {
   return config_.freq.memory_ghz() * 1e9 * 8.0 * config_.memory.mc_peak_fraction;
 }
 
-RunResult Engine::run(const sparse::CsrMatrix& matrix, int ue_count, chip::MappingPolicy policy,
-                      SpmvVariant variant) const {
-  return run_on_cores(matrix, chip::map_ues_to_cores(policy, ue_count), variant);
-}
-
-RunResult Engine::run_on_cores(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
-                               SpmvVariant variant) const {
-  return run_impl(matrix, cores, variant, /*forced_hops=*/-1);
-}
-
-DegradedRunResult Engine::run_degraded(const sparse::CsrMatrix& matrix, int ue_count,
-                                       chip::MappingPolicy policy,
-                                       const std::vector<int>& dead_ranks,
-                                       double detection_seconds, SpmvVariant variant) const {
-  SCC_REQUIRE(detection_seconds >= 0.0, "detection_seconds must be non-negative");
-  const auto cores = chip::map_ues_to_cores(policy, ue_count);
-  std::set<int> dead;
-  for (int rank : dead_ranks) {
-    SCC_REQUIRE(rank >= 0 && rank < ue_count, "dead rank " << rank << " out of range");
-    SCC_REQUIRE(rank != 0, "rank 0 owns the matrix and cannot be recovered from");
-    dead.insert(rank);
+RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const {
+  SCC_REQUIRE(spec.forced_hops <= 3, "forced_hops above the mesh's maximum of 3");
+  if (!spec.dead_ranks.empty()) {
+    SCC_REQUIRE(spec.cores.empty(),
+                "dead_ranks requires policy-based mapping (explicit cores unsupported)");
+    SCC_REQUIRE(spec.format == StorageFormat::kCsr,
+                "dead_ranks supports the CSR format only");
+    SCC_REQUIRE(spec.forced_hops < 0, "dead_ranks cannot combine with forced_hops");
+    const DegradedRunResult degraded =
+        run_degraded_impl(matrix, spec, chip::map_ues_to_cores(spec.policy, spec.ue_count));
+    RunResult result = degraded.result;
+    result.dead_count = degraded.dead_count;
+    result.reshipped_bytes = degraded.reshipped_bytes;
+    result.recovery_seconds = degraded.recovery_seconds;
+    result.seconds = degraded.seconds;
+    result.gflops = degraded.gflops;
+    return result;
   }
-  SCC_REQUIRE(static_cast<int>(dead.size()) < ue_count, "at least one UE must survive");
-
-  std::vector<int> survivor_cores;
-  survivor_cores.reserve(cores.size() - dead.size());
-  for (int rank = 0; rank < ue_count; ++rank) {
-    if (!dead.contains(rank)) survivor_cores.push_back(cores[static_cast<std::size_t>(rank)]);
+  const auto cores = resolve_cores(spec);
+  if (spec.format == StorageFormat::kCsr) {
+    return run_impl(matrix, cores, spec.variant, spec.forced_hops, spec.recorder);
   }
-
-  DegradedRunResult degraded;
-  degraded.dead_count = static_cast<int>(dead.size());
-  // The survivors redo the whole product over the re-balanced partition (the
-  // paper's partitioner splits by nnz, so this equals a fresh run on the
-  // surviving cores).
-  degraded.result = run_on_cores(matrix, survivor_cores, variant);
-
-  // Recovery cost: each dead block's CSR slice (rebased ptr + col + val) is
-  // re-shipped from the matrix owner through the memory controllers, after
-  // one watchdog detection window per failure.
-  const auto blocks = sparse::partition_rows_balanced_nnz(matrix, ue_count);
-  for (int rank : dead) {
-    const sparse::RowBlock& b = blocks[static_cast<std::size_t>(rank)];
-    degraded.reshipped_bytes +=
-        static_cast<bytes_t>(b.row_count() + 1) * sizeof(nnz_t) +
-        static_cast<bytes_t>(b.nnz) * (sizeof(index_t) + sizeof(real_t));
-  }
-  degraded.recovery_seconds =
-      detection_seconds * static_cast<double>(degraded.dead_count) +
-      static_cast<double>(degraded.reshipped_bytes) / mc_bandwidth_bytes_per_second();
-  degraded.seconds = degraded.result.seconds + degraded.recovery_seconds;
-  degraded.gflops = 2.0 * static_cast<double>(matrix.nnz()) / degraded.seconds / 1e9;
-  return degraded;
-}
-
-RunResult Engine::run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
-                                          SpmvVariant variant) const {
-  SCC_REQUIRE(hops >= 0 && hops <= 3, "the default quadrant assignment has hop distances 0..3");
-  return run_impl(matrix, {0}, variant, hops);
-}
-
-RunResult Engine::run_format(const sparse::CsrMatrix& matrix, int ue_count,
-                             chip::MappingPolicy policy, StorageFormat format) const {
-  const auto cores = chip::map_ues_to_cores(policy, ue_count);
+  SCC_REQUIRE(spec.variant == SpmvVariant::kCsr,
+              "alternative storage formats have no no-x-miss variant");
   const KernelCostModel& k = config_.kernel;
   TraceFn trace_fn;
-  switch (format) {
+  switch (spec.format) {
     case StorageFormat::kCsr:
-      return run_on_cores(matrix, cores, SpmvVariant::kCsr);
+      break;  // handled above
     case StorageFormat::kEll:
       trace_fn = [&](const sparse::RowBlock& block, cache::Hierarchy& h, cache::Tlb* tlb,
                      double& cycles) {
@@ -117,7 +84,7 @@ RunResult Engine::run_format(const sparse::CsrMatrix& matrix, int ue_count,
       break;
     case StorageFormat::kBcsr2:
     case StorageFormat::kBcsr4: {
-      const index_t b = format == StorageFormat::kBcsr2 ? 2 : 4;
+      const index_t b = spec.format == StorageFormat::kBcsr2 ? 2 : 4;
       trace_fn = [&, b](const sparse::RowBlock& block, cache::Hierarchy& h, cache::Tlb* tlb,
                         double& cycles) {
         const FormatTraceResult r = run_bcsr_trace(matrix, block, b, h, tlb);
@@ -137,7 +104,110 @@ RunResult Engine::run_format(const sparse::CsrMatrix& matrix, int ue_count,
       };
       break;
   }
-  return run_generic(matrix, cores, /*forced_hops=*/-1, trace_fn);
+  return run_generic(matrix, cores, spec.forced_hops, spec.recorder, trace_fn);
+}
+
+RunResult Engine::run(const sparse::CsrMatrix& matrix, int ue_count, chip::MappingPolicy policy,
+                      SpmvVariant variant) const {
+  RunSpec spec;
+  spec.ue_count = ue_count;
+  spec.policy = policy;
+  spec.variant = variant;
+  return run(matrix, spec);
+}
+
+RunResult Engine::run_on_cores(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                               SpmvVariant variant) const {
+  // An empty RunSpec::cores means "map by policy"; for this wrapper an empty
+  // explicit core set has always been a contract violation.
+  SCC_REQUIRE(!cores.empty(), "run_on_cores requires at least one core");
+  RunSpec spec;
+  spec.cores = cores;
+  spec.variant = variant;
+  return run(matrix, spec);
+}
+
+RunResult Engine::run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
+                                          SpmvVariant variant) const {
+  SCC_REQUIRE(hops >= 0 && hops <= 3, "the default quadrant assignment has hop distances 0..3");
+  RunSpec spec;
+  spec.cores = {0};
+  spec.forced_hops = hops;
+  spec.variant = variant;
+  return run(matrix, spec);
+}
+
+RunResult Engine::run_format(const sparse::CsrMatrix& matrix, int ue_count,
+                             chip::MappingPolicy policy, StorageFormat format) const {
+  RunSpec spec;
+  spec.ue_count = ue_count;
+  spec.policy = policy;
+  spec.format = format;
+  return run(matrix, spec);
+}
+
+DegradedRunResult Engine::run_degraded(const sparse::CsrMatrix& matrix, int ue_count,
+                                       chip::MappingPolicy policy,
+                                       const std::vector<int>& dead_ranks,
+                                       double detection_seconds, SpmvVariant variant) const {
+  RunSpec spec;
+  spec.ue_count = ue_count;
+  spec.policy = policy;
+  spec.variant = variant;
+  spec.dead_ranks = dead_ranks;
+  spec.detection_seconds = detection_seconds;
+  return run_degraded_impl(matrix, spec, chip::map_ues_to_cores(policy, ue_count));
+}
+
+DegradedRunResult Engine::run_degraded_impl(const sparse::CsrMatrix& matrix,
+                                            const RunSpec& spec,
+                                            const std::vector<int>& cores) const {
+  SCC_REQUIRE(spec.detection_seconds >= 0.0, "detection_seconds must be non-negative");
+  const int ue_count = spec.ue_count;
+  std::set<int> dead;
+  for (int rank : spec.dead_ranks) {
+    SCC_REQUIRE(rank >= 0 && rank < ue_count, "dead rank " << rank << " out of range");
+    SCC_REQUIRE(rank != 0, "rank 0 owns the matrix and cannot be recovered from");
+    dead.insert(rank);
+  }
+  SCC_REQUIRE(static_cast<int>(dead.size()) < ue_count, "at least one UE must survive");
+
+  std::vector<int> survivor_cores;
+  survivor_cores.reserve(cores.size() - dead.size());
+  for (int rank = 0; rank < ue_count; ++rank) {
+    if (!dead.contains(rank)) survivor_cores.push_back(cores[static_cast<std::size_t>(rank)]);
+  }
+
+  DegradedRunResult degraded;
+  degraded.dead_count = static_cast<int>(dead.size());
+  // The survivors redo the whole product over the re-balanced partition (the
+  // paper's partitioner splits by nnz, so this equals a fresh run on the
+  // surviving cores).
+  degraded.result =
+      run_impl(matrix, survivor_cores, spec.variant, /*forced_hops=*/-1, spec.recorder);
+
+  // Recovery cost: each dead block's CSR slice (rebased ptr + col + val) is
+  // re-shipped from the matrix owner through the memory controllers, after
+  // one watchdog detection window per failure.
+  obs::ScopedSpan recovery_span(spec.recorder, "engine.recovery");
+  const auto blocks = sparse::partition_rows_balanced_nnz(matrix, ue_count);
+  for (int rank : dead) {
+    const sparse::RowBlock& b = blocks[static_cast<std::size_t>(rank)];
+    degraded.reshipped_bytes +=
+        static_cast<bytes_t>(b.row_count() + 1) * sizeof(nnz_t) +
+        static_cast<bytes_t>(b.nnz) * (sizeof(index_t) + sizeof(real_t));
+  }
+  degraded.recovery_seconds =
+      spec.detection_seconds * static_cast<double>(degraded.dead_count) +
+      static_cast<double>(degraded.reshipped_bytes) / mc_bandwidth_bytes_per_second();
+  degraded.seconds = degraded.result.seconds + degraded.recovery_seconds;
+  degraded.gflops = 2.0 * static_cast<double>(matrix.nnz()) / degraded.seconds / 1e9;
+  if (spec.recorder != nullptr) {
+    spec.recorder->metrics().counter("engine.dead_ranks").add(
+        static_cast<std::uint64_t>(degraded.dead_count));
+    spec.recorder->metrics().counter("engine.reshipped_bytes").add(degraded.reshipped_bytes);
+  }
+  return degraded;
 }
 
 std::string to_string(StorageFormat format) {
@@ -156,8 +226,19 @@ std::string to_string(StorageFormat format) {
   return "unknown";
 }
 
+std::string to_string(SpmvVariant variant) {
+  switch (variant) {
+    case SpmvVariant::kCsr:
+      return "csr";
+    case SpmvVariant::kCsrNoXMiss:
+      return "csr-no-x-miss";
+  }
+  return "unknown";
+}
+
 RunResult Engine::run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
-                           SpmvVariant variant, int forced_hops) const {
+                           SpmvVariant variant, int forced_hops,
+                           obs::Recorder* recorder) const {
   const KernelCostModel& k = config_.kernel;
   TraceFn trace_fn = [&](const sparse::RowBlock& block, cache::Hierarchy& hierarchy,
                          cache::Tlb* tlb, double& cycles) {
@@ -166,11 +247,11 @@ RunResult Engine::run_impl(const sparse::CsrMatrix& matrix, const std::vector<in
              k.cycles_per_row * static_cast<double>(trace.rows);
     return trace;
   };
-  return run_generic(matrix, cores, forced_hops, trace_fn);
+  return run_generic(matrix, cores, forced_hops, recorder, trace_fn);
 }
 
 RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
-                              int forced_hops,
+                              int forced_hops, obs::Recorder* recorder,
                               const std::function<TraceResult(const sparse::RowBlock&,
                                                               cache::Hierarchy&, cache::Tlb*,
                                                               double&)>& trace_fn) const {
@@ -182,14 +263,22 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
     SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core id " << core << " out of range");
   }
 
-  const auto blocks =
-      sparse::partition_rows_balanced_nnz(matrix, static_cast<int>(cores.size()));
+  std::vector<sparse::RowBlock> blocks;
+  {
+    obs::ScopedSpan span(recorder, "engine.partition");
+    blocks = sparse::partition_rows_balanced_nnz(matrix, static_cast<int>(cores.size()));
+  }
 
   RunResult result;
   result.cores.resize(cores.size());
 
+  std::optional<obs::ScopedSpan> replay_span;
+  replay_span.emplace(recorder, "engine.trace_replay");
   for (std::size_t rank = 0; rank < cores.size(); ++rank) {
     const int core = cores[rank];
+    obs::ScopedSpan core_span(recorder, "engine.core_trace",
+                              {{"core", std::to_string(core)},
+                               {"rank", std::to_string(rank)}});
     CoreResult& cr = result.cores[rank];
     cr.core = core;
     cr.hops = forced_hops >= 0 ? forced_hops : chip::hops_to_memory(core);
@@ -238,7 +327,9 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
     result.mc_bytes[static_cast<std::size_t>(mc)] +=
         cr.trace.memory_read_bytes + cr.trace.memory_write_bytes + walk_bytes;
   }
+  replay_span.reset();
 
+  obs::ScopedSpan contention_span(recorder, "engine.contention");
   // Mesh-link accounting: read fills travel MC -> core, writebacks the other
   // way, both along the XY route (forced-hop single-core experiments have no
   // physical route, so they are skipped).
@@ -253,6 +344,7 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
     }
     result.mesh.total_link_bytes = mesh.total_traffic();
     result.mesh.max_link_bytes = mesh.max_link_traffic();
+    result.mesh.hot_links = mesh.busiest_links(4);
   }
 
   double slowest_core = 0.0;
@@ -285,6 +377,22 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
   }
   SCC_ASSERT(result.seconds > 0.0, "simulated runtime must be positive");
   result.gflops = 2.0 * static_cast<double>(matrix.nnz()) / result.seconds / 1e9;
+
+  if (recorder != nullptr) {
+    obs::Registry& metrics = recorder->metrics();
+    metrics.counter("engine.runs").add(1);
+    metrics.counter("engine.cores_simulated").add(result.cores.size());
+    std::uint64_t memory_accesses = 0;
+    std::uint64_t tlb_misses = 0;
+    for (const CoreResult& cr : result.cores) {
+      memory_accesses += cr.trace.memory_accesses;
+      tlb_misses += cr.trace.tlb_misses;
+    }
+    metrics.counter("engine.memory_accesses").add(memory_accesses);
+    metrics.counter("engine.tlb_misses").add(tlb_misses);
+    metrics.histogram("engine.run_seconds", obs::Histogram::seconds_buckets())
+        .observe(result.seconds);
+  }
   return result;
 }
 

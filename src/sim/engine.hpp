@@ -18,10 +18,15 @@
 #include <string>
 #include <vector>
 
+#include "noc/mesh.hpp"
 #include "scc/latency.hpp"
 #include "scc/mapping.hpp"
 #include "sim/config.hpp"
 #include "sim/spmv_trace.hpp"
+
+namespace scc::obs {
+class Recorder;
+}
 
 namespace scc::sim {
 
@@ -30,6 +35,28 @@ namespace scc::sim {
 enum class StorageFormat { kCsr, kEll, kBcsr2, kBcsr4, kHyb };
 
 std::string to_string(StorageFormat format);
+std::string to_string(SpmvVariant variant);
+
+/// Everything that parameterizes one simulated run, bundled so the engine
+/// has a single entry point. Core selection: `cores` (explicit rank->core
+/// table) when non-empty, otherwise `policy` applied to `ue_count`.
+/// `forced_hops >= 0` overrides every core's hop distance to memory (the
+/// Figure-3 experiment; mesh-link accounting is skipped because a forced
+/// hop count has no physical route). Non-empty `dead_ranks` switches to the
+/// degraded protocol of run_degraded. `recorder`, when set, receives
+/// per-phase spans and metrics (see docs/OBSERVABILITY.md); it never
+/// affects the simulated numbers.
+struct RunSpec {
+  int ue_count = 1;
+  chip::MappingPolicy policy = chip::MappingPolicy::kStandard;
+  std::vector<int> cores;
+  StorageFormat format = StorageFormat::kCsr;
+  SpmvVariant variant = SpmvVariant::kCsr;
+  int forced_hops = -1;
+  std::vector<int> dead_ranks;
+  double detection_seconds = 0.001;  ///< watchdog window per dead rank
+  obs::Recorder* recorder = nullptr;
+};
 
 /// Per-core outcome of a simulated run.
 struct CoreResult {
@@ -50,9 +77,13 @@ struct CoreResult {
 struct MeshTraffic {
   bytes_t total_link_bytes = 0;
   bytes_t max_link_bytes = 0;
+  /// Busiest links (up to 4), descending -- the report's congestion view.
+  std::vector<noc::Mesh::LinkLoad> hot_links;
 };
 
-/// Whole-run outcome.
+/// Whole-run outcome. For a degraded run (RunSpec::dead_ranks non-empty)
+/// `seconds`/`gflops` include the recovery overhead and the trailing
+/// degraded fields are populated; for a healthy run they stay zero.
 struct RunResult {
   std::vector<CoreResult> cores;
   double seconds = 0.0;  ///< parallel runtime (slowest core, after contention)
@@ -61,6 +92,11 @@ struct RunResult {
   std::array<double, chip::kMemoryControllerCount> mc_seconds{};
   bool bandwidth_bound = false;  ///< true when an MC's bandwidth term set the runtime
   MeshTraffic mesh;
+
+  // Degraded-run accounting (zero on healthy runs).
+  int dead_count = 0;
+  bytes_t reshipped_bytes = 0;
+  double recovery_seconds = 0.0;
 
   double mflops() const { return gflops * 1000.0; }
 };
@@ -82,21 +118,29 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
 
-  /// Simulate y = A*x on `ue_count` UEs mapped by `policy`.
+  /// THE entry point: simulate y = A*x under `spec`. Every other run_*
+  /// signature is a thin wrapper kept for source compatibility.
+  RunResult run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const;
+
+  /// DEPRECATED wrapper (use run(matrix, RunSpec)): `ue_count` UEs mapped
+  /// by `policy`.
   RunResult run(const sparse::CsrMatrix& matrix, int ue_count, chip::MappingPolicy policy,
                 SpmvVariant variant = SpmvVariant::kCsr) const;
 
-  /// Simulate on an explicit core set (rank k on cores[k]).
+  /// DEPRECATED wrapper (use run(matrix, RunSpec) with `cores`): simulate
+  /// on an explicit core set (rank k on cores[k]).
   RunResult run_on_cores(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
                          SpmvVariant variant = SpmvVariant::kCsr) const;
 
-  /// Single-core run with a forced hop distance to memory -- the paper's
+  /// DEPRECATED wrapper (use run(matrix, RunSpec) with `forced_hops`):
+  /// single-core run with a forced hop distance to memory -- the paper's
   /// Figure 3 sweep over cores 0..3 hops from their controller.
   RunResult run_single_core_at_hops(const sparse::CsrMatrix& matrix, int hops,
                                     SpmvVariant variant = SpmvVariant::kCsr) const;
 
-  /// Simulate the same product with an alternative storage format (the
-  /// kernel structure and per-element costs change with the layout; the
+  /// DEPRECATED wrapper (use run(matrix, RunSpec) with `format`): simulate
+  /// the same product with an alternative storage format (the kernel
+  /// structure and per-element costs change with the layout; the
   /// partitioning stays the paper's row-wise nnz balance).
   RunResult run_format(const sparse::CsrMatrix& matrix, int ue_count,
                        chip::MappingPolicy policy, StorageFormat format) const;
@@ -104,6 +148,7 @@ class Engine {
   /// Sustainable bandwidth of one memory controller under this config.
   double mc_bandwidth_bytes_per_second() const;
 
+  /// DEPRECATED wrapper (use run(matrix, RunSpec) with `dead_ranks`).
   /// Timing-model counterpart of the resilient RCCE SpMV: `dead_ranks` UEs
   /// fail permanently, their nnz-balanced row blocks are repartitioned over
   /// the survivors, and the recovery pays one watchdog detection window plus
@@ -115,10 +160,13 @@ class Engine {
                                  SpmvVariant variant = SpmvVariant::kCsr) const;
 
  private:
+  DegradedRunResult run_degraded_impl(const sparse::CsrMatrix& matrix, const RunSpec& spec,
+                                      const std::vector<int>& cores) const;
   RunResult run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
-                     SpmvVariant variant, int forced_hops) const;
+                     SpmvVariant variant, int forced_hops, obs::Recorder* recorder) const;
   RunResult run_generic(
       const sparse::CsrMatrix& matrix, const std::vector<int>& cores, int forced_hops,
+      obs::Recorder* recorder,
       const std::function<TraceResult(const sparse::RowBlock&, cache::Hierarchy&, cache::Tlb*,
                                       double&)>& trace_fn) const;
 

@@ -1,0 +1,35 @@
+// Schema-v1 JSON reports for simulated runs (docs/OBSERVABILITY.md).
+//
+// Lives in sim (not obs) because it serializes sim/fault types; obs stays a
+// leaf library that only knows the envelope and the validator. The builders
+// here emit exactly what obs::validate_report checks for kind "run":
+// config / run / result / per_core / per_mc / mesh sections plus the
+// optional fault_log.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace scc::sim {
+
+/// One fault-log event as a JSON object ({"type","rank","peer","op_index",
+/// "op","detail"}).
+obs::Json fault_event_json(const fault::Event& event);
+
+/// The whole fault log as a JSON array.
+obs::Json fault_log_json(const std::vector<fault::Event>& log);
+
+/// Full kind="run" report for one engine run. `spec` records the request
+/// (cores resolved by the engine appear in per_core), `recorder` -- when
+/// non-null -- contributes a "metrics" section, and `fault_log` -- when
+/// non-null -- the optional "fault_log" array (the timing engine itself
+/// never produces one; the RCCE emulation does).
+obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunResult& result,
+                          const obs::Recorder* recorder = nullptr,
+                          const std::vector<fault::Event>* fault_log = nullptr);
+
+}  // namespace scc::sim

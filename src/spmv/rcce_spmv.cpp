@@ -1,9 +1,11 @@
 #include "spmv/rcce_spmv.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "sparse/partition.hpp"
 #include "spmv/kernels.hpp"
 
@@ -125,6 +127,12 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
   auto body = [&](rcce::Comm& comm) {
     const int rank = comm.rank();
     const int root = 0;
+    // Only the root traces phases: its view spans the whole protocol, and a
+    // single writer keeps the trace readable. Null elsewhere costs nothing.
+    obs::Recorder* rec = rank == root ? options.recorder : nullptr;
+    std::optional<obs::ScopedSpan> phase;
+    phase.emplace(rec, "spmv.distribute",
+                  obs::Attributes{{"ues", std::to_string(num_ues)}});
 
     // --- distribute: root sends each UE its CSR slice, broadcasts x. ---
     LocalBlock local;
@@ -163,6 +171,8 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
       comm.recv(local_x.data(), local_x.size() * sizeof(real_t), root);
     }
     if (!resilient) comm.barrier();
+    phase.emplace(rec, "spmv.compute",
+                  obs::Attributes{{"repetitions", std::to_string(repetitions)}});
 
     // --- compute: Figure-2 kernel on the local slice. ---
     std::vector<real_t> local_y;
@@ -172,6 +182,7 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
     // The timing allreduce is not fault-tolerant; in resilient mode the root
     // reports its own kernel time instead.
     const double slowest = resilient ? elapsed : comm.allreduce_max(elapsed);
+    phase.emplace(rec, "spmv.gather");
 
     // --- gather: root assembles y; workers hand their block back. ---
     if (rank != root) {
@@ -229,6 +240,9 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
     }
 
     if (resilient) {
+      obs::ScopedSpan recovery_span(
+          rec, "spmv.recovery",
+          obs::Attributes{{"pending_blocks", std::to_string(pending.size())}});
       // --- degrade: repartition missing row blocks across the survivors. ---
       constexpr int kMaxRecoveryRounds = 3;
       for (int round = 0; round < kMaxRecoveryRounds && !pending.empty(); ++round) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace scc {
 namespace {
 
@@ -74,6 +76,33 @@ TEST(Cli, KeysEnumerated) {
 TEST(Cli, LastOccurrenceWins) {
   const auto args = make({"prog", "--n=1", "--n=2"});
   EXPECT_EQ(args.get_int_or("n", 0), 2);
+}
+
+TEST(OutputOptions, DefaultsToTable) {
+  const auto output = parse_output_options(make({"prog"}));
+  EXPECT_EQ(output.format, OutputFormat::kTable);
+  EXPECT_FALSE(output.json());
+  EXPECT_TRUE(output.json_path.empty());
+  EXPECT_TRUE(output.trace_path.empty());
+}
+
+TEST(OutputOptions, BareJsonMeansStdout) {
+  const auto output = parse_output_options(make({"prog", "--json"}));
+  EXPECT_EQ(output.format, OutputFormat::kJson);
+  EXPECT_TRUE(output.json());
+  EXPECT_TRUE(output.json_path.empty());
+}
+
+TEST(OutputOptions, JsonWithPathAndTrace) {
+  const auto output =
+      parse_output_options(make({"prog", "--json=run.json", "--trace=run.jsonl"}));
+  EXPECT_TRUE(output.json());
+  EXPECT_EQ(output.json_path, "run.json");
+  EXPECT_EQ(output.trace_path, "run.jsonl");
+}
+
+TEST(OutputOptions, BareTraceRejected) {
+  EXPECT_THROW(parse_output_options(make({"prog", "--trace"})), std::invalid_argument);
 }
 
 }  // namespace

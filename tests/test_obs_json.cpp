@@ -1,0 +1,138 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+
+namespace scc::obs {
+namespace {
+
+Json sample_document() {
+  Json doc = Json::object();
+  doc.set("zeta", 1);  // insertion order must survive, not alphabetical order
+  doc.set("alpha", "text with \"quotes\" and \\ and \n newline");
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  doc.set("pi", 3.25);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(-2.5);
+  Json inner = Json::object();
+  inner.set("k", "v");
+  arr.push_back(std::move(inner));
+  doc.set("list", std::move(arr));
+  return doc;
+}
+
+TEST(ObsJson, RoundTripPreservesValuesCompactAndPretty) {
+  const Json doc = sample_document();
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(ObsJson, DumpPreservesInsertionOrder) {
+  const std::string text = sample_document().dump();
+  EXPECT_LT(text.find("\"zeta\""), text.find("\"alpha\""));
+  EXPECT_LT(text.find("\"alpha\""), text.find("\"pi\""));
+}
+
+TEST(ObsJson, SetReplacesInPlaceKeepingKeyOrder) {
+  Json doc = Json::object();
+  doc.set("first", 1);
+  doc.set("second", 2);
+  doc.set("first", 10);
+  ASSERT_EQ(doc.items().size(), 2u);
+  EXPECT_EQ(doc.items()[0].first, "first");
+  EXPECT_EQ(doc.at("first").as_int(), 10);
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::exception);
+  EXPECT_THROW(Json::parse("{} trailing"), std::exception);
+  EXPECT_THROW(Json::parse("{'single': 1}"), std::exception);
+  EXPECT_THROW(Json::parse("[1,]"), std::exception);
+}
+
+TEST(ObsJson, TypeMismatchThrows) {
+  const Json doc = sample_document();
+  EXPECT_THROW(doc.at("pi").as_string(), std::exception);
+  EXPECT_THROW(doc.at("alpha").as_int(), std::exception);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(ObsReport, SkeletonCarriesTheSchemaVersion) {
+  const Json doc = report_skeleton(kKindAnalysis);
+  EXPECT_EQ(doc.at("schema_version").as_int(), kSchemaVersion);
+  EXPECT_EQ(doc.at("kind").as_string(), "analysis");
+  EXPECT_TRUE(validate_report(doc).empty());
+}
+
+TEST(ObsReport, EnvelopeProblemsAreFlagged) {
+  Json doc = Json::object();
+  doc.set("kind", "run");
+  EXPECT_FALSE(validate_report(doc).empty());  // schema_version missing
+
+  Json wrong = report_skeleton(kKindRun);
+  wrong.set("schema_version", kSchemaVersion + 1);
+  EXPECT_FALSE(validate_report(wrong).empty());
+}
+
+TEST(ObsReport, BareRunAndBenchSkeletonsAreIncomplete) {
+  EXPECT_FALSE(validate_report(report_skeleton(kKindRun)).empty());
+  EXPECT_FALSE(validate_report(report_skeleton(kKindBench)).empty());
+}
+
+// The real producer path: an engine run serialized by sim::run_report_json
+// must validate, round-trip byte-identically, and keep its documented keys.
+TEST(ObsReport, EngineRunReportRoundTripsAndValidates) {
+  const auto m = gen::banded(600, 12, 0.4, 3);
+  const sim::Engine engine;
+  sim::RunSpec spec;
+  spec.ue_count = 8;
+  spec.policy = chip::MappingPolicy::kDistanceReduction;
+  Recorder recorder;
+  spec.recorder = &recorder;
+  const auto result = engine.run(m, spec);
+
+  const Json report = sim::run_report_json(engine, spec, result, &recorder);
+  const auto problems = validate_report(report);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(report.at("schema_version").as_int(), kSchemaVersion);
+  EXPECT_EQ(report.at("kind").as_string(), "run");
+  EXPECT_EQ(report.at("per_core").size(), 8u);
+  EXPECT_TRUE(report.has("metrics"));
+
+  const std::string text = report.dump(2);
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed, report);
+  EXPECT_EQ(parsed.dump(2), text);
+  EXPECT_TRUE(validate_report(parsed).empty());
+}
+
+TEST(ObsReport, BenchTableAndClaimBuildersValidate) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  Json doc = report_skeleton(kKindBench);
+  doc.set("name", "unit_test");
+  doc.set("testbed_scale", 1.0);
+  Json tables = Json::array();
+  tables.push_back(table_json(t, "demo_stem"));
+  doc.set("tables", std::move(tables));
+  Json claims = Json::array();
+  ClaimCheck claim{"demo claim", 1.0, 1.05, 0.1, true};
+  claims.push_back(claim_json(claim));
+  doc.set("claims", std::move(claims));
+  doc.set("ok", true);
+  const auto problems = validate_report(doc);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+}  // namespace
+}  // namespace scc::obs

@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace scc::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(ObsHistogram, ObservationsLandInTheRightBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (le 1)
+  h.observe(1.0);    // bucket 0 (le semantics: bound >= value)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(ObsHistogram, RejectsEmptyOrUnsortedBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, CannedLayoutsAreStrictlyIncreasing) {
+  for (const auto& bounds : {Histogram::seconds_buckets(), Histogram::bytes_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ObsRegistry, LookupRegistersOnceWithStableAddresses) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& a = reg.counter("engine.runs");
+  Counter& b = reg.counter("engine.runs");
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(reg.empty());
+  Gauge& g1 = reg.gauge("rcce.barrier_wait_seconds");
+  Gauge& g2 = reg.gauge("rcce.barrier_wait_seconds");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("engine.run_seconds", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("engine.run_seconds", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, HistogramBoundsMismatchThrows) {
+  Registry reg;
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(ObsRegistry, ExportsSortedJson) {
+  Registry reg;
+  reg.counter("z.second").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h", {1.0}).observe(0.25);
+  const Json doc = reg.to_json();
+  ASSERT_TRUE(doc.is_object());
+  const Json& counters = doc.at("counters");
+  ASSERT_EQ(counters.items().size(), 2u);
+  EXPECT_EQ(counters.items()[0].first, "a.first");  // std::map order
+  EXPECT_EQ(counters.items()[1].first, "z.second");
+  EXPECT_EQ(counters.at("z.second").as_int(), 2);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("g").as_double(), 0.5);
+  const Json& h = doc.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").as_int(), 1);
+  ASSERT_EQ(h.at("buckets").size(), 2u);  // one bound + overflow
+}
+
+// The TSan job runs this: many threads hammering one counter, one gauge and
+// one histogram through the registry must race-free and lose no increments.
+TEST(ObsRegistry, ConcurrentUpdatesAreExactAndRaceFree) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      Counter& c = reg.counter("shared.counter");
+      Histogram& h = reg.histogram("shared.hist", {0.5, 1.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        reg.gauge("shared.gauge").set(static_cast<double>(t));
+        h.observe(i % 2 == 0 ? 0.25 : 2.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  Histogram& h = reg.histogram("shared.hist", {0.5, 1.0});
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], static_cast<std::uint64_t>(kThreads) * kIters / 2);
+  EXPECT_EQ(counts[2], static_cast<std::uint64_t>(kThreads) * kIters / 2);
+  const double gauge = reg.gauge("shared.gauge").value();
+  EXPECT_GE(gauge, 0.0);
+  EXPECT_LT(gauge, kThreads);
+}
+
+}  // namespace
+}  // namespace scc::obs

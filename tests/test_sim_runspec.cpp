@@ -1,0 +1,154 @@
+// The api_redesign contract: every deprecated Engine entry point must be a
+// pure wrapper over Engine::run(matrix, RunSpec) -- same code path, so the
+// results (and their serialized reports) are byte-identical.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sim {
+namespace {
+
+sparse::CsrMatrix test_matrix() { return gen::banded(800, 16, 0.5, 11); }
+
+// Byte-identical check: serialize both results against the same spec and
+// compare the JSON text verbatim.
+void expect_identical(const Engine& engine, const RunSpec& spec, const RunResult& legacy,
+                      const RunResult& unified) {
+  EXPECT_EQ(run_report_json(engine, spec, legacy).dump(2),
+            run_report_json(engine, spec, unified).dump(2));
+  EXPECT_EQ(legacy.seconds, unified.seconds);
+  EXPECT_EQ(legacy.gflops, unified.gflops);
+  EXPECT_EQ(legacy.bandwidth_bound, unified.bandwidth_bound);
+  ASSERT_EQ(legacy.cores.size(), unified.cores.size());
+  for (std::size_t i = 0; i < legacy.cores.size(); ++i) {
+    EXPECT_EQ(legacy.cores[i].core, unified.cores[i].core);
+    EXPECT_EQ(legacy.cores[i].isolated_seconds, unified.cores[i].isolated_seconds);
+  }
+  EXPECT_EQ(legacy.mesh.total_link_bytes, unified.mesh.total_link_bytes);
+}
+
+TEST(RunSpec, PolicyWrapperMatchesUnifiedRun) {
+  const auto m = test_matrix();
+  const Engine engine;
+  for (const auto variant : {SpmvVariant::kCsr, SpmvVariant::kCsrNoXMiss}) {
+    RunSpec spec;
+    spec.ue_count = 24;
+    spec.policy = chip::MappingPolicy::kDistanceReduction;
+    spec.variant = variant;
+    expect_identical(engine, spec,
+                     engine.run(m, 24, chip::MappingPolicy::kDistanceReduction, variant),
+                     engine.run(m, spec));
+  }
+}
+
+TEST(RunSpec, ExplicitCoresWrapperMatchesUnifiedRun) {
+  const auto m = test_matrix();
+  const Engine engine;
+  const std::vector<int> cores = {0, 5, 17, 40};
+  RunSpec spec;
+  spec.cores = cores;
+  expect_identical(engine, spec, engine.run_on_cores(m, cores), engine.run(m, spec));
+}
+
+TEST(RunSpec, ForcedHopsWrapperMatchesUnifiedRun) {
+  const auto m = test_matrix();
+  const Engine engine;
+  for (int hops = 0; hops <= 3; ++hops) {
+    RunSpec spec;
+    spec.cores = {0};
+    spec.forced_hops = hops;
+    expect_identical(engine, spec, engine.run_single_core_at_hops(m, hops),
+                     engine.run(m, spec));
+  }
+}
+
+TEST(RunSpec, FormatWrapperMatchesUnifiedRun) {
+  const auto m = test_matrix();
+  const Engine engine;
+  for (const auto format : {StorageFormat::kCsr, StorageFormat::kEll, StorageFormat::kBcsr2,
+                            StorageFormat::kBcsr4, StorageFormat::kHyb}) {
+    RunSpec spec;
+    spec.ue_count = 8;
+    spec.policy = chip::MappingPolicy::kDistanceReduction;
+    spec.format = format;
+    expect_identical(engine, spec,
+                     engine.run_format(m, 8, chip::MappingPolicy::kDistanceReduction, format),
+                     engine.run(m, spec));
+  }
+}
+
+TEST(RunSpec, DegradedWrapperMatchesUnifiedRun) {
+  const auto m = test_matrix();
+  const Engine engine;
+  const std::vector<int> dead = {1, 3};
+  RunSpec spec;
+  spec.ue_count = 8;
+  spec.policy = chip::MappingPolicy::kDistanceReduction;
+  spec.dead_ranks = dead;
+  spec.detection_seconds = 0.002;
+  const DegradedRunResult legacy =
+      engine.run_degraded(m, 8, chip::MappingPolicy::kDistanceReduction, dead, 0.002);
+  const RunResult unified = engine.run(m, spec);
+
+  // The unified result folds the degraded accounting into RunResult.
+  EXPECT_EQ(unified.dead_count, legacy.dead_count);
+  EXPECT_EQ(unified.reshipped_bytes, legacy.reshipped_bytes);
+  EXPECT_EQ(unified.recovery_seconds, legacy.recovery_seconds);
+  EXPECT_EQ(unified.seconds, legacy.seconds);
+  EXPECT_EQ(unified.gflops, legacy.gflops);
+  ASSERT_EQ(unified.cores.size(), legacy.result.cores.size());
+  for (std::size_t i = 0; i < unified.cores.size(); ++i) {
+    EXPECT_EQ(unified.cores[i].core, legacy.result.cores[i].core);
+    EXPECT_EQ(unified.cores[i].isolated_seconds, legacy.result.cores[i].isolated_seconds);
+  }
+}
+
+TEST(RunSpec, InvalidSpecsAreRejected) {
+  const auto m = test_matrix();
+  const Engine engine;
+  {
+    RunSpec spec;
+    spec.forced_hops = 4;  // mesh diameter caps forced hops at 3
+    spec.cores = {0};
+    EXPECT_THROW(engine.run(m, spec), std::invalid_argument);
+  }
+  {
+    RunSpec spec;
+    spec.dead_ranks = {0};  // rank 0 owns the matrix and must survive
+    spec.ue_count = 4;
+    EXPECT_THROW(engine.run(m, spec), std::invalid_argument);
+  }
+  {
+    RunSpec spec;
+    spec.dead_ranks = {1};
+    spec.ue_count = 4;
+    spec.format = StorageFormat::kEll;  // degraded path models CSR only
+    EXPECT_THROW(engine.run(m, spec), std::invalid_argument);
+  }
+}
+
+TEST(RunSpec, RecorderNeverChangesTheNumbers) {
+  const auto m = test_matrix();
+  const Engine engine;
+  RunSpec plain;
+  plain.ue_count = 8;
+  plain.policy = chip::MappingPolicy::kDistanceReduction;
+  RunSpec observed = plain;
+  obs::Recorder recorder;
+  observed.recorder = &recorder;
+  const auto a = engine.run(m, plain);
+  const auto b = engine.run(m, observed);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.gflops, b.gflops);
+  EXPECT_FALSE(recorder.events().empty());
+  EXPECT_FALSE(recorder.metrics().empty());
+}
+
+}  // namespace
+}  // namespace scc::sim

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "sparse/io.hpp"
 #include "sparse/properties.hpp"
 
@@ -148,6 +150,133 @@ TEST(Cli, ConvertWithRcmReducesBandwidth) {
   const auto after = sparse::read_matrix_market_file(out_path);
   EXPECT_EQ(before.nnz(), after.nnz());
   EXPECT_LT(sparse::bandwidth(after), sparse::bandwidth(before));
+}
+
+std::string generate_matrix(const std::string& name) {
+  const std::string path = temp_path(name);
+  std::ostringstream out, err;
+  const std::string out_arg = "--out=" + path;
+  EXPECT_EQ(run_cli(make({"generate", "--family=banded", "--n=600", out_arg.c_str()}), out,
+                    err),
+            0)
+      << err.str();
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(CliJson, SimulateBareJsonWritesValidReportToStdout) {
+  const std::string path = generate_matrix("cli_json_stdout.mtx");
+  std::ostringstream report, err;
+  const std::string matrix_arg = "--matrix=" + path;
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=4", "--json"}), report,
+                    err),
+            0)
+      << err.str();
+  const auto doc = obs::Json::parse(report.str());
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("kind").as_string(), "run");
+  EXPECT_EQ(doc.at("schema_version").as_int(), obs::kSchemaVersion);
+  EXPECT_EQ(doc.at("per_core").size(), 4u);
+  EXPECT_TRUE(doc.has("metrics"));
+}
+
+TEST(CliJson, SimulateWritesJsonFileAndJsonlTrace) {
+  const std::string path = generate_matrix("cli_json_file.mtx");
+  const std::string json_path = temp_path("cli_run.json");
+  const std::string trace_path = temp_path("cli_run.trace.jsonl");
+  std::ostringstream out, err;
+  const std::string matrix_arg = "--matrix=" + path;
+  const std::string json_arg = "--json=" + json_path;
+  const std::string trace_arg = "--trace=" + trace_path;
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=4", json_arg.c_str(),
+                          trace_arg.c_str()}),
+                    out, err),
+            0)
+      << err.str();
+
+  const auto doc = obs::Json::parse(read_file(json_path));
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+
+  // The trace is JSON-lines: every line parses and carries type/name/ts, and
+  // the engine phases appear by their documented span names.
+  std::ifstream trace(trace_path);
+  std::string line;
+  bool saw_partition = false;
+  std::size_t lines = 0;
+  while (std::getline(trace, line)) {
+    ++lines;
+    const auto event = obs::Json::parse(line);
+    EXPECT_EQ(event.at("type").as_string(), "span");
+    EXPECT_TRUE(event.has("ts"));
+    if (event.at("name").as_string() == "engine.partition") saw_partition = true;
+  }
+  EXPECT_GT(lines, 4u);  // partition + 4 core traces + replay + contention
+  EXPECT_TRUE(saw_partition);
+}
+
+TEST(CliJson, TraceFlagRequiresAPath) {
+  const std::string path = generate_matrix("cli_trace_req.mtx");
+  std::ostringstream out, err;
+  const std::string matrix_arg = "--matrix=" + path;
+  EXPECT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--trace"}), out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+}
+
+TEST(CliJson, ReportAggregatesRunFiles) {
+  const std::string path = generate_matrix("cli_report_in.mtx");
+  const std::string run_a = temp_path("cli_report_a.json");
+  const std::string run_b = temp_path("cli_report_b.json");
+  const std::string matrix_arg = "--matrix=" + path;
+  for (const auto& [cores, file] : {std::pair{"4", run_a}, std::pair{"8", run_b}}) {
+    std::ostringstream out, err;
+    const std::string cores_arg = std::string("--cores=") + cores;
+    const std::string json_arg = "--json=" + file;
+    ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), cores_arg.c_str(),
+                            json_arg.c_str()}),
+                      out, err),
+              0)
+        << err.str();
+  }
+
+  std::ostringstream table, err;
+  ASSERT_EQ(run_cli(make({"report", run_a.c_str(), run_b.c_str()}), table, err), 0)
+      << err.str();
+  EXPECT_NE(table.str().find("MFLOPS"), std::string::npos);
+  EXPECT_NE(table.str().find("cli_report_a.json"), std::string::npos);
+
+  std::ostringstream json_out;
+  ASSERT_EQ(run_cli(make({"report", run_a.c_str(), run_b.c_str(), "--json"}), json_out, err),
+            0)
+      << err.str();
+  const auto doc = obs::Json::parse(json_out.str());
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("kind").as_string(), "report");
+  EXPECT_EQ(doc.at("sources").size(), 2u);
+}
+
+TEST(CliJson, ReportRejectsInvalidInput) {
+  const std::string bogus = temp_path("cli_report_bogus.json");
+  std::ofstream(bogus) << "{\"kind\": \"run\"}\n";  // missing schema_version
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"report", bogus.c_str()}), out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+}
+
+TEST(CliJson, AnalyzeEmitsAnalysisJson) {
+  const std::string path = generate_matrix("cli_analyze_json.mtx");
+  std::ostringstream out, err;
+  const std::string matrix_arg = "--matrix=" + path;
+  ASSERT_EQ(run_cli(make({"analyze", matrix_arg.c_str(), "--json"}), out, err), 0)
+      << err.str();
+  const auto doc = obs::Json::parse(out.str());
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("kind").as_string(), "analysis");
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "cli_commands.hpp"
 
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,7 +14,10 @@
 #include "common/table.hpp"
 #include "fault/fault.hpp"
 #include "gen/generators.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/report.hpp"
 #include "sparse/io.hpp"
 #include "sparse/properties.hpp"
 #include "sparse/reorder.hpp"
@@ -111,6 +115,27 @@ sim::StorageFormat format_from(const CliArgs& args) {
   return sim::StorageFormat::kCsr;
 }
 
+/// Render a finished report per the shared output flags: pretty JSON into
+/// --json=FILE or onto `out`.
+void write_json_report(const OutputOptions& output, const obs::Json& report,
+                       std::ostream& out) {
+  if (!output.json_path.empty()) {
+    std::ofstream file(output.json_path);
+    SCC_REQUIRE(file.good(), "cannot open --json file '" << output.json_path << "'");
+    file << report.dump(2) << '\n';
+  } else {
+    out << report.dump(2) << '\n';
+  }
+}
+
+/// Dump the recorder's spans/events as JSON lines into --trace=FILE.
+void write_trace(const OutputOptions& output, const obs::Recorder& recorder) {
+  if (output.trace_path.empty()) return;
+  std::ofstream file(output.trace_path);
+  SCC_REQUIRE(file.good(), "cannot open --trace file '" << output.trace_path << "'");
+  recorder.write_jsonl(file);
+}
+
 std::vector<int> parse_rank_list(const std::string& text) {
   std::vector<int> ranks;
   std::stringstream stream(text);
@@ -134,19 +159,43 @@ std::vector<int> parse_rank_list(const std::string& text) {
 }  // namespace
 
 int cmd_generate(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
   const auto matrix = build_family(args);
   const std::string path = args.get_or("out", "matrix.mtx");
   sparse::write_matrix_market_file(path, matrix);
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindAnalysis);
+    report.set("command", "generate");
+    report.set("out", path);
+    report.set("rows", matrix.rows());
+    report.set("cols", matrix.cols());
+    report.set("nnz", matrix.nnz());
+    write_json_report(output, report, out);
+    return 0;
+  }
   out << "wrote " << path << ": " << matrix.rows() << " rows, " << matrix.nnz()
       << " nonzeros\n";
   return 0;
 }
 
 int cmd_testbed(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
   const int id = static_cast<int>(args.get_int_or("id", 1));
   const auto entry = testbed::build_entry(id, testbed::suite_scale_from_env());
   const std::string path = args.get_or("out", entry.name + ".mtx");
   sparse::write_matrix_market_file(path, entry.matrix);
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindAnalysis);
+    report.set("command", "testbed");
+    report.set("id", id);
+    report.set("name", entry.name);
+    report.set("family", entry.family);
+    report.set("out", path);
+    report.set("rows", entry.matrix.rows());
+    report.set("nnz", entry.matrix.nnz());
+    write_json_report(output, report, out);
+    return 0;
+  }
   out << "wrote " << path << " (#" << id << " " << entry.name << ", " << entry.family << "): "
       << entry.matrix.rows() << " rows, " << entry.matrix.nnz() << " nonzeros\n";
   return 0;
@@ -169,11 +218,22 @@ int cmd_analyze(const CliArgs& args, std::ostream& out) {
                  " MB"});
   t.add_row({"bandwidth", Table::integer(sparse::bandwidth(m))});
   t.add_row({"x line reuse", Table::num(sparse::x_line_reuse_fraction(m), 3)});
+  const OutputOptions output = parse_output_options(args);
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindAnalysis);
+    report.set("command", "analyze");
+    obs::Json tables = obs::Json::array();
+    tables.push_back(obs::table_json(t, "analysis"));
+    report.set("tables", std::move(tables));
+    write_json_report(output, report, out);
+    return 0;
+  }
   t.print(out);
   return 0;
 }
 
 int cmd_simulate(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
   const auto m = load_input(args);
   sim::EngineConfig cfg;
   cfg.freq = conf_from(args);
@@ -181,7 +241,20 @@ int cmd_simulate(const CliArgs& args, std::ostream& out) {
   const int cores = static_cast<int>(args.get_int_or("cores", 24));
   const auto policy = mapping_from(args);
   const auto format = format_from(args);
-  const auto r = engine.run_format(m, cores, policy, format);
+
+  obs::Recorder recorder;
+  sim::RunSpec spec;
+  spec.ue_count = cores;
+  spec.policy = policy;
+  spec.format = format;
+  if (output.json() || !output.trace_path.empty()) spec.recorder = &recorder;
+  const auto r = engine.run(m, spec);
+  write_trace(output, recorder);
+
+  if (output.json()) {
+    write_json_report(output, sim::run_report_json(engine, spec, r, spec.recorder), out);
+    return 0;
+  }
 
   Table t("simulated SCC run");
   t.set_header({"property", "value"});
@@ -199,20 +272,36 @@ int cmd_simulate(const CliArgs& args, std::ostream& out) {
 }
 
 int cmd_convert(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
   auto m = load_input(args);
-  if (args.get_bool_or("rcm", false)) {
+  index_t bandwidth_before = 0;
+  const bool rcm = args.get_bool_or("rcm", false);
+  if (rcm) {
     const auto perm = sparse::reverse_cuthill_mckee(m);
-    const auto before = sparse::bandwidth(m);
+    bandwidth_before = sparse::bandwidth(m);
     m = m.permute_symmetric(perm);
-    out << "RCM: bandwidth " << before << " -> " << sparse::bandwidth(m) << '\n';
+    if (!output.json()) {
+      out << "RCM: bandwidth " << bandwidth_before << " -> " << sparse::bandwidth(m) << '\n';
+    }
   }
   const std::string path = args.get_or("out", "converted.mtx");
   sparse::write_matrix_market_file(path, m);
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindAnalysis);
+    report.set("command", "convert");
+    report.set("out", path);
+    report.set("rcm", rcm);
+    if (rcm) report.set("bandwidth_before", bandwidth_before);
+    report.set("bandwidth", sparse::bandwidth(m));
+    write_json_report(output, report, out);
+    return 0;
+  }
   out << "wrote " << path << '\n';
   return 0;
 }
 
 int cmd_resilience(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
   const auto m = (args.has("matrix") || args.has("id")) ? load_input(args) : build_family(args);
   const int ues = static_cast<int>(args.get_int_or("ues", 8));
 
@@ -229,9 +318,13 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   plan.delay_rate = args.get_double_or("delay-rate", 0.0);
   plan.delay_seconds = args.get_double_or("delay-seconds", 0.0005);
 
+  obs::Recorder recorder;
+  const bool observe = output.json() || !output.trace_path.empty();
+
   rcce::RuntimeOptions options;
   options.watchdog_timeout_seconds = args.get_double_or("timeout", 2.0);
   options.injector = std::make_shared<fault::Injector>(plan);
+  if (observe) options.recorder = &recorder;
 
   std::vector<real_t> x(static_cast<std::size_t>(m.cols()));
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -245,6 +338,37 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
     max_error = std::max(max_error, std::abs(run.y[i] - reference[i]));
   }
   const bool correct = max_error <= 1e-9;
+
+  // Timing-model counterpart: the run schema's numbers come from the engine,
+  // degraded by whichever UEs the fault plan actually killed.
+  const sim::Engine engine;
+  sim::RunSpec spec;
+  spec.ue_count = ues;
+  spec.policy = chip::MappingPolicy::kDistanceReduction;
+  spec.dead_ranks = run.report.dead_ues;
+  if (observe) spec.recorder = &recorder;
+  const auto model = engine.run(m, spec);
+  write_trace(output, recorder);
+
+  if (output.json()) {
+    obs::Json report =
+        sim::run_report_json(engine, spec, model, spec.recorder, &run.report.fault_log);
+    obs::Json res = obs::Json::object();
+    res.set("ues", ues);
+    obs::Json dead = obs::Json::array();
+    for (int rank : run.report.dead_ues) dead.push_back(obs::Json(rank));
+    res.set("dead_ues", std::move(dead));
+    res.set("max_error", max_error);
+    res.set("correct", correct);
+    res.set("messages_sent", run.report.comm.messages_sent);
+    res.set("bytes_sent", run.report.comm.bytes_sent);
+    res.set("retries", run.report.comm.retries);
+    res.set("timeouts", run.report.comm.timeouts);
+    res.set("barrier_wait_seconds", run.report.comm.barrier_wait_seconds);
+    report.set("resilience", std::move(res));
+    write_json_report(output, report, out);
+    return correct ? 0 : 1;
+  }
 
   const auto& log = run.report.fault_log;
   Table t("resilience report");
@@ -272,22 +396,93 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   }
 
   if (!run.report.dead_ues.empty()) {
-    const sim::Engine engine;
-    const auto healthy = engine.run(m, ues, chip::MappingPolicy::kDistanceReduction);
-    const auto degraded = engine.run_degraded(m, ues, chip::MappingPolicy::kDistanceReduction,
-                                              run.report.dead_ues);
+    sim::RunSpec healthy_spec;
+    healthy_spec.ue_count = ues;
+    healthy_spec.policy = chip::MappingPolicy::kDistanceReduction;
+    const auto healthy = engine.run(m, healthy_spec);
     out << '\n';
-    Table model("timing-model impact (Section V machine)");
-    model.set_header({"property", "value"});
-    model.add_row({"healthy GFLOPS", Table::num(healthy.gflops, 4)});
-    model.add_row({"degraded GFLOPS", Table::num(degraded.gflops, 4)});
-    model.add_row({"recovery overhead", Table::num(degraded.recovery_seconds * 1e3, 3) + " ms"});
-    model.add_row(
-        {"reshipped CSR", Table::num(static_cast<double>(degraded.reshipped_bytes) / 1024.0, 1) +
+    Table impact("timing-model impact (Section V machine)");
+    impact.set_header({"property", "value"});
+    impact.add_row({"healthy GFLOPS", Table::num(healthy.gflops, 4)});
+    impact.add_row({"degraded GFLOPS", Table::num(model.gflops, 4)});
+    impact.add_row({"recovery overhead", Table::num(model.recovery_seconds * 1e3, 3) + " ms"});
+    impact.add_row(
+        {"reshipped CSR", Table::num(static_cast<double>(model.reshipped_bytes) / 1024.0, 1) +
                               " KB"});
-    model.print(out);
+    impact.print(out);
   }
   return correct ? 0 : 1;
+}
+
+int cmd_report(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
+  const auto& positional = args.positional();  // positional[0] == "report"
+  SCC_REQUIRE(positional.size() >= 2, "report needs at least one JSON file");
+
+  struct Source {
+    std::string file;
+    obs::Json doc;
+  };
+  std::vector<Source> sources;
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    std::ifstream file(positional[i]);
+    SCC_REQUIRE(file.good(), "cannot open '" << positional[i] << "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    obs::Json doc = obs::Json::parse(buffer.str());
+    const auto problems = obs::validate_report(doc);
+    SCC_REQUIRE(problems.empty(), "'" << positional[i]
+                                      << "' failed schema validation: " << problems.front());
+    sources.push_back({positional[i], std::move(doc)});
+  }
+
+  // Comparison across runs: the first run report is the baseline for the
+  // relative-time column. Bench reports interleave with their pass/fail.
+  double baseline_seconds = 0.0;
+  obs::Json rows_json = obs::Json::array();
+  Table t("report comparison");
+  t.set_header({"file", "kind", "cores", "time [ms]", "MFLOPS/s", "rel", "faults", "ok"});
+  for (const Source& source : sources) {
+    const std::string kind = source.doc.at("kind").as_string();
+    obs::Json summary = obs::Json::object();
+    summary.set("file", source.file);
+    summary.set("kind", kind);
+    if (kind == obs::kKindRun) {
+      const obs::Json& result = source.doc.at("result");
+      const double seconds = result.at("seconds").as_double();
+      if (baseline_seconds == 0.0) baseline_seconds = seconds;
+      const std::size_t faults =
+          source.doc.has("fault_log") ? source.doc.at("fault_log").size() : 0;
+      const auto cores = static_cast<long long>(source.doc.at("run").at("cores").size());
+      t.add_row({source.file, kind, Table::integer(cores), Table::num(seconds * 1e3, 3),
+                 Table::num(result.at("gflops").as_double() * 1000.0, 1),
+                 baseline_seconds > 0.0 ? Table::num(seconds / baseline_seconds, 2) + "x" : "-",
+                 Table::integer(static_cast<long long>(faults)), "-"});
+      summary.set("cores", cores);
+      summary.set("seconds", seconds);
+      summary.set("gflops", result.at("gflops").as_double());
+      summary.set("relative_seconds",
+                  baseline_seconds > 0.0 ? seconds / baseline_seconds : 1.0);
+      summary.set("faults", faults);
+    } else if (kind == obs::kKindBench) {
+      const bool ok = source.doc.at("ok").as_bool();
+      t.add_row({source.file, kind, "-", "-", "-", "-", "-", ok ? "yes" : "NO"});
+      summary.set("name", source.doc.at("name").as_string());
+      summary.set("ok", ok);
+    } else {
+      t.add_row({source.file, kind, "-", "-", "-", "-", "-", "-"});
+    }
+    rows_json.push_back(std::move(summary));
+  }
+
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindReport);
+    report.set("sources", std::move(rows_json));
+    write_json_report(output, report, out);
+    return 0;
+  }
+  t.print(out);
+  return 0;
 }
 
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
@@ -301,7 +496,10 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "  convert   --matrix FILE [--rcm] --out FILE            normalize / reorder\n"
       "  resilience [--matrix FILE | --id K | --family F] [--ues U]\n"
       "            [--kill-ranks 1,3 --kill-op N] [--transient-rate P] [--drop-rate P]\n"
-      "            [--delay-rate P] [--timeout S] [--fault-seed S] [--log]\n";
+      "            [--delay-rate P] [--timeout S] [--fault-seed S] [--log]\n"
+      "  report    FILE.json [FILE.json ...]                   compare JSON reports\n"
+      "every command also accepts --json[=FILE] (schema-versioned JSON output)\n"
+      "and --trace=FILE (JSON-lines span trace, where instrumented)\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
@@ -314,6 +512,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (command == "simulate") return cmd_simulate(args, out);
     if (command == "convert") return cmd_convert(args, out);
     if (command == "resilience") return cmd_resilience(args, out);
+    if (command == "report") return cmd_report(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -9,6 +9,10 @@
 //   simulate  -- run the SCC simulator on a matrix (cores/mapping/conf/format)
 //   convert   -- normalize / RCM-reorder a Matrix Market file
 //   resilience -- run the fault-injected RCCE SpMV and report the recovery
+//   report    -- aggregate schema-v1 JSON reports into a comparison table
+//
+// Every command honours the shared output flags (`--json[=FILE]`,
+// `--trace=FILE`) parsed by scc::parse_output_options.
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +27,7 @@ int cmd_analyze(const CliArgs& args, std::ostream& out);
 int cmd_simulate(const CliArgs& args, std::ostream& out);
 int cmd_convert(const CliArgs& args, std::ostream& out);
 int cmd_resilience(const CliArgs& args, std::ostream& out);
+int cmd_report(const CliArgs& args, std::ostream& out);
 
 /// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
 /// or missing command.

@@ -1,0 +1,46 @@
+// scc-json-check: structural validator for the schema-v1 JSON reports
+// (docs/OBSERVABILITY.md). Reads every file named on the command line,
+// parses it and runs obs::validate_report; problems go to stderr. Exit code
+// 0 when every file validates, 1 otherwise. CI's bench-smoke job runs this
+// over the BENCH_*.json artifacts.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: scc-json-check FILE.json [FILE.json ...]\n";
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream file(path);
+    if (!file.good()) {
+      std::cerr << path << ": cannot open\n";
+      ++bad;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      const scc::obs::Json doc = scc::obs::Json::parse(buffer.str());
+      const auto problems = scc::obs::validate_report(doc);
+      if (problems.empty()) {
+        std::cout << path << ": ok (kind " << doc.at("kind").as_string() << ")\n";
+      } else {
+        for (const std::string& problem : problems) {
+          std::cerr << path << ": " << problem << '\n';
+        }
+        ++bad;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << path << ": " << e.what() << '\n';
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
