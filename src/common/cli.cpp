@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace scc {
 
@@ -79,6 +80,12 @@ OutputOptions parse_output_options(const CliArgs& args) {
     options.trace_path = *trace;
   }
   return options;
+}
+
+std::uint64_t seed_option(const CliArgs& args, std::uint64_t fallback) {
+  const auto text = args.get("seed");
+  if (!text) return fallback;
+  return parse_seed(*text);
 }
 
 }  // namespace scc

@@ -9,6 +9,7 @@
 // `parse_output_options` so the commands agree on semantics.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -58,5 +59,12 @@ struct OutputOptions {
 /// Parse `--json[=FILE]` / `--trace=FILE` from `args`. Throws on a bare
 /// `--trace` with no file.
 OutputOptions parse_output_options(const CliArgs& args);
+
+/// The shared `--seed` flag: every randomized path (generators, fault
+/// injection, the serve load generator) derives its stream from this one
+/// value so a whole command reproduces from a single flag. Accepts decimal
+/// or 0x-prefixed hex (common::rng parse_seed); returns `fallback` when the
+/// flag is absent, throws on unparsable text.
+std::uint64_t seed_option(const CliArgs& args, std::uint64_t fallback);
 
 }  // namespace scc

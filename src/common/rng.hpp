@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -23,6 +24,22 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Parse a 64-bit seed from command-line text: decimal, or hex with an
+/// 0x/0X prefix (seeds are conventionally written in hex, e.g. 0x5cc).
+/// Throws on empty input, trailing garbage, or overflow past 2^64-1.
+inline std::uint64_t parse_seed(const std::string& text) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &used, 0);  // base 0: decimal or 0x/0X hex
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  SCC_REQUIRE(used == text.size() && !text.empty() && text.front() != '-',
+              "cannot parse seed '" << text << "' (use decimal or 0x-prefixed hex)");
+  return value;
 }
 
 /// xoshiro256** generator with convenience distributions.

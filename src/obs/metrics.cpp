@@ -35,6 +35,29 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  SCC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < target && i + 1 < counts.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket clamps
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (in_bucket <= 0.0) return hi;
+    return lo + (hi - lo) * std::min(1.0, (target - cumulative) / in_bucket);
+  }
+  return bounds_.back();
+}
+
 std::vector<double> Histogram::seconds_buckets() {
   std::vector<double> bounds;
   for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
@@ -107,6 +130,9 @@ Json Registry::to_json() const {
     Json h = Json::object();
     h.set("count", histogram->count());
     h.set("sum", histogram->sum());
+    h.set("p50", histogram->quantile(0.50));
+    h.set("p95", histogram->quantile(0.95));
+    h.set("p99", histogram->quantile(0.99));
     h.set("buckets", std::move(buckets));
     histograms.set(name, std::move(h));
   }

@@ -56,6 +56,14 @@ class Histogram {
   /// Per-bucket counts; size() == upper_bounds().size() + 1 (overflow last).
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Prometheus-style quantile estimate for q in [0, 1]: find the bucket
+  /// holding the q-th observation and interpolate linearly inside it (the
+  /// first bucket's lower edge is 0; the overflow bucket clamps to the last
+  /// bound). Returns 0 for an empty histogram. The estimate is only as fine
+  /// as the bucket layout -- tail quantiles of the canned decade buckets are
+  /// accurate to the {1,3} grid, which is what the serve SLO reports need.
+  double quantile(double q) const;
+
   /// Canned layouts so every subsystem buckets the same way.
   static std::vector<double> seconds_buckets();  ///< 1 us .. 10 s, decades x {1,3}
   static std::vector<double> bytes_buckets();    ///< 64 B .. 1 GB, powers of 16
@@ -79,7 +87,8 @@ class Registry {
 
   /// Export every metric, keys sorted by name:
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
-  ///   {"count": n, "sum": s, "buckets": [{"le": bound|"inf", "count": n}...]}}}
+  ///   {"count": n, "sum": s, "p50": q, "p95": q, "p99": q,
+  ///    "buckets": [{"le": bound|"inf", "count": n}...]}}}
   Json to_json() const;
 
  private:

@@ -41,6 +41,34 @@ void validate_cache_stats(std::vector<std::string>& problems, const Json& core,
   }
 }
 
+/// The optional Recorder-registry export: when a "metrics" section is
+/// present, each histogram must carry the count/sum/percentile summary the
+/// serve SLO reports (and any tail-latency consumer) key on.
+void validate_metrics(std::vector<std::string>& problems, const Json& report) {
+  const Json* metrics = report.find("metrics");
+  if (metrics == nullptr) return;
+  if (!metrics->is_object()) {
+    problems.push_back("metrics must be an object when present");
+    return;
+  }
+  const Json* histograms = metrics->find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) return;
+  for (const auto& [name, histogram] : histograms->items()) {
+    if (!histogram.is_object()) {
+      problems.push_back("metrics histogram '" + name + "' must be an object");
+      continue;
+    }
+    for (const char* key : {"count", "sum", "p50", "p95", "p99"}) {
+      if (histogram.find(key) == nullptr || !histogram.at(key).is_number()) {
+        problems.push_back("metrics histogram '" + name + "' missing numeric '" + key + "'");
+      }
+    }
+    const Json* buckets = histogram.find("buckets");
+    require(problems, buckets != nullptr && buckets->is_array(),
+            "metrics histogram '" + name + "' needs a 'buckets' array");
+  }
+}
+
 void validate_run(std::vector<std::string>& problems, const Json& report) {
   check_section(problems, report, "config", Json::Type::kObject);
   if (const Json* run = check_section(problems, report, "run", Json::Type::kObject)) {
@@ -102,6 +130,60 @@ void validate_run(std::vector<std::string>& problems, const Json& report) {
       }
     }
   }
+  validate_metrics(problems, report);
+}
+
+void validate_latency_summary(std::vector<std::string>& problems, const Json& parent,
+                              const char* cls) {
+  const Json* summary = parent.find(cls);
+  if (summary == nullptr || !summary->is_object()) {
+    problems.push_back(std::string("result.latency missing class object '") + cls + "'");
+    return;
+  }
+  for (const char* key : {"p50", "p95", "p99", "mean"}) {
+    check_number(problems, *summary, key);
+  }
+}
+
+void validate_serve(std::vector<std::string>& problems, const Json& report) {
+  if (const Json* workload =
+          check_section(problems, report, "workload", Json::Type::kObject)) {
+    check_number(problems, *workload, "seed");
+    check_number(problems, *workload, "offered_rps");
+    check_number(problems, *workload, "request_count");
+  }
+  if (const Json* config = check_section(problems, report, "config", Json::Type::kObject)) {
+    const Json* policy = config->find("policy");
+    require(problems, policy != nullptr && policy->is_string(),
+            "serve config needs a string 'policy'");
+  }
+  if (const Json* result = check_section(problems, report, "result", Json::Type::kObject)) {
+    for (const char* key : {"makespan_seconds", "throughput_rps", "completed", "rejected",
+                            "slo_violations", "max_queue_depth"}) {
+      check_number(problems, *result, key);
+    }
+    const Json* latency = result->find("latency");
+    if (latency == nullptr || !latency->is_object()) {
+      problems.push_back("serve result needs a 'latency' object");
+    } else {
+      validate_latency_summary(problems, *latency, "total");
+      validate_latency_summary(problems, *latency, "interactive");
+      validate_latency_summary(problems, *latency, "batch");
+    }
+  }
+  if (const Json* per_mc = check_section(problems, report, "per_mc", Json::Type::kArray)) {
+    for (std::size_t i = 0; i < per_mc->size(); ++i) {
+      const Json& mc = per_mc->at(i);
+      if (!mc.is_object()) {
+        problems.push_back("per_mc entries must be objects");
+        break;
+      }
+      check_number(problems, mc, "mc");
+      check_number(problems, mc, "busy_seconds");
+      check_number(problems, mc, "utilization");
+    }
+  }
+  validate_metrics(problems, report);
 }
 
 void validate_bench(std::vector<std::string>& problems, const Json& report) {
@@ -215,8 +297,11 @@ std::vector<std::string> validate_report(const Json& report) {
     validate_run(problems, report);
   } else if (kind->as_string() == kKindBench) {
     validate_bench(problems, report);
+  } else if (kind->as_string() == kKindServe) {
+    validate_serve(problems, report);
   }
-  // Other kinds only need the envelope.
+  // Other kinds only need the envelope; unknown top-level keys never fail
+  // validation (additive forward compatibility).
   return problems;
 }
 

@@ -28,13 +28,16 @@ inline constexpr const char* kKindRun = "run";          ///< one engine simulati
 inline constexpr const char* kKindBench = "bench";      ///< a figure/table bench artifact
 inline constexpr const char* kKindAnalysis = "analysis";///< `scc-spmv analyze`
 inline constexpr const char* kKindReport = "report";    ///< aggregation of other reports
+inline constexpr const char* kKindServe = "serve";      ///< one serving-simulator run
 
 /// {"schema_version": kSchemaVersion, "kind": kind}
 Json report_skeleton(const std::string& kind);
 
 /// Structural validation against the documented schema. Returns a list of
 /// human-readable problems; empty means valid. Checks the envelope for every
-/// kind, plus the section layout for "run" and "bench" reports.
+/// kind, plus the section layout for "run", "bench" and "serve" reports.
+/// Unknown top-level keys are always tolerated (additive forward
+/// compatibility; see the versioning rule above).
 std::vector<std::string> validate_report(const Json& report);
 
 /// One rendered table as {"stem": stem, "title": ..., "header": [...],

@@ -82,4 +82,46 @@ int max_cores_per_mc(const std::vector<int>& cores) {
   return *std::max_element(counts.begin(), counts.end());
 }
 
+std::array<std::vector<int>, kMemoryControllerCount> cores_by_mc(const std::vector<int>& cores) {
+  std::array<std::vector<int>, kMemoryControllerCount> by_mc;
+  for (int core : cores) {
+    SCC_REQUIRE(core >= 0 && core < kCoreCount, "core id " << core << " out of range");
+    by_mc[static_cast<std::size_t>(memory_controller_of_core(core))].push_back(core);
+  }
+  return by_mc;
+}
+
+std::vector<int> order_by_hops(std::vector<int> cores) {
+  std::sort(cores.begin(), cores.end(), [](int a, int b) {
+    const int ha = hops_to_memory(a);
+    const int hb = hops_to_memory(b);
+    return ha != hb ? ha < hb : a < b;
+  });
+  return cores;
+}
+
+std::vector<int> pick_partition_cores(const std::vector<int>& free_cores, int count,
+                                      const std::array<int, kMemoryControllerCount>& mc_preference) {
+  SCC_REQUIRE(count >= 0, "pick_partition_cores count must be non-negative");
+  std::array<bool, kCoreCount> seen{};
+  for (int core : free_cores) {
+    SCC_REQUIRE(core >= 0 && core < kCoreCount, "core id " << core << " out of range");
+    SCC_REQUIRE(!seen[static_cast<std::size_t>(core)], "free core " << core << " listed twice");
+    seen[static_cast<std::size_t>(core)] = true;
+  }
+  auto by_mc = cores_by_mc(free_cores);
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(count));
+  for (const int mc : mc_preference) {
+    SCC_REQUIRE(mc >= 0 && mc < kMemoryControllerCount,
+                "mc id " << mc << " out of range [0,4)");
+    for (const int core : order_by_hops(std::move(by_mc[static_cast<std::size_t>(mc)]))) {
+      if (static_cast<int>(picked.size()) == count) return picked;
+      picked.push_back(core);
+    }
+    by_mc[static_cast<std::size_t>(mc)].clear();
+  }
+  return picked;
+}
+
 }  // namespace scc::chip

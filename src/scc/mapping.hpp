@@ -10,6 +10,7 @@
 //    in the paper.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -39,5 +40,27 @@ double average_hops(const std::vector<int>& cores);
 /// Largest number of mapped cores sharing one memory controller -- the
 /// contention proxy that explains the standard mapping's slowdown.
 int max_cores_per_mc(const std::vector<int>& cores);
+
+// --- Partition-aware helpers (the serving layer's space partitioner). ---
+// A multi-tenant scheduler hands each job a *subset* of the chip, so the
+// whole-chip mapping policies above are not enough: it needs to reason about
+// an arbitrary set of free cores, quadrant by quadrant.
+
+/// Group a core set by the memory controller serving each core (quadrant
+/// assignment); cores keep their input order within each group.
+std::array<std::vector<int>, kMemoryControllerCount> cores_by_mc(const std::vector<int>& cores);
+
+/// Distance-reduction order restricted to a candidate set: ascending hops to
+/// memory, core id breaking ties (stable, deterministic).
+std::vector<int> order_by_hops(std::vector<int> cores);
+
+/// Pick `count` cores from `free_cores` with MC affinity: quadrants are
+/// visited in `mc_preference` order and each contributes its free cores in
+/// hop order before the next quadrant is touched, so a job that fits in one
+/// quadrant shares no memory controller with its neighbours. Returns fewer
+/// than `count` cores when the free set is too small (caller decides whether
+/// to wait); throws on count < 0 or a duplicate/out-of-range free core.
+std::vector<int> pick_partition_cores(const std::vector<int>& free_cores, int count,
+                                      const std::array<int, kMemoryControllerCount>& mc_preference);
 
 }  // namespace scc::chip

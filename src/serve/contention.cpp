@@ -1,0 +1,94 @@
+#include "serve/contention.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace scc::serve {
+
+namespace {
+/// Completions within a nanosecond of "now" count as due: guards the
+/// accumulated floating-point error of repeated advance() subtractions.
+constexpr double kEpsilonSeconds = 1e-12;
+}  // namespace
+
+void ContentionTracker::add(int id,
+                            const std::array<bool, chip::kMemoryControllerCount>& uses_mc,
+                            double beta, double service_seconds) {
+  SCC_REQUIRE(std::none_of(jobs_.begin(), jobs_.end(),
+                           [&](const ContendingJob& job) { return job.id == id; }),
+              "contending job id " << id << " already registered");
+  SCC_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1], got " << beta);
+  SCC_REQUIRE(service_seconds > 0.0, "service_seconds must be positive");
+  SCC_REQUIRE(std::any_of(uses_mc.begin(), uses_mc.end(), [](bool b) { return b; }),
+              "a job must use at least one memory controller");
+  jobs_.push_back(ContendingJob{id, uses_mc, beta, service_seconds});
+}
+
+std::array<int, chip::kMemoryControllerCount> ContentionTracker::jobs_per_mc() const {
+  std::array<int, chip::kMemoryControllerCount> counts{};
+  for (const ContendingJob& job : jobs_) {
+    for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+      if (job.uses_mc[static_cast<std::size_t>(mc)]) ++counts[static_cast<std::size_t>(mc)];
+    }
+  }
+  return counts;
+}
+
+double ContentionTracker::slowdown_of(const ContendingJob& job) const {
+  const auto counts = jobs_per_mc();
+  int sharers = 1;
+  for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+    if (job.uses_mc[static_cast<std::size_t>(mc)]) {
+      sharers = std::max(sharers, counts[static_cast<std::size_t>(mc)]);
+    }
+  }
+  return (1.0 - job.beta) + job.beta * static_cast<double>(sharers);
+}
+
+const ContendingJob& ContentionTracker::job_by_id(int id) const {
+  for (const ContendingJob& job : jobs_) {
+    if (job.id == id) return job;
+  }
+  SCC_REQUIRE(false, "unknown contending job id " << id);
+  return jobs_.front();  // unreachable
+}
+
+double ContentionTracker::slowdown(int id) const { return slowdown_of(job_by_id(id)); }
+
+ContentionTracker::Completion ContentionTracker::next_completion() const {
+  SCC_REQUIRE(!jobs_.empty(), "next_completion on an empty tracker");
+  Completion best{0.0, 0};
+  bool first = true;
+  for (const ContendingJob& job : jobs_) {
+    const double delay = job.remaining_seconds * slowdown_of(job);
+    if (first || delay < best.delay_seconds ||
+        (delay == best.delay_seconds && job.id < best.id)) {
+      best = Completion{delay, job.id};
+      first = false;
+    }
+  }
+  return best;
+}
+
+void ContentionTracker::advance(double dt) {
+  SCC_REQUIRE(dt >= 0.0, "cannot advance time backwards");
+  if (dt == 0.0) return;
+  for (ContendingJob& job : jobs_) {
+    job.remaining_seconds =
+        std::max(0.0, job.remaining_seconds - dt / slowdown_of(job));
+  }
+}
+
+void ContentionTracker::remove(int id) {
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [&](const ContendingJob& job) { return job.id == id; });
+  SCC_REQUIRE(it != jobs_.end(), "remove of unknown contending job " << id);
+  SCC_REQUIRE(it->remaining_seconds <= kEpsilonSeconds,
+              "job " << id << " removed with " << it->remaining_seconds
+                     << "s of service outstanding");
+  jobs_.erase(it);
+}
+
+}  // namespace scc::serve

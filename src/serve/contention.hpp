@@ -1,0 +1,72 @@
+// Shared-memory-controller contention between co-running jobs.
+//
+// A fluid model in virtual time: each job carries a remaining amount of
+// isolated service (the seconds it would take alone on its core set, from
+// sim::Engine) and a memory-bound fraction beta (how much of that time is
+// MC bandwidth, from the engine's per-MC busy terms). While s jobs share a
+// job's busiest controller, the job progresses at rate 1 / ((1-beta) +
+// beta*s): its compute portion is unaffected, its bandwidth portion is
+// served at 1/s of the controller. Rates are piecewise constant between
+// job arrivals/completions, so the simulator advances event to event
+// exactly -- no time stepping, fully deterministic.
+//
+// A lone job has slowdown (1-beta) + beta*1 = 1 identically, which is what
+// keeps the single-tenant serving path bit-exact with sim::Engine::run.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "scc/topology.hpp"
+
+namespace scc::serve {
+
+/// One job's view of the contention tracker.
+struct ContendingJob {
+  int id = 0;
+  std::array<bool, chip::kMemoryControllerCount> uses_mc{};
+  double beta = 0.0;            ///< memory-bound fraction of the isolated runtime, [0,1]
+  double remaining_seconds = 0.0;  ///< isolated service still owed
+};
+
+class ContentionTracker {
+ public:
+  /// Register a job with `service_seconds` of isolated work. Throws on a
+  /// duplicate id, beta outside [0,1], non-positive work, or no MC used.
+  void add(int id, const std::array<bool, chip::kMemoryControllerCount>& uses_mc, double beta,
+           double service_seconds);
+
+  bool empty() const { return jobs_.empty(); }
+  int active_count() const { return static_cast<int>(jobs_.size()); }
+
+  /// Current slowdown factor of a registered job: (1-beta) + beta * s with
+  /// s = max jobs sharing any of its controllers (>= 1, itself included).
+  double slowdown(int id) const;
+
+  /// Virtual seconds until the next job completes at current rates, and
+  /// that job's id (ties: smallest id). Throws when empty.
+  struct Completion {
+    double delay_seconds = 0.0;
+    int id = 0;
+  };
+  Completion next_completion() const;
+
+  /// Advance every job `dt` virtual seconds at current rates. `dt` must not
+  /// overshoot the next completion (the simulator only advances to events).
+  void advance(double dt);
+
+  /// Remove a job whose remaining service reached zero (throws otherwise --
+  /// catching simulator bookkeeping bugs early).
+  void remove(int id);
+
+  const std::vector<ContendingJob>& jobs() const { return jobs_; }
+
+ private:
+  const ContendingJob& job_by_id(int id) const;
+  double slowdown_of(const ContendingJob& job) const;
+  std::array<int, chip::kMemoryControllerCount> jobs_per_mc() const;
+
+  std::vector<ContendingJob> jobs_;
+};
+
+}  // namespace scc::serve

@@ -1,0 +1,48 @@
+#include "serve/loadgen.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scc::serve {
+
+std::vector<Request> generate_workload(const WorkloadSpec& spec) {
+  SCC_REQUIRE(spec.offered_rps > 0.0, "offered_rps must be positive, got " << spec.offered_rps);
+  SCC_REQUIRE(spec.request_count > 0,
+              "request_count must be positive, got " << spec.request_count);
+  SCC_REQUIRE(!spec.matrix_mix.empty(), "matrix_mix must not be empty");
+  SCC_REQUIRE(spec.interactive_fraction >= 0.0 && spec.interactive_fraction <= 1.0,
+              "interactive_fraction must be in [0,1]");
+
+  // Independent streams per decision: the arrival clock, the matrix draw and
+  // the class draw stay decorrelated even if one of them changes cadence.
+  Rng master(spec.seed);
+  Rng arrivals = master.fork(1);
+  Rng matrices = master.fork(2);
+  Rng classes = master.fork(3);
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(spec.request_count));
+  double clock = 0.0;
+  for (int i = 0; i < spec.request_count; ++i) {
+    // Exponential inter-arrival times make the stream Poisson. 1-u keeps the
+    // argument in (0,1] so the log is finite.
+    clock += -std::log(1.0 - arrivals.uniform01()) / spec.offered_rps;
+    Request request;
+    request.id = i;
+    request.arrival_seconds = clock;
+    request.matrix_id =
+        spec.matrix_mix[static_cast<std::size_t>(matrices.uniform(spec.matrix_mix.size()))];
+    request.cls = classes.bernoulli(spec.interactive_fraction) ? RequestClass::kInteractive
+                                                               : RequestClass::kBatch;
+    request.slo_seconds = request.cls == RequestClass::kInteractive
+                              ? spec.slo_interactive_seconds
+                              : spec.slo_batch_seconds;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+}  // namespace scc::serve

@@ -1,0 +1,55 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scc::serve {
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  SCC_REQUIRE(config_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  SCC_REQUIRE(config_.interactive_reserve >= 0 &&
+                  config_.interactive_reserve < config_.max_queue_depth,
+              "interactive_reserve must be in [0, max_queue_depth)");
+}
+
+bool AdmissionQueue::offer(const Request& request) {
+  const int limit = request.cls == RequestClass::kInteractive
+                        ? config_.max_queue_depth
+                        : config_.max_queue_depth - config_.interactive_reserve;
+  if (depth() >= limit) return false;
+  (request.cls == RequestClass::kInteractive ? interactive_ : batch_).push_back(request);
+  max_depth_seen_ = std::max(max_depth_seen_, depth());
+  return true;
+}
+
+const Request& AdmissionQueue::front() const {
+  SCC_REQUIRE(!empty(), "front() on an empty AdmissionQueue");
+  return interactive_.empty() ? batch_.front() : interactive_.front();
+}
+
+Request AdmissionQueue::pop() {
+  SCC_REQUIRE(!empty(), "pop() on an empty AdmissionQueue");
+  auto& queue = interactive_.empty() ? batch_ : interactive_;
+  Request request = queue.front();
+  queue.pop_front();
+  return request;
+}
+
+std::vector<Request> AdmissionQueue::take_matching(int matrix_id, int max_count) {
+  std::vector<Request> taken;
+  for (auto* queue : {&interactive_, &batch_}) {
+    for (auto it = queue->begin(); it != queue->end() &&
+                                   static_cast<int>(taken.size()) < max_count;) {
+      if (it->matrix_id == matrix_id) {
+        taken.push_back(*it);
+        it = queue->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return taken;
+}
+
+}  // namespace scc::serve

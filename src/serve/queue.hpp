@@ -1,0 +1,55 @@
+// Admission control and the two-class dispatch queue.
+//
+// Backpressure policy: the queue holds at most `max_queue_depth` requests.
+// The last `interactive_reserve` slots are reserved for interactive traffic,
+// so batch requests are the first to be rejected as the system saturates --
+// the classic way to keep tail latency of the paying class bounded while
+// shedding deferrable work. Within the queue, dispatch order is interactive
+// first, FIFO within each class.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace scc::serve {
+
+struct AdmissionConfig {
+  int max_queue_depth = 64;   ///< total queued requests before rejection
+  int interactive_reserve = 8;  ///< depth slots only interactive requests may use
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config);
+
+  /// Admit or reject `request`. Batch requests are rejected once the queue
+  /// reaches max_queue_depth - interactive_reserve; interactive requests
+  /// only at the full depth limit.
+  bool offer(const Request& request);
+
+  bool empty() const { return interactive_.empty() && batch_.empty(); }
+  int depth() const { return static_cast<int>(interactive_.size() + batch_.size()); }
+  /// High-water mark of depth() over the queue's lifetime.
+  int max_depth_seen() const { return max_depth_seen_; }
+
+  /// Next request to dispatch (interactive before batch, FIFO within class);
+  /// throws when empty.
+  const Request& front() const;
+  Request pop();
+
+  /// Remove up to `max_count` further requests for `matrix_id` (both
+  /// classes, FIFO within each, interactive first) -- the batching hook that
+  /// lets one chip job amortize the matrix distribute/load over every queued
+  /// request that wants the same matrix.
+  std::vector<Request> take_matching(int matrix_id, int max_count);
+
+ private:
+  AdmissionConfig config_;
+  std::deque<Request> interactive_;
+  std::deque<Request> batch_;
+  int max_depth_seen_ = 0;
+};
+
+}  // namespace scc::serve

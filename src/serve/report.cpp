@@ -1,0 +1,72 @@
+#include "serve/report.hpp"
+
+#include "obs/report.hpp"
+
+namespace scc::serve {
+
+obs::Json latency_summary_json(const LatencySummary& summary) {
+  obs::Json j = obs::Json::object();
+  j.set("count", summary.count);
+  j.set("mean", summary.mean);
+  j.set("p50", summary.p50);
+  j.set("p95", summary.p95);
+  j.set("p99", summary.p99);
+  return j;
+}
+
+obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& config,
+                            const ServeResult& result, const obs::Registry* metrics) {
+  obs::Json report = obs::report_skeleton(obs::kKindServe);
+
+  obs::Json workload_json = obs::Json::object();
+  workload_json.set("seed", workload.seed);
+  workload_json.set("offered_rps", workload.offered_rps);
+  workload_json.set("request_count", workload.request_count);
+  obs::Json mix = obs::Json::array();
+  for (const int id : workload.matrix_mix) mix.push_back(id);
+  workload_json.set("matrix_mix", std::move(mix));
+  workload_json.set("interactive_fraction", workload.interactive_fraction);
+  workload_json.set("slo_interactive_seconds", workload.slo_interactive_seconds);
+  workload_json.set("slo_batch_seconds", workload.slo_batch_seconds);
+  report.set("workload", std::move(workload_json));
+
+  obs::Json config_json = obs::Json::object();
+  config_json.set("policy", to_string(config.policy));
+  config_json.set("max_queue_depth", config.admission.max_queue_depth);
+  config_json.set("interactive_reserve", config.admission.interactive_reserve);
+  config_json.set("batching", config.batching);
+  config_json.set("batch_max", config.batch_max);
+  report.set("config", std::move(config_json));
+
+  obs::Json result_json = obs::Json::object();
+  result_json.set("makespan_seconds", result.makespan_seconds);
+  result_json.set("throughput_rps", result.throughput_rps);
+  result_json.set("completed", result.completed);
+  result_json.set("rejected", result.rejected);
+  result_json.set("slo_violations", result.slo_violations);
+  result_json.set("max_queue_depth", result.max_queue_depth);
+  result_json.set("job_count", static_cast<long long>(result.jobs.size()));
+  obs::Json latency = obs::Json::object();
+  latency.set("total", latency_summary_json(result.latency_total));
+  latency.set("interactive", latency_summary_json(result.latency_interactive));
+  latency.set("batch", latency_summary_json(result.latency_batch));
+  result_json.set("latency", std::move(latency));
+  report.set("result", std::move(result_json));
+
+  obs::Json per_mc = obs::Json::array();
+  for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+    obs::Json entry = obs::Json::object();
+    entry.set("mc", mc);
+    const double busy = result.mc_busy_seconds[static_cast<std::size_t>(mc)];
+    entry.set("busy_seconds", busy);
+    entry.set("utilization",
+              result.makespan_seconds > 0.0 ? busy / result.makespan_seconds : 0.0);
+    per_mc.push_back(std::move(entry));
+  }
+  report.set("per_mc", std::move(per_mc));
+
+  if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
+  return report;
+}
+
+}  // namespace scc::serve

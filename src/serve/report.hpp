@@ -1,0 +1,26 @@
+// Schema-v1 JSON report for serving runs (kind "serve").
+//
+// Emits exactly what obs::validate_report checks for kind "serve": a
+// workload section (seed / offered_rps / request_count), a config section
+// (policy plus the admission and batching knobs), a result section with the
+// latency summaries per class, the per_mc occupancy array, and the
+// serve.* metrics registry export.
+#pragma once
+
+#include "obs/json.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/simulator.hpp"
+
+namespace scc::serve {
+
+/// The latency summary object shared by every class: {"count","mean","p50",
+/// "p95","p99"}.
+obs::Json latency_summary_json(const LatencySummary& summary);
+
+/// Full kind="serve" report for one serving run. `metrics`, when non-null,
+/// contributes the "metrics" section (usually Simulator::metrics()).
+obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& config,
+                            const ServeResult& result,
+                            const obs::Registry* metrics = nullptr);
+
+}  // namespace scc::serve

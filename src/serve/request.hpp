@@ -1,0 +1,43 @@
+// Request/response types of the multi-tenant SpMV serving layer.
+//
+// A request is "multiply this testbed matrix by my vector, within this SLO";
+// the serving simulator (serve/simulator.hpp) admits it, queues it, folds it
+// into a same-matrix batch when possible, and space-partitions the 48-core
+// chip among the jobs in flight. Two traffic classes keep the accounting
+// honest: interactive requests carry a tight SLO and get dispatch priority;
+// batch requests tolerate queueing and are first to feel backpressure.
+#pragma once
+
+#include <string>
+
+namespace scc::serve {
+
+enum class RequestClass { kInteractive, kBatch };
+
+inline std::string to_string(RequestClass cls) {
+  return cls == RequestClass::kInteractive ? "interactive" : "batch";
+}
+
+/// One SpMV request in the open-loop arrival stream.
+struct Request {
+  int id = 0;                   ///< dense 0-based id in arrival order
+  double arrival_seconds = 0.0; ///< virtual arrival time
+  int matrix_id = 1;            ///< Table-I testbed id (1..32)
+  RequestClass cls = RequestClass::kInteractive;
+  double slo_seconds = 0.25;    ///< per-class latency target
+};
+
+/// Final outcome of one request, filled by the simulator.
+struct RequestRecord {
+  Request request;
+  bool rejected = false;          ///< admission control turned it away
+  int job_id = -1;                ///< the job (batch) that served it
+  double dispatch_seconds = 0.0;  ///< when its job started on the chip
+  double completion_seconds = 0.0;
+
+  double latency_seconds() const { return completion_seconds - request.arrival_seconds; }
+  double queue_delay_seconds() const { return dispatch_seconds - request.arrival_seconds; }
+  bool slo_met() const { return !rejected && latency_seconds() <= request.slo_seconds; }
+};
+
+}  // namespace scc::serve

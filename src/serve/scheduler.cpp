@@ -1,0 +1,173 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "scc/mapping.hpp"
+
+namespace scc::serve {
+
+namespace {
+
+/// Cores per memory-controller quadrant (12 on the SCC).
+constexpr int kQuadrantCores = chip::kCoreCount / chip::kMemoryControllerCount;
+
+/// Core-count ladder the partitioner quantizes to: every value divides or is
+/// a multiple of the 12-core quadrant, so jobs tile quadrants exactly and a
+/// sub-quadrant job never has to straddle a memory-controller boundary.
+constexpr std::array<int, 9> kCoreLadder = {1, 2, 3, 4, 6, 12, 24, 36, 48};
+
+}  // namespace
+
+std::string to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifoWholeChip:
+      return "fifo";
+    case SchedulingPolicy::kFixedQuadrants:
+      return "quadrants";
+    case SchedulingPolicy::kMatrixAware:
+      return "matrix-aware";
+  }
+  return "unknown";
+}
+
+SchedulingPolicy parse_policy(const std::string& text) {
+  if (text == "fifo") return SchedulingPolicy::kFifoWholeChip;
+  if (text == "quadrants") return SchedulingPolicy::kFixedQuadrants;
+  if (text == "matrix-aware") return SchedulingPolicy::kMatrixAware;
+  SCC_REQUIRE(false, "unknown scheduling policy '"
+                         << text << "' (expected fifo|quadrants|matrix-aware)");
+  return SchedulingPolicy::kFifoWholeChip;  // unreachable
+}
+
+int profitable_core_count(const JobShape& shape, const PartitionModel& model) {
+  SCC_REQUIRE(shape.rows >= 1, "job shape needs at least one row");
+  SCC_REQUIRE(model.l2_bytes > 0 && model.l2_fit_factor > 0.0 && model.min_nnz_per_core > 0,
+              "partition model fields must be positive");
+  const double fit_bytes = model.l2_fit_factor * static_cast<double>(model.l2_bytes);
+  const auto ws_cores = static_cast<long long>(
+      (static_cast<double>(shape.working_set) + fit_bytes - 1.0) / fit_bytes);
+  const long long nnz_cap = std::max<long long>(1, shape.nnz / model.min_nnz_per_core);
+  long long desired = std::max<long long>(1, ws_cores);
+  desired = std::min(desired, nnz_cap);
+  desired = std::min(desired, static_cast<long long>(shape.rows));
+  desired = std::min<long long>(desired, chip::kCoreCount);
+  for (const int step : kCoreLadder) {
+    if (step >= desired) return step;
+  }
+  return chip::kCoreCount;
+}
+
+ChipPartitioner::ChipPartitioner(SchedulingPolicy policy, PartitionModel model)
+    : policy_(policy), model_(model) {}
+
+std::vector<int> ChipPartitioner::free_cores() const {
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(free_core_count()));
+  for (int core = 0; core < chip::kCoreCount; ++core) {
+    if (!busy_[static_cast<std::size_t>(core)]) cores.push_back(core);
+  }
+  return cores;
+}
+
+int ChipPartitioner::jobs_on_mc(int mc) const {
+  SCC_REQUIRE(mc >= 0 && mc < chip::kMemoryControllerCount, "mc id out of range");
+  return jobs_per_mc_[static_cast<std::size_t>(mc)];
+}
+
+std::vector<int> ChipPartitioner::try_allocate(const JobShape& shape) {
+  std::vector<int> cores;
+  switch (policy_) {
+    case SchedulingPolicy::kFifoWholeChip: {
+      // One job owns the chip; dispatch waits for a fully idle machine.
+      if (busy_count_ != 0) return {};
+      cores = free_cores();
+      break;
+    }
+    case SchedulingPolicy::kFixedQuadrants: {
+      // Lowest-id memory controller whose whole quadrant is idle.
+      for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+        const auto quadrant = chip::cores_of_memory_controller(mc);
+        const bool idle = std::none_of(quadrant.begin(), quadrant.end(), [&](int core) {
+          return busy_[static_cast<std::size_t>(core)];
+        });
+        if (idle) {
+          cores.assign(quadrant.begin(), quadrant.end());
+          break;
+        }
+      }
+      if (cores.empty()) return {};
+      break;
+    }
+    case SchedulingPolicy::kMatrixAware: {
+      const int count = profitable_core_count(shape, model_);
+      const auto free_by_mc = chip::cores_by_mc(free_cores());
+      if (count <= kQuadrantCores) {
+        // A sub-quadrant job lives entirely inside one quadrant: sharing an
+        // MC with at most `max_jobs_per_mc - 1` small co-runners is cheap,
+        // but straddling two MCs would export its contention to both. Pick
+        // the quadrant with the fewest active jobs, then the most free
+        // cores, then the lower MC id; wait if none fits.
+        int best_mc = -1;
+        for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+          const int jobs = jobs_per_mc_[static_cast<std::size_t>(mc)];
+          const int free = static_cast<int>(free_by_mc[static_cast<std::size_t>(mc)].size());
+          if (jobs >= model_.max_jobs_per_mc || free < count) continue;
+          if (best_mc < 0 ||
+              jobs < jobs_per_mc_[static_cast<std::size_t>(best_mc)] ||
+              (jobs == jobs_per_mc_[static_cast<std::size_t>(best_mc)] &&
+               free > static_cast<int>(free_by_mc[static_cast<std::size_t>(best_mc)].size()))) {
+            best_mc = mc;
+          }
+        }
+        if (best_mc < 0) return {};
+        const auto ordered =
+            chip::order_by_hops(free_by_mc[static_cast<std::size_t>(best_mc)]);
+        cores.assign(ordered.begin(), ordered.begin() + count);
+      } else {
+        // Multi-quadrant jobs take whole idle quadrants (count is a multiple
+        // of 12 by the ladder) so they never share an MC with anyone.
+        for (int mc = 0; mc < chip::kMemoryControllerCount &&
+                         static_cast<int>(cores.size()) < count;
+             ++mc) {
+          if (jobs_per_mc_[static_cast<std::size_t>(mc)] == 0 &&
+              static_cast<int>(free_by_mc[static_cast<std::size_t>(mc)].size()) ==
+                  kQuadrantCores) {
+            const auto& quadrant = free_by_mc[static_cast<std::size_t>(mc)];
+            cores.insert(cores.end(), quadrant.begin(), quadrant.end());
+          }
+        }
+        if (static_cast<int>(cores.size()) < count) return {};
+      }
+      break;
+    }
+  }
+  for (const int core : cores) busy_[static_cast<std::size_t>(core)] = true;
+  busy_count_ += static_cast<int>(cores.size());
+  const auto by_mc = chip::cores_by_mc(cores);
+  for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+    if (!by_mc[static_cast<std::size_t>(mc)].empty()) {
+      ++jobs_per_mc_[static_cast<std::size_t>(mc)];
+    }
+  }
+  return cores;
+}
+
+void ChipPartitioner::release(const std::vector<int>& cores) {
+  for (const int core : cores) {
+    SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core id out of range");
+    SCC_REQUIRE(busy_[static_cast<std::size_t>(core)],
+                "release of core " << core << " that is not allocated");
+    busy_[static_cast<std::size_t>(core)] = false;
+  }
+  busy_count_ -= static_cast<int>(cores.size());
+  const auto by_mc = chip::cores_by_mc(cores);
+  for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+    if (!by_mc[static_cast<std::size_t>(mc)].empty()) {
+      --jobs_per_mc_[static_cast<std::size_t>(mc)];
+    }
+  }
+}
+
+}  // namespace scc::serve

@@ -1,0 +1,92 @@
+// Space-partitioning the 48-core chip among concurrent SpMV jobs.
+//
+// Three policies, in increasing awareness:
+//  * fifo-whole-chip -- the baseline every run/bench path implies: one job
+//    at a time owns all 48 cores. No sharing, no contention, maximal
+//    per-job speed, minimal throughput under mixed load.
+//  * fixed-quadrants -- static partitioning along the hardware seam: each
+//    job gets one memory controller's 12-core quadrant, so up to four jobs
+//    run with zero MC sharing. Simple, isolating, wasteful for small jobs.
+//  * matrix-aware -- size each job's core set from its matrix's working set
+//    and nnz (no point spreading a 300 KB matrix over 48 cores when the
+//    barrier term dominates -- the paper's Fig 6 lesson), then place it with
+//    MC affinity on the least-loaded quadrants (chip::pick_partition_cores).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scc/topology.hpp"
+
+namespace scc::serve {
+
+enum class SchedulingPolicy { kFifoWholeChip, kFixedQuadrants, kMatrixAware };
+
+std::string to_string(SchedulingPolicy policy);
+/// Parse "fifo" / "quadrants" / "matrix-aware" (throws on anything else).
+SchedulingPolicy parse_policy(const std::string& text);
+
+/// What the partitioner knows about a job's matrix when sizing its core set.
+struct JobShape {
+  index_t rows = 0;
+  nnz_t nnz = 0;
+  bytes_t working_set = 0;  ///< CSR bytes + vector bytes (testbed ws column)
+};
+
+/// Knobs of the matrix-aware sizing heuristic.
+struct PartitionModel {
+  bytes_t l2_bytes = 256 * 1024;   ///< per-core L2 capacity
+  /// Aim for working_set <= factor * cores * L2: with factor 1.0 the job is
+  /// sized so its working set just fits the aggregate L2 -- the paper's
+  /// Fig. 6 rollover point, past which extra cores stop paying for their
+  /// barrier share.
+  double l2_fit_factor = 1.0;
+  nnz_t min_nnz_per_core = 20000;  ///< below this, the barrier term beats the speedup
+  /// Most jobs a memory controller may serve concurrently. Under the fluid
+  /// contention model a job's bandwidth share degrades with the number of
+  /// co-runners on its busiest MC, so letting every free core start another
+  /// job trades a little parallelism for a lot of slowdown; jobs past the
+  /// cap wait in the queue (where batching can still merge them).
+  int max_jobs_per_mc = 3;
+};
+
+/// Profitable core count for a job: enough cores that the aggregate L2
+/// approximately holds the working set, but never so many that each core
+/// gets under `min_nnz_per_core` nonzeros (or fewer rows than cores). The
+/// result is rounded up to the ladder {1,2,3,4,6,12,24,36,48} -- every value
+/// divides or is a multiple of the 12-core quadrant, so sub-quadrant jobs
+/// never straddle a memory controller and large jobs take whole quadrants.
+int profitable_core_count(const JobShape& shape, const PartitionModel& model);
+
+/// Tracks which cores are busy and hands out per-job core sets under a
+/// policy. Purely about placement: time is the simulator's business.
+class ChipPartitioner {
+ public:
+  ChipPartitioner(SchedulingPolicy policy, PartitionModel model);
+
+  SchedulingPolicy policy() const { return policy_; }
+
+  /// Core set for a job of `shape`, or an empty vector when the job must
+  /// wait for frees. Allocated cores are marked busy until release().
+  std::vector<int> try_allocate(const JobShape& shape);
+
+  /// Return a core set obtained from try_allocate.
+  void release(const std::vector<int>& cores);
+
+  int free_core_count() const { return chip::kCoreCount - busy_count_; }
+  /// Active jobs whose core set touches the given memory controller.
+  int jobs_on_mc(int mc) const;
+
+ private:
+  SchedulingPolicy policy_;
+  PartitionModel model_;
+  std::array<bool, chip::kCoreCount> busy_{};
+  std::array<int, chip::kMemoryControllerCount> jobs_per_mc_{};
+  int busy_count_ = 0;
+
+  std::vector<int> free_cores() const;
+};
+
+}  // namespace scc::serve

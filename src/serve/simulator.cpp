@@ -1,0 +1,266 @@
+#include "serve/simulator.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+#include "scc/mapping.hpp"
+#include "serve/contention.hpp"
+
+namespace scc::serve {
+
+namespace {
+
+/// CSR bytes a job must ship to its partition before the first product
+/// (same formula as the engine's degraded-run re-ship accounting).
+double csr_bytes_of(const sparse::CsrMatrix& matrix) {
+  return static_cast<double>(matrix.rows() + 1) * sizeof(nnz_t) +
+         static_cast<double>(matrix.nnz()) * (sizeof(index_t) + sizeof(real_t));
+}
+
+LatencySummary summarize_latencies(std::vector<double>& latencies) {
+  LatencySummary summary;
+  summary.count = latencies.size();
+  if (latencies.empty()) return summary;
+  summary.mean = mean(latencies);
+  summary.p50 = percentile(latencies, 50.0);
+  summary.p95 = percentile(latencies, 95.0);
+  summary.p99 = percentile(latencies, 99.0);
+  return summary;
+}
+
+}  // namespace
+
+const testbed::SuiteEntry& MatrixPool::entry(int id) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) return it->second;
+  return entries_.emplace(id, testbed::build_entry(id, scale_)).first->second;
+}
+
+Simulator::Simulator(ServeConfig config, MatrixPool& pool)
+    : config_(config), pool_(pool), engine_(config.engine) {
+  SCC_REQUIRE(config_.batch_max >= 1, "batch_max must be >= 1");
+}
+
+const Simulator::CachedRun& Simulator::engine_run(int matrix_id, const std::vector<int>& cores) {
+  const auto key = std::make_pair(matrix_id, cores);
+  const auto it = run_cache_.find(key);
+  if (it != run_cache_.end()) return it->second;
+
+  const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
+  sim::RunSpec spec;
+  spec.cores = cores;
+  const sim::RunResult result = engine_.run(entry.matrix, spec);
+
+  CachedRun cached;
+  cached.product_seconds = result.seconds;
+  // The load phase streams the CSR blocks in parallel through every MC the
+  // partition touches, and is pure bandwidth (beta = 1).
+  int mcs_used = 0;
+  for (const auto& group : chip::cores_by_mc(cores)) {
+    if (!group.empty()) ++mcs_used;
+  }
+  cached.load_seconds =
+      csr_bytes_of(entry.matrix) /
+      (engine_.mc_bandwidth_bytes_per_second() * static_cast<double>(mcs_used));
+  // Memory-bound fraction of the product: the busiest MC's bandwidth busy
+  // time over the whole runtime, the share that degrades 1:1 under sharing.
+  double max_mc_seconds = 0.0;
+  for (const double s : result.mc_seconds) max_mc_seconds = std::max(max_mc_seconds, s);
+  cached.beta = result.seconds > 0.0
+                    ? std::clamp(max_mc_seconds / result.seconds, 0.0, 1.0)
+                    : 0.0;
+  return run_cache_.emplace(key, cached).first->second;
+}
+
+ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* recorder) {
+  metrics_ = std::make_unique<obs::Registry>();
+  obs::Counter& requests_total = metrics_->counter("serve.requests_total");
+  obs::Counter& rejected_total = metrics_->counter("serve.rejected_total");
+  obs::Counter& completed_total = metrics_->counter("serve.completed_total");
+  obs::Counter& jobs_total = metrics_->counter("serve.jobs_total");
+  obs::Counter& batched_total = metrics_->counter("serve.batched_requests_total");
+  obs::Counter& slo_violations_total = metrics_->counter("serve.slo_violations_total");
+  obs::Histogram& latency_hist =
+      metrics_->histogram("serve.latency_seconds", obs::Histogram::seconds_buckets());
+  obs::Histogram& queue_delay_hist =
+      metrics_->histogram("serve.queue_delay_seconds", obs::Histogram::seconds_buckets());
+  obs::Histogram& service_hist =
+      metrics_->histogram("serve.job_service_seconds", obs::Histogram::seconds_buckets());
+  obs::Gauge& queue_depth_gauge = metrics_->gauge("serve.max_queue_depth");
+
+  ServeResult result;
+  result.records.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SCC_REQUIRE(requests[i].id == static_cast<int>(i), "request ids must be dense 0..n-1");
+    SCC_REQUIRE(i == 0 || requests[i - 1].arrival_seconds <= requests[i].arrival_seconds,
+                "requests must be sorted by arrival time");
+    result.records[i].request = requests[i];
+  }
+
+  AdmissionQueue queue(config_.admission);
+  ChipPartitioner partitioner(config_.policy, config_.partition);
+  ContentionTracker tracker;
+
+  struct ActiveJob {
+    std::vector<int> request_ids;
+    std::size_t job_index = 0;  ///< into result.jobs
+  };
+  std::map<int, ActiveJob> active;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  int next_job_id = 0;
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  const auto dispatch = [&] {
+    while (!queue.empty()) {
+      const Request& head = queue.front();
+      const testbed::SuiteEntry& entry = pool_.entry(head.matrix_id);
+      const JobShape shape{entry.matrix.rows(), entry.matrix.nnz(), entry.working_set};
+      std::vector<int> cores = partitioner.try_allocate(shape);
+      if (cores.empty()) return;  // head-of-line blocks: FIFO within class
+
+      std::vector<Request> batch;
+      batch.push_back(queue.pop());
+      if (config_.batching) {
+        for (Request& extra : queue.take_matching(batch.front().matrix_id,
+                                                  config_.batch_max - 1)) {
+          batch.push_back(std::move(extra));
+        }
+      }
+
+      const CachedRun& cached = engine_run(batch.front().matrix_id, cores);
+      const auto k = static_cast<double>(batch.size());
+      const double service = cached.load_seconds + k * cached.product_seconds;
+      const double beta =
+          (cached.load_seconds + k * cached.product_seconds * cached.beta) / service;
+
+      std::array<bool, chip::kMemoryControllerCount> uses_mc{};
+      const auto by_mc = chip::cores_by_mc(cores);
+      for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+        uses_mc[static_cast<std::size_t>(mc)] = !by_mc[static_cast<std::size_t>(mc)].empty();
+      }
+
+      JobRecord job;
+      job.id = next_job_id++;
+      job.matrix_id = batch.front().matrix_id;
+      job.request_count = static_cast<int>(batch.size());
+      job.cores = cores;
+      job.dispatch_seconds = now;
+      job.load_seconds = cached.load_seconds;
+      job.product_seconds = cached.product_seconds;
+      job.service_seconds = service;
+      job.beta = beta;
+
+      ActiveJob active_job;
+      active_job.job_index = result.jobs.size();
+      for (const Request& request : batch) {
+        result.records[static_cast<std::size_t>(request.id)].job_id = job.id;
+        result.records[static_cast<std::size_t>(request.id)].dispatch_seconds = now;
+        queue_delay_hist.observe(now - request.arrival_seconds);
+        active_job.request_ids.push_back(request.id);
+      }
+      jobs_total.add();
+      if (batch.size() > 1) batched_total.add(batch.size() - 1);
+      service_hist.observe(service);
+      result.jobs.push_back(std::move(job));
+      tracker.add(result.jobs.back().id, uses_mc, beta, service);
+      active.emplace(result.jobs.back().id, std::move(active_job));
+    }
+  };
+
+  while (next_arrival < requests.size() || !tracker.empty()) {
+    const double arrival_time =
+        next_arrival < requests.size() ? requests[next_arrival].arrival_seconds : kInfinity;
+    ContentionTracker::Completion completion{kInfinity, -1};
+    if (!tracker.empty()) completion = tracker.next_completion();
+    const double completion_time = tracker.empty() ? kInfinity : now + completion.delay_seconds;
+
+    if (completion_time <= arrival_time) {
+      // Completions first on ties so a simultaneous arrival sees the freed
+      // cores and the shortened queue.
+      tracker.advance(completion_time - now);
+      now = completion_time;
+      tracker.remove(completion.id);
+      const ActiveJob& done = active.at(completion.id);
+      JobRecord& job = result.jobs[done.job_index];
+      job.completion_seconds = now;
+      partitioner.release(job.cores);
+      for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+        const bool used = std::any_of(job.cores.begin(), job.cores.end(), [&](int core) {
+          return chip::memory_controller_of_core(core) == mc;
+        });
+        if (used) {
+          result.mc_busy_seconds[static_cast<std::size_t>(mc)] +=
+              job.completion_seconds - job.dispatch_seconds;
+        }
+      }
+      for (const int request_id : done.request_ids) {
+        RequestRecord& record = result.records[static_cast<std::size_t>(request_id)];
+        record.completion_seconds = now;
+        ++result.completed;
+        completed_total.add();
+        latency_hist.observe(record.latency_seconds());
+        if (!record.slo_met()) {
+          ++result.slo_violations;
+          slo_violations_total.add();
+        }
+      }
+      if (recorder != nullptr) {
+        recorder->span("serve.job", job.dispatch_seconds,
+                       job.completion_seconds - job.dispatch_seconds,
+                       {{"matrix", std::to_string(job.matrix_id)},
+                        {"requests", std::to_string(job.request_count)},
+                        {"cores", std::to_string(job.cores.size())}});
+      }
+      active.erase(completion.id);
+    } else {
+      tracker.advance(arrival_time - now);
+      now = arrival_time;
+      const Request& request = requests[next_arrival++];
+      requests_total.add();
+      if (!queue.offer(request)) {
+        result.records[static_cast<std::size_t>(request.id)].rejected = true;
+        ++result.rejected;
+        rejected_total.add();
+        if (recorder != nullptr) {
+          recorder->event("serve.rejected", {{"request", std::to_string(request.id)},
+                                             {"class", to_string(request.cls)}});
+        }
+      }
+    }
+    dispatch();
+  }
+
+  SCC_REQUIRE(queue.empty(), "simulation ended with queued requests (dispatch deadlock)");
+  result.makespan_seconds = now;
+  result.max_queue_depth = queue.max_depth_seen();
+  queue_depth_gauge.set(static_cast<double>(result.max_queue_depth));
+  result.throughput_rps =
+      result.makespan_seconds > 0.0
+          ? static_cast<double>(result.completed) / result.makespan_seconds
+          : 0.0;
+
+  std::vector<double> total;
+  std::vector<double> interactive;
+  std::vector<double> batch;
+  for (const RequestRecord& record : result.records) {
+    if (record.rejected) continue;
+    total.push_back(record.latency_seconds());
+    (record.request.cls == RequestClass::kInteractive ? interactive : batch)
+        .push_back(record.latency_seconds());
+  }
+  result.latency_total = summarize_latencies(total);
+  result.latency_interactive = summarize_latencies(interactive);
+  result.latency_batch = summarize_latencies(batch);
+  metrics_->gauge("serve.throughput_rps").set(result.throughput_rps);
+  metrics_->gauge("serve.makespan_seconds").set(result.makespan_seconds);
+  return result;
+}
+
+}  // namespace scc::serve

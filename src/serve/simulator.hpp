@@ -1,0 +1,131 @@
+// The multi-tenant serving simulator: requests -> admission -> queue ->
+// chip partition -> contended execution -> latency accounting.
+//
+// Time is virtual throughout. Each dispatched job's isolated service demand
+// is computed once from the timing engine (sim::Engine::run on the job's
+// core set) plus a distribute/load phase for shipping the CSR blocks
+// through the job's memory controllers; batching K same-matrix requests
+// into one job pays that load once and K products. Concurrent jobs then
+// progress under the fluid MC-sharing model of serve/contention.hpp. With
+// one job in flight the model degenerates to the engine's own numbers
+// exactly, so the serving path is a strict superset of the single-tenant
+// one (tested in tests/test_serve.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "testbed/suite.hpp"
+
+namespace scc::obs {
+class Recorder;
+}
+
+namespace scc::serve {
+
+/// Lazily materialized Table-I stand-ins shared across simulator instances
+/// (one pool per bench process; the policy sweep reuses the same matrices).
+class MatrixPool {
+ public:
+  explicit MatrixPool(double scale) : scale_(scale) {}
+
+  double scale() const { return scale_; }
+  /// Build (or return the memoized) suite entry for a Table-I id.
+  const testbed::SuiteEntry& entry(int id);
+
+ private:
+  double scale_;
+  std::map<int, testbed::SuiteEntry> entries_;
+};
+
+/// Everything that parameterizes one serving run besides the workload.
+struct ServeConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kMatrixAware;
+  AdmissionConfig admission;
+  PartitionModel partition;
+  bool batching = true;
+  int batch_max = 8;  ///< requests per job, head included
+  sim::EngineConfig engine;
+};
+
+/// One chip job: a batch of same-matrix requests on one core partition.
+struct JobRecord {
+  int id = 0;
+  int matrix_id = 0;
+  int request_count = 0;        ///< batch size K
+  std::vector<int> cores;
+  double dispatch_seconds = 0.0;
+  double completion_seconds = 0.0;
+  double load_seconds = 0.0;     ///< isolated CSR distribute/load time (paid once)
+  double product_seconds = 0.0;  ///< isolated per-product time == Engine::run seconds
+  double service_seconds = 0.0;  ///< load + K * product
+  double beta = 0.0;             ///< memory-bound fraction fed to the contention model
+};
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct ServeResult {
+  std::vector<RequestRecord> records;  ///< indexed by request id
+  std::vector<JobRecord> jobs;
+  double makespan_seconds = 0.0;  ///< virtual time of the last event
+  double throughput_rps = 0.0;    ///< completed / makespan
+  int completed = 0;
+  int rejected = 0;
+  int slo_violations = 0;  ///< completed requests that missed their class SLO
+  int max_queue_depth = 0;
+  /// Wall (virtual) seconds each MC had at least one job's partition on it;
+  /// sharing jobs both count, so utilization may exceed 1 under overlap.
+  std::array<double, chip::kMemoryControllerCount> mc_busy_seconds{};
+  LatencySummary latency_total;
+  LatencySummary latency_interactive;
+  LatencySummary latency_batch;
+};
+
+class Simulator {
+ public:
+  Simulator(ServeConfig config, MatrixPool& pool);
+
+  const ServeConfig& config() const { return config_; }
+
+  /// Simulate serving `requests` (must be sorted by arrival time, dense ids
+  /// 0..n-1 as generate_workload produces). `recorder`, when set, receives
+  /// one virtual-time span per job plus queue/dispatch events; the metrics
+  /// below are populated either way. Deterministic: equal inputs give
+  /// bit-equal results.
+  ServeResult run(const std::vector<Request>& requests, obs::Recorder* recorder = nullptr);
+
+  /// Metrics of the most recent run() (serve.* counters, latency
+  /// histograms). Valid until the next run() call.
+  const obs::Registry& metrics() const { return *metrics_; }
+
+ private:
+  struct CachedRun {
+    double load_seconds = 0.0;
+    double product_seconds = 0.0;
+    double beta = 0.0;
+  };
+  const CachedRun& engine_run(int matrix_id, const std::vector<int>& cores);
+
+  ServeConfig config_;
+  MatrixPool& pool_;
+  sim::Engine engine_;
+  std::map<std::pair<int, std::vector<int>>, CachedRun> run_cache_;
+  std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
+};
+
+}  // namespace scc::serve

@@ -105,5 +105,20 @@ TEST(OutputOptions, BareTraceRejected) {
   EXPECT_THROW(parse_output_options(make({"prog", "--trace"})), std::invalid_argument);
 }
 
+TEST(SeedOption, FallbackWhenAbsent) {
+  EXPECT_EQ(seed_option(make({"prog"}), 0x5cc), 0x5ccu);
+}
+
+TEST(SeedOption, DecimalAndHexAccepted) {
+  EXPECT_EQ(seed_option(make({"prog", "--seed=42"}), 0), 42u);
+  EXPECT_EQ(seed_option(make({"prog", "--seed=0xBEEF"}), 0), 0xbeefu);
+  EXPECT_EQ(seed_option(make({"prog", "--seed", "7"}), 0), 7u);
+}
+
+TEST(SeedOption, BadSeedThrows) {
+  EXPECT_THROW(seed_option(make({"prog", "--seed=banana"}), 0), std::invalid_argument);
+  EXPECT_THROW(seed_option(make({"prog", "--seed="}), 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace scc

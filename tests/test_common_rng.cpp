@@ -141,6 +141,22 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   EXPECT_NE(rng(), rng());
 }
 
+TEST(ParseSeed, DecimalAndHexForms) {
+  EXPECT_EQ(parse_seed("0"), 0u);
+  EXPECT_EQ(parse_seed("12345"), 12345u);
+  EXPECT_EQ(parse_seed("0x5cc"), 0x5ccu);
+  EXPECT_EQ(parse_seed("0XDEADBEEF"), 0xdeadbeefULL);
+  EXPECT_EQ(parse_seed("18446744073709551615"), ~0ULL);
+}
+
+TEST(ParseSeed, RejectsGarbage) {
+  EXPECT_THROW(parse_seed(""), std::invalid_argument);
+  EXPECT_THROW(parse_seed("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_seed("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_seed("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_seed("18446744073709551616"), std::invalid_argument);  // 2^64
+}
+
 /// Chi-square-ish sanity on byte distribution, parameterized by seed.
 class RngDistribution : public ::testing::TestWithParam<std::uint64_t> {};
 

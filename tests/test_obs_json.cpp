@@ -7,6 +7,9 @@
 #include "gen/generators.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/report.hpp"
+#include "serve/simulator.hpp"
 #include "sim/engine.hpp"
 #include "sim/report.hpp"
 
@@ -130,6 +133,48 @@ TEST(ObsReport, BenchTableAndClaimBuildersValidate) {
   claims.push_back(claim_json(claim));
   doc.set("claims", std::move(claims));
   doc.set("ok", true);
+  const auto problems = validate_report(doc);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(ObsReport, BareServeSkeletonIsIncomplete) {
+  EXPECT_FALSE(validate_report(report_skeleton(kKindServe)).empty());
+}
+
+// Real producer path for kind "serve": a small simulated serving run must
+// emit a report that validates and round-trips byte-identically.
+TEST(ObsReport, ServeReportRoundTripsAndValidates) {
+  serve::WorkloadSpec spec;
+  spec.seed = 7;
+  spec.request_count = 20;
+  spec.offered_rps = 500.0;
+  serve::ServeConfig config;
+  serve::MatrixPool pool(0.05);
+  serve::Simulator simulator(config, pool);
+  const auto result = simulator.run(serve::generate_workload(spec));
+
+  const Json report =
+      serve::serve_report_json(spec, config, result, &simulator.metrics());
+  const auto problems = validate_report(report);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(report.at("kind").as_string(), "serve");
+  EXPECT_TRUE(report.at("result").at("latency").has("interactive"));
+  EXPECT_TRUE(report.has("metrics"));
+
+  const std::string text = report.dump(2);
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed, report);
+  EXPECT_EQ(parsed.dump(2), text);
+}
+
+// Forward compatibility: consumers must tolerate top-level keys added by
+// later schema revisions, for every kind.
+TEST(ObsReport, UnknownTopLevelKeysNeverFailValidation) {
+  Json doc = report_skeleton(kKindAnalysis);
+  doc.set("added_in_v7", "future");
+  Json extra = Json::object();
+  extra.set("nested", 1);
+  doc.set("vendor_extension", std::move(extra));
   const auto problems = validate_report(doc);
   EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
 }

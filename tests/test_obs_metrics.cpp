@@ -54,6 +54,42 @@ TEST(ObsHistogram, CannedLayoutsAreStrictlyIncreasing) {
   }
 }
 
+TEST(ObsHistogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 10 observations spread so the CDF is easy to read: 5 in (0,1], 4 in
+  // (1,2], 1 in (2,4].
+  for (int i = 0; i < 5; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  h.observe(3.0);
+  // p50 lands exactly on the first bucket's upper bound (5/10 of mass).
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.0);
+  // p90 consumes the second bucket exactly: 1 + (2-1) * (9-5)/4 = 2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 2.0);
+  // p70 interpolates linearly inside the second bucket: 1 + (7-5)/4.
+  EXPECT_DOUBLE_EQ(h.quantile(0.70), 1.5);
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(100.0);                 // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);  // clamps to the top bound
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(ObsHistogram, JsonExportCarriesPercentiles) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(i < 95 ? 0.5 : 3.0);
+  const Json root = reg.to_json();  // keep the document alive past .at() chains
+  const Json& exported = root.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(exported.at("p50").as_double(), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(exported.at("p95").as_double(), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(exported.at("p99").as_double(), h.quantile(0.99));
+  EXPECT_GT(exported.at("p99").as_double(), exported.at("p50").as_double());
+}
+
 TEST(ObsRegistry, LookupRegistersOnceWithStableAddresses) {
   Registry reg;
   EXPECT_TRUE(reg.empty());

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <stdexcept>
 
 namespace scc::chip {
 namespace {
@@ -136,6 +138,78 @@ TEST(Mapping, ContentionAwareHopsNeverWorseThanStandard) {
 
 TEST(Mapping, ContentionAwareToString) {
   EXPECT_EQ(to_string(MappingPolicy::kContentionAware), "contention-aware");
+}
+
+// --- partition-aware helpers (serving-layer space partitioner) ---
+
+TEST(Partition, CoresByMcGroupsQuadrants) {
+  const auto by_mc = cores_by_mc({0, 11, 24, 47, 1});
+  for (int mc = 0; mc < kMemoryControllerCount; ++mc) {
+    for (const int core : by_mc[static_cast<std::size_t>(mc)]) {
+      EXPECT_EQ(memory_controller_of_core(core), mc);
+    }
+  }
+  // Input order preserved within a group.
+  const auto& mc0 = by_mc[static_cast<std::size_t>(memory_controller_of_core(0))];
+  ASSERT_GE(mc0.size(), 2u);
+  EXPECT_LT(std::find(mc0.begin(), mc0.end(), 0), std::find(mc0.begin(), mc0.end(), 1));
+}
+
+TEST(Partition, CoresByMcCoversWholeChip) {
+  std::vector<int> all(48);
+  for (int i = 0; i < 48; ++i) all[static_cast<std::size_t>(i)] = i;
+  const auto by_mc = cores_by_mc(all);
+  for (const auto& group : by_mc) EXPECT_EQ(group.size(), 12u);
+}
+
+TEST(Partition, OrderByHopsAscendingStable) {
+  const auto ordered = order_by_hops({47, 0, 35, 24, 1});
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    const int prev = hops_to_memory(ordered[i - 1]);
+    const int next = hops_to_memory(ordered[i]);
+    EXPECT_LE(prev, next);
+    if (prev == next) {
+      EXPECT_LT(ordered[i - 1], ordered[i]);
+    }
+  }
+  EXPECT_EQ(ordered.front(), 0);  // zero-hop core first
+}
+
+TEST(Partition, PickPartitionCoresFillsPreferredQuadrantFirst) {
+  std::vector<int> free(48);
+  for (int i = 0; i < 48; ++i) free[static_cast<std::size_t>(i)] = i;
+  const auto picked = pick_partition_cores(free, 12, {2, 0, 1, 3});
+  ASSERT_EQ(picked.size(), 12u);
+  for (const int core : picked) EXPECT_EQ(memory_controller_of_core(core), 2);
+}
+
+TEST(Partition, PickPartitionCoresSpillsInPreferenceOrder) {
+  std::vector<int> free(48);
+  for (int i = 0; i < 48; ++i) free[static_cast<std::size_t>(i)] = i;
+  const auto picked = pick_partition_cores(free, 18, {1, 3, 0, 2});
+  ASSERT_EQ(picked.size(), 18u);
+  int on_mc1 = 0;
+  int on_mc3 = 0;
+  for (const int core : picked) {
+    const int mc = memory_controller_of_core(core);
+    EXPECT_TRUE(mc == 1 || mc == 3);
+    (mc == 1 ? on_mc1 : on_mc3)++;
+  }
+  EXPECT_EQ(on_mc1, 12);
+  EXPECT_EQ(on_mc3, 6);
+}
+
+TEST(Partition, PickPartitionCoresShortFreeSetReturnsWhatExists) {
+  const auto picked = pick_partition_cores({3, 5}, 4, {0, 1, 2, 3});
+  EXPECT_EQ(picked.size(), 2u);
+  EXPECT_TRUE(pick_partition_cores({}, 1, {0, 1, 2, 3}).empty());
+  EXPECT_TRUE(pick_partition_cores({7}, 0, {0, 1, 2, 3}).empty());
+}
+
+TEST(Partition, PickPartitionCoresRejectsBadInput) {
+  EXPECT_THROW(pick_partition_cores({0}, -1, {0, 1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(pick_partition_cores({0, 0}, 1, {0, 1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(pick_partition_cores({48}, 1, {0, 1, 2, 3}), std::invalid_argument);
 }
 
 /// Parameterized: at every UE count, distance reduction minimizes the

@@ -65,6 +65,55 @@ TEST(Partition, MorePartsThanRowsYieldsEmptyBlocks) {
   EXPECT_GE(non_empty, 1);
 }
 
+// --- degenerate shapes the serving layer's tiny-job sizing can produce ---
+
+TEST(Partition, EmptyRowsDoNotBreakEitherPartitioner) {
+  // 6 rows, rows 1/3/4 completely empty: prefix-sum crossings repeat.
+  const CsrMatrix m(6, 6, {0, 2, 2, 4, 4, 4, 5}, {0, 1, 2, 3, 5},
+                    {1.0, 1.0, 1.0, 1.0, 1.0});
+  for (const int parts : {1, 2, 3, 6, 8}) {
+    const auto balanced = partition_rows_balanced_nnz(m, parts);
+    const auto equal = partition_rows_equal_rows(m, parts);
+    EXPECT_NO_THROW(validate_partition(m, balanced)) << parts << " parts";
+    EXPECT_NO_THROW(validate_partition(m, equal)) << parts << " parts";
+  }
+}
+
+TEST(Partition, FewerNonzerosThanPartsStillTiles) {
+  // 8 rows but only 3 nonzeros: most blocks must come out empty.
+  const CsrMatrix m(8, 8, {0, 1, 1, 2, 2, 2, 3, 3, 3}, {0, 2, 5}, {1.0, 1.0, 1.0});
+  for (const auto& blocks :
+       {partition_rows_balanced_nnz(m, 6), partition_rows_equal_rows(m, 6)}) {
+    EXPECT_NO_THROW(validate_partition(m, blocks));
+    nnz_t total = 0;
+    for (const auto& b : blocks) total += b.nnz;
+    EXPECT_EQ(total, m.nnz());
+  }
+}
+
+TEST(Partition, SingleRowMatrixAnyPartCount) {
+  const CsrMatrix m(1, 4, {0, 3}, {0, 1, 3}, {1.0, 2.0, 3.0});
+  for (const int parts : {1, 2, 48}) {
+    for (const auto& blocks :
+         {partition_rows_balanced_nnz(m, parts), partition_rows_equal_rows(m, parts)}) {
+      EXPECT_NO_THROW(validate_partition(m, blocks));
+      int non_empty = 0;
+      for (const auto& b : blocks) {
+        if (b.row_count() > 0) ++non_empty;
+      }
+      EXPECT_EQ(non_empty, 1);  // the one row lands in exactly one block
+    }
+  }
+}
+
+TEST(Partition, ImbalanceOfAllEmptyBlocksIsDefined) {
+  // A zero-nnz matrix: imbalance is defined (1.0) rather than dividing by 0.
+  const CsrMatrix m(3, 3, {0, 0, 0, 0}, {}, {});
+  const auto blocks = partition_rows_balanced_nnz(m, 2);
+  EXPECT_NO_THROW(validate_partition(m, blocks));
+  EXPECT_DOUBLE_EQ(partition_imbalance(blocks), 1.0);
+}
+
 TEST(Partition, RejectsNonPositiveParts) {
   const auto m = gen::stencil_2d(4, 4);
   EXPECT_THROW(partition_rows_balanced_nnz(m, 0), std::invalid_argument);

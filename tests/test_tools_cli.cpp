@@ -268,6 +268,90 @@ TEST(CliJson, ReportRejectsInvalidInput) {
   EXPECT_NE(err.str().find("error:"), std::string::npos);
 }
 
+TEST(CliServe, TableRunSucceeds) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  std::ostringstream out, err;
+  const int rc = run_cli(
+      make({"serve", "--requests=20", "--load=500", "--policy=quadrants"}), out, err);
+  unsetenv("SCC_TESTBED_SCALE");
+  ASSERT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("throughput"), std::string::npos);
+  EXPECT_NE(out.str().find("quadrants"), std::string::npos);
+}
+
+TEST(CliServe, JsonValidatesAndSeedControlsDeterminism) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  const auto run_once = [&](const char* seed) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_cli(make({"serve", "--requests=20", "--load=500", seed, "--json"}),
+                      out, err),
+              0)
+        << err.str();
+    return out.str();
+  };
+  const std::string a = run_once("--seed=0x5e12e");
+  const std::string b = run_once("--seed=0x5e12e");
+  const std::string c = run_once("--seed=99");
+  unsetenv("SCC_TESTBED_SCALE");
+  EXPECT_EQ(a, b);  // byte-identical across same-seed runs
+  EXPECT_NE(a, c);
+  const auto doc = obs::Json::parse(a);
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("kind").as_string(), "serve");
+  EXPECT_TRUE(doc.at("result").at("latency").has("total"));
+}
+
+TEST(CliServe, BadPolicyOrSeedRejected) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"serve", "--policy=round-robin"}), out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli(make({"serve", "--seed=banana"}), out2, err2), 1);
+}
+
+TEST(CliServe, ReportAggregatesServeJson) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  const std::string file = temp_path("cli_serve_report.json");
+  {
+    std::ostringstream out, err;
+    const std::string json_arg = "--json=" + file;
+    ASSERT_EQ(run_cli(make({"serve", "--requests=20", "--load=500", json_arg.c_str()}),
+                      out, err),
+              0)
+        << err.str();
+  }
+  unsetenv("SCC_TESTBED_SCALE");
+  std::ostringstream table, err;
+  ASSERT_EQ(run_cli(make({"report", file.c_str()}), table, err), 0) << err.str();
+  EXPECT_NE(table.str().find("cli_serve_report.json"), std::string::npos);
+  EXPECT_NE(table.str().find("serve"), std::string::npos);
+}
+
+TEST(CliJson, ReportToleratesUnknownTopLevelFields) {
+  const std::string path = generate_matrix("cli_report_fwd.mtx");
+  const std::string file = temp_path("cli_report_fwd.json");
+  {
+    std::ostringstream out, err;
+    const std::string matrix_arg = "--matrix=" + path;
+    const std::string json_arg = "--json=" + file;
+    ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), json_arg.c_str()}), out, err),
+              0)
+        << err.str();
+  }
+  // A future producer adds top-level keys: the aggregator must not care.
+  auto doc = obs::Json::parse([&] {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }());
+  doc.set("added_in_v7", "ignored");
+  std::ofstream(file) << doc.dump(2) << "\n";
+  std::ostringstream table, err;
+  ASSERT_EQ(run_cli(make({"report", file.c_str()}), table, err), 0) << err.str();
+  EXPECT_NE(table.str().find("cli_report_fwd.json"), std::string::npos);
+}
+
 TEST(CliJson, AnalyzeEmitsAnalysisJson) {
   const std::string path = generate_matrix("cli_analyze_json.mtx");
   std::ostringstream out, err;

@@ -11,11 +11,15 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fault/fault.hpp"
 #include "gen/generators.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/report.hpp"
+#include "serve/simulator.hpp"
 #include "sim/engine.hpp"
 #include "sim/report.hpp"
 #include "sparse/io.hpp"
@@ -31,7 +35,7 @@ namespace {
 sparse::CsrMatrix build_family(const CliArgs& args) {
   const std::string family = args.get_or("family", "banded");
   const auto n = static_cast<index_t>(args.get_int_or("n", 10000));
-  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const std::uint64_t seed = seed_option(args, 1);
   if (family == "banded") {
     return gen::banded(n, static_cast<index_t>(args.get_int_or("half-bandwidth", 20)),
                        args.get_double_or("fill", 0.4), seed);
@@ -136,24 +140,24 @@ void write_trace(const OutputOptions& output, const obs::Recorder& recorder) {
   recorder.write_jsonl(file);
 }
 
-std::vector<int> parse_rank_list(const std::string& text) {
-  std::vector<int> ranks;
+std::vector<int> parse_int_list(const std::string& text, const char* flag) {
+  std::vector<int> values;
   std::stringstream stream(text);
   std::string item;
   while (std::getline(stream, item, ',')) {
     if (item.empty()) continue;
     std::size_t used = 0;
-    int rank = -1;
+    int value = -1;
     try {
-      rank = std::stoi(item, &used);
+      value = std::stoi(item, &used);
     } catch (const std::exception&) {
       used = 0;
     }
     SCC_REQUIRE(used == item.size(),
-                "--kill-ranks expects a comma-separated rank list, got '" << item << "'");
-    ranks.push_back(rank);
+                flag << " expects a comma-separated integer list, got '" << item << "'");
+    values.push_back(value);
   }
-  return ranks;
+  return values;
 }
 
 }  // namespace
@@ -306,9 +310,12 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   const int ues = static_cast<int>(args.get_int_or("ues", 8));
 
   fault::Plan plan;
-  plan.seed = static_cast<std::uint64_t>(args.get_int_or("fault-seed", 0x5cc));
+  // --fault-seed keeps its historical meaning; the shared --seed flag is the
+  // fallback so one flag reproduces a whole pipeline of commands.
+  plan.seed = args.has("fault-seed") ? parse_seed(args.get_or("fault-seed", ""))
+                                     : seed_option(args, 0x5cc);
   const auto kill_op = static_cast<std::uint64_t>(args.get_int_or("kill-op", 4));
-  for (const int rank : parse_rank_list(args.get_or("kill-ranks", ""))) {
+  for (const int rank : parse_int_list(args.get_or("kill-ranks", ""), "--kill-ranks")) {
     SCC_REQUIRE(rank > 0 && rank < ues,
                 "--kill-ranks entries must be survivable worker ranks (1.." << ues - 1 << ")");
     plan.kills.push_back({rank, kill_op});
@@ -414,6 +421,67 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   return correct ? 0 : 1;
 }
 
+int cmd_serve(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
+
+  serve::WorkloadSpec workload;
+  workload.seed = seed_option(args, workload.seed);
+  workload.offered_rps = args.get_double_or("load", workload.offered_rps);
+  workload.request_count = static_cast<int>(args.get_int_or("requests", workload.request_count));
+  if (const auto mix = args.get("mix")) {
+    workload.matrix_mix = parse_int_list(*mix, "--mix");
+  }
+  workload.interactive_fraction =
+      args.get_double_or("interactive-fraction", workload.interactive_fraction);
+  workload.slo_interactive_seconds =
+      args.get_double_or("slo-interactive", workload.slo_interactive_seconds);
+  workload.slo_batch_seconds = args.get_double_or("slo-batch", workload.slo_batch_seconds);
+
+  serve::ServeConfig config;
+  config.policy = serve::parse_policy(args.get_or("policy", "matrix-aware"));
+  config.admission.max_queue_depth =
+      static_cast<int>(args.get_int_or("queue-depth", config.admission.max_queue_depth));
+  config.admission.interactive_reserve =
+      static_cast<int>(args.get_int_or("reserve", config.admission.interactive_reserve));
+  config.batching = args.get_bool_or("batch", config.batching);
+  config.batch_max = static_cast<int>(args.get_int_or("batch-max", config.batch_max));
+  config.engine.freq = conf_from(args);
+
+  const auto requests = serve::generate_workload(workload);
+  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  serve::Simulator simulator(config, pool);
+  obs::Recorder recorder;
+  const bool observe = !output.trace_path.empty();
+  const auto result = simulator.run(requests, observe ? &recorder : nullptr);
+  write_trace(output, recorder);
+
+  if (output.json()) {
+    write_json_report(output,
+                      serve::serve_report_json(workload, config, result, &simulator.metrics()),
+                      out);
+    return 0;
+  }
+
+  Table t("serving simulation");
+  t.set_header({"property", "value"});
+  t.add_row({"policy", serve::to_string(config.policy)});
+  t.add_row({"offered load", Table::num(workload.offered_rps, 1) + " req/s"});
+  t.add_row({"requests", Table::integer(workload.request_count)});
+  t.add_row({"completed / rejected",
+             Table::integer(result.completed) + " / " + Table::integer(result.rejected)});
+  t.add_row({"chip jobs", Table::integer(static_cast<long long>(result.jobs.size()))});
+  t.add_row({"makespan", Table::num(result.makespan_seconds, 3) + " s"});
+  t.add_row({"throughput", Table::num(result.throughput_rps, 1) + " req/s"});
+  t.add_row({"latency p50/p95/p99",
+             Table::num(result.latency_total.p50 * 1e3, 2) + " / " +
+                 Table::num(result.latency_total.p95 * 1e3, 2) + " / " +
+                 Table::num(result.latency_total.p99 * 1e3, 2) + " ms"});
+  t.add_row({"SLO violations", Table::integer(result.slo_violations)});
+  t.add_row({"max queue depth", Table::integer(result.max_queue_depth)});
+  t.print(out);
+  return 0;
+}
+
 int cmd_report(const CliArgs& args, std::ostream& out) {
   const OutputOptions output = parse_output_options(args);
   const auto& positional = args.positional();  // positional[0] == "report"
@@ -438,36 +506,61 @@ int cmd_report(const CliArgs& args, std::ostream& out) {
 
   // Comparison across runs: the first run report is the baseline for the
   // relative-time column. Bench reports interleave with their pass/fail.
+  // Lookups go through find() with placeholder fallbacks rather than at():
+  // a report from a newer schema revision (extra sections, extra keys) must
+  // degrade to "-" cells, not abort the aggregation.
+  const auto find_number = [](const obs::Json& parent, const char* key,
+                              double fallback) -> double {
+    const obs::Json* value = parent.find(key);
+    return value != nullptr && value->is_number() ? value->as_double() : fallback;
+  };
   double baseline_seconds = 0.0;
   obs::Json rows_json = obs::Json::array();
   Table t("report comparison");
   t.set_header({"file", "kind", "cores", "time [ms]", "MFLOPS/s", "rel", "faults", "ok"});
   for (const Source& source : sources) {
-    const std::string kind = source.doc.at("kind").as_string();
+    const obs::Json* kind_json = source.doc.find("kind");
+    const std::string kind =
+        kind_json != nullptr && kind_json->is_string() ? kind_json->as_string() : "?";
     obs::Json summary = obs::Json::object();
     summary.set("file", source.file);
     summary.set("kind", kind);
-    if (kind == obs::kKindRun) {
-      const obs::Json& result = source.doc.at("result");
-      const double seconds = result.at("seconds").as_double();
+    const obs::Json* result = source.doc.find("result");
+    if (kind == obs::kKindRun && result != nullptr && result->is_object()) {
+      const double seconds = find_number(*result, "seconds", 0.0);
       if (baseline_seconds == 0.0) baseline_seconds = seconds;
-      const std::size_t faults =
-          source.doc.has("fault_log") ? source.doc.at("fault_log").size() : 0;
-      const auto cores = static_cast<long long>(source.doc.at("run").at("cores").size());
+      const obs::Json* fault_log = source.doc.find("fault_log");
+      const std::size_t faults = fault_log != nullptr ? fault_log->size() : 0;
+      const obs::Json* run = source.doc.find("run");
+      const obs::Json* cores_json = run != nullptr ? run->find("cores") : nullptr;
+      const auto cores =
+          static_cast<long long>(cores_json != nullptr ? cores_json->size() : 0);
       t.add_row({source.file, kind, Table::integer(cores), Table::num(seconds * 1e3, 3),
-                 Table::num(result.at("gflops").as_double() * 1000.0, 1),
+                 Table::num(find_number(*result, "gflops", 0.0) * 1000.0, 1),
                  baseline_seconds > 0.0 ? Table::num(seconds / baseline_seconds, 2) + "x" : "-",
                  Table::integer(static_cast<long long>(faults)), "-"});
       summary.set("cores", cores);
       summary.set("seconds", seconds);
-      summary.set("gflops", result.at("gflops").as_double());
+      summary.set("gflops", find_number(*result, "gflops", 0.0));
       summary.set("relative_seconds",
                   baseline_seconds > 0.0 ? seconds / baseline_seconds : 1.0);
       summary.set("faults", faults);
+    } else if (kind == obs::kKindServe && result != nullptr && result->is_object()) {
+      const double makespan = find_number(*result, "makespan_seconds", 0.0);
+      const double violations = find_number(*result, "slo_violations", 0.0);
+      t.add_row({source.file, kind, "-", Table::num(makespan * 1e3, 3), "-", "-", "-",
+                 violations == 0.0 ? "yes" : "NO"});
+      summary.set("makespan_seconds", makespan);
+      summary.set("throughput_rps", find_number(*result, "throughput_rps", 0.0));
+      summary.set("completed", find_number(*result, "completed", 0.0));
+      summary.set("rejected", find_number(*result, "rejected", 0.0));
+      summary.set("slo_violations", violations);
     } else if (kind == obs::kKindBench) {
-      const bool ok = source.doc.at("ok").as_bool();
+      const obs::Json* ok_json = source.doc.find("ok");
+      const bool ok = ok_json != nullptr && ok_json->is_bool() && ok_json->as_bool();
       t.add_row({source.file, kind, "-", "-", "-", "-", "-", ok ? "yes" : "NO"});
-      summary.set("name", source.doc.at("name").as_string());
+      const obs::Json* name = source.doc.find("name");
+      summary.set("name", name != nullptr && name->is_string() ? name->as_string() : "?");
       summary.set("ok", ok);
     } else {
       t.add_row({source.file, kind, "-", "-", "-", "-", "-", "-"});
@@ -497,9 +590,14 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "  resilience [--matrix FILE | --id K | --family F] [--ues U]\n"
       "            [--kill-ranks 1,3 --kill-op N] [--transient-rate P] [--drop-rate P]\n"
       "            [--delay-rate P] [--timeout S] [--fault-seed S] [--log]\n"
+      "  serve     [--policy fifo|quadrants|matrix-aware] [--load RPS] [--requests N]\n"
+      "            [--mix 19,22,27,30] [--interactive-fraction P] [--batch on|off]\n"
+      "            [--batch-max K] [--queue-depth D] [--reserve R]\n"
+      "            [--slo-interactive S] [--slo-batch S] [--conf 0|1|2]\n"
       "  report    FILE.json [FILE.json ...]                   compare JSON reports\n"
-      "every command also accepts --json[=FILE] (schema-versioned JSON output)\n"
-      "and --trace=FILE (JSON-lines span trace, where instrumented)\n";
+      "every command also accepts --json[=FILE] (schema-versioned JSON output),\n"
+      "--trace=FILE (JSON-lines span trace, where instrumented) and --seed S\n"
+      "(decimal or 0x-hex; seeds every randomized path of the command)\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
@@ -512,6 +610,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (command == "simulate") return cmd_simulate(args, out);
     if (command == "convert") return cmd_convert(args, out);
     if (command == "resilience") return cmd_resilience(args, out);
+    if (command == "serve") return cmd_serve(args, out);
     if (command == "report") return cmd_report(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;

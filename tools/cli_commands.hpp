@@ -9,6 +9,7 @@
 //   simulate  -- run the SCC simulator on a matrix (cores/mapping/conf/format)
 //   convert   -- normalize / RCM-reorder a Matrix Market file
 //   resilience -- run the fault-injected RCCE SpMV and report the recovery
+//   serve     -- multi-tenant serving simulation (admission, co-scheduling)
 //   report    -- aggregate schema-v1 JSON reports into a comparison table
 //
 // Every command honours the shared output flags (`--json[=FILE]`,
@@ -27,6 +28,7 @@ int cmd_analyze(const CliArgs& args, std::ostream& out);
 int cmd_simulate(const CliArgs& args, std::ostream& out);
 int cmd_convert(const CliArgs& args, std::ostream& out);
 int cmd_resilience(const CliArgs& args, std::ostream& out);
+int cmd_serve(const CliArgs& args, std::ostream& out);
 int cmd_report(const CliArgs& args, std::ostream& out);
 
 /// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
