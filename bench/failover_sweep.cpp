@@ -1,0 +1,145 @@
+// Cluster failover sweep: availability and tail latency of the multi-chip
+// serving layer (src/cluster) under injected faults, with and without the
+// recovery machinery.
+//
+// Self-calibrating like serve_sweep: a fault-free run of the same burst
+// workload on the same testbed scale fixes the clean makespan, and the
+// reference fault plan -- one whole-chip crash plus two tile kills -- is
+// placed at fractions of it, so every chip is guaranteed to hold queued and
+// in-flight work when the faults land regardless of SCC_TESTBED_SCALE. The
+// claims are ordering statements, checked as booleans with zero tolerance:
+//
+//   * with failover on, the cluster completes every request through the
+//     reference plan (zero dead letters, availability 1.0);
+//   * with failover off, the crashed chip's requests are lost;
+//   * failover keeps p99 latency within 3x of the fault-free run;
+//   * both tile kills complete degraded (cores retired, work not lost).
+//
+// Env knobs (besides the shared bench ones): SCC_SERVE_REQUESTS overrides
+// the per-point request count (CI smoke uses a small value).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/simulator.hpp"
+#include "serve/loadgen.hpp"
+
+namespace {
+
+using namespace scc;
+
+int requests_from_env(int fallback) {
+  const char* value = std::getenv("SCC_SERVE_REQUESTS");
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::max(1, std::atoi(value));
+}
+
+/// One instantaneous burst with SLOs no virtual-time run can miss: the
+/// availability claims isolate fault loss from deadline shedding.
+std::vector<serve::Request> burst_workload(int request_count) {
+  serve::WorkloadSpec spec;
+  spec.seed = 0x5e12e;
+  spec.offered_rps = 1e6;
+  spec.request_count = request_count;
+  spec.slo_interactive_seconds = 1e6;
+  spec.slo_batch_seconds = 1e6;
+  return serve::generate_workload(spec);
+}
+
+cluster::ClusterConfig base_config(int request_count, bool failover) {
+  cluster::ClusterConfig config;
+  config.chip_count = 3;
+  config.failover = failover;
+  // Deep queues: shedding is the serve layer's story, loss is this one's.
+  config.chip.admission.max_queue_depth = request_count + 1;
+  config.chip.admission.interactive_reserve = 0;
+  return config;
+}
+
+cluster::ClusterResult run_cluster(serve::MatrixPool& pool,
+                                   const cluster::ClusterConfig& config,
+                                   const std::vector<serve::Request>& requests) {
+  cluster::ClusterSimulator simulator(config, pool);
+  return simulator.run(requests);
+}
+
+std::string pct(double fraction) { return Table::num(fraction * 100.0, 2); }
+
+}  // namespace
+
+int main() {
+  benchutil::Reporter reporter("failover_sweep");
+  reporter.banner("robustness extension -- cluster failover sweep",
+                  "multi-chip SpMV serving through chip crashes, tile kills and brownouts");
+
+  const int request_count = requests_from_env(120);
+  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  const auto requests = burst_workload(request_count);
+
+  // --- Calibrate: fault-free run fixes the clean makespan and p99. ---
+  const auto clean = run_cluster(pool, base_config(request_count, true), requests);
+
+  // --- Reference plan: one chip crash + two tile kills, mid-backlog. ---
+  const double crash_at = clean.makespan_seconds * 0.4;
+  const auto plan_config = [&](bool failover) {
+    cluster::ClusterConfig config = base_config(request_count, failover);
+    config.faults.chip_crashes = {{1, crash_at}};
+    config.faults.tile_kills = {{0, 7, clean.makespan_seconds * 0.25},
+                                {2, 13, clean.makespan_seconds * 0.5}};
+    return config;
+  };
+  const auto with_failover = run_cluster(pool, plan_config(true), requests);
+  const auto without_failover = run_cluster(pool, plan_config(false), requests);
+
+  Table reference("reference fault plan: 1 chip crash + 2 tile kills, burst drain");
+  reference.set_header({"mode", "completed", "dead-lettered", "availability [%]",
+                        "retries", "failovers", "p99 [ms]", "makespan [s]"});
+  const auto add_mode = [&](const std::string& mode, const cluster::ClusterResult& r) {
+    reference.add_row({mode, Table::integer(r.completed), Table::integer(r.dead_lettered),
+                       pct(r.availability), Table::integer(r.retries),
+                       Table::integer(r.failovers), Table::num(r.latency_total.p99 * 1e3, 2),
+                       Table::num(r.makespan_seconds, 4)});
+  };
+  add_mode("fault-free", clean);
+  add_mode("failover on", with_failover);
+  add_mode("failover off", without_failover);
+  reporter.emit(reference, "failover_reference");
+
+  // --- Sweep stochastic crash rates, failover on vs off. ---
+  Table sweep("availability vs stochastic crash rate (horizon = clean makespan)");
+  sweep.set_header({"crash rate", "mode", "crashes", "completed", "dead-lettered",
+                    "availability [%]", "p99 [ms]"});
+  for (const double rate : {0.0, 0.2, 0.5}) {
+    for (const bool failover : {true, false}) {
+      cluster::ClusterConfig config = base_config(request_count, failover);
+      config.faults.seed = 0xfa117;
+      config.faults.crash_rate = rate;
+      config.faults.crash_horizon_seconds = clean.makespan_seconds;
+      const auto result = run_cluster(pool, config, requests);
+      sweep.add_row({Table::num(rate, 1), failover ? "on" : "off",
+                     Table::integer(result.chip_crashes), Table::integer(result.completed),
+                     Table::integer(result.dead_lettered), pct(result.availability),
+                     Table::num(result.latency_total.p99 * 1e3, 2)});
+    }
+  }
+  reporter.emit(sweep, "failover_crash_sweep");
+
+  int retired = 0;
+  for (const auto& chip : with_failover.chips) retired += chip.retired_cores;
+
+  const bool ok = reporter.check_claims({
+      {"failover completes every request through crash + tile kills (bool)", 1.0,
+       with_failover.completed == request_count && with_failover.dead_lettered == 0 ? 1.0
+                                                                                   : 0.0,
+       0.0},
+      {"failover off loses the crashed chip's requests (bool)", 1.0,
+       without_failover.dead_lettered > 0 ? 1.0 : 0.0, 0.0},
+      {"failover p99 stays within 3x of fault-free (bool)", 1.0,
+       with_failover.latency_total.p99 <= 3.0 * clean.latency_total.p99 ? 1.0 : 0.0, 0.0},
+      {"both tile kills complete degraded with cores retired (bool)", 1.0,
+       with_failover.tile_kills == 2 && retired == 2 ? 1.0 : 0.0, 0.0},
+  });
+  return reporter.finish(ok);
+}

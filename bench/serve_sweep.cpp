@@ -51,6 +51,10 @@ serve::ServeConfig config_for(serve::SchedulingPolicy policy, bool batching) {
 serve::ServeResult drain_backlog(serve::MatrixPool& pool, serve::SchedulingPolicy policy,
                                  bool batching, int request_count) {
   serve::WorkloadSpec spec = base_workload(request_count, 1e6);
+  // Capacity, not shedding: with pop-time deadline expiry the default SLOs
+  // would drop most of an instantaneous backlog before it reaches a chip.
+  spec.slo_interactive_seconds = 1e6;
+  spec.slo_batch_seconds = 1e6;
   serve::ServeConfig config = config_for(policy, batching);
   config.admission.max_queue_depth = request_count + 1;
   config.admission.interactive_reserve = 0;
@@ -123,7 +127,9 @@ int main() {
   double p95_batched = 0.0;
   double p95_unbatched = 0.0;
   for (const bool on : {false, true}) {
-    const serve::WorkloadSpec spec = base_workload(request_count, moderate_rps);
+    serve::WorkloadSpec spec = base_workload(request_count, moderate_rps);
+    spec.slo_interactive_seconds = 1e6;  // measure queueing latency, not shedding
+    spec.slo_batch_seconds = 1e6;
     serve::ServeConfig config = config_for(serve::SchedulingPolicy::kMatrixAware, on);
     config.admission.max_queue_depth = request_count + 1;  // isolate latency, not shedding
     config.admission.interactive_reserve = 0;

@@ -1,0 +1,74 @@
+#include "cluster/fault_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scc::cluster {
+
+FaultOracle::FaultOracle(FaultPlan plan) : plan_(std::move(plan)) {
+  SCC_REQUIRE(plan_.crash_rate >= 0.0 && plan_.crash_rate <= 1.0,
+              "crash_rate must be in [0,1]");
+  SCC_REQUIRE(plan_.job_failure_rate >= 0.0 && plan_.job_failure_rate <= 1.0,
+              "job_failure_rate must be in [0,1]");
+  SCC_REQUIRE(plan_.crash_rate == 0.0 || plan_.crash_horizon_seconds > 0.0,
+              "stochastic crashes need a positive crash_horizon_seconds");
+  for (const Brownout& b : plan_.brownouts) {
+    SCC_REQUIRE(b.derate >= 1.0, "brownout derate must be >= 1");
+    SCC_REQUIRE(b.duration_seconds > 0.0, "brownout duration must be positive");
+  }
+}
+
+double FaultOracle::uniform(std::uint64_t a, std::uint64_t b, std::uint64_t salt) const {
+  // Hash the site into an independent stream (the src/fault idiom): per-site
+  // determinism means the schedule does not depend on query order.
+  std::uint64_t state = plan_.seed;
+  state ^= (a + 1) * 0x9e3779b97f4a7c15ULL;
+  state ^= (b + 1) * 0xbf58476d1ce4e5b9ULL;
+  state ^= (salt + 1) * 0x94d049bb133111ebULL;
+  Rng rng(splitmix64(state));
+  return rng.uniform01();
+}
+
+std::vector<ChipCrash> FaultOracle::crashes(int chip_count) const {
+  // Earliest crash wins per chip: a chip only dies once.
+  std::map<int, double> by_chip;
+  for (const ChipCrash& crash : plan_.chip_crashes) {
+    if (crash.chip < 0 || crash.chip >= chip_count) continue;
+    const auto it = by_chip.find(crash.chip);
+    if (it == by_chip.end() || crash.seconds < it->second) by_chip[crash.chip] = crash.seconds;
+  }
+  if (plan_.crash_rate > 0.0) {
+    for (int chip = 0; chip < chip_count; ++chip) {
+      if (uniform(static_cast<std::uint64_t>(chip), 0, /*salt=*/11) >= plan_.crash_rate) {
+        continue;
+      }
+      const double when = uniform(static_cast<std::uint64_t>(chip), 1, /*salt=*/12) *
+                          plan_.crash_horizon_seconds;
+      const auto it = by_chip.find(chip);
+      if (it == by_chip.end() || when < it->second) by_chip[chip] = when;
+    }
+  }
+  std::vector<ChipCrash> result;
+  result.reserve(by_chip.size());
+  for (const auto& [chip, seconds] : by_chip) result.push_back(ChipCrash{chip, seconds});
+  std::sort(result.begin(), result.end(), [](const ChipCrash& a, const ChipCrash& b) {
+    return a.seconds < b.seconds || (a.seconds == b.seconds && a.chip < b.chip);
+  });
+  return result;
+}
+
+bool FaultOracle::job_fails(int chip, std::uint64_t ordinal) const {
+  if (plan_.job_failure_rate <= 0.0) return false;
+  return uniform(static_cast<std::uint64_t>(chip), ordinal, /*salt=*/21) <
+         plan_.job_failure_rate;
+}
+
+double FaultOracle::jitter(int request_id, int attempt) const {
+  return uniform(static_cast<std::uint64_t>(request_id),
+                 static_cast<std::uint64_t>(attempt), /*salt=*/31);
+}
+
+}  // namespace scc::cluster

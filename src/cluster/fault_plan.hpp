@@ -1,0 +1,92 @@
+// Cluster-level fault schedule: which chips crash, which tiles die mid-job,
+// which memory controllers brown out -- and when.
+//
+// Same philosophy as src/fault's Plan/Injector: explicit event lists pin
+// faults to exact virtual times, stochastic rates draw per-site from a hash
+// of (seed, site), so the schedule is reproducible without any global RNG
+// stream ordering. The oracle is pure and const; the cluster simulator
+// queries it when building its timer wheel and at job completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scc::cluster {
+
+/// A whole simulated SCC dies at `seconds`: every in-flight job and queued
+/// request on it is lost and (under failover) rerouted.
+struct ChipCrash {
+  int chip = 0;
+  double seconds = 0.0;
+};
+
+/// One tile (core) of a chip dies at `seconds`. A job running on that core
+/// completes degraded via sim::Engine's dead-rank protocol; the core is
+/// retired from the chip's allocatable pool afterwards.
+struct TileKill {
+  int chip = 0;
+  int core = 0;
+  double seconds = 0.0;
+};
+
+/// A memory controller serves only 1/derate of its bandwidth during the
+/// window -- the fluid contention model scales the MC's effective sharer
+/// count by `derate` (serve::ContentionTracker::set_mc_derate).
+struct Brownout {
+  int chip = 0;
+  int mc = 0;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  double derate = 2.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0xfa117;
+
+  std::vector<ChipCrash> chip_crashes;
+  std::vector<TileKill> tile_kills;
+  std::vector<Brownout> brownouts;
+
+  /// Stochastic whole-chip crashes: each chip crashes with this probability,
+  /// at a time drawn uniform in [0, crash_horizon_seconds).
+  double crash_rate = 0.0;
+  double crash_horizon_seconds = 1.0;
+
+  /// Each dispatched job fails outright with this probability (a transient
+  /// chip-side error: the work is lost, the requests are retried, and the
+  /// chip's circuit breaker counts the failure).
+  double job_failure_rate = 0.0;
+
+  bool empty() const {
+    return chip_crashes.empty() && tile_kills.empty() && brownouts.empty() &&
+           crash_rate <= 0.0 && job_failure_rate <= 0.0;
+  }
+};
+
+/// Pure seeded oracle over the plan. All draws hash (seed, site, salt) so
+/// equal plans answer equal queries identically, in any order.
+class FaultOracle {
+ public:
+  explicit FaultOracle(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Every chip crash that will happen among `chip_count` chips: the
+  /// explicit list plus one stochastic draw per chip, sorted by time
+  /// (ties: lower chip id). At most one crash per chip is kept (earliest).
+  std::vector<ChipCrash> crashes(int chip_count) const;
+
+  /// Does the `ordinal`-th job dispatched on `chip` fail?
+  bool job_fails(int chip, std::uint64_t ordinal) const;
+
+  /// Deterministic jitter in [0,1) for request `request_id`'s retry
+  /// backoff at `attempt`.
+  double jitter(int request_id, int attempt) const;
+
+ private:
+  double uniform(std::uint64_t a, std::uint64_t b, std::uint64_t salt) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace scc::cluster

@@ -1,0 +1,79 @@
+#include "cluster/health.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scc::cluster {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDraining:
+      return "draining";
+    case HealthState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+FailureDeadlines detection_deadlines(const DetectorConfig& config, double crash_seconds) {
+  SCC_REQUIRE(config.heartbeat_seconds > 0.0, "heartbeat_seconds must be positive");
+  SCC_REQUIRE(config.suspect_after_missed >= 1, "suspect_after_missed must be >= 1");
+  SCC_REQUIRE(config.dead_after_missed > config.suspect_after_missed,
+              "dead_after_missed must exceed suspect_after_missed");
+  SCC_REQUIRE(crash_seconds >= 0.0, "crash time must be non-negative");
+  const double last_beat =
+      std::floor(crash_seconds / config.heartbeat_seconds) * config.heartbeat_seconds;
+  return FailureDeadlines{
+      last_beat + static_cast<double>(config.suspect_after_missed) * config.heartbeat_seconds,
+      last_beat + static_cast<double>(config.dead_after_missed) * config.heartbeat_seconds};
+}
+
+bool CircuitBreaker::allows(double now) {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now >= open_until_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::on_failure(double now) {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen || consecutive_failures_ >= config_.failure_threshold) {
+    // The half-open probe failed, or the closed breaker hit its threshold.
+    state_ = State::kOpen;
+    open_until_ = now + config_.cooldown_seconds;
+    ++trip_count_;
+    consecutive_failures_ = 0;
+  }
+}
+
+std::string to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace scc::cluster

@@ -1,0 +1,77 @@
+// Per-chip health machinery of the cluster: the virtual-time heartbeat
+// failure detector and the consecutive-failure circuit breaker.
+//
+// Both are deliberately dumb, deterministic state machines. The detector
+// never ticks: a chip that crashes at time t simply stops heartbeating, and
+// the moment the balancer would *notice* (suspect after a few missed beats,
+// dead after a few more) is computable at crash time -- the cluster
+// simulator schedules those two instants as timers. A fault-free run
+// therefore has no detector events at all, which is what keeps the
+// zero-fault cluster bit-identical to the single-chip serve simulator.
+#pragma once
+
+#include <string>
+
+namespace scc::cluster {
+
+/// Router-visible chip states. healthy -> suspect -> dead is driven by the
+/// failure detector; draining means the chip's circuit breaker is open
+/// (finish what you have, take nothing new).
+enum class HealthState { kHealthy, kSuspect, kDraining, kDead };
+
+std::string to_string(HealthState state);
+
+struct DetectorConfig {
+  double heartbeat_seconds = 0.005;  ///< virtual heartbeat period
+  int suspect_after_missed = 2;      ///< missed beats before "suspect"
+  int dead_after_missed = 4;         ///< missed beats before "dead"
+};
+
+/// When the detector transitions a chip that silently crashed at
+/// `crash_seconds`. Deadlines are quantized to heartbeat boundaries: the
+/// last beat the chip actually sent is the one at or before the crash.
+struct FailureDeadlines {
+  double suspect_seconds = 0.0;
+  double dead_seconds = 0.0;
+};
+
+FailureDeadlines detection_deadlines(const DetectorConfig& config, double crash_seconds);
+
+struct BreakerConfig {
+  int failure_threshold = 3;       ///< consecutive job failures that trip it
+  double cooldown_seconds = 0.05;  ///< open -> half-open wait
+};
+
+/// Classic three-state circuit breaker in virtual time. Closed admits
+/// traffic; `failure_threshold` consecutive job failures open it; after
+/// `cooldown_seconds` the next admission probe half-opens it, and the probe
+/// job's outcome decides (success closes, failure re-opens).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  State state() const { return state_; }
+  int trip_count() const { return trip_count_; }
+  /// When an open breaker may half-open (meaningless unless open).
+  double open_until() const { return open_until_; }
+
+  /// May the chip take a new job at `now`? Transitions open -> half-open
+  /// when the cooldown expired (hence non-const).
+  bool allows(double now);
+
+  void on_success();
+  void on_failure(double now);
+
+ private:
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int trip_count_ = 0;
+  double open_until_ = 0.0;
+};
+
+std::string to_string(CircuitBreaker::State state);
+
+}  // namespace scc::cluster

@@ -1,0 +1,106 @@
+#include "cluster/report.hpp"
+
+#include <cstddef>
+
+#include "obs/report.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+
+namespace scc::cluster {
+
+obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
+                              const ClusterConfig& config, const ClusterResult& result,
+                              const obs::Registry* metrics) {
+  obs::Json report = obs::report_skeleton(obs::kKindCluster);
+
+  obs::Json workload_json = obs::Json::object();
+  workload_json.set("seed", workload.seed);
+  workload_json.set("offered_rps", workload.offered_rps);
+  workload_json.set("request_count", workload.request_count);
+  obs::Json mix = obs::Json::array();
+  for (const int id : workload.matrix_mix) mix.push_back(id);
+  workload_json.set("matrix_mix", std::move(mix));
+  workload_json.set("interactive_fraction", workload.interactive_fraction);
+  workload_json.set("slo_interactive_seconds", workload.slo_interactive_seconds);
+  workload_json.set("slo_batch_seconds", workload.slo_batch_seconds);
+  report.set("workload", std::move(workload_json));
+
+  obs::Json config_json = obs::Json::object();
+  config_json.set("chip_count", config.chip_count);
+  config_json.set("failover", config.failover);
+  config_json.set("policy", to_string(config.chip.policy));
+  config_json.set("batching", config.chip.batching);
+  config_json.set("batch_max", config.chip.batch_max);
+  config_json.set("max_attempts", config.retry.max_attempts);
+  config_json.set("hedging", config.hedge.enabled);
+  config_json.set("fault_seed", config.faults.seed);
+  config_json.set("crash_rate", config.faults.crash_rate);
+  config_json.set("job_failure_rate", config.faults.job_failure_rate);
+  report.set("config", std::move(config_json));
+
+  obs::Json result_json = obs::Json::object();
+  result_json.set("makespan_seconds", result.makespan_seconds);
+  result_json.set("throughput_rps", result.throughput_rps);
+  result_json.set("availability", result.availability);
+  result_json.set("completed", result.completed);
+  result_json.set("rejected", result.rejected);
+  result_json.set("dead_lettered", result.dead_lettered);
+  result_json.set("deadline_expired", result.deadline_expired);
+  result_json.set("retries", result.retries);
+  result_json.set("failovers", result.failovers);
+  result_json.set("hedges", result.hedges);
+  result_json.set("hedge_wins", result.hedge_wins);
+  result_json.set("chip_crashes", result.chip_crashes);
+  result_json.set("tile_kills", result.tile_kills);
+  result_json.set("brownouts", result.brownouts);
+  result_json.set("breaker_trips", result.breaker_trips);
+  obs::Json latency = obs::Json::object();
+  latency.set("total", serve::latency_summary_json(result.latency_total));
+  latency.set("interactive", serve::latency_summary_json(result.latency_interactive));
+  latency.set("batch", serve::latency_summary_json(result.latency_batch));
+  result_json.set("latency", std::move(latency));
+  report.set("result", std::move(result_json));
+
+  obs::Json chips = obs::Json::array();
+  for (const ChipSummary& chip : result.chips) {
+    obs::Json entry = obs::Json::object();
+    entry.set("chip", chip.chip);
+    entry.set("state", to_string(chip.state));
+    entry.set("crashed", chip.crashed);
+    entry.set("jobs_completed", chip.jobs_completed);
+    entry.set("jobs_failed", chip.jobs_failed);
+    entry.set("retired_cores", chip.retired_cores);
+    entry.set("requests_completed", chip.requests_completed);
+    entry.set("breaker_trips", chip.breaker_trips);
+    chips.push_back(std::move(entry));
+  }
+  report.set("chips", std::move(chips));
+
+  obs::Json fault_log = obs::Json::array();
+  for (const LogEvent& event : result.log) {
+    obs::Json entry = obs::Json::object();
+    entry.set("seconds", event.seconds);
+    entry.set("kind", event.kind);
+    entry.set("chip", event.chip);
+    entry.set("detail", event.detail);
+    fault_log.push_back(std::move(entry));
+  }
+  report.set("fault_log", std::move(fault_log));
+
+  obs::Json dead_letters = obs::Json::array();
+  for (const ClusterRequestRecord& record : result.records) {
+    if (record.outcome != Outcome::kDeadLettered) continue;
+    obs::Json entry = obs::Json::object();
+    entry.set("request", record.request.id);
+    entry.set("reason", record.dead_letter_reason);
+    entry.set("chip", record.chip);
+    entry.set("attempts", record.attempts);
+    dead_letters.push_back(std::move(entry));
+  }
+  report.set("dead_letters", std::move(dead_letters));
+
+  if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
+  return report;
+}
+
+}  // namespace scc::cluster

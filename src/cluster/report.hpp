@@ -1,0 +1,24 @@
+// Schema-v1 JSON report for cluster serving runs (kind "cluster").
+//
+// Emits exactly what obs::validate_report checks for kind "cluster": a
+// workload section, a config section (chip_count / failover / per-chip
+// policy knobs), a result section with the cluster-wide counters,
+// availability and per-class latency summaries, the per-chip summary array,
+// the ordered fault/recovery log, the dead-letter list, and the cluster.*
+// metrics registry export.
+#pragma once
+
+#include "cluster/simulator.hpp"
+#include "obs/json.hpp"
+#include "serve/loadgen.hpp"
+
+namespace scc::cluster {
+
+/// Full kind="cluster" report for one cluster serving run. `metrics`, when
+/// non-null, contributes the "metrics" section (usually
+/// ClusterSimulator::metrics()).
+obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
+                              const ClusterConfig& config, const ClusterResult& result,
+                              const obs::Registry* metrics = nullptr);
+
+}  // namespace scc::cluster

@@ -1,0 +1,53 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace scc::cluster {
+
+int route(const std::vector<ChipView>& chips, const std::vector<int>& excluded,
+          const RouterConfig& config) {
+  const auto is_excluded = [&](int chip) {
+    return std::find(excluded.begin(), excluded.end(), chip) != excluded.end();
+  };
+  const auto eligible = [&](const ChipView& view, bool healthy_only) {
+    if (is_excluded(view.chip) || !view.dispatchable) return false;
+    if (view.health == HealthState::kDead || view.health == HealthState::kDraining) {
+      return false;
+    }
+    return healthy_only ? view.health == HealthState::kHealthy : true;
+  };
+
+  // Suspects are last-resort targets: only route to them when no fully
+  // healthy chip remains.
+  bool healthy_only = std::any_of(chips.begin(), chips.end(), [&](const ChipView& view) {
+    return eligible(view, /*healthy_only=*/true);
+  });
+
+  int min_outstanding = std::numeric_limits<int>::max();
+  for (const ChipView& view : chips) {
+    if (eligible(view, healthy_only)) min_outstanding = std::min(min_outstanding, view.outstanding);
+  }
+  if (min_outstanding == std::numeric_limits<int>::max()) return -1;
+
+  // First pass: matrix-affine chips within the slack of the least-loaded.
+  int best = -1;
+  int best_outstanding = std::numeric_limits<int>::max();
+  for (const ChipView& view : chips) {
+    if (!eligible(view, healthy_only) || !view.has_matrix) continue;
+    if (view.outstanding > min_outstanding + config.affinity_slack) continue;
+    if (view.outstanding < best_outstanding) {
+      best = view.chip;
+      best_outstanding = view.outstanding;
+    }
+  }
+  if (best >= 0) return best;
+
+  // Otherwise: least outstanding work, lowest id.
+  for (const ChipView& view : chips) {
+    if (eligible(view, healthy_only) && view.outstanding == min_outstanding) return view.chip;
+  }
+  return -1;
+}
+
+}  // namespace scc::cluster

@@ -1,0 +1,39 @@
+// The cluster balancer's chip-selection function.
+//
+// Pure: the simulator snapshots each chip into a ChipView and asks for the
+// best target. Policy, in order: never a dead/draining/excluded chip or one
+// whose breaker refuses traffic; prefer fully healthy chips over suspects;
+// prefer a chip that already holds the request's matrix (warm cache, and
+// same-matrix batching merges the work) unless it is more than
+// `affinity_slack` requests busier than the least-loaded candidate; then
+// least outstanding work; then lowest chip id. Deterministic by
+// construction.
+#pragma once
+
+#include <vector>
+
+#include "cluster/health.hpp"
+
+namespace scc::cluster {
+
+/// What the router sees of one chip at routing time.
+struct ChipView {
+  int chip = 0;
+  HealthState health = HealthState::kHealthy;
+  bool dispatchable = true;  ///< breaker allows traffic and chip is alive
+  int outstanding = 0;       ///< queued + in-flight request copies
+  bool has_matrix = false;   ///< chip already holds this request's matrix
+};
+
+struct RouterConfig {
+  /// Extra outstanding requests a matrix-affine chip may carry and still
+  /// beat a less-loaded cold chip.
+  int affinity_slack = 2;
+};
+
+/// Chip id to route to, or -1 when no chip qualifies. `excluded` lists
+/// chips the request already tried (the failover set).
+int route(const std::vector<ChipView>& chips, const std::vector<int>& excluded,
+          const RouterConfig& config);
+
+}  // namespace scc::cluster

@@ -1,0 +1,170 @@
+// The multi-chip cluster serving simulator: a deterministic discrete-event
+// balancer over N simulated SCCs that keeps serving through injected
+// failures.
+//
+// Each chip is a full serve-layer instance (admission queue, partitioner,
+// fluid contention tracker) priced by one shared ServiceModel, so a
+// zero-fault single-chip cluster replays serve::Simulator bit-for-bit. On
+// top of that sit the robustness mechanisms the fault plan exercises:
+//
+//   * whole-chip crashes -- the chip freezes silently; a heartbeat failure
+//     detector declares it suspect then dead (cluster/health.hpp), at which
+//     point its queued and in-flight requests are failed over or
+//     dead-lettered;
+//   * mid-job tile kills -- the running job is restated to the degraded
+//     timing of sim::Engine's dead-rank protocol (survivors redo the
+//     product, the repartition cost is charged to the job) and the core is
+//     retired from the chip's pool;
+//   * memory-controller brownouts -- a bandwidth derate window on the
+//     chip's contention tracker;
+//   * transient job failures -- a seeded per-(chip, job) Bernoulli; failed
+//     jobs feed the chip's circuit breaker and their requests retry with
+//     exponential backoff + deterministic jitter, bounded by the request's
+//     own SLO deadline;
+//   * hedged dispatch -- an interactive request still pending after
+//     `hedge.delay_seconds` gets a second copy on another chip; first
+//     completion wins, the loser is cancelled if still queued.
+//
+// Every fault, detector transition, failover, retry, hedge and breaker
+// event lands in an ordered log; identical seeds replay it byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "cluster/health.hpp"
+#include "cluster/router.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/simulator.hpp"
+
+namespace scc::obs {
+class Recorder;
+}
+
+namespace scc::cluster {
+
+struct RetryConfig {
+  int max_attempts = 3;                ///< total dispatch attempts per request
+  double base_backoff_seconds = 0.002; ///< first retry delay
+  double backoff_multiplier = 2.0;     ///< exponential growth per attempt
+  double jitter_fraction = 0.5;        ///< +[0, fraction) * backoff, seeded
+};
+
+struct HedgeConfig {
+  bool enabled = true;
+  double delay_seconds = 0.02;  ///< pending-time before the second copy
+};
+
+struct ClusterConfig {
+  int chip_count = 3;
+  serve::ServeConfig chip;  ///< per-chip policy/admission/batching/engine
+  FaultPlan faults;
+  /// Master robustness switch: with failover off, requests stay on their
+  /// first chip -- crashes lose them, failures dead-letter them, no
+  /// retries, no hedging (the baseline the failover bench compares against).
+  bool failover = true;
+  RetryConfig retry;
+  HedgeConfig hedge;
+  DetectorConfig detector;
+  BreakerConfig breaker;
+  RouterConfig router;
+};
+
+enum class Outcome { kPending, kCompleted, kRejected, kDeadLettered };
+
+std::string to_string(Outcome outcome);
+
+/// Final cluster-level outcome of one request.
+struct ClusterRequestRecord {
+  serve::Request request;
+  Outcome outcome = Outcome::kPending;
+  int chip = -1;       ///< chip that completed it (or last one tried)
+  int attempts = 0;    ///< dispatch attempts (1 = served first try)
+  int failovers = 0;   ///< attempts that landed on a different chip
+  bool hedged = false;
+  bool hedge_won = false;  ///< the hedge copy finished first
+  std::string dead_letter_reason;  ///< terminal reason when dead-lettered
+  double dispatch_seconds = 0.0;
+  double completion_seconds = 0.0;
+
+  double latency_seconds() const { return completion_seconds - request.arrival_seconds; }
+  bool slo_met() const {
+    return outcome == Outcome::kCompleted && latency_seconds() <= request.slo_seconds;
+  }
+};
+
+struct ChipSummary {
+  int chip = 0;
+  HealthState state = HealthState::kHealthy;
+  bool crashed = false;
+  int jobs_completed = 0;
+  int jobs_failed = 0;
+  int retired_cores = 0;
+  int requests_completed = 0;
+  int breaker_trips = 0;
+};
+
+/// One entry of the ordered fault/recovery log.
+struct LogEvent {
+  double seconds = 0.0;
+  std::string kind;  ///< chip_crash, chip_suspect, chip_dead, tile_kill, ...
+  int chip = -1;
+  std::string detail;
+};
+
+/// Canonical one-line rendering (fixed 9-decimal time) -- the replay tests
+/// compare these strings byte for byte.
+std::string describe(const LogEvent& event);
+
+struct ClusterResult {
+  std::vector<ClusterRequestRecord> records;  ///< indexed by request id
+  std::vector<ChipSummary> chips;
+  std::vector<LogEvent> log;
+  double makespan_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double availability = 0.0;  ///< completed / injected
+  int completed = 0;
+  int rejected = 0;        ///< no chip admitted it on arrival
+  int dead_lettered = 0;   ///< terminal failures (includes deadline expiry)
+  int deadline_expired = 0;
+  int retries = 0;
+  int failovers = 0;
+  int hedges = 0;
+  int hedge_wins = 0;
+  int chip_crashes = 0;
+  int tile_kills = 0;
+  int brownouts = 0;
+  int breaker_trips = 0;
+  serve::LatencySummary latency_total;
+  serve::LatencySummary latency_interactive;
+  serve::LatencySummary latency_batch;
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ClusterConfig config, serve::MatrixPool& pool);
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Simulate serving `requests` (sorted by arrival, dense ids 0..n-1).
+  /// Deterministic: equal inputs (config, fault seed, workload) give
+  /// bit-equal results, including the fault/failover log.
+  ClusterResult run(const std::vector<serve::Request>& requests,
+                    obs::Recorder* recorder = nullptr);
+
+  /// Metrics of the most recent run() (cluster.* counters and histograms).
+  const obs::Registry& metrics() const { return *metrics_; }
+
+ private:
+  ClusterConfig config_;
+  serve::MatrixPool& pool_;
+  serve::ServiceModel model_;
+  FaultOracle oracle_;
+  std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
+};
+
+}  // namespace scc::cluster

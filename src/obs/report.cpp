@@ -186,6 +186,73 @@ void validate_serve(std::vector<std::string>& problems, const Json& report) {
   validate_metrics(problems, report);
 }
 
+void validate_cluster(std::vector<std::string>& problems, const Json& report) {
+  if (const Json* workload =
+          check_section(problems, report, "workload", Json::Type::kObject)) {
+    check_number(problems, *workload, "seed");
+    check_number(problems, *workload, "offered_rps");
+    check_number(problems, *workload, "request_count");
+  }
+  if (const Json* config = check_section(problems, report, "config", Json::Type::kObject)) {
+    check_number(problems, *config, "chip_count");
+    const Json* failover = config->find("failover");
+    require(problems, failover != nullptr && failover->is_bool(),
+            "cluster config needs a bool 'failover'");
+  }
+  if (const Json* result = check_section(problems, report, "result", Json::Type::kObject)) {
+    for (const char* key :
+         {"makespan_seconds", "throughput_rps", "completed", "rejected", "dead_lettered",
+          "deadline_expired", "retries", "failovers", "hedge_wins", "breaker_trips",
+          "chip_crashes", "tile_kills", "availability"}) {
+      check_number(problems, *result, key);
+    }
+    const Json* latency = result->find("latency");
+    if (latency == nullptr || !latency->is_object()) {
+      problems.push_back("cluster result needs a 'latency' object");
+    } else {
+      validate_latency_summary(problems, *latency, "total");
+      validate_latency_summary(problems, *latency, "interactive");
+      validate_latency_summary(problems, *latency, "batch");
+    }
+  }
+  if (const Json* chips = check_section(problems, report, "chips", Json::Type::kArray)) {
+    require(problems, chips->size() > 0, "chips must not be empty");
+    for (std::size_t i = 0; i < chips->size(); ++i) {
+      const Json& chip = chips->at(i);
+      if (!chip.is_object()) {
+        problems.push_back("chips entries must be objects");
+        break;
+      }
+      check_number(problems, chip, "chip");
+      check_number(problems, chip, "jobs_completed");
+      const Json* state = chip.find("state");
+      require(problems, state != nullptr && state->is_string(),
+              "chips entries need a string 'state'");
+    }
+  }
+  if (const Json* log = check_section(problems, report, "fault_log", Json::Type::kArray)) {
+    for (std::size_t i = 0; i < log->size(); ++i) {
+      const Json& event = log->at(i);
+      require(problems,
+              event.is_object() && event.find("kind") != nullptr &&
+                  event.at("kind").is_string() && event.find("seconds") != nullptr &&
+                  event.at("seconds").is_number(),
+              "fault_log entries need string 'kind' and numeric 'seconds'");
+    }
+  }
+  if (const Json* letters =
+          check_section(problems, report, "dead_letters", Json::Type::kArray)) {
+    for (std::size_t i = 0; i < letters->size(); ++i) {
+      const Json& letter = letters->at(i);
+      require(problems,
+              letter.is_object() && letter.find("request") != nullptr &&
+                  letter.find("reason") != nullptr && letter.at("reason").is_string(),
+              "dead_letters entries need 'request' and string 'reason'");
+    }
+  }
+  validate_metrics(problems, report);
+}
+
 void validate_bench(std::vector<std::string>& problems, const Json& report) {
   const Json* name = report.find("name");
   require(problems, name != nullptr && name->is_string() && !name->as_string().empty(),
@@ -299,6 +366,8 @@ std::vector<std::string> validate_report(const Json& report) {
     validate_bench(problems, report);
   } else if (kind->as_string() == kKindServe) {
     validate_serve(problems, report);
+  } else if (kind->as_string() == kKindCluster) {
+    validate_cluster(problems, report);
   }
   // Other kinds only need the envelope; unknown top-level keys never fail
   // validation (additive forward compatibility).

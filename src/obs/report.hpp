@@ -29,13 +29,15 @@ inline constexpr const char* kKindBench = "bench";      ///< a figure/table benc
 inline constexpr const char* kKindAnalysis = "analysis";///< `scc-spmv analyze`
 inline constexpr const char* kKindReport = "report";    ///< aggregation of other reports
 inline constexpr const char* kKindServe = "serve";      ///< one serving-simulator run
+inline constexpr const char* kKindCluster = "cluster";  ///< one multi-chip cluster run
 
 /// {"schema_version": kSchemaVersion, "kind": kind}
 Json report_skeleton(const std::string& kind);
 
 /// Structural validation against the documented schema. Returns a list of
 /// human-readable problems; empty means valid. Checks the envelope for every
-/// kind, plus the section layout for "run", "bench" and "serve" reports.
+/// kind, plus the section layout for "run", "bench", "serve" and "cluster"
+/// reports.
 /// Unknown top-level keys are always tolerated (additive forward
 /// compatibility; see the versioning rule above).
 std::vector<std::string> validate_report(const Json& report);

@@ -38,13 +38,27 @@ std::array<int, chip::kMemoryControllerCount> ContentionTracker::jobs_per_mc() c
 
 double ContentionTracker::slowdown_of(const ContendingJob& job) const {
   const auto counts = jobs_per_mc();
-  int sharers = 1;
+  double sharers = 1.0;
   for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
     if (job.uses_mc[static_cast<std::size_t>(mc)]) {
-      sharers = std::max(sharers, counts[static_cast<std::size_t>(mc)]);
+      // A browned-out controller serves 1/derate of its healthy bandwidth,
+      // which looks to the job exactly like derate-times the sharers.
+      sharers = std::max(sharers, static_cast<double>(counts[static_cast<std::size_t>(mc)]) *
+                                      mc_derate_[static_cast<std::size_t>(mc)]);
     }
   }
-  return (1.0 - job.beta) + job.beta * static_cast<double>(sharers);
+  return (1.0 - job.beta) + job.beta * sharers;
+}
+
+void ContentionTracker::set_mc_derate(int mc, double derate) {
+  SCC_REQUIRE(mc >= 0 && mc < chip::kMemoryControllerCount, "mc id out of range");
+  SCC_REQUIRE(derate >= 1.0, "mc derate must be >= 1 (1 = full bandwidth)");
+  mc_derate_[static_cast<std::size_t>(mc)] = derate;
+}
+
+double ContentionTracker::mc_derate(int mc) const {
+  SCC_REQUIRE(mc >= 0 && mc < chip::kMemoryControllerCount, "mc id out of range");
+  return mc_derate_[static_cast<std::size_t>(mc)];
 }
 
 const ContendingJob& ContentionTracker::job_by_id(int id) const {
@@ -88,6 +102,23 @@ void ContentionTracker::remove(int id) {
   SCC_REQUIRE(it->remaining_seconds <= kEpsilonSeconds,
               "job " << id << " removed with " << it->remaining_seconds
                      << "s of service outstanding");
+  jobs_.erase(it);
+}
+
+void ContentionTracker::restate(int id, double beta, double remaining_seconds) {
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [&](const ContendingJob& job) { return job.id == id; });
+  SCC_REQUIRE(it != jobs_.end(), "restate of unknown contending job " << id);
+  SCC_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1], got " << beta);
+  SCC_REQUIRE(remaining_seconds > 0.0, "restated remaining_seconds must be positive");
+  it->beta = beta;
+  it->remaining_seconds = remaining_seconds;
+}
+
+void ContentionTracker::drop(int id) {
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [&](const ContendingJob& job) { return job.id == id; });
+  SCC_REQUIRE(it != jobs_.end(), "drop of unknown contending job " << id);
   jobs_.erase(it);
 }
 

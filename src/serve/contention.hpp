@@ -40,8 +40,17 @@ class ContentionTracker {
   int active_count() const { return static_cast<int>(jobs_.size()); }
 
   /// Current slowdown factor of a registered job: (1-beta) + beta * s with
-  /// s = max jobs sharing any of its controllers (>= 1, itself included).
+  /// s = max jobs sharing any of its controllers (>= 1, itself included),
+  /// scaled by that controller's brown-out derate.
   double slowdown(int id) const;
+
+  /// Brown-out hook: scale the effective sharer count on `mc` by `derate`
+  /// (>= 1; 1 restores full bandwidth). With derate d a lone job's bandwidth
+  /// portion is served at 1/d of the healthy controller, so its slowdown is
+  /// (1-beta) + beta*d. All derates at 1 keep every slowdown bit-identical
+  /// to the underate model.
+  void set_mc_derate(int mc, double derate);
+  double mc_derate(int mc) const;
 
   /// Virtual seconds until the next job completes at current rates, and
   /// that job's id (ties: smallest id). Throws when empty.
@@ -59,6 +68,18 @@ class ContentionTracker {
   /// catching simulator bookkeeping bugs early).
   void remove(int id);
 
+  /// Replace a running job's beta and remaining isolated service in place --
+  /// the tile-kill hook: the survivors redo the product under the degraded
+  /// timing, so the job's outstanding work is restated mid-flight.
+  void restate(int id, double beta, double remaining_seconds);
+
+  /// Force-remove a job regardless of outstanding service (a chip crash
+  /// abandons its in-flight work). Throws on an unknown id.
+  void drop(int id);
+
+  /// Drop every job (whole-chip crash).
+  void clear() { jobs_.clear(); }
+
   const std::vector<ContendingJob>& jobs() const { return jobs_; }
 
  private:
@@ -67,6 +88,7 @@ class ContentionTracker {
   std::array<int, chip::kMemoryControllerCount> jobs_per_mc() const;
 
   std::vector<ContendingJob> jobs_;
+  std::array<double, chip::kMemoryControllerCount> mc_derate_{1.0, 1.0, 1.0, 1.0};
 };
 
 }  // namespace scc::serve

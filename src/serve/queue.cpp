@@ -36,6 +36,33 @@ Request AdmissionQueue::pop() {
   return request;
 }
 
+std::vector<Request> AdmissionQueue::take_expired(double now) {
+  std::vector<Request> expired;
+  for (auto* queue : {&interactive_, &batch_}) {
+    for (auto it = queue->begin(); it != queue->end();) {
+      if (it->deadline_seconds() < now) {
+        expired.push_back(*it);
+        it = queue->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return expired;
+}
+
+bool AdmissionQueue::erase(int request_id) {
+  for (auto* queue : {&interactive_, &batch_}) {
+    for (auto it = queue->begin(); it != queue->end(); ++it) {
+      if (it->id == request_id) {
+        queue->erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 std::vector<Request> AdmissionQueue::take_matching(int matrix_id, int max_count) {
   std::vector<Request> taken;
   for (auto* queue : {&interactive_, &batch_}) {

@@ -45,6 +45,17 @@ class AdmissionQueue {
   /// request that wants the same matrix.
   std::vector<Request> take_matching(int matrix_id, int max_count);
 
+  /// Remove and return every queued request whose SLO deadline already
+  /// passed (`deadline_seconds() < now`, interactive first, FIFO within
+  /// class). Dispatching them would burn chip time on a guaranteed miss, so
+  /// the simulator sheds them at pop time and counts them separately.
+  std::vector<Request> take_expired(double now);
+
+  /// Remove the queued request with `request_id` (either class); returns
+  /// whether it was present. Hedged dispatch uses this to cancel the losing
+  /// copy when its twin completes first.
+  bool erase(int request_id);
+
  private:
   AdmissionConfig config_;
   std::deque<Request> interactive_;

@@ -43,6 +43,7 @@ obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& con
   result_json.set("throughput_rps", result.throughput_rps);
   result_json.set("completed", result.completed);
   result_json.set("rejected", result.rejected);
+  result_json.set("deadline_expired", result.deadline_expired);
   result_json.set("slo_violations", result.slo_violations);
   result_json.set("max_queue_depth", result.max_queue_depth);
   result_json.set("job_count", static_cast<long long>(result.jobs.size()));

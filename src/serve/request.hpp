@@ -25,19 +25,25 @@ struct Request {
   int matrix_id = 1;            ///< Table-I testbed id (1..32)
   RequestClass cls = RequestClass::kInteractive;
   double slo_seconds = 0.25;    ///< per-class latency target
+
+  /// Latest virtual time at which completing still meets the SLO.
+  double deadline_seconds() const { return arrival_seconds + slo_seconds; }
 };
 
 /// Final outcome of one request, filled by the simulator.
 struct RequestRecord {
   Request request;
   bool rejected = false;          ///< admission control turned it away
+  bool deadline_expired = false;  ///< SLO deadline passed while still queued
   int job_id = -1;                ///< the job (batch) that served it
   double dispatch_seconds = 0.0;  ///< when its job started on the chip
   double completion_seconds = 0.0;
 
   double latency_seconds() const { return completion_seconds - request.arrival_seconds; }
   double queue_delay_seconds() const { return dispatch_seconds - request.arrival_seconds; }
-  bool slo_met() const { return !rejected && latency_seconds() <= request.slo_seconds; }
+  bool slo_met() const {
+    return !rejected && !deadline_expired && latency_seconds() <= request.slo_seconds;
+  }
 };
 
 }  // namespace scc::serve

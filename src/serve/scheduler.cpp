@@ -66,9 +66,28 @@ std::vector<int> ChipPartitioner::free_cores() const {
   std::vector<int> cores;
   cores.reserve(static_cast<std::size_t>(free_core_count()));
   for (int core = 0; core < chip::kCoreCount; ++core) {
-    if (!busy_[static_cast<std::size_t>(core)]) cores.push_back(core);
+    if (!busy_[static_cast<std::size_t>(core)] && !retired_[static_cast<std::size_t>(core)]) {
+      cores.push_back(core);
+    }
   }
   return cores;
+}
+
+int ChipPartitioner::free_core_count() const {
+  int count = 0;
+  for (int core = 0; core < chip::kCoreCount; ++core) {
+    if (!busy_[static_cast<std::size_t>(core)] && !retired_[static_cast<std::size_t>(core)]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ChipPartitioner::retire(int core) {
+  SCC_REQUIRE(core >= 0 && core < chip::kCoreCount, "core id out of range");
+  if (retired_[static_cast<std::size_t>(core)]) return;
+  retired_[static_cast<std::size_t>(core)] = true;
+  ++retired_count_;
 }
 
 int ChipPartitioner::jobs_on_mc(int mc) const {
@@ -90,7 +109,8 @@ std::vector<int> ChipPartitioner::try_allocate(const JobShape& shape) {
       for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
         const auto quadrant = chip::cores_of_memory_controller(mc);
         const bool idle = std::none_of(quadrant.begin(), quadrant.end(), [&](int core) {
-          return busy_[static_cast<std::size_t>(core)];
+          return busy_[static_cast<std::size_t>(core)] ||
+                 retired_[static_cast<std::size_t>(core)];
         });
         if (idle) {
           cores.assign(quadrant.begin(), quadrant.end());

@@ -75,7 +75,13 @@ class ChipPartitioner {
   /// Return a core set obtained from try_allocate.
   void release(const std::vector<int>& cores);
 
-  int free_core_count() const { return chip::kCoreCount - busy_count_; }
+  /// Permanently remove a core from the allocatable pool (a killed tile).
+  /// A busy core may be retired -- its job finishes degraded and release()
+  /// still works -- but it is never handed out again. Idempotent.
+  void retire(int core);
+  int retired_core_count() const { return retired_count_; }
+
+  int free_core_count() const;
   /// Active jobs whose core set touches the given memory controller.
   int jobs_on_mc(int mc) const;
 
@@ -83,8 +89,10 @@ class ChipPartitioner {
   SchedulingPolicy policy_;
   PartitionModel model_;
   std::array<bool, chip::kCoreCount> busy_{};
+  std::array<bool, chip::kCoreCount> retired_{};
   std::array<int, chip::kMemoryControllerCount> jobs_per_mc_{};
   int busy_count_ = 0;
+  int retired_count_ = 0;
 
   std::vector<int> free_cores() const;
 };

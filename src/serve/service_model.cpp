@@ -1,0 +1,106 @@
+#include "serve/service_model.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "scc/mapping.hpp"
+
+namespace scc::serve {
+
+namespace {
+
+/// CSR bytes a job must ship to its partition before the first product
+/// (same formula as the engine's degraded-run re-ship accounting).
+double csr_bytes_of(const sparse::CsrMatrix& matrix) {
+  return static_cast<double>(matrix.rows() + 1) * sizeof(nnz_t) +
+         static_cast<double>(matrix.nnz()) * (sizeof(index_t) + sizeof(real_t));
+}
+
+double load_seconds_of(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
+                       const sim::Engine& engine) {
+  // The load phase streams the CSR blocks in parallel through every MC the
+  // partition touches, and is pure bandwidth (beta = 1).
+  int mcs_used = 0;
+  for (const auto& group : chip::cores_by_mc(cores)) {
+    if (!group.empty()) ++mcs_used;
+  }
+  return csr_bytes_of(matrix) /
+         (engine.mc_bandwidth_bytes_per_second() * static_cast<double>(mcs_used));
+}
+
+/// Memory-bound fraction of the product: the busiest MC's bandwidth busy
+/// time over the whole runtime, the share that degrades 1:1 under sharing.
+double beta_of(const sim::RunResult& result, double product_seconds) {
+  double max_mc_seconds = 0.0;
+  for (const double s : result.mc_seconds) max_mc_seconds = std::max(max_mc_seconds, s);
+  return product_seconds > 0.0 ? std::clamp(max_mc_seconds / product_seconds, 0.0, 1.0)
+                               : 0.0;
+}
+
+}  // namespace
+
+const testbed::SuiteEntry& MatrixPool::entry(int id) {
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) return it->second;
+  return entries_.emplace(id, testbed::build_entry(id, scale_)).first->second;
+}
+
+ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool)
+    : engine_(config), pool_(pool) {}
+
+const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cores) {
+  const auto key = std::make_tuple(matrix_id, cores, -1);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
+  sim::RunSpec spec;
+  spec.cores = cores;
+  const sim::RunResult result = engine_.run(entry.matrix, spec);
+
+  JobTiming timing;
+  timing.product_seconds = result.seconds;
+  timing.load_seconds = load_seconds_of(entry.matrix, cores, engine_);
+  timing.beta = beta_of(result, result.seconds);
+  return cache_.emplace(key, timing).first->second;
+}
+
+const JobTiming& ServiceModel::degraded_timing(int matrix_id, const std::vector<int>& cores,
+                                               int killed_core) {
+  SCC_REQUIRE(cores.size() >= 2, "a one-core job cannot survive its only tile");
+  const auto key = std::make_tuple(matrix_id, cores, killed_core);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const auto pos = std::find(cores.begin(), cores.end(), killed_core);
+  SCC_REQUIRE(pos != cores.end(), "killed core " << killed_core << " not in the job's set");
+  // Rank 0 owns the matrix and must survive in the degraded protocol; when
+  // the dead tile sits at rank 0, hand ownership to the last rank by
+  // swapping them (the survivor set -- hence the timing -- is unchanged).
+  std::vector<int> ranked = cores;
+  auto dead_index = static_cast<std::size_t>(pos - cores.begin());
+  if (dead_index == 0) {
+    std::swap(ranked.front(), ranked.back());
+    dead_index = ranked.size() - 1;
+  }
+
+  const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
+  sim::RunSpec spec;
+  spec.cores = ranked;
+  spec.dead_ranks = {static_cast<int>(dead_index)};
+  const sim::RunResult result = engine_.run(entry.matrix, spec);
+
+  JobTiming timing;
+  // result.seconds folds the recovery in; split it back out so callers can
+  // scale a partially-done product without double-charging the recovery.
+  timing.recovery_seconds = result.recovery_seconds;
+  timing.product_seconds = result.seconds - result.recovery_seconds;
+  timing.load_seconds = load_seconds_of(entry.matrix, cores, engine_);
+  timing.beta = beta_of(result, timing.product_seconds);
+  return cache_.emplace(key, timing).first->second;
+}
+
+}  // namespace scc::serve

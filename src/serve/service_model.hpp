@@ -1,0 +1,71 @@
+// The shared job-timing oracle of the serving layers.
+//
+// Both the single-chip simulator (serve/simulator.hpp) and the multi-chip
+// cluster simulator (cluster/simulator.hpp) price a job the same way: one
+// sim::Engine run on the job's core set for the product phase, plus a CSR
+// distribute/load phase that streams the matrix through the partition's
+// memory controllers. Factoring the computation (and its memoization cache)
+// out of the simulator keeps the two layers bit-identical by construction:
+// a zero-fault single-chip cluster replays the exact doubles the serve
+// simulator produced.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "testbed/suite.hpp"
+
+namespace scc::serve {
+
+/// Lazily materialized Table-I stand-ins shared across simulator instances
+/// (one pool per bench process; the policy sweep reuses the same matrices).
+class MatrixPool {
+ public:
+  explicit MatrixPool(double scale) : scale_(scale) {}
+
+  double scale() const { return scale_; }
+  /// Build (or return the memoized) suite entry for a Table-I id.
+  const testbed::SuiteEntry& entry(int id);
+
+ private:
+  double scale_;
+  std::map<int, testbed::SuiteEntry> entries_;
+};
+
+/// Isolated (contention-free) timing of one job on one core partition.
+struct JobTiming {
+  double load_seconds = 0.0;     ///< CSR distribute/load, paid once per job
+  double product_seconds = 0.0;  ///< one product == Engine::run seconds
+  double beta = 0.0;             ///< memory-bound fraction of the product
+  /// Tile-kill repartition overhead (detection window + re-shipped CSR
+  /// blocks); zero for healthy timings. Charged once, not per product.
+  double recovery_seconds = 0.0;
+};
+
+class ServiceModel {
+ public:
+  ServiceModel(const sim::EngineConfig& config, MatrixPool& pool);
+
+  const sim::Engine& engine() const { return engine_; }
+  MatrixPool& pool() { return pool_; }
+
+  /// Healthy timing of `matrix_id` on `cores` (memoized).
+  const JobTiming& timing(int matrix_id, const std::vector<int>& cores);
+
+  /// Timing after `killed_core` (a member of `cores`, which must have at
+  /// least two) dies mid-job: the survivors redo the whole product under
+  /// sim::Engine's degraded protocol and the job is charged the
+  /// detection + re-ship recovery cost once. Memoized like timing().
+  const JobTiming& degraded_timing(int matrix_id, const std::vector<int>& cores,
+                                   int killed_core);
+
+ private:
+  sim::Engine engine_;
+  MatrixPool& pool_;
+  /// Key: (matrix, core set, killed core or -1 for healthy).
+  std::map<std::tuple<int, std::vector<int>, int>, JobTiming> cache_;
+};
+
+}  // namespace scc::serve

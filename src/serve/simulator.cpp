@@ -16,13 +16,6 @@ namespace scc::serve {
 
 namespace {
 
-/// CSR bytes a job must ship to its partition before the first product
-/// (same formula as the engine's degraded-run re-ship accounting).
-double csr_bytes_of(const sparse::CsrMatrix& matrix) {
-  return static_cast<double>(matrix.rows() + 1) * sizeof(nnz_t) +
-         static_cast<double>(matrix.nnz()) * (sizeof(index_t) + sizeof(real_t));
-}
-
 LatencySummary summarize_latencies(std::vector<double>& latencies) {
   LatencySummary summary;
   summary.count = latencies.size();
@@ -36,52 +29,16 @@ LatencySummary summarize_latencies(std::vector<double>& latencies) {
 
 }  // namespace
 
-const testbed::SuiteEntry& MatrixPool::entry(int id) {
-  const auto it = entries_.find(id);
-  if (it != entries_.end()) return it->second;
-  return entries_.emplace(id, testbed::build_entry(id, scale_)).first->second;
-}
-
 Simulator::Simulator(ServeConfig config, MatrixPool& pool)
-    : config_(config), pool_(pool), engine_(config.engine) {
+    : config_(config), pool_(pool), model_(config.engine, pool) {
   SCC_REQUIRE(config_.batch_max >= 1, "batch_max must be >= 1");
-}
-
-const Simulator::CachedRun& Simulator::engine_run(int matrix_id, const std::vector<int>& cores) {
-  const auto key = std::make_pair(matrix_id, cores);
-  const auto it = run_cache_.find(key);
-  if (it != run_cache_.end()) return it->second;
-
-  const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  sim::RunSpec spec;
-  spec.cores = cores;
-  const sim::RunResult result = engine_.run(entry.matrix, spec);
-
-  CachedRun cached;
-  cached.product_seconds = result.seconds;
-  // The load phase streams the CSR blocks in parallel through every MC the
-  // partition touches, and is pure bandwidth (beta = 1).
-  int mcs_used = 0;
-  for (const auto& group : chip::cores_by_mc(cores)) {
-    if (!group.empty()) ++mcs_used;
-  }
-  cached.load_seconds =
-      csr_bytes_of(entry.matrix) /
-      (engine_.mc_bandwidth_bytes_per_second() * static_cast<double>(mcs_used));
-  // Memory-bound fraction of the product: the busiest MC's bandwidth busy
-  // time over the whole runtime, the share that degrades 1:1 under sharing.
-  double max_mc_seconds = 0.0;
-  for (const double s : result.mc_seconds) max_mc_seconds = std::max(max_mc_seconds, s);
-  cached.beta = result.seconds > 0.0
-                    ? std::clamp(max_mc_seconds / result.seconds, 0.0, 1.0)
-                    : 0.0;
-  return run_cache_.emplace(key, cached).first->second;
 }
 
 ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* recorder) {
   metrics_ = std::make_unique<obs::Registry>();
   obs::Counter& requests_total = metrics_->counter("serve.requests_total");
   obs::Counter& rejected_total = metrics_->counter("serve.rejected_total");
+  obs::Counter& deadline_expired_total = metrics_->counter("serve.deadline_expired");
   obs::Counter& completed_total = metrics_->counter("serve.completed_total");
   obs::Counter& jobs_total = metrics_->counter("serve.jobs_total");
   obs::Counter& batched_total = metrics_->counter("serve.batched_requests_total");
@@ -118,6 +75,18 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
   const auto dispatch = [&] {
+    // Shed queued requests whose deadline already passed: dispatching them
+    // would spend chip time on a guaranteed SLO miss (the bugfix the
+    // old pop path lacked -- they used to run and count as violations).
+    for (const Request& expired : queue.take_expired(now)) {
+      result.records[static_cast<std::size_t>(expired.id)].deadline_expired = true;
+      ++result.deadline_expired;
+      deadline_expired_total.add();
+      if (recorder != nullptr) {
+        recorder->event("serve.deadline_expired", {{"request", std::to_string(expired.id)},
+                                                   {"class", to_string(expired.cls)}});
+      }
+    }
     while (!queue.empty()) {
       const Request& head = queue.front();
       const testbed::SuiteEntry& entry = pool_.entry(head.matrix_id);
@@ -134,7 +103,7 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
         }
       }
 
-      const CachedRun& cached = engine_run(batch.front().matrix_id, cores);
+      const JobTiming& cached = model_.timing(batch.front().matrix_id, cores);
       const auto k = static_cast<double>(batch.size());
       const double service = cached.load_seconds + k * cached.product_seconds;
       const double beta =
@@ -238,6 +207,12 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   }
 
   SCC_REQUIRE(queue.empty(), "simulation ended with queued requests (dispatch deadlock)");
+  SCC_REQUIRE(result.completed + result.rejected + result.deadline_expired ==
+                  static_cast<int>(requests.size()),
+              "request conservation violated: " << result.completed << " completed + "
+                                                << result.rejected << " rejected + "
+                                                << result.deadline_expired << " expired != "
+                                                << requests.size());
   result.makespan_seconds = now;
   result.max_queue_depth = queue.max_depth_seen();
   queue_depth_gauge.set(static_cast<double>(result.max_queue_depth));
@@ -250,7 +225,7 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   std::vector<double> interactive;
   std::vector<double> batch;
   for (const RequestRecord& record : result.records) {
-    if (record.rejected) continue;
+    if (record.rejected || record.deadline_expired) continue;
     total.push_back(record.latency_seconds());
     (record.request.cls == RequestClass::kInteractive ? interactive : batch)
         .push_back(record.latency_seconds());

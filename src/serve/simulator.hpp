@@ -14,15 +14,14 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/service_model.hpp"
 #include "sim/engine.hpp"
 #include "testbed/suite.hpp"
 
@@ -31,21 +30,6 @@ class Recorder;
 }
 
 namespace scc::serve {
-
-/// Lazily materialized Table-I stand-ins shared across simulator instances
-/// (one pool per bench process; the policy sweep reuses the same matrices).
-class MatrixPool {
- public:
-  explicit MatrixPool(double scale) : scale_(scale) {}
-
-  double scale() const { return scale_; }
-  /// Build (or return the memoized) suite entry for a Table-I id.
-  const testbed::SuiteEntry& entry(int id);
-
- private:
-  double scale_;
-  std::map<int, testbed::SuiteEntry> entries_;
-};
 
 /// Everything that parameterizes one serving run besides the workload.
 struct ServeConfig {
@@ -86,6 +70,10 @@ struct ServeResult {
   double throughput_rps = 0.0;    ///< completed / makespan
   int completed = 0;
   int rejected = 0;
+  /// Requests shed at pop time because their SLO deadline passed while they
+  /// sat in the queue -- dispatching them would burn chip time on a
+  /// guaranteed miss. Counted separately from admission rejections.
+  int deadline_expired = 0;
   int slo_violations = 0;  ///< completed requests that missed their class SLO
   int max_queue_depth = 0;
   /// Wall (virtual) seconds each MC had at least one job's partition on it;
@@ -114,17 +102,9 @@ class Simulator {
   const obs::Registry& metrics() const { return *metrics_; }
 
  private:
-  struct CachedRun {
-    double load_seconds = 0.0;
-    double product_seconds = 0.0;
-    double beta = 0.0;
-  };
-  const CachedRun& engine_run(int matrix_id, const std::vector<int>& cores);
-
   ServeConfig config_;
   MatrixPool& pool_;
-  sim::Engine engine_;
-  std::map<std::pair<int, std::vector<int>>, CachedRun> run_cache_;
+  ServiceModel model_;
   std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
 };
 

@@ -47,13 +47,10 @@ double Engine::mc_bandwidth_bytes_per_second() const {
 RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const {
   SCC_REQUIRE(spec.forced_hops <= 3, "forced_hops above the mesh's maximum of 3");
   if (!spec.dead_ranks.empty()) {
-    SCC_REQUIRE(spec.cores.empty(),
-                "dead_ranks requires policy-based mapping (explicit cores unsupported)");
     SCC_REQUIRE(spec.format == StorageFormat::kCsr,
                 "dead_ranks supports the CSR format only");
     SCC_REQUIRE(spec.forced_hops < 0, "dead_ranks cannot combine with forced_hops");
-    const DegradedRunResult degraded =
-        run_degraded_impl(matrix, spec, chip::map_ues_to_cores(spec.policy, spec.ue_count));
+    const DegradedRunResult degraded = run_degraded_impl(matrix, spec, resolve_cores(spec));
     RunResult result = degraded.result;
     result.dead_count = degraded.dead_count;
     result.reshipped_bytes = degraded.reshipped_bytes;
@@ -163,7 +160,9 @@ DegradedRunResult Engine::run_degraded_impl(const sparse::CsrMatrix& matrix,
                                             const RunSpec& spec,
                                             const std::vector<int>& cores) const {
   SCC_REQUIRE(spec.detection_seconds >= 0.0, "detection_seconds must be non-negative");
-  const int ue_count = spec.ue_count;
+  // Rank k runs on cores[k], so the rank space is the core table's size
+  // (identical to spec.ue_count on the policy-mapped path).
+  const int ue_count = static_cast<int>(cores.size());
   std::set<int> dead;
   for (int rank : spec.dead_ranks) {
     SCC_REQUIRE(rank >= 0 && rank < ue_count, "dead rank " << rank << " out of range");

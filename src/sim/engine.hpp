@@ -43,7 +43,9 @@ std::string to_string(SpmvVariant variant);
 /// `forced_hops >= 0` overrides every core's hop distance to memory (the
 /// Figure-3 experiment; mesh-link accounting is skipped because a forced
 /// hop count has no physical route). Non-empty `dead_ranks` switches to the
-/// degraded protocol of run_degraded. `recorder`, when set, receives
+/// degraded protocol of run_degraded; it composes with either core
+/// selection (rank k dies on `cores[k]` when an explicit table is given).
+/// `recorder`, when set, receives
 /// per-phase spans and metrics (see docs/OBSERVABILITY.md); it never
 /// affects the simulated numbers.
 struct RunSpec {

@@ -1,0 +1,509 @@
+// Tests of the multi-chip cluster serving layer (src/cluster): the seeded
+// fault oracle, the heartbeat failure detector and circuit breaker, the
+// failover router, and the end-to-end simulator invariants -- most
+// importantly that a zero-fault single-chip cluster replays the single-chip
+// serve simulator bit-for-bit, that identical seeds replay the fault log
+// byte-for-byte, and that failover keeps availability through injected
+// crashes where the failover-off baseline loses requests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/fault_plan.hpp"
+#include "cluster/health.hpp"
+#include "cluster/report.hpp"
+#include "cluster/router.hpp"
+#include "cluster/simulator.hpp"
+#include "obs/report.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/simulator.hpp"
+
+namespace scc::cluster {
+namespace {
+
+constexpr double kTestScale = 0.05;
+
+serve::WorkloadSpec small_workload(int count, double rps) {
+  serve::WorkloadSpec spec;
+  spec.seed = 42;
+  spec.request_count = count;
+  spec.offered_rps = rps;
+  return spec;
+}
+
+/// SLOs no virtual-time run can miss: latency/conservation claims should
+/// not be polluted by deadline expiry unless a test asks for it.
+serve::WorkloadSpec relaxed(serve::WorkloadSpec spec) {
+  spec.slo_interactive_seconds = 1e6;
+  spec.slo_batch_seconds = 1e6;
+  return spec;
+}
+
+// --- fault oracle ---
+
+TEST(ClusterFaultOracle, ExplicitCrashesKeepEarliestPerChip) {
+  FaultPlan plan;
+  plan.chip_crashes = {{1, 0.5}, {0, 0.2}, {1, 0.1}, {7, 0.3}};
+  const FaultOracle oracle(plan);
+  const auto crashes = oracle.crashes(/*chip_count=*/4);  // chip 7 out of range
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0].chip, 1);
+  EXPECT_DOUBLE_EQ(crashes[0].seconds, 0.1);
+  EXPECT_EQ(crashes[1].chip, 0);
+  EXPECT_DOUBLE_EQ(crashes[1].seconds, 0.2);
+}
+
+TEST(ClusterFaultOracle, StochasticDrawsAreSeededAndOrderFree) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_rate = 0.5;
+  plan.crash_horizon_seconds = 2.0;
+  plan.job_failure_rate = 0.3;
+  const FaultOracle a(plan);
+  const FaultOracle b(plan);
+  EXPECT_EQ(a.crashes(16).size(), b.crashes(16).size());
+  for (std::size_t i = 0; i < a.crashes(16).size(); ++i) {
+    EXPECT_EQ(a.crashes(16)[i].chip, b.crashes(16)[i].chip);
+    EXPECT_EQ(a.crashes(16)[i].seconds, b.crashes(16)[i].seconds);
+  }
+  // Query order must not matter (per-site hashing, no shared stream).
+  EXPECT_EQ(a.job_fails(3, 9), b.job_fails(3, 9));
+  EXPECT_EQ(a.job_fails(0, 0), b.job_fails(0, 0));
+  EXPECT_EQ(a.jitter(5, 2), b.jitter(5, 2));
+  int fails = 0;
+  for (std::uint64_t ordinal = 0; ordinal < 200; ++ordinal) {
+    fails += a.job_fails(1, ordinal) ? 1 : 0;
+    const double j = a.jitter(static_cast<int>(ordinal), 1);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LT(j, 1.0);
+  }
+  EXPECT_GT(fails, 30);  // ~60 expected at rate 0.3
+  EXPECT_LT(fails, 100);
+  plan.seed = 8;
+  const FaultOracle c(plan);
+  int differing = 0;
+  for (std::uint64_t ordinal = 0; ordinal < 200; ++ordinal) {
+    differing += a.job_fails(1, ordinal) != c.job_fails(1, ordinal) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ClusterFaultOracle, RejectsBadPlans) {
+  FaultPlan plan;
+  plan.crash_rate = 1.5;
+  EXPECT_THROW(FaultOracle{plan}, std::invalid_argument);
+  plan = FaultPlan{};
+  plan.brownouts.push_back(Brownout{0, 0, 0.0, 0.1, /*derate=*/0.5});
+  EXPECT_THROW(FaultOracle{plan}, std::invalid_argument);
+}
+
+// --- failure detector + circuit breaker ---
+
+TEST(ClusterHealth, DetectionDeadlinesQuantizeToHeartbeats) {
+  DetectorConfig config;
+  config.heartbeat_seconds = 0.01;
+  config.suspect_after_missed = 2;
+  config.dead_after_missed = 4;
+  // Crash at 0.034: last heartbeat sent at 0.03.
+  const auto deadlines = detection_deadlines(config, 0.034);
+  EXPECT_DOUBLE_EQ(deadlines.suspect_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(deadlines.dead_seconds, 0.07);
+  EXPECT_GE(deadlines.suspect_seconds, 0.034);  // never detect before the crash
+  config.dead_after_missed = 2;  // must exceed suspect_after_missed
+  EXPECT_THROW(detection_deadlines(config, 0.0), std::invalid_argument);
+}
+
+TEST(ClusterHealth, BreakerTripsAfterConsecutiveFailuresAndProbes) {
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.cooldown_seconds = 1.0;
+  CircuitBreaker breaker(config);
+  EXPECT_TRUE(breaker.allows(0.0));
+  breaker.on_failure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.on_success();  // success resets the consecutive count
+  breaker.on_failure(0.1);
+  breaker.on_failure(0.2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1);
+  EXPECT_FALSE(breaker.allows(0.5));  // cooling down
+  EXPECT_TRUE(breaker.allows(1.3));   // half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_failure(1.4);  // failed probe re-opens immediately
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 2);
+  EXPECT_TRUE(breaker.allows(2.5));
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// --- router ---
+
+ChipView view(int chip, HealthState health, int outstanding, bool has_matrix) {
+  ChipView v;
+  v.chip = chip;
+  v.health = health;
+  v.dispatchable = health != HealthState::kDead;
+  v.outstanding = outstanding;
+  v.has_matrix = has_matrix;
+  return v;
+}
+
+TEST(ClusterRouter, PrefersLeastOutstandingHealthyChip) {
+  const std::vector<ChipView> chips = {view(0, HealthState::kHealthy, 5, false),
+                                       view(1, HealthState::kHealthy, 2, false),
+                                       view(2, HealthState::kHealthy, 2, false)};
+  EXPECT_EQ(route(chips, {}, RouterConfig{}), 1);  // ties: lowest id
+  EXPECT_EQ(route(chips, {1}, RouterConfig{}), 2);
+  EXPECT_EQ(route(chips, {1, 2}, RouterConfig{}), 0);
+  EXPECT_EQ(route(chips, {0, 1, 2}, RouterConfig{}), -1);
+}
+
+TEST(ClusterRouter, MatrixAffinityWinsWithinSlack) {
+  RouterConfig config;
+  config.affinity_slack = 2;
+  // The affine chip is 2 busier than the least loaded: still preferred.
+  EXPECT_EQ(route({view(0, HealthState::kHealthy, 1, false),
+                   view(1, HealthState::kHealthy, 3, true)},
+                  {}, config),
+            1);
+  // 3 busier: affinity loses to load.
+  EXPECT_EQ(route({view(0, HealthState::kHealthy, 1, false),
+                   view(1, HealthState::kHealthy, 4, true)},
+                  {}, config),
+            0);
+}
+
+TEST(ClusterRouter, AvoidsSuspectDrainingAndDeadChips) {
+  // A suspect chip is only routed to when no healthy chip remains.
+  EXPECT_EQ(route({view(0, HealthState::kSuspect, 0, true),
+                   view(1, HealthState::kHealthy, 9, false)},
+                  {}, RouterConfig{}),
+            1);
+  EXPECT_EQ(route({view(0, HealthState::kSuspect, 0, true),
+                   view(1, HealthState::kDead, 0, false)},
+                  {}, RouterConfig{}),
+            0);
+  // Draining (open breaker) and dead chips are never targets.
+  EXPECT_EQ(route({view(0, HealthState::kDraining, 0, true),
+                   view(1, HealthState::kDead, 0, false)},
+                  {}, RouterConfig{}),
+            -1);
+}
+
+// --- simulator ---
+
+TEST(ClusterSimulator, ZeroFaultSingleChipReplaysServeSimulatorExactly) {
+  serve::MatrixPool pool(kTestScale);
+  // Backpressure-heavy workload so rejections must line up too.
+  const serve::WorkloadSpec spec = small_workload(80, 8000.0);
+  const auto requests = serve::generate_workload(spec);
+
+  serve::ServeConfig chip_config;
+  chip_config.admission.max_queue_depth = 16;
+  serve::Simulator serve_sim(chip_config, pool);
+  const auto serve_result = serve_sim.run(requests);
+
+  ClusterConfig config;
+  config.chip_count = 1;
+  config.chip = chip_config;
+  ClusterSimulator cluster_sim(config, pool);
+  const auto cluster_result = cluster_sim.run(requests);
+
+  EXPECT_TRUE(cluster_result.log.empty());
+  EXPECT_EQ(cluster_result.completed, serve_result.completed);
+  EXPECT_EQ(cluster_result.rejected, serve_result.rejected);
+  EXPECT_EQ(cluster_result.deadline_expired, serve_result.deadline_expired);
+  EXPECT_EQ(cluster_result.dead_lettered, serve_result.deadline_expired);
+  // Bit-for-bit: the cluster's per-chip path must execute the exact same
+  // double-precision event sequence as the serve simulator.
+  EXPECT_EQ(cluster_result.makespan_seconds, serve_result.makespan_seconds);
+  EXPECT_EQ(cluster_result.latency_total.mean, serve_result.latency_total.mean);
+  EXPECT_EQ(cluster_result.latency_total.p99, serve_result.latency_total.p99);
+  ASSERT_EQ(cluster_result.records.size(), serve_result.records.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& cluster_record = cluster_result.records[i];
+    const auto& serve_record = serve_result.records[i];
+    EXPECT_EQ(cluster_record.outcome == Outcome::kRejected, serve_record.rejected) << i;
+    EXPECT_EQ(cluster_record.dead_letter_reason == "deadline_expired",
+              serve_record.deadline_expired)
+        << i;
+    if (cluster_record.outcome == Outcome::kCompleted) {
+      EXPECT_EQ(cluster_record.completion_seconds, serve_record.completion_seconds) << i;
+      EXPECT_EQ(cluster_record.dispatch_seconds, serve_record.dispatch_seconds) << i;
+      EXPECT_EQ(cluster_record.attempts, 1) << i;
+    }
+  }
+}
+
+ClusterConfig chaos_config() {
+  ClusterConfig config;
+  config.chip_count = 3;
+  config.faults.seed = 0xc1a05;
+  config.faults.chip_crashes = {{1, 0.04}};
+  config.faults.tile_kills = {{0, 7, 0.03}, {2, 13, 0.05}};
+  config.faults.brownouts = {{0, 1, 0.02, 0.08, 2.5}};
+  config.faults.job_failure_rate = 0.15;
+  return config;
+}
+
+TEST(ClusterSimulator, SameSeedReplaysFaultLogByteForByte) {
+  serve::MatrixPool pool(kTestScale);
+  const serve::WorkloadSpec spec = relaxed(small_workload(60, 2000.0));
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterResult first;
+  for (int round = 0; round < 2; ++round) {
+    ClusterSimulator simulator(chaos_config(), pool);
+    const auto result = simulator.run(requests);
+    if (round == 0) {
+      first = result;
+      EXPECT_GT(first.log.size(), 0u);
+      continue;
+    }
+    ASSERT_EQ(result.log.size(), first.log.size());
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      EXPECT_EQ(describe(result.log[i]), describe(first.log[i])) << i;
+    }
+    EXPECT_EQ(result.makespan_seconds, first.makespan_seconds);
+    EXPECT_EQ(result.latency_total.mean, first.latency_total.mean);
+    EXPECT_EQ(result.latency_total.p50, first.latency_total.p50);
+    EXPECT_EQ(result.latency_total.p99, first.latency_total.p99);
+    EXPECT_EQ(result.completed, first.completed);
+    EXPECT_EQ(result.retries, first.retries);
+    EXPECT_EQ(result.failovers, first.failovers);
+    ASSERT_EQ(result.records.size(), first.records.size());
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i].completion_seconds, first.records[i].completion_seconds);
+      EXPECT_EQ(result.records[i].outcome, first.records[i].outcome);
+      EXPECT_EQ(result.records[i].chip, first.records[i].chip);
+    }
+  }
+}
+
+TEST(ClusterSimulator, DifferentFaultSeedChangesTheSchedule) {
+  serve::MatrixPool pool(kTestScale);
+  const serve::WorkloadSpec spec = relaxed(small_workload(60, 2000.0));
+  const auto requests = serve::generate_workload(spec);
+  ClusterConfig config = chaos_config();
+  ClusterSimulator a(config, pool);
+  const auto result_a = a.run(requests);
+  config.faults.seed = 0xc1a06;
+  ClusterSimulator b(config, pool);
+  const auto result_b = b.run(requests);
+  // Same explicit faults, different stochastic job failures.
+  EXPECT_NE(result_a.retries, result_b.retries);
+}
+
+TEST(ClusterSimulator, TileKillCompletesDegradedAndNeverEarlier) {
+  serve::MatrixPool pool(kTestScale);
+  serve::WorkloadSpec spec = relaxed(small_workload(1, 1000.0));
+  spec.matrix_mix = {27};
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 1;
+  config.chip.policy = serve::SchedulingPolicy::kFifoWholeChip;  // 48-core job
+  ClusterSimulator healthy_sim(config, pool);
+  const auto healthy = healthy_sim.run(requests);
+  ASSERT_EQ(healthy.completed, 1);
+  const double healthy_completion = healthy.records[0].completion_seconds;
+
+  // Kill a core halfway through the (sole) job: the survivors redo the
+  // product under the degraded protocol plus the recovery charge, so the
+  // request still completes -- strictly later.
+  config.faults.tile_kills = {{0, 7, healthy_completion * 0.5}};
+  ClusterSimulator degraded_sim(config, pool);
+  const auto degraded = degraded_sim.run(requests);
+  ASSERT_EQ(degraded.completed, 1);
+  EXPECT_EQ(degraded.tile_kills, 1);
+  EXPECT_GT(degraded.records[0].completion_seconds, healthy_completion);
+  ASSERT_EQ(degraded.chips.size(), 1u);
+  EXPECT_EQ(degraded.chips[0].retired_cores, 1);
+}
+
+/// One burst of `count` requests: the cluster starts with a deep backlog
+/// that drains over the whole makespan, so a crash placed mid-run is
+/// guaranteed to catch queued and in-flight work.
+std::vector<serve::Request> burst(int count) {
+  return serve::generate_workload(relaxed(small_workload(count, 1e8)));
+}
+
+TEST(ClusterSimulator, FailoverRidesThroughChipCrashWithZeroLoss) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(60);
+
+  ClusterConfig config;
+  config.chip_count = 3;
+  ClusterSimulator clean_sim(config, pool);
+  const auto clean = clean_sim.run(requests);
+  ASSERT_GT(clean.makespan_seconds, 0.0);
+
+  config.faults.chip_crashes = {{0, clean.makespan_seconds * 0.3}};  // mid-backlog
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_EQ(result.chip_crashes, 1);
+  EXPECT_EQ(result.dead_lettered, 0);  // generous SLOs: every loss recovers
+  EXPECT_EQ(result.completed + result.rejected, 60);
+  EXPECT_GT(result.failovers, 0);
+  EXPECT_EQ(result.availability,
+            static_cast<double>(result.completed) / 60.0);
+  ASSERT_EQ(result.chips.size(), 3u);
+  EXPECT_TRUE(result.chips[0].crashed);
+  EXPECT_EQ(result.chips[0].state, HealthState::kDead);
+}
+
+TEST(ClusterSimulator, FailoverOffLosesTheCrashedChipsRequests) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(60);
+
+  ClusterConfig config;
+  config.chip_count = 3;
+  config.failover = false;
+  ClusterSimulator clean_sim(config, pool);
+  const auto clean = clean_sim.run(requests);
+
+  config.faults.chip_crashes = {{0, clean.makespan_seconds * 0.3}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_GT(result.dead_lettered, 0);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.failovers, 0);
+  int chip_crashed_letters = 0;
+  for (const auto& record : result.records) {
+    if (record.outcome == Outcome::kDeadLettered) {
+      EXPECT_EQ(record.dead_letter_reason, "chip_crashed");
+      ++chip_crashed_letters;
+    }
+  }
+  EXPECT_EQ(chip_crashed_letters, result.dead_lettered);
+  EXPECT_EQ(result.completed + result.rejected + result.dead_lettered, 60);
+  EXPECT_LT(result.availability, 1.0);
+}
+
+TEST(ClusterSimulator, PermanentFailuresExhaustRetriesAndTripBreakers) {
+  serve::MatrixPool pool(kTestScale);
+  const serve::WorkloadSpec spec = relaxed(small_workload(20, 1000.0));
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  config.faults.job_failure_rate = 1.0;  // every dispatched job fails
+  // Retry fast enough that early retries beat the breakers tripping (the
+  // late ones then exercise the all_chips_unroutable path).
+  config.retry.base_backoff_seconds = 1e-6;
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_EQ(result.completed, 0);
+  EXPECT_EQ(result.dead_lettered + result.rejected, 20);
+  EXPECT_GT(result.retries, 0);
+  EXPECT_GT(result.breaker_trips, 0);
+  for (const auto& record : result.records) {
+    if (record.outcome != Outcome::kDeadLettered) continue;
+    EXPECT_TRUE(record.dead_letter_reason == "retries_exhausted" ||
+                record.dead_letter_reason == "all_chips_unroutable" ||
+                record.dead_letter_reason == "queue_full")
+        << record.dead_letter_reason;
+    EXPECT_LE(record.attempts, config.retry.max_attempts);
+  }
+}
+
+TEST(ClusterSimulator, TightDeadlinesDeadLetterInsteadOfRetryingForever) {
+  serve::MatrixPool pool(kTestScale);
+  serve::WorkloadSpec spec = small_workload(30, 1e9);  // one burst
+  spec.interactive_fraction = 1.0;
+  spec.slo_interactive_seconds = 0.002;  // far below the backlog drain time
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 1;
+  config.chip.policy = serve::SchedulingPolicy::kFifoWholeChip;
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_GT(result.deadline_expired, 0);
+  int expiry_letters = 0;
+  for (const auto& record : result.records) {
+    if (record.dead_letter_reason == "deadline_expired") ++expiry_letters;
+  }
+  EXPECT_EQ(expiry_letters, result.deadline_expired);
+  EXPECT_EQ(result.completed + result.rejected + result.dead_lettered, 30);
+}
+
+TEST(ClusterSimulator, BrownoutStretchesTheMakespan) {
+  serve::MatrixPool pool(kTestScale);
+  serve::WorkloadSpec spec = relaxed(small_workload(20, 2000.0));
+  spec.interactive_fraction = 0.0;
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 1;
+  config.hedge.enabled = false;
+  ClusterSimulator clean_sim(config, pool);
+  const auto clean = clean_sim.run(requests);
+  ASSERT_EQ(clean.completed, 20);
+
+  for (int mc = 0; mc < 4; ++mc) {
+    config.faults.brownouts.push_back(Brownout{0, mc, 0.0, 1e3, /*derate=*/4.0});
+  }
+  ClusterSimulator slow_sim(config, pool);
+  const auto slow = slow_sim.run(requests);
+  ASSERT_EQ(slow.completed, 20);
+  EXPECT_EQ(slow.brownouts, 4);
+  EXPECT_GT(slow.makespan_seconds, clean.makespan_seconds);
+}
+
+TEST(ClusterSimulator, ReportValidatesAndMetricsAgree) {
+  serve::MatrixPool pool(kTestScale);
+  const serve::WorkloadSpec spec = relaxed(small_workload(40, 2000.0));
+  const auto requests = serve::generate_workload(spec);
+
+  const ClusterConfig config = chaos_config();
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  const obs::Json report = cluster_report_json(spec, config, result, &simulator.metrics());
+  const auto problems = obs::validate_report(report);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+
+  const obs::Json& metrics = report.at("metrics");
+  EXPECT_EQ(metrics.at("counters").at("cluster.requests_total").as_int(), 40);
+  EXPECT_EQ(metrics.at("counters").at("cluster.completed_total").as_int(),
+            static_cast<long long>(result.completed));
+  EXPECT_EQ(metrics.at("counters").at("cluster.retries_total").as_int(),
+            static_cast<long long>(result.retries));
+  EXPECT_EQ(report.at("dead_letters").size(),
+            static_cast<std::size_t>(result.dead_lettered));
+  EXPECT_EQ(report.at("fault_log").size(), result.log.size());
+  EXPECT_EQ(report.at("chips").size(), 3u);
+}
+
+TEST(ClusterSimulator, StochasticChaosConservesEveryRequest) {
+  serve::MatrixPool pool(kTestScale);
+  const serve::WorkloadSpec spec = relaxed(small_workload(50, 2000.0));
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 4;
+  config.faults.seed = 0xbad;
+  config.faults.crash_rate = 0.3;
+  config.faults.crash_horizon_seconds = 0.1;
+  config.faults.job_failure_rate = 0.2;
+  ClusterSimulator simulator(config, pool);
+  // run() itself asserts completed + rejected + dead_lettered == injected
+  // and that every dead letter carries a terminal reason.
+  const auto result = simulator.run(requests);
+  EXPECT_EQ(result.completed + result.rejected + result.dead_lettered, 50);
+  EXPECT_GE(result.availability, 0.0);
+  EXPECT_LE(result.availability, 1.0);
+  EXPECT_LE(result.hedge_wins, result.hedges);
+}
+
+}  // namespace
+}  // namespace scc::cluster

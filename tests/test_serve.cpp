@@ -135,6 +135,34 @@ TEST(ServeQueue, TakeMatchingPullsBothClassesUpToLimit) {
   EXPECT_EQ(queue.depth(), 2);  // ids 1 and 3 remain
 }
 
+TEST(ServeQueue, TakeExpiredShedsOnlyPastDeadline) {
+  AdmissionQueue queue(AdmissionConfig{16, 0});
+  Request tight = make_request(0, 1, RequestClass::kInteractive);
+  tight.arrival_seconds = 0.0;
+  tight.slo_seconds = 0.1;  // deadline at t = 0.1
+  Request loose = make_request(1, 1, RequestClass::kBatch);
+  loose.arrival_seconds = 0.0;
+  loose.slo_seconds = 10.0;
+  ASSERT_TRUE(queue.offer(tight));
+  ASSERT_TRUE(queue.offer(loose));
+  // Strict comparison: a request exactly at its deadline still dispatches.
+  EXPECT_TRUE(queue.take_expired(0.1).empty());
+  const auto expired = queue.take_expired(0.5);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 0);
+  EXPECT_EQ(queue.depth(), 1);
+}
+
+TEST(ServeQueue, EraseCancelsQueuedRequestById) {
+  AdmissionQueue queue(AdmissionConfig{16, 0});
+  ASSERT_TRUE(queue.offer(make_request(0, 1, RequestClass::kBatch)));
+  ASSERT_TRUE(queue.offer(make_request(1, 1, RequestClass::kInteractive)));
+  EXPECT_TRUE(queue.erase(0));
+  EXPECT_FALSE(queue.erase(0));  // already gone
+  EXPECT_EQ(queue.depth(), 1);
+  EXPECT_EQ(queue.pop().id, 1);
+}
+
 // --- partitioner ---
 
 TEST(ServeScheduler, PolicyNamesRoundTrip) {
@@ -222,6 +250,25 @@ TEST(ServeScheduler, MatrixAwareCapsCoRunnersPerMc) {
   EXPECT_EQ(partitioner.try_allocate(tiny).size(), 1u);
 }
 
+TEST(ServeScheduler, RetiredCoresLeaveThePool) {
+  ChipPartitioner partitioner(SchedulingPolicy::kFifoWholeChip, PartitionModel{});
+  partitioner.retire(0);
+  partitioner.retire(0);  // idempotent
+  EXPECT_EQ(partitioner.retired_core_count(), 1);
+  EXPECT_EQ(partitioner.free_core_count(), 47);
+  const JobShape shape{1000, 100000, 1 << 20};
+  const auto cores = partitioner.try_allocate(shape);
+  EXPECT_EQ(cores.size(), 47u);
+  EXPECT_EQ(std::find(cores.begin(), cores.end(), 0), cores.end());
+  partitioner.release(cores);
+  // Retiring a busy core is allowed (its job finishes degraded); afterwards
+  // the core never comes back.
+  const auto again = partitioner.try_allocate(shape);
+  partitioner.retire(again.front());
+  partitioner.release(again);
+  EXPECT_EQ(partitioner.free_core_count(), 46);
+}
+
 // --- contention model ---
 
 TEST(ServeContention, LoneJobRunsAtUnitRate) {
@@ -269,6 +316,35 @@ TEST(ServeContention, RemoveRequiresDrainedJob) {
   tracker.advance(1.0);
   tracker.remove(1);
   EXPECT_TRUE(tracker.empty());
+}
+
+TEST(ServeContention, BrownoutDerateScalesTheBandwidthShare) {
+  ContentionTracker tracker;
+  tracker.add(1, {true, false, false, false}, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.slowdown(1), 1.0);
+  tracker.set_mc_derate(0, 3.0);
+  // Lone job on a browned-out MC: (1-0.5) + 0.5 * 3 = 2.
+  EXPECT_DOUBLE_EQ(tracker.slowdown(1), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.mc_derate(0), 3.0);
+  // A derated MC a job does not touch costs it nothing.
+  tracker.add(2, {false, true, false, false}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.slowdown(2), 1.0);
+  tracker.set_mc_derate(0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.slowdown(1), 1.0);
+  EXPECT_THROW(tracker.set_mc_derate(0, 0.5), std::invalid_argument);
+}
+
+TEST(ServeContention, RestateAndDropServeTheFaultPaths) {
+  ContentionTracker tracker;
+  tracker.add(1, {true, false, false, false}, 0.5, 2.0);
+  tracker.restate(1, 0.25, 5.0);  // tile kill: degraded timing mid-flight
+  const auto next = tracker.next_completion();
+  EXPECT_EQ(next.id, 1);
+  EXPECT_DOUBLE_EQ(next.delay_seconds, 5.0);
+  tracker.drop(1);  // chip crash: abandon outstanding service
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_THROW(tracker.drop(1), std::invalid_argument);
+  EXPECT_THROW(tracker.restate(1, 0.5, 1.0), std::invalid_argument);
 }
 
 // --- simulator ---
@@ -331,13 +407,13 @@ TEST(ServeSimulator, AccountsEveryRequestExactlyOnce) {
   config.admission.interactive_reserve = 2;
   Simulator simulator(config, pool);
   const auto result = simulator.run(generate_workload(spec));
-  EXPECT_EQ(result.completed + result.rejected, 120);
+  EXPECT_EQ(result.completed + result.rejected + result.deadline_expired, 120);
   EXPECT_GT(result.rejected, 0);  // this load must trigger backpressure
   int in_jobs = 0;
   for (const JobRecord& job : result.jobs) in_jobs += job.request_count;
   EXPECT_EQ(in_jobs, result.completed);
   for (const RequestRecord& record : result.records) {
-    if (record.rejected) {
+    if (record.rejected || record.deadline_expired) {
       EXPECT_EQ(record.job_id, -1);
     } else {
       EXPECT_GE(record.dispatch_seconds, record.request.arrival_seconds);
@@ -352,6 +428,7 @@ TEST(ServeSimulator, BatchingMergesSameMatrixBacklog) {
   WorkloadSpec spec = small_workload(40, 1e9);  // everything arrives at once
   spec.matrix_mix = {27};
   spec.interactive_fraction = 0.0;
+  spec.slo_batch_seconds = 1e9;  // the backlog must not expire, only merge
   ServeConfig config;
   config.policy = SchedulingPolicy::kFifoWholeChip;
   config.admission.max_queue_depth = 64;
@@ -400,11 +477,23 @@ TEST(ServeSimulator, SloViolationsCountedAgainstClassTargets) {
   config.admission.max_queue_depth = 64;
   Simulator simulator(config, pool);
   const auto result = simulator.run(generate_workload(spec));
-  int interactive = 0;
+  int interactive_completed = 0;
+  int expired = 0;
   for (const RequestRecord& record : result.records) {
-    if (!record.rejected && record.request.cls == RequestClass::kInteractive) ++interactive;
+    if (record.deadline_expired) {
+      ++expired;
+      EXPECT_EQ(record.request.cls, RequestClass::kInteractive);
+    } else if (!record.rejected && record.request.cls == RequestClass::kInteractive) {
+      ++interactive_completed;
+    }
   }
-  EXPECT_EQ(result.slo_violations, interactive);
+  // Interactive requests dispatched before their (unmeetable) deadline
+  // passed still complete and count as violations; the backlogged rest is
+  // shed at pop time and counted separately.
+  EXPECT_EQ(result.slo_violations, interactive_completed);
+  EXPECT_EQ(result.deadline_expired, expired);
+  EXPECT_GT(result.deadline_expired, 0);
+  EXPECT_EQ(result.completed + result.rejected + result.deadline_expired, 50);
 }
 
 }  // namespace

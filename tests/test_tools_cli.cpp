@@ -327,6 +327,55 @@ TEST(CliServe, ReportAggregatesServeJson) {
   EXPECT_NE(table.str().find("serve"), std::string::npos);
 }
 
+TEST(CliCluster, TableRunSurvivesInjectedFaults) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  std::ostringstream out, err;
+  const int rc = run_cli(make({"cluster", "--chips=3", "--requests=30", "--load=2000",
+                               "--crash=1:0.02", "--tile-kill=0:7:0.01",
+                               "--job-failure-rate=0.2", "--log"}),
+                         out, err);
+  unsetenv("SCC_TESTBED_SCALE");
+  ASSERT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("availability"), std::string::npos);
+  EXPECT_NE(out.str().find("chip_crash"), std::string::npos);  // --log lines
+  EXPECT_NE(out.str().find("tile_kill"), std::string::npos);
+}
+
+TEST(CliCluster, JsonValidatesAndFaultSeedControlsDeterminism) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  const auto run_once = [&](const char* fault_seed) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_cli(make({"cluster", "--chips=2", "--requests=20", "--load=1000",
+                            "--crash-rate=0.5", "--crash-horizon=0.05",
+                            "--job-failure-rate=0.3", fault_seed, "--json"}),
+                      out, err),
+              0)
+        << err.str();
+    return out.str();
+  };
+  const std::string a = run_once("--fault-seed=7");
+  const std::string b = run_once("--fault-seed=7");
+  const std::string c = run_once("--fault-seed=8");
+  unsetenv("SCC_TESTBED_SCALE");
+  EXPECT_EQ(a, b);  // byte-identical replay, fault log included
+  EXPECT_NE(a, c);
+  const auto doc = obs::Json::parse(a);
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("kind").as_string(), "cluster");
+  EXPECT_TRUE(doc.has("fault_log"));
+  EXPECT_TRUE(doc.has("dead_letters"));
+}
+
+TEST(CliCluster, BadFaultSpecsRejected) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"cluster", "--crash=banana"}), out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli(make({"cluster", "--tile-kill=0:7"}), out2, err2), 1);
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_cli(make({"cluster", "--chips=0"}), out3, err3), 1);
+}
+
 TEST(CliJson, ReportToleratesUnknownTopLevelFields) {
   const std::string path = generate_matrix("cli_report_fwd.mtx");
   const std::string file = temp_path("cli_report_fwd.json");

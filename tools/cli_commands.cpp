@@ -10,6 +10,8 @@
 #include <memory>
 #include <sstream>
 
+#include "cluster/report.hpp"
+#include "cluster/simulator.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -158,6 +160,96 @@ std::vector<int> parse_int_list(const std::string& text, const char* flag) {
     values.push_back(value);
   }
   return values;
+}
+
+/// Workload flags shared by `serve` and `cluster`.
+serve::WorkloadSpec workload_from(const CliArgs& args) {
+  serve::WorkloadSpec workload;
+  workload.seed = seed_option(args, workload.seed);
+  workload.offered_rps = args.get_double_or("load", workload.offered_rps);
+  workload.request_count = static_cast<int>(args.get_int_or("requests", workload.request_count));
+  if (const auto mix = args.get("mix")) {
+    workload.matrix_mix = parse_int_list(*mix, "--mix");
+  }
+  workload.interactive_fraction =
+      args.get_double_or("interactive-fraction", workload.interactive_fraction);
+  workload.slo_interactive_seconds =
+      args.get_double_or("slo-interactive", workload.slo_interactive_seconds);
+  workload.slo_batch_seconds = args.get_double_or("slo-batch", workload.slo_batch_seconds);
+  return workload;
+}
+
+/// Per-chip serving flags shared by `serve` and `cluster`.
+serve::ServeConfig serve_config_from(const CliArgs& args) {
+  serve::ServeConfig config;
+  config.policy = serve::parse_policy(args.get_or("policy", "matrix-aware"));
+  config.admission.max_queue_depth =
+      static_cast<int>(args.get_int_or("queue-depth", config.admission.max_queue_depth));
+  config.admission.interactive_reserve =
+      static_cast<int>(args.get_int_or("reserve", config.admission.interactive_reserve));
+  config.batching = args.get_bool_or("batch", config.batching);
+  config.batch_max = static_cast<int>(args.get_int_or("batch-max", config.batch_max));
+  config.engine.freq = conf_from(args);
+  return config;
+}
+
+/// Split one `:`-separated fault spec into exactly `expect` (or, when
+/// `expect_opt` > 0, optionally `expect_opt`) doubles.
+std::vector<double> parse_fault_fields(const std::string& item, std::size_t expect,
+                                       std::size_t expect_opt, const char* flag) {
+  std::vector<double> fields;
+  std::stringstream stream(item);
+  std::string field;
+  while (std::getline(stream, field, ':')) {
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(field, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    SCC_REQUIRE(used == field.size() && !field.empty(),
+                flag << " expects ':'-separated numbers, got '" << item << "'");
+    fields.push_back(value);
+  }
+  SCC_REQUIRE(fields.size() == expect || (expect_opt > 0 && fields.size() == expect_opt),
+              flag << " spec '" << item << "' has " << fields.size() << " fields, expected "
+                   << expect << (expect_opt > 0 ? " (or more)" : ""));
+  return fields;
+}
+
+/// --crash / --tile-kill / --brownout lists into the fault plan.
+void parse_fault_plan(const CliArgs& args, cluster::FaultPlan& plan) {
+  const auto each = [](const std::string& list, const auto& fn) {
+    std::stringstream stream(list);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      if (!item.empty()) fn(item);
+    }
+  };
+  each(args.get_or("crash", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 2, 0, "--crash");
+    plan.chip_crashes.push_back({static_cast<int>(f[0]), f[1]});
+  });
+  each(args.get_or("tile-kill", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 3, 0, "--tile-kill");
+    plan.tile_kills.push_back({static_cast<int>(f[0]), static_cast<int>(f[1]), f[2]});
+  });
+  each(args.get_or("brownout", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 4, 5, "--brownout");
+    cluster::Brownout brownout;
+    brownout.chip = static_cast<int>(f[0]);
+    brownout.mc = static_cast<int>(f[1]);
+    brownout.start_seconds = f[2];
+    brownout.duration_seconds = f[3];
+    if (f.size() == 5) brownout.derate = f[4];
+    plan.brownouts.push_back(brownout);
+  });
+  plan.crash_rate = args.get_double_or("crash-rate", plan.crash_rate);
+  plan.crash_horizon_seconds = args.get_double_or("crash-horizon", plan.crash_horizon_seconds);
+  plan.job_failure_rate = args.get_double_or("job-failure-rate", plan.job_failure_rate);
+  plan.seed = args.has("fault-seed") ? parse_seed(args.get_or("fault-seed", ""))
+                                     : seed_option(args, plan.seed);
 }
 
 }  // namespace
@@ -424,28 +516,8 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
 int cmd_serve(const CliArgs& args, std::ostream& out) {
   const OutputOptions output = parse_output_options(args);
 
-  serve::WorkloadSpec workload;
-  workload.seed = seed_option(args, workload.seed);
-  workload.offered_rps = args.get_double_or("load", workload.offered_rps);
-  workload.request_count = static_cast<int>(args.get_int_or("requests", workload.request_count));
-  if (const auto mix = args.get("mix")) {
-    workload.matrix_mix = parse_int_list(*mix, "--mix");
-  }
-  workload.interactive_fraction =
-      args.get_double_or("interactive-fraction", workload.interactive_fraction);
-  workload.slo_interactive_seconds =
-      args.get_double_or("slo-interactive", workload.slo_interactive_seconds);
-  workload.slo_batch_seconds = args.get_double_or("slo-batch", workload.slo_batch_seconds);
-
-  serve::ServeConfig config;
-  config.policy = serve::parse_policy(args.get_or("policy", "matrix-aware"));
-  config.admission.max_queue_depth =
-      static_cast<int>(args.get_int_or("queue-depth", config.admission.max_queue_depth));
-  config.admission.interactive_reserve =
-      static_cast<int>(args.get_int_or("reserve", config.admission.interactive_reserve));
-  config.batching = args.get_bool_or("batch", config.batching);
-  config.batch_max = static_cast<int>(args.get_int_or("batch-max", config.batch_max));
-  config.engine.freq = conf_from(args);
+  const serve::WorkloadSpec workload = workload_from(args);
+  const serve::ServeConfig config = serve_config_from(args);
 
   const auto requests = serve::generate_workload(workload);
   serve::MatrixPool pool(testbed::suite_scale_from_env());
@@ -479,6 +551,69 @@ int cmd_serve(const CliArgs& args, std::ostream& out) {
   t.add_row({"SLO violations", Table::integer(result.slo_violations)});
   t.add_row({"max queue depth", Table::integer(result.max_queue_depth)});
   t.print(out);
+  return 0;
+}
+
+int cmd_cluster(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
+
+  const serve::WorkloadSpec workload = workload_from(args);
+  cluster::ClusterConfig config;
+  config.chip_count = static_cast<int>(args.get_int_or("chips", config.chip_count));
+  config.chip = serve_config_from(args);
+  config.failover = args.get_bool_or("failover", config.failover);
+  config.retry.max_attempts =
+      static_cast<int>(args.get_int_or("retries", config.retry.max_attempts));
+  config.hedge.enabled = args.get_bool_or("hedge", config.hedge.enabled);
+  config.hedge.delay_seconds = args.get_double_or("hedge-delay", config.hedge.delay_seconds);
+  parse_fault_plan(args, config.faults);
+
+  const auto requests = serve::generate_workload(workload);
+  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  cluster::ClusterSimulator simulator(config, pool);
+  obs::Recorder recorder;
+  const bool observe = !output.trace_path.empty();
+  const auto result = simulator.run(requests, observe ? &recorder : nullptr);
+  write_trace(output, recorder);
+
+  if (output.json()) {
+    write_json_report(
+        output, cluster::cluster_report_json(workload, config, result, &simulator.metrics()),
+        out);
+    return 0;
+  }
+
+  Table t("cluster serving simulation");
+  t.set_header({"property", "value"});
+  t.add_row({"chips / failover",
+             Table::integer(config.chip_count) + " / " + (config.failover ? "on" : "off")});
+  t.add_row({"policy", serve::to_string(config.chip.policy)});
+  t.add_row({"offered load", Table::num(workload.offered_rps, 1) + " req/s"});
+  t.add_row({"requests", Table::integer(workload.request_count)});
+  t.add_row({"completed / rejected / dead-lettered",
+             Table::integer(result.completed) + " / " + Table::integer(result.rejected) +
+                 " / " + Table::integer(result.dead_lettered)});
+  t.add_row({"availability", Table::num(result.availability * 100.0, 2) + "%"});
+  t.add_row({"retries / failovers", Table::integer(result.retries) + " / " +
+                                        Table::integer(result.failovers)});
+  t.add_row({"hedges / wins",
+             Table::integer(result.hedges) + " / " + Table::integer(result.hedge_wins)});
+  t.add_row({"chip crashes / tile kills / brownouts",
+             Table::integer(result.chip_crashes) + " / " + Table::integer(result.tile_kills) +
+                 " / " + Table::integer(result.brownouts)});
+  t.add_row({"breaker trips", Table::integer(result.breaker_trips)});
+  t.add_row({"makespan", Table::num(result.makespan_seconds, 3) + " s"});
+  t.add_row({"throughput", Table::num(result.throughput_rps, 1) + " req/s"});
+  t.add_row({"latency p50/p95/p99",
+             Table::num(result.latency_total.p50 * 1e3, 2) + " / " +
+                 Table::num(result.latency_total.p95 * 1e3, 2) + " / " +
+                 Table::num(result.latency_total.p99 * 1e3, 2) + " ms"});
+  t.print(out);
+
+  if (args.get_bool_or("log", false) && !result.log.empty()) {
+    out << '\n';
+    for (const auto& event : result.log) out << "  " << cluster::describe(event) << '\n';
+  }
   return 0;
 }
 
@@ -594,6 +729,11 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "            [--mix 19,22,27,30] [--interactive-fraction P] [--batch on|off]\n"
       "            [--batch-max K] [--queue-depth D] [--reserve R]\n"
       "            [--slo-interactive S] [--slo-batch S] [--conf 0|1|2]\n"
+      "  cluster   [--chips N] [--failover on|off] [--crash C:T,...]\n"
+      "            [--tile-kill C:CORE:T,...] [--brownout C:MC:T0:DUR[:DERATE],...]\n"
+      "            [--crash-rate P --crash-horizon S] [--job-failure-rate P]\n"
+      "            [--retries K] [--hedge on|off --hedge-delay S] [--fault-seed S]\n"
+      "            [--log] plus every serve workload/config flag\n"
       "  report    FILE.json [FILE.json ...]                   compare JSON reports\n"
       "every command also accepts --json[=FILE] (schema-versioned JSON output),\n"
       "--trace=FILE (JSON-lines span trace, where instrumented) and --seed S\n"
@@ -611,6 +751,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (command == "convert") return cmd_convert(args, out);
     if (command == "resilience") return cmd_resilience(args, out);
     if (command == "serve") return cmd_serve(args, out);
+    if (command == "cluster") return cmd_cluster(args, out);
     if (command == "report") return cmd_report(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;

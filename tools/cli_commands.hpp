@@ -10,6 +10,7 @@
 //   convert   -- normalize / RCM-reorder a Matrix Market file
 //   resilience -- run the fault-injected RCCE SpMV and report the recovery
 //   serve     -- multi-tenant serving simulation (admission, co-scheduling)
+//   cluster   -- multi-chip cluster serving with injected faults + failover
 //   report    -- aggregate schema-v1 JSON reports into a comparison table
 //
 // Every command honours the shared output flags (`--json[=FILE]`,
@@ -29,6 +30,7 @@ int cmd_simulate(const CliArgs& args, std::ostream& out);
 int cmd_convert(const CliArgs& args, std::ostream& out);
 int cmd_resilience(const CliArgs& args, std::ostream& out);
 int cmd_serve(const CliArgs& args, std::ostream& out);
+int cmd_cluster(const CliArgs& args, std::ostream& out);
 int cmd_report(const CliArgs& args, std::ostream& out);
 
 /// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
