@@ -29,96 +29,13 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   config_.validate();
   sets_ = config_.sets();
   line_shift_ = std::countr_zero(config_.line_bytes);
+  tag_shift_ = std::countr_zero(static_cast<std::uint64_t>(sets_));
+  plru_levels_ = std::countr_zero(static_cast<unsigned>(config_.ways));
   set_mask_ = static_cast<std::uint64_t>(sets_) - 1;
   const std::size_t slots = static_cast<std::size_t>(sets_) * static_cast<std::size_t>(config_.ways);
   tags_.assign(slots, kEmpty);
   dirty_.assign(slots, 0);
   plru_.assign(static_cast<std::size_t>(sets_), 0);
-}
-
-int Cache::victim_way(int set) const {
-  // Walk the pseudo-LRU tree: each internal node bit points toward the side
-  // that was least recently used. Nodes are heap-indexed; leaves map to ways.
-  const std::uint32_t bits = plru_[static_cast<std::size_t>(set)];
-  const int ways = config_.ways;
-  int node = 0;
-  while (node < ways - 1) {
-    const int bit = static_cast<int>((bits >> node) & 1U);
-    node = 2 * node + 1 + bit;
-  }
-  return node - (ways - 1);
-}
-
-void Cache::touch(int set, int way) {
-  // Flip every node on the root-to-leaf path to point away from `way`.
-  std::uint32_t& bits = plru_[static_cast<std::size_t>(set)];
-  const int ways = config_.ways;
-  const int levels = std::countr_zero(static_cast<unsigned>(ways));
-  int node = 0;
-  for (int level = levels - 1; level >= 0; --level) {
-    const int branch = (way >> level) & 1;
-    if (branch == 0) {
-      bits |= (1U << node);  // accessed left -> victim pointer goes right
-    } else {
-      bits &= ~(1U << node);
-    }
-    node = 2 * node + 1 + branch;
-  }
-}
-
-AccessResult Cache::access(std::uint64_t address, bool is_write) {
-  const std::uint64_t line = address >> line_shift_;
-  const int set = static_cast<int>(line & set_mask_);
-  const std::uint64_t tag = line >> std::countr_zero(static_cast<std::uint64_t>(sets_));
-  const std::size_t base =
-      static_cast<std::size_t>(set) * static_cast<std::size_t>(config_.ways);
-
-  for (int w = 0; w < config_.ways; ++w) {
-    if (tags_[base + static_cast<std::size_t>(w)] == tag) {
-      touch(set, w);
-      if (is_write) {
-        dirty_[base + static_cast<std::size_t>(w)] = 1;
-        ++stats_.write_hits;
-      } else {
-        ++stats_.read_hits;
-      }
-      return AccessResult{.hit = true, .evicted_dirty = false};
-    }
-  }
-
-  // Miss: prefer an invalid way, else evict the pseudo-LRU victim.
-  int way = -1;
-  for (int w = 0; w < config_.ways; ++w) {
-    if (tags_[base + static_cast<std::size_t>(w)] == kEmpty) {
-      way = w;
-      break;
-    }
-  }
-  bool evicted_dirty = false;
-  std::uint64_t victim_address = 0;
-  if (way < 0) {
-    way = victim_way(set);
-    ++stats_.evictions;
-    if (dirty_[base + static_cast<std::size_t>(way)] != 0) {
-      evicted_dirty = true;
-      ++stats_.dirty_writebacks;
-      const std::uint64_t victim_tag = tags_[base + static_cast<std::size_t>(way)];
-      const std::uint64_t victim_line =
-          (victim_tag << std::countr_zero(static_cast<std::uint64_t>(sets_))) |
-          static_cast<std::uint64_t>(set);
-      victim_address = victim_line << line_shift_;
-    }
-  }
-  tags_[base + static_cast<std::size_t>(way)] = tag;
-  dirty_[base + static_cast<std::size_t>(way)] = is_write ? 1 : 0;
-  touch(set, way);
-  if (is_write) {
-    ++stats_.write_misses;
-  } else {
-    ++stats_.read_misses;
-  }
-  return AccessResult{
-      .hit = false, .evicted_dirty = evicted_dirty, .victim_address = victim_address};
 }
 
 void Cache::flush() {
@@ -135,7 +52,7 @@ void Cache::flush() {
 bool Cache::contains(std::uint64_t address) const {
   const std::uint64_t line = address >> line_shift_;
   const int set = static_cast<int>(line & set_mask_);
-  const std::uint64_t tag = line >> std::countr_zero(static_cast<std::uint64_t>(sets_));
+  const std::uint64_t tag = line >> tag_shift_;
   const std::size_t base =
       static_cast<std::size_t>(set) * static_cast<std::size_t>(config_.ways);
   for (int w = 0; w < config_.ways; ++w) {

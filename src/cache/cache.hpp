@@ -63,7 +63,9 @@ class Cache {
 
   /// Look up `address`; on miss, fill the line (allocate-on-write policy,
   /// matching the write-back L2 the paper describes) evicting the
-  /// pseudo-LRU way.
+  /// pseudo-LRU way. Defined inline below: this is the innermost call of the
+  /// trace replay (3-4 invocations per nonzero) and must inline into
+  /// detail::Tracker::access.
   AccessResult access(std::uint64_t address, bool is_write);
 
   /// Invalidate everything (the SCC has no coherence; software flushes).
@@ -84,6 +86,11 @@ class Cache {
   CacheConfig config_;
   int sets_;
   int line_shift_;
+  // Hoisted per-access invariants: recomputing these (countr_zero over the
+  // set count / associativity) on every reference costs measurably in the
+  // trace-replay hot loop.
+  int tag_shift_;    ///< countr_zero(sets_): line -> tag
+  int plru_levels_;  ///< countr_zero(ways): depth of the PLRU tree
   std::uint64_t set_mask_;
   // tag per (set, way); kEmpty means invalid. Dirty bits packed separately.
   static constexpr std::uint64_t kEmpty = ~0ULL;
@@ -93,5 +100,91 @@ class Cache {
   std::vector<std::uint32_t> plru_;
   CacheStats stats_;
 };
+
+// ---------------------------------------------------------------------------
+// Hot path, kept in the header so the whole Tracker::access chain
+// (TLB -> L1 -> L2) inlines into the trace loops.
+
+inline int Cache::victim_way(int set) const {
+  // Walk the pseudo-LRU tree: each internal node bit points toward the side
+  // that was least recently used. Nodes are heap-indexed; leaves map to ways.
+  const std::uint32_t bits = plru_[static_cast<std::size_t>(set)];
+  const int ways = config_.ways;
+  int node = 0;
+  while (node < ways - 1) {
+    const int bit = static_cast<int>((bits >> node) & 1U);
+    node = 2 * node + 1 + bit;
+  }
+  return node - (ways - 1);
+}
+
+inline void Cache::touch(int set, int way) {
+  // Flip every node on the root-to-leaf path to point away from `way`.
+  std::uint32_t& bits = plru_[static_cast<std::size_t>(set)];
+  int node = 0;
+  for (int level = plru_levels_ - 1; level >= 0; --level) {
+    const int branch = (way >> level) & 1;
+    if (branch == 0) {
+      bits |= (1U << node);  // accessed left -> victim pointer goes right
+    } else {
+      bits &= ~(1U << node);
+    }
+    node = 2 * node + 1 + branch;
+  }
+}
+
+inline AccessResult Cache::access(std::uint64_t address, bool is_write) {
+  const std::uint64_t line = address >> line_shift_;
+  const int set = static_cast<int>(line & set_mask_);
+  const std::uint64_t tag = line >> tag_shift_;
+  const std::size_t base =
+      static_cast<std::size_t>(set) * static_cast<std::size_t>(config_.ways);
+
+  for (int w = 0; w < config_.ways; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == tag) {
+      touch(set, w);
+      if (is_write) {
+        dirty_[base + static_cast<std::size_t>(w)] = 1;
+        ++stats_.write_hits;
+      } else {
+        ++stats_.read_hits;
+      }
+      return AccessResult{.hit = true, .evicted_dirty = false};
+    }
+  }
+
+  // Miss: prefer an invalid way, else evict the pseudo-LRU victim.
+  int way = -1;
+  for (int w = 0; w < config_.ways; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == kEmpty) {
+      way = w;
+      break;
+    }
+  }
+  bool evicted_dirty = false;
+  std::uint64_t victim_address = 0;
+  if (way < 0) {
+    way = victim_way(set);
+    ++stats_.evictions;
+    if (dirty_[base + static_cast<std::size_t>(way)] != 0) {
+      evicted_dirty = true;
+      ++stats_.dirty_writebacks;
+      const std::uint64_t victim_tag = tags_[base + static_cast<std::size_t>(way)];
+      const std::uint64_t victim_line =
+          (victim_tag << tag_shift_) | static_cast<std::uint64_t>(set);
+      victim_address = victim_line << line_shift_;
+    }
+  }
+  tags_[base + static_cast<std::size_t>(way)] = tag;
+  dirty_[base + static_cast<std::size_t>(way)] = is_write ? 1 : 0;
+  touch(set, way);
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  return AccessResult{
+      .hit = false, .evicted_dirty = evicted_dirty, .victim_address = victim_address};
+}
 
 }  // namespace scc::cache

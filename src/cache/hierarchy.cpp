@@ -11,45 +11,6 @@ Hierarchy::Hierarchy(const HierarchyConfig& config)
               "inclusive hierarchy requires L1 <= L2");
 }
 
-MemoryEffect Hierarchy::access(std::uint64_t address, bool is_write) {
-  const bytes_t line = config_.l1.line_bytes;
-  MemoryEffect effect;
-
-  const AccessResult l1_result = l1_.access(address, is_write);
-  if (l1_result.hit) {
-    effect.level = ServicedBy::kL1;
-    return effect;
-  }
-
-  if (!config_.l2_enabled) {
-    // L1 miss with L2 off: fill straight from memory.
-    effect.level = ServicedBy::kMemory;
-    effect.memory_read_bytes = line;
-    if (l1_result.evicted_dirty) effect.memory_write_bytes = line;
-    return effect;
-  }
-
-  // Dirty L1 victim is written back into L2. If the victim misses L2 (the
-  // hierarchy is only weakly inclusive), the write allocates there and may in
-  // turn push a dirty L2 victim to memory.
-  if (l1_result.evicted_dirty) {
-    const AccessResult victim_wb = l2_.access(l1_result.victim_address, true);
-    if (!victim_wb.hit && victim_wb.evicted_dirty) {
-      effect.memory_write_bytes += line;
-    }
-  }
-
-  const AccessResult l2_result = l2_.access(address, is_write);
-  if (l2_result.hit) {
-    effect.level = ServicedBy::kL2;
-    return effect;
-  }
-  effect.level = ServicedBy::kMemory;
-  effect.memory_read_bytes = line;
-  if (l2_result.evicted_dirty) effect.memory_write_bytes += line;
-  return effect;
-}
-
 bytes_t Hierarchy::flush() {
   const bytes_t line = config_.l1.line_bytes;
   const std::uint64_t dirty_before = l2_.stats().dirty_writebacks;

@@ -18,8 +18,4 @@ CacheConfig as_cache_config(const TlbConfig& config) {
 
 Tlb::Tlb(const TlbConfig& config) : config_(config), cache_(as_cache_config(config)) {}
 
-bool Tlb::access(std::uint64_t address) {
-  return cache_.access(address, /*is_write=*/false).hit;
-}
-
 }  // namespace scc::cache

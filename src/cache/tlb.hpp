@@ -20,8 +20,11 @@ class Tlb {
  public:
   explicit Tlb(const TlbConfig& config = TlbConfig{});
 
-  /// Translate one access; returns true on a TLB hit.
-  bool access(std::uint64_t address);
+  /// Translate one access; returns true on a TLB hit. Inline: every
+  /// simulated reference translates first, so this is as hot as the caches.
+  bool access(std::uint64_t address) {
+    return cache_.access(address, /*is_write=*/false).hit;
+  }
 
   std::uint64_t hits() const { return cache_.stats().read_hits; }
   std::uint64_t misses() const { return cache_.stats().read_misses; }

@@ -1,0 +1,82 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scc::common {
+
+namespace {
+
+/// 0 = no override; reads/writes are racy-by-design benign (tests and the
+/// CLI set it once up front), but keep it atomic so TSan agrees.
+std::atomic<int> g_thread_override{0};
+
+int env_thread_count() {
+  if (const char* env = std::getenv("SCC_SIM_THREADS"); env != nullptr && *env != '\0') {
+    try {
+      const int parsed = std::stoi(env);
+      if (parsed >= 1) return parsed;
+    } catch (const std::exception&) {
+      // Unparsable values fall through to the hardware default.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int sim_thread_count() {
+  const int forced = g_thread_override.load(std::memory_order_relaxed);
+  return forced >= 1 ? forced : env_thread_count();
+}
+
+void set_sim_threads(int count) {
+  g_thread_override.store(count >= 1 ? count : 0, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  const auto pool_size =
+      std::min(count, static_cast<std::size_t>(sim_thread_count()));
+  if (pool_size <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        body(index);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (error == nullptr) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pool_size - 1);
+  for (std::size_t t = 0; t + 1 < pool_size; ++t) threads.emplace_back(worker);
+  worker();  // the caller is pool member 0
+  for (std::thread& thread : threads) thread.join();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace scc::common

@@ -1,0 +1,37 @@
+// Host-side parallelism for the simulator's embarrassingly parallel loops.
+//
+// The engine replays one trace per simulated rank, each against a private
+// cache::Hierarchy/Tlb, so the ranks are independent work items;
+// `parallel_for` fans them out over a small pool of host threads that pull
+// indices from a shared atomic queue (work-stealing-style dynamic
+// scheduling, so an unlucky rank with a fat row block does not serialize the
+// tail). Results must be written to per-index slots by the body; the
+// scheduling order is unspecified but the output layout is then independent
+// of the thread count.
+//
+// Sizing: `sim_thread_count()` is the test/CLI override when set
+// (`set_sim_threads`), else $SCC_SIM_THREADS, else the hardware concurrency.
+// A count of 1 restores the historical serial path exactly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace scc::common {
+
+/// Host threads the simulator may use: override > $SCC_SIM_THREADS > number
+/// of hardware threads (>= 1 always).
+int sim_thread_count();
+
+/// Force the thread count (tests, the `--sim-threads` CLI flag); `count <= 0`
+/// clears the override and returns control to the environment.
+void set_sim_threads(int count);
+
+/// Run `body(0) .. body(count-1)`, each index exactly once, on up to
+/// `sim_thread_count()` threads (the caller participates). Serial -- no
+/// threads spawned -- when the pool size or `count` is 1. The first
+/// exception thrown by any body stops the remaining indices from being
+/// claimed and is rethrown on the caller.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace scc::common

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
@@ -40,7 +42,19 @@ double beta_of(const sim::RunResult& result, double product_seconds) {
                                : 0.0;
 }
 
+/// SCC_RUN_CACHE=0 (or "off"/"false"/"no") disables engine-run memoization
+/// without a rebuild -- the equivalence escape hatch.
+bool run_cache_enabled_by_env() {
+  const char* value = std::getenv("SCC_RUN_CACHE");
+  if (value == nullptr) return true;
+  const std::string_view v(value);
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
 }  // namespace
+
+MatrixPool::MatrixPool(double scale, bool enable_run_cache)
+    : scale_(scale), run_cache_enabled_(enable_run_cache && run_cache_enabled_by_env()) {}
 
 const testbed::SuiteEntry& MatrixPool::entry(int id) {
   const auto it = entries_.find(id);
@@ -49,7 +63,31 @@ const testbed::SuiteEntry& MatrixPool::entry(int id) {
 }
 
 ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool)
-    : engine_(config), pool_(pool) {}
+    : engine_(config), pool_(pool) {
+  engine_.attach_run_cache(pool.run_cache());
+}
+
+sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_core) {
+  sim::RunSpec spec;
+  if (killed_core < 0) {
+    spec.cores = cores;
+    return spec;
+  }
+  const auto pos = std::find(cores.begin(), cores.end(), killed_core);
+  SCC_REQUIRE(pos != cores.end(), "killed core " << killed_core << " not in the job's set");
+  // Rank 0 owns the matrix and must survive in the degraded protocol; when
+  // the dead tile sits at rank 0, hand ownership to the last rank by
+  // swapping them (the survivor set -- hence the timing -- is unchanged).
+  std::vector<int> ranked = cores;
+  auto dead_index = static_cast<std::size_t>(pos - cores.begin());
+  if (dead_index == 0) {
+    std::swap(ranked.front(), ranked.back());
+    dead_index = ranked.size() - 1;
+  }
+  spec.cores = std::move(ranked);
+  spec.dead_ranks = {static_cast<int>(dead_index)};
+  return spec;
+}
 
 const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cores) {
   const auto key = std::make_tuple(matrix_id, cores, -1);
@@ -57,9 +95,7 @@ const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cor
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  sim::RunSpec spec;
-  spec.cores = cores;
-  const sim::RunResult result = engine_.run(entry.matrix, spec);
+  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores));
 
   JobTiming timing;
   timing.product_seconds = result.seconds;
@@ -75,23 +111,8 @@ const JobTiming& ServiceModel::degraded_timing(int matrix_id, const std::vector<
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
-  const auto pos = std::find(cores.begin(), cores.end(), killed_core);
-  SCC_REQUIRE(pos != cores.end(), "killed core " << killed_core << " not in the job's set");
-  // Rank 0 owns the matrix and must survive in the degraded protocol; when
-  // the dead tile sits at rank 0, hand ownership to the last rank by
-  // swapping them (the survivor set -- hence the timing -- is unchanged).
-  std::vector<int> ranked = cores;
-  auto dead_index = static_cast<std::size_t>(pos - cores.begin());
-  if (dead_index == 0) {
-    std::swap(ranked.front(), ranked.back());
-    dead_index = ranked.size() - 1;
-  }
-
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  sim::RunSpec spec;
-  spec.cores = ranked;
-  spec.dead_ranks = {static_cast<int>(dead_index)};
-  const sim::RunResult result = engine_.run(entry.matrix, spec);
+  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores, killed_core));
 
   JobTiming timing;
   // result.seconds folds the recovery in; split it back out so callers can

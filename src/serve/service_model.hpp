@@ -15,23 +15,34 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/run_cache.hpp"
 #include "testbed/suite.hpp"
 
 namespace scc::serve {
 
 /// Lazily materialized Table-I stand-ins shared across simulator instances
 /// (one pool per bench process; the policy sweep reuses the same matrices).
+/// The pool also owns the engine-level sim::RunCache: sweeps build a fresh
+/// Simulator per configuration but share the pool, so memoized runs carry
+/// across instances. Disable with `enable_run_cache = false` or by setting
+/// SCC_RUN_CACHE=0 in the environment.
 class MatrixPool {
  public:
-  explicit MatrixPool(double scale) : scale_(scale) {}
+  explicit MatrixPool(double scale, bool enable_run_cache = true);
 
   double scale() const { return scale_; }
   /// Build (or return the memoized) suite entry for a Table-I id.
   const testbed::SuiteEntry& entry(int id);
 
+  /// Engine-run memoization cache shared by every ServiceModel on this pool,
+  /// or nullptr when disabled.
+  sim::RunCache* run_cache() { return run_cache_enabled_ ? &run_cache_ : nullptr; }
+
  private:
   double scale_;
+  bool run_cache_enabled_;
   std::map<int, testbed::SuiteEntry> entries_;
+  sim::RunCache run_cache_;
 };
 
 /// Isolated (contention-free) timing of one job on one core partition.
@@ -60,6 +71,14 @@ class ServiceModel {
   /// detection + re-ship recovery cost once. Memoized like timing().
   const JobTiming& degraded_timing(int matrix_id, const std::vector<int>& cores,
                                    int killed_core);
+
+  /// The one place a serving-layer dispatch becomes an engine RunSpec.
+  /// `killed_core < 0` is a healthy job; otherwise the degraded protocol's
+  /// rank-0 ownership rule is applied (the dead tile is swapped to the back
+  /// when it sits at rank 0 -- the survivor set, hence the timing, is
+  /// unchanged). Both timing() and degraded_timing() go through here, and
+  /// the cluster layer prices through them.
+  static sim::RunSpec job_spec(const std::vector<int>& cores, int killed_core = -1);
 
  private:
   sim::Engine engine_;

@@ -1,13 +1,16 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <set>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "obs/trace.hpp"
 #include "sim/format_traces.hpp"
+#include "sim/run_cache.hpp"
 #include "sparse/properties.hpp"
 
 namespace scc::sim {
@@ -46,11 +49,41 @@ double Engine::mc_bandwidth_bytes_per_second() const {
 
 RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const {
   SCC_REQUIRE(spec.forced_hops <= 3, "forced_hops above the mesh's maximum of 3");
+  const auto cores = resolve_cores(spec);
+  if (run_cache_ == nullptr) {
+    return run_uncached(matrix, spec, cores);
+  }
+  // Content-keyed memoization: the key covers everything the simulated
+  // numbers depend on (matrix structure, resolved cores, spec, config), so a
+  // hit is bit-exact versus a cold run. Hits skip spans and the engine.runs
+  // metric block -- only memo_hits records that a cached answer was served.
+  const RunKey key = run_key(matrix, config_, cores, spec);
+  if (std::optional<RunResult> hit = run_cache_->lookup(key)) {
+    if (spec.recorder != nullptr) {
+      spec.recorder->metrics().counter("engine.memo_hits").add(1);
+    }
+    return *std::move(hit);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  RunResult result = run_uncached(matrix, spec, cores);
+  run_cache_->insert(key, result);
+  if (spec.recorder != nullptr) {
+    obs::Registry& metrics = spec.recorder->metrics();
+    metrics.counter("engine.memo_misses").add(1);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+    metrics.histogram("engine.sim_wall_seconds", obs::Histogram::seconds_buckets())
+        .observe(wall.count());
+  }
+  return result;
+}
+
+RunResult Engine::run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& spec,
+                               const std::vector<int>& cores) const {
   if (!spec.dead_ranks.empty()) {
     SCC_REQUIRE(spec.format == StorageFormat::kCsr,
                 "dead_ranks supports the CSR format only");
     SCC_REQUIRE(spec.forced_hops < 0, "dead_ranks cannot combine with forced_hops");
-    const DegradedRunResult degraded = run_degraded_impl(matrix, spec, resolve_cores(spec));
+    const DegradedRunResult degraded = run_degraded_impl(matrix, spec, cores);
     RunResult result = degraded.result;
     result.dead_count = degraded.dead_count;
     result.reshipped_bytes = degraded.reshipped_bytes;
@@ -59,7 +92,6 @@ RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) cons
     result.gflops = degraded.gflops;
     return result;
   }
-  const auto cores = resolve_cores(spec);
   if (spec.format == StorageFormat::kCsr) {
     return run_impl(matrix, cores, spec.variant, spec.forced_hops, spec.recorder);
   }
@@ -271,13 +303,28 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
   RunResult result;
   result.cores.resize(cores.size());
 
-  std::optional<obs::ScopedSpan> replay_span;
-  replay_span.emplace(recorder, "engine.trace_replay");
-  for (std::size_t rank = 0; rank < cores.size(); ++rank) {
+  // Hoisted out of the per-rank loop: the warm-pass decision depends only on
+  // the matrix and the core count (working_set_bytes walks the whole matrix).
+  bool warm_pass = false;
+  if (config_.measure_steady_state) {
+    // Per-core share of the paper's working-set formula: using ws/P keeps
+    // the same threshold semantics as the paper's "working set per core"
+    // discussion.
+    const double ws_per_core = static_cast<double>(sparse::working_set_bytes(matrix)) /
+                               static_cast<double>(cores.size());
+    const double cache_bytes =
+        static_cast<double>(config_.hierarchy.l2_enabled ? config_.hierarchy.l2.size_bytes
+                                                         : config_.hierarchy.l1.size_bytes);
+    warm_pass = ws_per_core <= config_.warm_skip_factor * cache_bytes;
+  }
+
+  // One rank's replay. Each rank owns a private hierarchy/TLB and writes only
+  // its own result slot, so ranks are independent: safe to run on any thread,
+  // and the collected output is identical for any thread count. Everything
+  // cross-rank (mc_bytes, mesh traffic, metrics) is accumulated serially
+  // below from the per-rank results.
+  const auto simulate_rank = [&](std::size_t rank) {
     const int core = cores[rank];
-    obs::ScopedSpan core_span(recorder, "engine.core_trace",
-                              {{"core", std::to_string(core)},
-                               {"rank", std::to_string(rank)}});
     CoreResult& cr = result.cores[rank];
     cr.core = core;
     cr.hops = forced_hops >= 0 ? forced_hops : chip::hops_to_memory(core);
@@ -286,22 +333,11 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
     cache::Tlb tlb;
     cache::Tlb* tlb_ptr = config_.memory.model_tlb ? &tlb : nullptr;
     double compute_cycles = 0.0;
-    if (config_.measure_steady_state) {
-      // Per-core share of the paper's working-set formula: using ws/P keeps
-      // the same threshold semantics as the paper's "working set per core"
-      // discussion.
-      const double ws_per_core =
-          static_cast<double>(sparse::working_set_bytes(matrix)) /
-          static_cast<double>(cores.size());
-      const double cache_bytes = static_cast<double>(
-          config_.hierarchy.l2_enabled ? config_.hierarchy.l2.size_bytes
-                                       : config_.hierarchy.l1.size_bytes);
-      if (ws_per_core <= config_.warm_skip_factor * cache_bytes) {
-        // Warm pass: caches and TLB keep their state; traces count per-call,
-        // so the measured pass below reports steady-state numbers.
-        trace_fn(blocks[rank], hierarchy, tlb_ptr, compute_cycles);
-        hierarchy.reset_stats();
-      }
+    if (warm_pass) {
+      // Warm pass: caches and TLB keep their state; traces count per-call,
+      // so the measured pass below reports steady-state numbers.
+      trace_fn(blocks[rank], hierarchy, tlb_ptr, compute_cycles);
+      hierarchy.reset_stats();
     }
     cr.trace = trace_fn(blocks[rank], hierarchy, tlb_ptr, compute_cycles);
 
@@ -316,8 +352,29 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
                      static_cast<double>(cr.trace.tlb_misses);
     cr.isolated_seconds =
         cr.compute_seconds + cr.l2_hit_seconds + cr.stall_seconds + cr.tlb_seconds;
+  };
 
-    const int mc = chip::memory_controller_of_core(core);
+  std::optional<obs::ScopedSpan> replay_span;
+  replay_span.emplace(recorder, "engine.trace_replay");
+  if (recorder == nullptr) {
+    // Host-parallel fan-out (SCC_SIM_THREADS). Only without a recorder: span
+    // emission is inherently ordered, so traced runs keep the serial loop and
+    // its exact span shape.
+    common::parallel_for(cores.size(), simulate_rank);
+  } else {
+    for (std::size_t rank = 0; rank < cores.size(); ++rank) {
+      obs::ScopedSpan core_span(recorder, "engine.core_trace",
+                                {{"core", std::to_string(cores[rank])},
+                                 {"rank", std::to_string(rank)}});
+      simulate_rank(rank);
+    }
+  }
+  replay_span.reset();
+
+  // Serial accumulation in rank order: integer adds, so the totals are
+  // deterministic and unchanged from the pre-parallel engine.
+  for (const CoreResult& cr : result.cores) {
+    const int mc = chip::memory_controller_of_core(cr.core);
     // Page walks also fetch page-table lines through the controller.
     const bytes_t walk_bytes =
         static_cast<bytes_t>(config_.memory.tlb_walk_memory_accesses *
@@ -326,7 +383,6 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
     result.mc_bytes[static_cast<std::size_t>(mc)] +=
         cr.trace.memory_read_bytes + cr.trace.memory_write_bytes + walk_bytes;
   }
-  replay_span.reset();
 
   obs::ScopedSpan contention_span(recorder, "engine.contention");
   // Mesh-link accounting: read fills travel MC -> core, writebacks the other

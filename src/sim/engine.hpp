@@ -114,6 +114,8 @@ struct DegradedRunResult {
   double gflops = 0.0;            ///< effective GFLOPS including recovery
 };
 
+class RunCache;
+
 class Engine {
  public:
   explicit Engine(EngineConfig config = EngineConfig{});
@@ -122,7 +124,22 @@ class Engine {
 
   /// THE entry point: simulate y = A*x under `spec`. Every other run_*
   /// signature is a thin wrapper kept for source compatibility.
+  ///
+  /// Performance (MODEL.md section 7): when `spec.recorder` is null the
+  /// per-rank trace replay fans out over a host thread pool sized by
+  /// SCC_SIM_THREADS (common::sim_thread_count); results are collected by
+  /// rank index, so the output is byte-identical for any thread count. With
+  /// a recorder attached the replay stays serial so the span trace keeps its
+  /// exact shape. When a RunCache is attached, runs are memoized by content
+  /// (matrix fingerprint + effective spec + config); hits return deep
+  /// copies bit-exact versus a cold simulation.
   RunResult run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const;
+
+  /// Attach a memoization cache (non-owning; pass nullptr to detach). The
+  /// cache may outlive the engine's runs and be shared across engines --
+  /// the run key includes the engine configuration.
+  void attach_run_cache(RunCache* cache) { run_cache_ = cache; }
+  RunCache* run_cache() const { return run_cache_; }
 
   /// DEPRECATED wrapper (use run(matrix, RunSpec)): `ue_count` UEs mapped
   /// by `policy`.
@@ -162,6 +179,8 @@ class Engine {
                                  SpmvVariant variant = SpmvVariant::kCsr) const;
 
  private:
+  RunResult run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& spec,
+                         const std::vector<int>& cores) const;
   DegradedRunResult run_degraded_impl(const sparse::CsrMatrix& matrix, const RunSpec& spec,
                                       const std::vector<int>& cores) const;
   RunResult run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
@@ -173,6 +192,7 @@ class Engine {
                                       double&)>& trace_fn) const;
 
   EngineConfig config_;
+  RunCache* run_cache_ = nullptr;
 };
 
 }  // namespace scc::sim

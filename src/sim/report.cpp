@@ -2,6 +2,7 @@
 
 #include "obs/report.hpp"
 #include "scc/mapping.hpp"
+#include "sim/run_cache.hpp"
 
 namespace scc::sim {
 
@@ -132,6 +133,18 @@ obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunRe
   }
   mesh.set("hot_links", std::move(hot));
   report.set("mesh", std::move(mesh));
+
+  // Engine-run memoization (sim::RunCache). Counters are cache lifetime, not
+  // per-run; engines without an attached cache report enabled=false only.
+  obs::Json memo = obs::Json::object();
+  memo.set("enabled", engine.run_cache() != nullptr);
+  if (const RunCache* cache = engine.run_cache(); cache != nullptr) {
+    memo.set("hits", cache->hits());
+    memo.set("misses", cache->misses());
+    memo.set("size", static_cast<std::int64_t>(cache->size()));
+    memo.set("capacity", static_cast<std::int64_t>(cache->capacity()));
+  }
+  report.set("run_cache", std::move(memo));
 
   if (recorder != nullptr && !recorder->metrics().empty()) {
     report.set("metrics", recorder->metrics().to_json());

@@ -1,0 +1,107 @@
+#include "sim/run_cache.hpp"
+
+#include <span>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "scc/topology.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::sim {
+
+RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
+               const std::vector<int>& cores, const RunSpec& spec) {
+  common::Fnv1a hash;
+
+  // Effective spec: the resolved core table subsumes ue_count/policy, so the
+  // two ways of naming the same run share one entry.
+  hash.array(std::span<const int>(cores));
+  hash.u64(static_cast<std::uint64_t>(spec.format));
+  hash.u64(static_cast<std::uint64_t>(spec.variant));
+  hash.i64(spec.forced_hops);
+  hash.array(std::span<const int>(spec.dead_ranks));
+  hash.f64(spec.detection_seconds);
+
+  // Timing-relevant engine configuration, so one cache may serve engines
+  // with different configs (the serve sweeps vary the frequency preset).
+  for (int tile = 0; tile < chip::kTileCount; ++tile) {
+    hash.i64(config.freq.tile_core_mhz(tile));
+  }
+  hash.i64(config.freq.mesh_mhz());
+  hash.i64(config.freq.memory_mhz());
+  for (const cache::CacheConfig& level : {config.hierarchy.l1, config.hierarchy.l2}) {
+    hash.u64(level.size_bytes);
+    hash.u64(level.line_bytes);
+    hash.i64(level.ways);
+  }
+  hash.boolean(config.hierarchy.l2_enabled);
+  hash.f64(config.kernel.cycles_per_nnz);
+  hash.f64(config.kernel.cycles_per_row);
+  hash.f64(config.kernel.l2_hit_cycles);
+  hash.f64(config.kernel.barrier_ns_per_ue);
+  hash.f64(config.kernel.cycles_per_ell_slot);
+  hash.f64(config.kernel.cycles_per_bcsr_element);
+  hash.f64(config.memory.miss_stall_fraction);
+  hash.f64(config.memory.mc_peak_fraction);
+  hash.boolean(config.memory.model_contention);
+  hash.boolean(config.memory.model_tlb);
+  hash.f64(config.memory.tlb_walk_memory_accesses);
+  hash.boolean(config.measure_steady_state);
+  hash.f64(config.warm_skip_factor);
+
+  return RunKey{.matrix = matrix.fingerprint(), .spec = hash.value()};
+}
+
+RunCache::RunCache(std::size_t capacity) : capacity_(capacity) {
+  SCC_REQUIRE(capacity_ >= 1, "RunCache capacity must be >= 1");
+}
+
+std::optional<RunResult> RunCache::lookup(const RunKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+void RunCache::insert(const RunKey& key, const RunResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, result});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void RunCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t RunCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t RunCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t RunCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace scc::sim

@@ -1,0 +1,89 @@
+// Content-keyed memoization of Engine::run.
+//
+// The serving layers dispatch bit-identical (matrix, RunSpec) jobs over and
+// over -- every same-matrix batch, every failover replay, every sweep point
+// re-prices the same simulation. A RunCache sits in front of Engine::run
+// (attach with Engine::attach_run_cache) and keys each run by content:
+//
+//   * the matrix's structural fingerprint (sparse::CsrMatrix::fingerprint,
+//     FNV-1a over rows/cols/ptr/col -- values cannot influence the trace
+//     addresses, so they are excluded on purpose), and
+//   * a canonical hash of the *effective* spec: the resolved core table
+//     (so `ue_count`+policy and the equivalent explicit core list share an
+//     entry), format, variant, forced hops, dead ranks, detection window,
+//     plus the full timing-relevant EngineConfig (frequency domains, cache
+//     geometry, kernel/memory cost models, steady-state switches) so one
+//     cache can safely serve engines with different configurations.
+//
+// A hit returns a deep copy of the stored RunResult (RunResult is
+// value-semantic), bit-exact versus a cold simulation. Eviction is LRU with
+// a bounded entry count; all operations are mutex-guarded so concurrently
+// simulating engines may share one cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace scc::sim {
+
+/// 128-bit content key of one memoizable run.
+struct RunKey {
+  std::uint64_t matrix = 0;  ///< CsrMatrix::fingerprint()
+  std::uint64_t spec = 0;    ///< canonical (effective spec + config) hash
+  friend bool operator==(const RunKey&, const RunKey&) = default;
+};
+
+/// Canonical key for simulating `matrix` under `spec` (with `cores` already
+/// resolved from the policy) on an engine built from `config`. Exposed for
+/// tests; Engine::run computes it internally.
+RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
+               const std::vector<int>& cores, const RunSpec& spec);
+
+class RunCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  /// `capacity` >= 1: the maximum number of memoized RunResults held.
+  explicit RunCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Deep copy of the entry for `key` (refreshing its LRU position), or
+  /// nullopt. Counts a hit or a miss.
+  std::optional<RunResult> lookup(const RunKey& key);
+
+  /// Store (or refresh) `key`, evicting the least recently used entry when
+  /// over capacity.
+  void insert(const RunKey& key, const RunResult& result);
+
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    RunKey key;
+    RunResult result;
+  };
+  struct KeyHash {
+    std::size_t operator()(const RunKey& key) const {
+      // The halves are already FNV-mixed; fold them.
+      return static_cast<std::size_t>(key.matrix ^ (key.spec * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<RunKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scc::sim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace scc::sparse {
 
@@ -137,6 +139,15 @@ void CsrMatrix::validate() const {
                   "columns not strictly increasing in row " << r);
     }
   }
+}
+
+std::uint64_t CsrMatrix::fingerprint() const {
+  common::Fnv1a hash;
+  hash.i64(rows_);
+  hash.i64(cols_);
+  hash.array(std::span<const nnz_t>(ptr_));
+  hash.array(std::span<const index_t>(col_));
+  return hash.value();
 }
 
 std::vector<real_t> dense_reference_spmv(const CsrMatrix& a, std::span<const real_t> x) {

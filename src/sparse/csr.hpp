@@ -53,6 +53,13 @@ class CsrMatrix {
   /// violation; returns normally otherwise.
   void validate() const;
 
+  /// Structural FNV-1a fingerprint over (rows, cols, ptr, col). Values are
+  /// deliberately excluded: the trace-driven timing model reads only the
+  /// structure (addresses derive from ptr/col), so two matrices with equal
+  /// structure simulate identically whatever their values -- this is the
+  /// matrix half of the engine's run-memoization key (sim::RunCache).
+  std::uint64_t fingerprint() const;
+
   friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
 
  private:

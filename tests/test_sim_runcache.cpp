@@ -1,0 +1,205 @@
+// sim::RunCache: content-keyed memoization of Engine::run. The contract is
+// (a) the key covers exactly what the simulated numbers depend on -- matrix
+// structure, effective core table, spec knobs, engine config -- and nothing
+// else, (b) LRU eviction with a hard capacity bound, and (c) a hit is a deep
+// copy bit-exact versus the cold simulation that produced it.
+#include "sim/run_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "obs/trace.hpp"
+#include "scc/mapping.hpp"
+#include "sim/report.hpp"
+
+namespace scc::sim {
+namespace {
+
+sparse::CsrMatrix test_matrix() { return gen::banded(600, 12, 0.5, 7); }
+
+RunResult stub_result(double seconds) {
+  RunResult r;
+  r.seconds = seconds;
+  r.gflops = 1.0 / seconds;
+  return r;
+}
+
+TEST(RunKey, PolicyAndExplicitCoresShareAnEntry) {
+  const auto m = test_matrix();
+  const EngineConfig config;
+  const auto policy = chip::MappingPolicy::kDistanceReduction;
+  RunSpec by_policy;
+  by_policy.ue_count = 8;
+  by_policy.policy = policy;
+  RunSpec by_cores;
+  by_cores.cores = chip::map_ues_to_cores(policy, 8);
+
+  // Engine::run resolves the cores before keying, so both spellings hash the
+  // same resolved table.
+  const RunKey a = run_key(m, config, chip::map_ues_to_cores(policy, 8), by_policy);
+  const RunKey b = run_key(m, config, by_cores.cores, by_cores);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunKey, EverySpecKnobChangesTheKey) {
+  const auto m = test_matrix();
+  const EngineConfig config;
+  const std::vector<int> cores = {0, 1, 2, 3};
+  const RunSpec base;
+  const RunKey key = run_key(m, config, cores, base);
+
+  {
+    RunSpec s;
+    s.format = StorageFormat::kEll;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.variant = SpmvVariant::kCsrNoXMiss;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.forced_hops = 2;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.dead_ranks = {1};
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.detection_seconds = 0.5;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  EXPECT_NE(run_key(m, config, {0, 1, 2}, base), key);
+}
+
+TEST(RunKey, EngineConfigAndMatrixArePartOfTheKey) {
+  const auto m = test_matrix();
+  const EngineConfig config;
+  const std::vector<int> cores = {0, 1};
+  const RunSpec spec;
+  const RunKey key = run_key(m, config, cores, spec);
+
+  EngineConfig faster;
+  faster.freq = chip::FrequencyConfig::conf1();
+  EXPECT_NE(run_key(m, faster, cores, spec), key);
+
+  EngineConfig no_l2;
+  no_l2.hierarchy.l2_enabled = false;
+  EXPECT_NE(run_key(m, no_l2, cores, spec), key);
+
+  EngineConfig cold;
+  cold.measure_steady_state = false;
+  EXPECT_NE(run_key(m, cold, cores, spec), key);
+
+  const auto other = gen::banded(600, 12, 0.5, 8);  // different structure
+  EXPECT_NE(run_key(other, config, cores, spec), key);
+
+  // The recorder never affects the numbers, so it must not affect the key.
+  obs::Recorder recorder;
+  RunSpec observed;
+  observed.recorder = &recorder;
+  EXPECT_EQ(run_key(m, config, cores, observed), key);
+}
+
+TEST(RunCache, LookupMissesThenHitsAndCounts) {
+  RunCache cache(4);
+  const RunKey key{1, 2};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, stub_result(0.5));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->seconds, 0.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RunCache, EvictsLeastRecentlyUsedAndLookupRefreshesRecency) {
+  RunCache cache(2);
+  const RunKey k1{1, 0}, k2{2, 0}, k3{3, 0};
+  cache.insert(k1, stub_result(1.0));
+  cache.insert(k2, stub_result(2.0));
+  // Touch k1 so k2 becomes the LRU entry.
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  cache.insert(k3, stub_result(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+}
+
+TEST(RunCache, CapacityBoundHoldsUnderManyInserts) {
+  RunCache cache(3);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    cache.insert(RunKey{i, i}, stub_result(static_cast<double>(i + 1)));
+    EXPECT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.capacity(), 3u);
+  // The three newest survive.
+  EXPECT_TRUE(cache.lookup(RunKey{49, 49}).has_value());
+  EXPECT_TRUE(cache.lookup(RunKey{47, 47}).has_value());
+  EXPECT_FALSE(cache.lookup(RunKey{0, 0}).has_value());
+}
+
+TEST(RunCache, ReinsertRefreshesInsteadOfDuplicating) {
+  RunCache cache(2);
+  const RunKey key{7, 7};
+  cache.insert(key, stub_result(1.0));
+  cache.insert(key, stub_result(4.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(key)->seconds, 4.0);
+}
+
+TEST(RunCache, RejectsZeroCapacity) { EXPECT_THROW(RunCache cache(0), std::invalid_argument); }
+
+TEST(RunCache, EngineHitIsBitExactVersusColdRun) {
+  const auto m = test_matrix();
+  Engine cached;
+  RunCache cache;
+  cached.attach_run_cache(&cache);
+  const Engine plain;
+
+  RunSpec spec;
+  spec.ue_count = 6;
+  spec.policy = chip::MappingPolicy::kContentionAware;
+
+  const RunResult cold = cached.run(m, spec);   // miss, fills the cache
+  const RunResult warm = cached.run(m, spec);   // hit, deep copy
+  const RunResult truth = plain.run(m, spec);   // never memoized
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const std::string cold_json = run_report_json(cached, spec, cold).dump(2);
+  EXPECT_EQ(cold_json, run_report_json(cached, spec, warm).dump(2));
+  EXPECT_EQ(run_report_json(plain, spec, cold).dump(2),
+            run_report_json(plain, spec, truth).dump(2));
+}
+
+TEST(RunCache, DegradedRunsMemoizeUnderTheirOwnKey) {
+  const auto m = test_matrix();
+  Engine engine;
+  RunCache cache;
+  engine.attach_run_cache(&cache);
+
+  RunSpec healthy;
+  healthy.ue_count = 4;
+  RunSpec degraded = healthy;
+  degraded.dead_ranks = {2};
+
+  const RunResult h = engine.run(m, healthy);
+  const RunResult d = engine.run(m, degraded);
+  EXPECT_EQ(cache.misses(), 2u);  // distinct keys, no false sharing
+  EXPECT_NE(h.seconds, d.seconds);
+  EXPECT_EQ(engine.run(m, degraded).seconds, d.seconds);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace scc::sim

@@ -179,6 +179,32 @@ TEST(Csr, DenseReferenceRejectsWrongXSize) {
   EXPECT_THROW(dense_reference_spmv(m, x), std::invalid_argument);
 }
 
+TEST(CsrFingerprint, IgnoresValuesButNotStructure) {
+  const CsrMatrix a = example_matrix();
+  CsrMatrix b = example_matrix();
+  for (real_t& v : b.val_mutable()) v *= -3.5;
+  // The timing model never reads values, so the fingerprint must not either.
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CsrFingerprint, DistinguishesColPtrAndDims) {
+  const CsrMatrix base(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  const CsrMatrix col_moved(2, 3, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 3.0});
+  const CsrMatrix row_moved(2, 3, {0, 1, 3}, {0, 0, 2}, {1.0, 2.0, 3.0});
+  const CsrMatrix wider(2, 4, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  const std::uint64_t fp = base.fingerprint();
+  EXPECT_NE(fp, col_moved.fingerprint());
+  EXPECT_NE(fp, row_moved.fingerprint());
+  EXPECT_NE(fp, wider.fingerprint());
+  EXPECT_NE(col_moved.fingerprint(), row_moved.fingerprint());
+}
+
+TEST(CsrFingerprint, StableAcrossConstructionPaths) {
+  const auto m = gen::random_uniform(300, 7, 42);
+  EXPECT_EQ(m.fingerprint(), m.fingerprint());
+  EXPECT_EQ(CsrMatrix::from_coo(m.to_coo()).fingerprint(), m.fingerprint());
+}
+
 /// Property sweep over generated matrices: COO<->CSR round trips.
 class CsrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -13,6 +13,7 @@
 #include "cluster/report.hpp"
 #include "cluster/simulator.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fault/fault.hpp"
@@ -520,7 +521,8 @@ int cmd_serve(const CliArgs& args, std::ostream& out) {
   const serve::ServeConfig config = serve_config_from(args);
 
   const auto requests = serve::generate_workload(workload);
-  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  serve::MatrixPool pool(testbed::suite_scale_from_env(),
+                         !args.get_bool_or("no-run-cache", false));
   serve::Simulator simulator(config, pool);
   obs::Recorder recorder;
   const bool observe = !output.trace_path.empty();
@@ -569,7 +571,8 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
   parse_fault_plan(args, config.faults);
 
   const auto requests = serve::generate_workload(workload);
-  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  serve::MatrixPool pool(testbed::suite_scale_from_env(),
+                         !args.get_bool_or("no-run-cache", false));
   cluster::ClusterSimulator simulator(config, pool);
   obs::Recorder recorder;
   const bool observe = !output.trace_path.empty();
@@ -736,12 +739,20 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "            [--log] plus every serve workload/config flag\n"
       "  report    FILE.json [FILE.json ...]                   compare JSON reports\n"
       "every command also accepts --json[=FILE] (schema-versioned JSON output),\n"
-      "--trace=FILE (JSON-lines span trace, where instrumented) and --seed S\n"
-      "(decimal or 0x-hex; seeds every randomized path of the command)\n";
+      "--trace=FILE (JSON-lines span trace, where instrumented), --seed S\n"
+      "(decimal or 0x-hex; seeds every randomized path of the command) and\n"
+      "--sim-threads N (host threads for the engine's rank replay; overrides\n"
+      "SCC_SIM_THREADS, 1 = serial, numbers identical either way); serve and\n"
+      "cluster accept --no-run-cache to disable engine-run memoization\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
       return 2;
+    }
+    if (args.has("sim-threads")) {
+      const int threads = static_cast<int>(args.get_int_or("sim-threads", 0));
+      SCC_REQUIRE(threads >= 1, "--sim-threads must be >= 1");
+      common::set_sim_threads(threads);
     }
     const std::string& command = args.positional().front();
     if (command == "generate") return cmd_generate(args, out);
