@@ -15,9 +15,24 @@
 //   * failover keeps p99 latency within 3x of the fault-free run;
 //   * both tile kills complete degraded (cores retired, work not lost).
 //
+// The recovery section exercises the re-admission and data-movement
+// machinery the same self-calibrating way:
+//
+//   * a crashed chip restarts, passes probation, and takes traffic again,
+//     and the post-rejoin p95 (past the cold warm-up) converges to within
+//     3x of the pre-crash p95;
+//   * with re-ship priced (single-replica placement, slow inter-chip link),
+//     the failover run's p99 exceeds the free-data-movement run's p99, and
+//     bytes actually moved;
+//   * a correlated power-domain outage killing most of the fleet at once is
+//     survived with conservation intact and zero loss;
+//   * the same seed replays the fault/failover/rejoin log byte for byte
+//     across SCC_SIM_THREADS settings and run-cache on/off.
+//
 // Env knobs (besides the shared bench ones): SCC_SERVE_REQUESTS overrides
 // the per-point request count (CI smoke uses a small value).
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -66,6 +81,22 @@ cluster::ClusterResult run_cluster(serve::MatrixPool& pool,
 }
 
 std::string pct(double fraction) { return Table::num(fraction * 100.0, 2); }
+
+/// Nearest-rank percentile of an unsorted sample; 0 when empty.
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sample.size() - 1));
+  return sample[idx];
+}
+
+/// First log time of `kind`, or -1 when the event never fired.
+double first_time(const cluster::ClusterResult& result, const std::string& kind) {
+  for (const auto& event : result.log) {
+    if (event.kind == kind) return event.seconds;
+  }
+  return -1.0;
+}
 
 }  // namespace
 
@@ -126,6 +157,115 @@ int main() {
   }
   reporter.emit(sweep, "failover_crash_sweep");
 
+  // --- Recovery: re-admission with warm-up, priced re-ship, domains. ---
+
+  // Paced stream over 1.5x the clean burst makespan: arrivals are still
+  // flowing when the crashed chip rejoins, so re-admission is observable as
+  // served traffic, not just a log line.
+  const double span = clean.makespan_seconds * 1.5;
+  serve::WorkloadSpec paced_spec;
+  paced_spec.seed = 0x5e12e;
+  paced_spec.offered_rps = static_cast<double>(request_count) / span;
+  paced_spec.request_count = request_count;
+  paced_spec.slo_interactive_seconds = 1e6;
+  paced_spec.slo_batch_seconds = 1e6;
+  const auto paced = serve::generate_workload(paced_spec);
+
+  cluster::ClusterConfig rejoin_config = base_config(request_count, true);
+  rejoin_config.detector.heartbeat_seconds = clean.makespan_seconds / 50.0;
+  rejoin_config.faults.chip_crashes = {{1, span * 0.3}};
+  rejoin_config.faults.restart_downtime_seconds = span * 0.2;
+  rejoin_config.faults.restart_jitter_fraction = 0.25;
+  const auto rejoin = run_cluster(pool, rejoin_config, paced);
+
+  const double restart_at = first_time(rejoin, "chip_restart");
+  const double rejoined_at = first_time(rejoin, "chip_rejoined");
+  int served_after_rejoin = 0;
+  std::vector<double> pre_crash_latency, post_rejoin_latency;
+  for (const auto& record : rejoin.records) {
+    if (record.outcome != cluster::Outcome::kCompleted) continue;
+    if (record.dispatch_seconds < span * 0.3) {
+      pre_crash_latency.push_back(record.latency_seconds());
+    }
+    if (rejoined_at >= 0.0 && record.dispatch_seconds >= rejoined_at) {
+      // Past the rejoin; skip the chip's cold warm-up jobs themselves when
+      // judging convergence -- they are the priced transient.
+      if (record.chip == 1) ++served_after_rejoin;
+      if (!record.cold) post_rejoin_latency.push_back(record.latency_seconds());
+    }
+  }
+  const double pre_p95 = percentile(pre_crash_latency, 0.95);
+  const double post_p95 = percentile(post_rejoin_latency, 0.95);
+
+  // Same reference crash, warm vs cold destinations: free data movement
+  // (every matrix on every chip) against single-replica placement over a
+  // slow inter-chip link.
+  cluster::ClusterConfig warm_config = plan_config(true);
+  warm_config.placement.replicas = 0;
+  const auto warm_dest = run_cluster(pool, warm_config, requests);
+  cluster::ClusterConfig cold_config = plan_config(true);
+  cold_config.placement.replicas = 1;
+  cold_config.placement.reship_bandwidth_fraction = 0.25;
+  const auto cold_dest = run_cluster(pool, cold_config, requests);
+
+  // Correlated power-domain outage: both chips of domain 0 die mid-backlog
+  // (2/3 of the fleet), restart, and rejoin.
+  cluster::ClusterConfig domain_config = base_config(request_count, true);
+  domain_config.detector.heartbeat_seconds = clean.makespan_seconds / 50.0;
+  domain_config.faults.chips_per_domain = 2;
+  domain_config.faults.domain_outages = {{0, clean.makespan_seconds * 0.35}};
+  domain_config.faults.restart_downtime_seconds = clean.makespan_seconds * 0.25;
+  const auto domain = run_cluster(pool, domain_config, requests);
+
+  // Same-seed replay of the rejoin scenario across host-parallelism and
+  // run-cache settings: the fault/failover/rejoin log must not move a byte.
+  const auto replay_log = [&](int threads, bool run_cache) {
+    setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    serve::MatrixPool replay_pool(testbed::suite_scale_from_env(), run_cache);
+    const auto result = run_cluster(replay_pool, rejoin_config, paced);
+    unsetenv("SCC_SIM_THREADS");
+    std::string text;
+    for (const auto& event : result.log) {
+      text += cluster::describe(event);
+      text += '\n';
+    }
+    return text;
+  };
+  const std::string log_base = replay_log(1, true);
+  const bool replay_identical = !log_base.empty() &&
+                                log_base == replay_log(1, false) &&
+                                log_base == replay_log(4, true) &&
+                                log_base == replay_log(4, false);
+
+  Table recovery("recovery: re-admission, priced re-ship, correlated domains");
+  recovery.set_header({"scenario", "completed", "restarts", "rejoins", "reships",
+                       "reship [MB]", "cold runs", "p95/p99 [ms]"});
+  recovery.add_row({"rejoin (paced)", Table::integer(rejoin.completed),
+                    Table::integer(rejoin.restarts), Table::integer(rejoin.rejoins),
+                    Table::integer(rejoin.reships),
+                    Table::num(rejoin.reship_bytes / 1e6, 2),
+                    Table::integer(rejoin.cold_runs),
+                    Table::num(pre_p95 * 1e3, 2) + " -> " + Table::num(post_p95 * 1e3, 2)});
+  recovery.add_row({"crash, warm dest", Table::integer(warm_dest.completed),
+                    Table::integer(warm_dest.restarts), Table::integer(warm_dest.rejoins),
+                    Table::integer(warm_dest.reships),
+                    Table::num(warm_dest.reship_bytes / 1e6, 2),
+                    Table::integer(warm_dest.cold_runs),
+                    Table::num(warm_dest.latency_total.p99 * 1e3, 2)});
+  recovery.add_row({"crash, cold dest", Table::integer(cold_dest.completed),
+                    Table::integer(cold_dest.restarts), Table::integer(cold_dest.rejoins),
+                    Table::integer(cold_dest.reships),
+                    Table::num(cold_dest.reship_bytes / 1e6, 2),
+                    Table::integer(cold_dest.cold_runs),
+                    Table::num(cold_dest.latency_total.p99 * 1e3, 2)});
+  recovery.add_row({"domain outage", Table::integer(domain.completed),
+                    Table::integer(domain.restarts), Table::integer(domain.rejoins),
+                    Table::integer(domain.reships),
+                    Table::num(domain.reship_bytes / 1e6, 2),
+                    Table::integer(domain.cold_runs),
+                    Table::num(domain.latency_total.p99 * 1e3, 2)});
+  reporter.emit(recovery, "failover_recovery");
+
   int retired = 0;
   for (const auto& chip : with_failover.chips) retired += chip.retired_cores;
 
@@ -140,6 +280,33 @@ int main() {
        with_failover.latency_total.p99 <= 3.0 * clean.latency_total.p99 ? 1.0 : 0.0, 0.0},
       {"both tile kills complete degraded with cores retired (bool)", 1.0,
        with_failover.tile_kills == 2 && retired == 2 ? 1.0 : 0.0, 0.0},
+      {"crashed chip restarts, rejoins, and serves again (bool)", 1.0,
+       rejoin.restarts == 1 && rejoin.rejoins >= 1 && restart_at > 0.0 &&
+               rejoined_at > restart_at && served_after_rejoin > 0
+           ? 1.0
+           : 0.0,
+       0.0},
+      {"post-rejoin p95 converges within 3x of pre-crash p95 (bool)", 1.0,
+       !pre_crash_latency.empty() && !post_rejoin_latency.empty() &&
+               post_p95 <= 3.0 * pre_p95
+           ? 1.0
+           : 0.0,
+       0.0},
+      {"priced re-ship moves bytes and lifts cold-destination p99 (bool)", 1.0,
+       cold_dest.reship_bytes > 0.0 && warm_dest.reship_bytes == 0.0 &&
+               cold_dest.latency_total.p99 > warm_dest.latency_total.p99
+           ? 1.0
+           : 0.0,
+       0.0},
+      {"domain outage survived: conservation intact, zero loss (bool)", 1.0,
+       domain.domain_outages == 1 && domain.chip_crashes == 2 &&
+               domain.dead_lettered == 0 &&
+               domain.completed + domain.rejected == request_count
+           ? 1.0
+           : 0.0,
+       0.0},
+      {"same-seed logs byte-identical across threads and run-cache (bool)", 1.0,
+       replay_identical ? 1.0 : 0.0, 0.0},
   });
   return reporter.finish(ok);
 }

@@ -1,12 +1,26 @@
 #include "cluster/fault_plan.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "scc/topology.hpp"
 
 namespace scc::cluster {
+
+std::vector<int> domain_chips(const FaultPlan& plan, int domain, int chip_count) {
+  std::vector<int> chips;
+  if (domain < 0 || plan.chips_per_domain <= 0) return chips;
+  const int first = domain * plan.chips_per_domain;
+  for (int chip = first; chip < first + plan.chips_per_domain && chip < chip_count; ++chip) {
+    if (chip >= 0) chips.push_back(chip);
+  }
+  return chips;
+}
 
 FaultOracle::FaultOracle(FaultPlan plan) : plan_(std::move(plan)) {
   SCC_REQUIRE(plan_.crash_rate >= 0.0 && plan_.crash_rate <= 1.0,
@@ -15,9 +29,22 @@ FaultOracle::FaultOracle(FaultPlan plan) : plan_(std::move(plan)) {
               "job_failure_rate must be in [0,1]");
   SCC_REQUIRE(plan_.crash_rate == 0.0 || plan_.crash_horizon_seconds > 0.0,
               "stochastic crashes need a positive crash_horizon_seconds");
+  SCC_REQUIRE(plan_.chips_per_domain >= 1, "chips_per_domain must be >= 1");
+  SCC_REQUIRE(plan_.restart_downtime_seconds >= 0.0,
+              "restart_downtime_seconds must be non-negative");
+  SCC_REQUIRE(plan_.restart_jitter_fraction >= 0.0,
+              "restart_jitter_fraction must be non-negative");
   for (const Brownout& b : plan_.brownouts) {
     SCC_REQUIRE(b.derate >= 1.0, "brownout derate must be >= 1");
     SCC_REQUIRE(b.duration_seconds > 0.0, "brownout duration must be positive");
+  }
+  for (const DomainBrownout& b : plan_.domain_brownouts) {
+    SCC_REQUIRE(b.derate >= 1.0, "domain brownout derate must be >= 1");
+    SCC_REQUIRE(b.duration_seconds > 0.0, "domain brownout duration must be positive");
+  }
+  for (const ChipFlap& flap : plan_.chip_flaps) {
+    SCC_REQUIRE(flap.cycles >= 1, "flap cycles must be >= 1");
+    SCC_REQUIRE(flap.period_seconds > 0.0, "flap period must be positive");
   }
 }
 
@@ -33,31 +60,76 @@ double FaultOracle::uniform(std::uint64_t a, std::uint64_t b, std::uint64_t salt
 }
 
 std::vector<ChipCrash> FaultOracle::crashes(int chip_count) const {
-  // Earliest crash wins per chip: a chip only dies once.
-  std::map<int, double> by_chip;
+  // Every scheduled crash: with re-admission a chip can die more than once,
+  // so the schedule keeps them all and the simulator drops any that land on
+  // a chip that is already dead.
+  std::vector<ChipCrash> result;
   for (const ChipCrash& crash : plan_.chip_crashes) {
     if (crash.chip < 0 || crash.chip >= chip_count) continue;
-    const auto it = by_chip.find(crash.chip);
-    if (it == by_chip.end() || crash.seconds < it->second) by_chip[crash.chip] = crash.seconds;
+    result.push_back(crash);
+  }
+  for (const ChipFlap& flap : plan_.chip_flaps) {
+    if (flap.chip < 0 || flap.chip >= chip_count) continue;
+    for (int cycle = 0; cycle < flap.cycles; ++cycle) {
+      result.push_back(ChipCrash{
+          flap.chip, flap.start_seconds + static_cast<double>(cycle) * flap.period_seconds});
+    }
+  }
+  for (const DomainOutage& outage : plan_.domain_outages) {
+    for (int chip : domain_chips(plan_, outage.domain, chip_count)) {
+      result.push_back(ChipCrash{chip, outage.seconds});
+    }
   }
   if (plan_.crash_rate > 0.0) {
     for (int chip = 0; chip < chip_count; ++chip) {
       if (uniform(static_cast<std::uint64_t>(chip), 0, /*salt=*/11) >= plan_.crash_rate) {
         continue;
       }
-      const double when = uniform(static_cast<std::uint64_t>(chip), 1, /*salt=*/12) *
-                          plan_.crash_horizon_seconds;
-      const auto it = by_chip.find(chip);
-      if (it == by_chip.end() || when < it->second) by_chip[chip] = when;
+      result.push_back(ChipCrash{
+          chip, uniform(static_cast<std::uint64_t>(chip), 1, /*salt=*/12) *
+                    plan_.crash_horizon_seconds});
     }
   }
-  std::vector<ChipCrash> result;
-  result.reserve(by_chip.size());
-  for (const auto& [chip, seconds] : by_chip) result.push_back(ChipCrash{chip, seconds});
   std::sort(result.begin(), result.end(), [](const ChipCrash& a, const ChipCrash& b) {
     return a.seconds < b.seconds || (a.seconds == b.seconds && a.chip < b.chip);
   });
   return result;
+}
+
+std::vector<ChipRestart> FaultOracle::restarts(int chip_count) const {
+  std::vector<ChipRestart> result;
+  for (const ChipRestart& restart : plan_.chip_restarts) {
+    if (restart.chip < 0 || restart.chip >= chip_count) continue;
+    result.push_back(restart);
+  }
+  std::sort(result.begin(), result.end(), [](const ChipRestart& a, const ChipRestart& b) {
+    return a.seconds < b.seconds || (a.seconds == b.seconds && a.chip < b.chip);
+  });
+  return result;
+}
+
+std::vector<Brownout> FaultOracle::brownout_windows(int chip_count) const {
+  std::vector<Brownout> result;
+  for (const Brownout& b : plan_.brownouts) {
+    if (b.chip < 0 || b.chip >= chip_count) continue;
+    result.push_back(b);
+  }
+  // A rack-level sag derates every MC of every chip in the domain.
+  for (const DomainBrownout& b : plan_.domain_brownouts) {
+    for (int chip : domain_chips(plan_, b.domain, chip_count)) {
+      for (int mc = 0; mc < chip::kMemoryControllerCount; ++mc) {
+        result.push_back(Brownout{chip, mc, b.start_seconds, b.duration_seconds, b.derate});
+      }
+    }
+  }
+  return result;
+}
+
+double FaultOracle::restart_downtime(int chip, int incarnation) const {
+  if (plan_.restart_downtime_seconds <= 0.0) return 0.0;
+  const double u = uniform(static_cast<std::uint64_t>(chip),
+                           static_cast<std::uint64_t>(incarnation), /*salt=*/41);
+  return plan_.restart_downtime_seconds * (1.0 + plan_.restart_jitter_fraction * u);
 }
 
 bool FaultOracle::job_fails(int chip, std::uint64_t ordinal) const {
@@ -69,6 +141,111 @@ bool FaultOracle::job_fails(int chip, std::uint64_t ordinal) const {
 double FaultOracle::jitter(int request_id, int attempt) const {
   return uniform(static_cast<std::uint64_t>(request_id),
                  static_cast<std::uint64_t>(attempt), /*salt=*/31);
+}
+
+namespace {
+
+double num_or(const obs::Json& object, const std::string& key, double fallback) {
+  const obs::Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  SCC_REQUIRE(value->is_number(), "fault plan field '" + key + "' must be a number");
+  return value->as_double();
+}
+
+int int_or(const obs::Json& object, const std::string& key, int fallback) {
+  const obs::Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  SCC_REQUIRE(value->is_int(), "fault plan field '" + key + "' must be an integer");
+  return static_cast<int>(value->as_int());
+}
+
+double required_num(const obs::Json& object, const std::string& key, const std::string& kind) {
+  const obs::Json* value = object.find(key);
+  SCC_REQUIRE(value != nullptr && value->is_number(),
+              "fault plan event '" + kind + "' needs numeric field '" + key + "'");
+  return value->as_double();
+}
+
+int required_int(const obs::Json& object, const std::string& key, const std::string& kind) {
+  const obs::Json* value = object.find(key);
+  SCC_REQUIRE(value != nullptr && value->is_int(),
+              "fault plan event '" + kind + "' needs integer field '" + key + "'");
+  return static_cast<int>(value->as_int());
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan_json(const std::string& text) {
+  const obs::Json doc = obs::Json::parse(text);
+  SCC_REQUIRE(doc.is_object(), "fault plan must be a JSON object");
+  FaultPlan plan;
+  if (const obs::Json* seed = doc.find("seed"); seed != nullptr) {
+    SCC_REQUIRE(seed->is_int() && seed->as_int() >= 0,
+                "fault plan 'seed' must be a non-negative integer");
+    plan.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  plan.chips_per_domain = int_or(doc, "chips_per_domain", plan.chips_per_domain);
+  plan.restart_downtime_seconds =
+      num_or(doc, "restart_downtime_seconds", plan.restart_downtime_seconds);
+  plan.restart_jitter_fraction =
+      num_or(doc, "restart_jitter_fraction", plan.restart_jitter_fraction);
+  plan.crash_rate = num_or(doc, "crash_rate", plan.crash_rate);
+  plan.crash_horizon_seconds = num_or(doc, "crash_horizon_seconds", plan.crash_horizon_seconds);
+  plan.job_failure_rate = num_or(doc, "job_failure_rate", plan.job_failure_rate);
+
+  if (const obs::Json* events = doc.find("events"); events != nullptr) {
+    SCC_REQUIRE(events->is_array(), "fault plan 'events' must be an array");
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const obs::Json& event = events->at(i);
+      SCC_REQUIRE(event.is_object(), "fault plan events must be objects");
+      const obs::Json* kind = event.find("kind");
+      SCC_REQUIRE(kind != nullptr && kind->is_string(),
+                  "fault plan events need a string 'kind'");
+      const std::string& k = kind->as_string();
+      if (k == "chip_crash") {
+        plan.chip_crashes.push_back(
+            ChipCrash{required_int(event, "chip", k), required_num(event, "seconds", k)});
+      } else if (k == "chip_restart") {
+        plan.chip_restarts.push_back(
+            ChipRestart{required_int(event, "chip", k), required_num(event, "seconds", k)});
+      } else if (k == "chip_flap") {
+        plan.chip_flaps.push_back(ChipFlap{required_int(event, "chip", k),
+                                           required_num(event, "seconds", k),
+                                           int_or(event, "cycles", 2),
+                                           num_or(event, "period_seconds", 0.1)});
+      } else if (k == "tile_kill") {
+        plan.tile_kills.push_back(TileKill{required_int(event, "chip", k),
+                                           required_int(event, "core", k),
+                                           required_num(event, "seconds", k)});
+      } else if (k == "brownout") {
+        plan.brownouts.push_back(Brownout{required_int(event, "chip", k),
+                                          required_int(event, "mc", k),
+                                          required_num(event, "seconds", k),
+                                          required_num(event, "duration_seconds", k),
+                                          num_or(event, "derate", 2.0)});
+      } else if (k == "domain_outage") {
+        plan.domain_outages.push_back(
+            DomainOutage{required_int(event, "domain", k), required_num(event, "seconds", k)});
+      } else if (k == "domain_brownout") {
+        plan.domain_brownouts.push_back(DomainBrownout{
+            required_int(event, "domain", k), required_num(event, "seconds", k),
+            required_num(event, "duration_seconds", k), num_or(event, "derate", 2.0)});
+      } else {
+        SCC_REQUIRE(false, "unknown fault plan event kind '" + k + "'");
+      }
+    }
+  }
+  // Run the oracle's constructor checks so a bad file fails at load time.
+  FaultOracle validate(plan);
+  return validate.plan();
+}
+
+FaultPlan load_fault_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  SCC_REQUIRE(in.good(), "cannot read fault plan file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_fault_plan_json(buffer.str());
 }
 
 }  // namespace scc::cluster

@@ -1,28 +1,57 @@
-// Cluster-level fault schedule: which chips crash, which tiles die mid-job,
-// which memory controllers brown out -- and when.
+// Cluster-level fault schedule: which chips crash, restart, or flap, which
+// tiles die mid-job, which memory controllers brown out, which power domains
+// take out several chips at once -- and when.
 //
 // Same philosophy as src/fault's Plan/Injector: explicit event lists pin
 // faults to exact virtual times, stochastic rates draw per-site from a hash
 // of (seed, site), so the schedule is reproducible without any global RNG
 // stream ordering. The oracle is pure and const; the cluster simulator
 // queries it when building its timer wheel and at job completion.
+//
+// Fault domains: chips are grouped `chips_per_domain` at a time (chip c is
+// in domain c / chips_per_domain), modelling chips that share a power rail
+// or rack. Domain events expand to per-chip events on every chip of the
+// domain, so one blown rail kills correlated sets instead of independent
+// singletons.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace scc::cluster {
 
 /// A whole simulated SCC dies at `seconds`: every in-flight job and queued
-/// request on it is lost and (under failover) rerouted.
+/// request on it is lost and (under failover) rerouted. A crash that lands
+/// on an already-dead chip is ignored by the simulator.
 struct ChipCrash {
   int chip = 0;
   double seconds = 0.0;
 };
 
+/// A dead chip powers back up at `seconds` and re-enters the balancer
+/// through the rejoining state. Restarts on chips that are not dead at that
+/// instant are ignored.
+struct ChipRestart {
+  int chip = 0;
+  double seconds = 0.0;
+};
+
+/// A flapping chip: `cycles` crashes at start_seconds + k * period_seconds.
+/// Recovery between crashes comes from the plan's restart policy (explicit
+/// restarts or restart_downtime_seconds); a flap event only schedules the
+/// crashes.
+struct ChipFlap {
+  int chip = 0;
+  double start_seconds = 0.0;
+  int cycles = 2;
+  double period_seconds = 0.1;
+};
+
 /// One tile (core) of a chip dies at `seconds`. A job running on that core
 /// completes degraded via sim::Engine's dead-rank protocol; the core is
-/// retired from the chip's allocatable pool afterwards.
+/// retired from the chip's allocatable pool for the rest of the run --
+/// tile kills are hardware, so a chip restart does not resurrect them.
 struct TileKill {
   int chip = 0;
   int core = 0;
@@ -40,12 +69,42 @@ struct Brownout {
   double derate = 2.0;
 };
 
+/// Power-domain outage: every chip in `domain` crashes at `seconds`.
+struct DomainOutage {
+  int domain = 0;
+  double seconds = 0.0;
+};
+
+/// Rack-level brownout: every memory controller of every chip in `domain`
+/// derates for the window (a sagging shared supply, not a single MC fault).
+struct DomainBrownout {
+  int domain = 0;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  double derate = 2.0;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 0xfa117;
 
   std::vector<ChipCrash> chip_crashes;
+  std::vector<ChipRestart> chip_restarts;
+  std::vector<ChipFlap> chip_flaps;
   std::vector<TileKill> tile_kills;
   std::vector<Brownout> brownouts;
+  std::vector<DomainOutage> domain_outages;
+  std::vector<DomainBrownout> domain_brownouts;
+
+  /// Chips per correlated fault domain (power rail / rack grouping).
+  int chips_per_domain = 4;
+
+  /// Automatic re-admission: every crash schedules a restart after this
+  /// downtime (jittered per chip incarnation, see FaultOracle::
+  /// restart_downtime). 0 keeps the pre-recovery behavior: dead stays dead.
+  double restart_downtime_seconds = 0.0;
+  /// Downtime jitter: actual = nominal * (1 + fraction * u), u ~ U[0,1)
+  /// hashed per (chip, incarnation).
+  double restart_jitter_fraction = 0.5;
 
   /// Stochastic whole-chip crashes: each chip crashes with this probability,
   /// at a time drawn uniform in [0, crash_horizon_seconds).
@@ -58,10 +117,15 @@ struct FaultPlan {
   double job_failure_rate = 0.0;
 
   bool empty() const {
-    return chip_crashes.empty() && tile_kills.empty() && brownouts.empty() &&
-           crash_rate <= 0.0 && job_failure_rate <= 0.0;
+    return chip_crashes.empty() && chip_restarts.empty() && chip_flaps.empty() &&
+           tile_kills.empty() && brownouts.empty() && domain_outages.empty() &&
+           domain_brownouts.empty() && crash_rate <= 0.0 && job_failure_rate <= 0.0;
   }
 };
+
+/// Chips belonging to `domain` among `chip_count` chips under the plan's
+/// grouping (empty when the domain is out of range).
+std::vector<int> domain_chips(const FaultPlan& plan, int domain, int chip_count);
 
 /// Pure seeded oracle over the plan. All draws hash (seed, site, salt) so
 /// equal plans answer equal queries identically, in any order.
@@ -71,10 +135,23 @@ class FaultOracle {
 
   const FaultPlan& plan() const { return plan_; }
 
-  /// Every chip crash that will happen among `chip_count` chips: the
-  /// explicit list plus one stochastic draw per chip, sorted by time
-  /// (ties: lower chip id). At most one crash per chip is kept (earliest).
+  /// Every scheduled chip crash among `chip_count` chips: the explicit list,
+  /// the expansion of flaps and domain outages, plus one stochastic draw per
+  /// chip -- sorted by time (ties: lower chip id). Chips may appear more
+  /// than once; the simulator ignores a crash landing on a dead chip.
   std::vector<ChipCrash> crashes(int chip_count) const;
+
+  /// Explicit restarts valid for `chip_count` chips, sorted by time
+  /// (ties: lower chip id).
+  std::vector<ChipRestart> restarts(int chip_count) const;
+
+  /// Brownout windows including the expansion of domain brownouts over all
+  /// four MCs of every chip in the domain.
+  std::vector<Brownout> brownout_windows(int chip_count) const;
+
+  /// Seeded downtime before `chip`'s `incarnation`-th automatic restart;
+  /// <= 0 means the plan has no automatic re-admission.
+  double restart_downtime(int chip, int incarnation) const;
 
   /// Does the `ordinal`-th job dispatched on `chip` fail?
   bool job_fails(int chip, std::uint64_t ordinal) const;
@@ -88,5 +165,19 @@ class FaultOracle {
 
   FaultPlan plan_;
 };
+
+/// Parse a fault plan from the JSON scenario dialect used by the cluster
+/// CLI's --fault-plan=FILE option: a top-level object with optional scalar
+/// knobs (seed, chips_per_domain, restart_downtime_seconds,
+/// restart_jitter_fraction, crash_rate, crash_horizon_seconds,
+/// job_failure_rate) and an "events" array of timed events tagged by
+/// "kind" (chip_crash, chip_restart, chip_flap, tile_kill, brownout,
+/// domain_outage, domain_brownout). Throws SimulationError on malformed
+/// input or unknown kinds.
+FaultPlan parse_fault_plan_json(const std::string& text);
+
+/// Load parse_fault_plan_json from a file; throws SimulationError when the
+/// file cannot be read.
+FaultPlan load_fault_plan_file(const std::string& path);
 
 }  // namespace scc::cluster

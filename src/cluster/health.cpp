@@ -12,6 +12,8 @@ std::string to_string(HealthState state) {
       return "healthy";
     case HealthState::kSuspect:
       return "suspect";
+    case HealthState::kRejoining:
+      return "rejoining";
     case HealthState::kDraining:
       return "draining";
     case HealthState::kDead:
@@ -20,11 +22,20 @@ std::string to_string(HealthState state) {
   return "unknown";
 }
 
-FailureDeadlines detection_deadlines(const DetectorConfig& config, double crash_seconds) {
+namespace {
+
+void validate_detector(const DetectorConfig& config) {
   SCC_REQUIRE(config.heartbeat_seconds > 0.0, "heartbeat_seconds must be positive");
   SCC_REQUIRE(config.suspect_after_missed >= 1, "suspect_after_missed must be >= 1");
   SCC_REQUIRE(config.dead_after_missed > config.suspect_after_missed,
               "dead_after_missed must exceed suspect_after_missed");
+  SCC_REQUIRE(config.rejoin_after_beats >= 1, "rejoin_after_beats must be >= 1");
+}
+
+}  // namespace
+
+FailureDeadlines detection_deadlines(const DetectorConfig& config, double crash_seconds) {
+  validate_detector(config);
   SCC_REQUIRE(crash_seconds >= 0.0, "crash time must be non-negative");
   const double last_beat =
       std::floor(crash_seconds / config.heartbeat_seconds) * config.heartbeat_seconds;
@@ -33,14 +44,30 @@ FailureDeadlines detection_deadlines(const DetectorConfig& config, double crash_
       last_beat + static_cast<double>(config.dead_after_missed) * config.heartbeat_seconds};
 }
 
+double rejoin_deadline(const DetectorConfig& config, double restart_seconds) {
+  validate_detector(config);
+  SCC_REQUIRE(restart_seconds >= 0.0, "restart time must be non-negative");
+  // First beat on the first boundary strictly after the restart (a chip
+  // restarting exactly on a boundary has already missed that beat), then
+  // rejoin_after_beats consecutive beats; promotion fires on the last one.
+  const double first_beat =
+      (std::floor(restart_seconds / config.heartbeat_seconds) + 1.0) * config.heartbeat_seconds;
+  return first_beat +
+         static_cast<double>(config.rejoin_after_beats - 1) * config.heartbeat_seconds;
+}
+
 bool CircuitBreaker::allows(double now) {
   switch (state_) {
     case State::kClosed:
-    case State::kHalfOpen:
       return true;
+    case State::kHalfOpen:
+      // One probe at a time: while the probe job is in flight the breaker
+      // admits nothing else.
+      return !probe_in_flight_;
     case State::kOpen:
       if (now >= open_until_) {
         state_ = State::kHalfOpen;
+        probe_in_flight_ = false;
         return true;
       }
       return false;
@@ -48,13 +75,19 @@ bool CircuitBreaker::allows(double now) {
   return true;
 }
 
+void CircuitBreaker::note_dispatch() {
+  if (state_ == State::kHalfOpen) probe_in_flight_ = true;
+}
+
 void CircuitBreaker::on_success() {
   consecutive_failures_ = 0;
   state_ = State::kClosed;
+  probe_in_flight_ = false;
 }
 
 void CircuitBreaker::on_failure(double now) {
   ++consecutive_failures_;
+  probe_in_flight_ = false;
   if (state_ == State::kHalfOpen || consecutive_failures_ >= config_.failure_threshold) {
     // The half-open probe failed, or the closed breaker hit its threshold.
     state_ = State::kOpen;

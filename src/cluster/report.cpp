@@ -36,6 +36,11 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   config_json.set("fault_seed", config.faults.seed);
   config_json.set("crash_rate", config.faults.crash_rate);
   config_json.set("job_failure_rate", config.faults.job_failure_rate);
+  config_json.set("chips_per_domain", config.faults.chips_per_domain);
+  config_json.set("restart_downtime_seconds", config.faults.restart_downtime_seconds);
+  config_json.set("placement_replicas", config.placement.replicas);
+  config_json.set("reship_bandwidth_fraction", config.placement.reship_bandwidth_fraction);
+  config_json.set("warmup_runs", config.placement.warmup_runs);
   report.set("config", std::move(config_json));
 
   obs::Json result_json = obs::Json::object();
@@ -54,6 +59,12 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   result_json.set("tile_kills", result.tile_kills);
   result_json.set("brownouts", result.brownouts);
   result_json.set("breaker_trips", result.breaker_trips);
+  result_json.set("restarts", result.restarts);
+  result_json.set("rejoins", result.rejoins);
+  result_json.set("reships", result.reships);
+  result_json.set("reship_bytes", result.reship_bytes);
+  result_json.set("cold_runs", result.cold_runs);
+  result_json.set("domain_outages", result.domain_outages);
   obs::Json latency = obs::Json::object();
   latency.set("total", serve::latency_summary_json(result.latency_total));
   latency.set("interactive", serve::latency_summary_json(result.latency_interactive));
@@ -72,6 +83,13 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
     entry.set("retired_cores", chip.retired_cores);
     entry.set("requests_completed", chip.requests_completed);
     entry.set("breaker_trips", chip.breaker_trips);
+    entry.set("restarts", chip.restarts);
+    entry.set("reships", chip.reships);
+    entry.set("cold_runs", chip.cold_runs);
+    entry.set("reship_bytes", chip.reship_bytes);
+    obs::Json placement = obs::Json::array();
+    for (const int matrix_id : chip.placement) placement.push_back(matrix_id);
+    entry.set("placement", std::move(placement));
     chips.push_back(std::move(entry));
   }
   report.set("chips", std::move(chips));

@@ -18,36 +18,38 @@ int route(const std::vector<ChipView>& chips, const std::vector<int>& excluded,
     return healthy_only ? view.health == HealthState::kHealthy : true;
   };
 
-  // Suspects are last-resort targets: only route to them when no fully
-  // healthy chip remains.
+  // Suspects and rejoining chips are last-resort targets: only route to them
+  // when no fully healthy chip remains.
   bool healthy_only = std::any_of(chips.begin(), chips.end(), [&](const ChipView& view) {
     return eligible(view, /*healthy_only=*/true);
   });
 
-  int min_outstanding = std::numeric_limits<int>::max();
-  for (const ChipView& view : chips) {
-    if (eligible(view, healthy_only)) min_outstanding = std::min(min_outstanding, view.outstanding);
-  }
-  if (min_outstanding == std::numeric_limits<int>::max()) return -1;
+  // Effective load: outstanding work plus what it costs to get the matrix
+  // there. A chip already holding the matrix pays nothing; a cold chip pays
+  // its priced re-ship time (in request units) or the flat slack.
+  const auto score = [&](const ChipView& view) {
+    if (view.has_matrix) return static_cast<double>(view.outstanding);
+    const double penalty = view.reship_penalty >= 0.0
+                               ? view.reship_penalty
+                               : static_cast<double>(config.affinity_slack);
+    return static_cast<double>(view.outstanding) + penalty;
+  };
 
-  // First pass: matrix-affine chips within the slack of the least-loaded.
   int best = -1;
-  int best_outstanding = std::numeric_limits<int>::max();
+  bool best_has_matrix = false;
+  double best_score = std::numeric_limits<double>::infinity();
   for (const ChipView& view : chips) {
-    if (!eligible(view, healthy_only) || !view.has_matrix) continue;
-    if (view.outstanding > min_outstanding + config.affinity_slack) continue;
-    if (view.outstanding < best_outstanding) {
+    if (!eligible(view, healthy_only)) continue;
+    const double s = score(view);
+    // Strictly better score wins; on a tie prefer the resident chip, then
+    // the lowest id (iteration order).
+    if (s < best_score || (s == best_score && view.has_matrix && !best_has_matrix)) {
       best = view.chip;
-      best_outstanding = view.outstanding;
+      best_has_matrix = view.has_matrix;
+      best_score = s;
     }
   }
-  if (best >= 0) return best;
-
-  // Otherwise: least outstanding work, lowest id.
-  for (const ChipView& view : chips) {
-    if (eligible(view, healthy_only) && view.outstanding == min_outstanding) return view.chip;
-  }
-  return -1;
+  return best;
 }
 
 }  // namespace scc::cluster

@@ -2,12 +2,16 @@
 //
 // Pure: the simulator snapshots each chip into a ChipView and asks for the
 // best target. Policy, in order: never a dead/draining/excluded chip or one
-// whose breaker refuses traffic; prefer fully healthy chips over suspects;
-// prefer a chip that already holds the request's matrix (warm cache, and
-// same-matrix batching merges the work) unless it is more than
-// `affinity_slack` requests busier than the least-loaded candidate; then
-// least outstanding work; then lowest chip id. Deterministic by
-// construction.
+// whose breaker refuses traffic; prefer fully healthy chips over suspects
+// and rejoining chips (both are last-resort targets); then minimize an
+// effective load score = outstanding work + the cost of moving the matrix
+// to the chip, so a warm-but-loaded chip is weighed against a cold-but-idle
+// one instead of always winning. The movement cost is the caller-supplied
+// `reship_penalty` (the matrix's re-ship time expressed in queued-request
+// units); when the caller does not price it, `affinity_slack` stands in as
+// a flat penalty, which reproduces the classic affinity-within-slack rule.
+// Ties prefer the chip already holding the matrix, then the lowest chip id.
+// Deterministic by construction.
 #pragma once
 
 #include <vector>
@@ -22,12 +26,18 @@ struct ChipView {
   HealthState health = HealthState::kHealthy;
   bool dispatchable = true;  ///< breaker allows traffic and chip is alive
   int outstanding = 0;       ///< queued + in-flight request copies
-  bool has_matrix = false;   ///< chip already holds this request's matrix
+  bool has_matrix = false;   ///< chip holds this request's matrix (resident)
+  /// Cost of shipping this request's matrix to this chip, in units of
+  /// outstanding requests; only charged when !has_matrix. Negative means
+  /// "unpriced": fall back to the flat affinity_slack penalty.
+  double reship_penalty = -1.0;
 };
 
 struct RouterConfig {
-  /// Extra outstanding requests a matrix-affine chip may carry and still
-  /// beat a less-loaded cold chip.
+  /// Flat penalty (in outstanding requests) charged to a chip that does not
+  /// hold the request's matrix when the caller supplies no priced
+  /// reship_penalty. Equivalent to the classic rule: a matrix-affine chip
+  /// may be this many requests busier and still beat a cold chip.
   int affinity_slack = 2;
 };
 

@@ -41,6 +41,9 @@ enum class TimerKind {
   kCrash,
   kSuspect,
   kDead,
+  kRestart,
+  kRejoined,
+  kDomainOutage,
   kTileKill,
   kBrownoutStart,
   kBrownoutEnd,
@@ -53,7 +56,9 @@ struct Timer {
   long seq = 0;  ///< insertion order breaks time ties deterministically
   TimerKind kind = TimerKind::kCrash;
   int chip = -1;
-  int aux = -1;        ///< core (tile kill), mc (brownout), request id (retry/hedge)
+  /// core (tile kill), mc (brownout), request id (retry/hedge), chip
+  /// incarnation (suspect/dead/rejoined; -1 = any), domain (domain outage).
+  int aux = -1;
   double value = 0.0;  ///< brownout derate
 };
 
@@ -105,6 +110,9 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config, serve::MatrixPool& pool
 ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
                                     obs::Recorder* recorder) {
   metrics_ = std::make_unique<obs::Registry>();
+  SCC_REQUIRE(config_.placement.reship_bandwidth_fraction > 0.0,
+              "placement.reship_bandwidth_fraction must be positive");
+  SCC_REQUIRE(config_.placement.warmup_runs >= 0, "placement.warmup_runs must be >= 0");
   obs::Counter& requests_total = metrics_->counter("cluster.requests_total");
   obs::Counter& completed_total = metrics_->counter("cluster.completed_total");
   obs::Counter& rejected_total = metrics_->counter("cluster.rejected_total");
@@ -117,6 +125,12 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   obs::Counter& crashes_total = metrics_->counter("cluster.chip_crashes_total");
   obs::Counter& tile_kills_total = metrics_->counter("cluster.tile_kills_total");
   obs::Counter& breaker_trips_total = metrics_->counter("cluster.breaker_trips_total");
+  obs::Counter& restarts_total = metrics_->counter("cluster.rejoin_restarts_total");
+  obs::Counter& rejoins_total = metrics_->counter("cluster.rejoin_completed_total");
+  obs::Counter& cold_runs_total = metrics_->counter("cluster.rejoin_cold_runs_total");
+  obs::Counter& reships_total = metrics_->counter("cluster.reship_jobs_total");
+  obs::Counter& reship_bytes_total = metrics_->counter("cluster.reship_bytes_total");
+  obs::Counter& domain_outages_total = metrics_->counter("cluster.domain_outages_total");
   obs::Histogram& latency_hist =
       metrics_->histogram("cluster.latency_seconds", obs::Histogram::seconds_buckets());
 
@@ -135,6 +149,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     std::vector<int> cores;
     double dispatch_seconds = 0.0;
     bool will_fail = false;  ///< oracle-decided transient failure
+    bool cold = false;       ///< priced at cold-cache timing
   };
 
   struct Chip {
@@ -146,12 +161,20 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     bool crashed = false;
     HealthState health = HealthState::kHealthy;
     std::map<int, ActiveJob> active;
-    std::set<int> matrices;  ///< matrix ids ever routed here (affinity)
-    int outstanding = 0;     ///< queued + in-flight request copies
+    std::set<int> placed;         ///< matrix ids resident on this chip
+    std::map<int, int> cold_left; ///< per matrix: cold-cache jobs still owed
+    std::set<int> retired_cores;  ///< dead tiles (permanent across restarts)
+    int incarnation = 0;          ///< bumped on every restart (stale-timer guard)
+    int outstanding = 0;          ///< queued + in-flight request copies
     std::uint64_t job_ordinal = 0;
     int jobs_completed = 0;
     int jobs_failed = 0;
     int requests_completed = 0;
+    int restarts = 0;
+    int reships = 0;
+    int cold_runs = 0;
+    int breaker_trips_prior = 0;  ///< trips of breakers retired by restarts
+    double reship_bytes = 0.0;
 
     Chip(int chip_id, const serve::ServeConfig& config)
         : id(chip_id),
@@ -165,6 +188,24 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   for (int c = 0; c < config_.chip_count; ++c) {
     chips.emplace_back(c, config_.chip);
     chips.back().breaker = CircuitBreaker(config_.breaker);
+  }
+
+  // Initial placement: each matrix of the workload lands on `replicas`
+  // chips starting at (matrix id mod chip count). Initially resident
+  // matrices are warm (the steady-state assumption); anything else must be
+  // re-shipped -- and arrives cold -- before a chip may serve it. With
+  // replicas <= 0 (or a single chip) every chip holds everything, which is
+  // the free-movement model and keeps the single-chip cluster bit-identical
+  // to the serve simulator.
+  const int replicas = config_.placement.replicas <= 0
+                           ? config_.chip_count
+                           : std::min(config_.placement.replicas, config_.chip_count);
+  for (const serve::Request& request : requests) {
+    const int home = request.matrix_id % config_.chip_count;
+    for (int r = 0; r < replicas; ++r) {
+      chips[static_cast<std::size_t>((home + r) % config_.chip_count)].placed.insert(
+          request.matrix_id);
+    }
   }
 
   struct RequestState {
@@ -181,9 +222,18 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     timers.insert(Timer{seconds, next_seq++, kind, chip, aux, value});
   };
 
-  // Build the timer wheel from the fault plan.
+  // Build the timer wheel from the fault plan. Domain-outage markers are
+  // inserted before the crash list so the correlated event logs ahead of
+  // the per-chip crashes it expands to (same instant, lower seq).
+  for (const DomainOutage& outage : config_.faults.domain_outages) {
+    if (domain_chips(config_.faults, outage.domain, config_.chip_count).empty()) continue;
+    schedule(outage.seconds, TimerKind::kDomainOutage, -1, outage.domain, 0.0);
+  }
   for (const ChipCrash& crash : oracle_.crashes(config_.chip_count)) {
     schedule(crash.seconds, TimerKind::kCrash, crash.chip, -1, 0.0);
+  }
+  for (const ChipRestart& restart : oracle_.restarts(config_.chip_count)) {
+    schedule(restart.seconds, TimerKind::kRestart, restart.chip, -1, 0.0);
   }
   for (const TileKill& kill : config_.faults.tile_kills) {
     if (kill.chip < 0 || kill.chip >= config_.chip_count) continue;
@@ -191,8 +241,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
                 "tile kill core out of range");
     schedule(kill.seconds, TimerKind::kTileKill, kill.chip, kill.core, 0.0);
   }
-  for (const Brownout& brownout : config_.faults.brownouts) {
-    if (brownout.chip < 0 || brownout.chip >= config_.chip_count) continue;
+  for (const Brownout& brownout : oracle_.brownout_windows(config_.chip_count)) {
     SCC_REQUIRE(brownout.mc >= 0 && brownout.mc < chip::kMemoryControllerCount,
                 "brownout mc out of range");
     schedule(brownout.start_seconds, TimerKind::kBrownoutStart, brownout.chip, brownout.mc,
@@ -205,6 +254,11 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   double now = 0.0;
   int next_job_id = 0;
   int pending_retries = 0;  ///< scheduled kRetry timers not yet fired
+  // Running mean of dispatched job service times: the yardstick that
+  // converts a matrix's re-ship time into "outstanding requests" for the
+  // router's warm-vs-cold weighing. Virtual-time state, so deterministic.
+  double service_seconds_sum = 0.0;
+  long jobs_dispatched = 0;
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
   const auto log_event = [&](double seconds, const std::string& kind, int chip,
@@ -219,23 +273,40 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   const bool hedging_enabled =
       config_.failover && config_.hedge.enabled && config_.chip_count > 1;
 
-  /// Router snapshot. `matrix_id` feeds the affinity column; the breaker is
-  /// consulted (and may half-open) for every non-crashed chip.
+  /// Router snapshot. `matrix_id` feeds the placement column; the breaker
+  /// is consulted FIRST for every non-crashed chip -- allows() is what
+  /// half-opens an expired open breaker, so the health column below sees
+  /// the post-transition state and a cooled-down chip gets its probe
+  /// instead of draining until run end.
   const auto route_for = [&](int matrix_id, const std::set<int>& excluded) {
+    // Price the movement of this matrix in queued-request units once the
+    // run has a service-time yardstick; before that the router falls back
+    // to its flat affinity slack.
+    double penalty = -1.0;
+    if (jobs_dispatched > 0) {
+      const double mean_service = service_seconds_sum / static_cast<double>(jobs_dispatched);
+      if (mean_service > 0.0) {
+        penalty = model_.reship_seconds(matrix_id, config_.placement.reship_bandwidth_fraction) /
+                  mean_service;
+      }
+    }
     std::vector<ChipView> views;
     views.reserve(chips.size());
     for (Chip& chip : chips) {
       ChipView view;
       view.chip = chip.id;
+      const bool allowed = !chip.crashed && chip.breaker.allows(now);
       view.health = chip.crashed
                         ? chip.health
                         : (chip.breaker.state() == CircuitBreaker::State::kOpen
                                ? HealthState::kDraining
-                               : HealthState::kHealthy);
-      view.dispatchable = !chip.crashed && chip.health != HealthState::kDead &&
-                          chip.breaker.allows(now);
+                               : (chip.health == HealthState::kRejoining
+                                      ? HealthState::kRejoining
+                                      : HealthState::kHealthy));
+      view.dispatchable = allowed && chip.health != HealthState::kDead;
       view.outstanding = chip.outstanding;
-      view.has_matrix = chip.matrices.contains(matrix_id);
+      view.has_matrix = chip.placed.contains(matrix_id);
+      view.reship_penalty = penalty;
       views.push_back(view);
     }
     const std::vector<int> excluded_list(excluded.begin(), excluded.end());
@@ -248,7 +319,6 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     ++states[static_cast<std::size_t>(request.id)].copies;
     states[static_cast<std::size_t>(request.id)].tried.insert(chip.id);
     states[static_cast<std::size_t>(request.id)].last_chip = chip.id;
-    chip.matrices.insert(request.matrix_id);
     return true;
   };
 
@@ -341,11 +411,55 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
         }
       }
 
-      const serve::JobTiming& cached = model_.timing(batch.front().matrix_id, cores);
+      const int matrix_id = batch.front().matrix_id;
+
+      // Data movement: a chip may not run a matrix it does not hold until
+      // the CSR blocks are re-shipped over the inter-chip link. The ship is
+      // charged to this job as pure-bandwidth work, the matrix becomes
+      // resident, and the chip owes `warmup_runs` cold-cache jobs on it
+      // (the freshly shipped working set has never touched the caches).
+      bool reshipped = false;
+      double reship_seconds = 0.0;
+      if (!chip.placed.contains(matrix_id)) {
+        reshipped = true;
+        reship_seconds =
+            model_.reship_seconds(matrix_id, config_.placement.reship_bandwidth_fraction);
+        const double bytes = model_.reship_bytes(matrix_id);
+        chip.placed.insert(matrix_id);
+        chip.cold_left[matrix_id] = config_.placement.warmup_runs;
+        ++chip.reships;
+        ++result.reships;
+        chip.reship_bytes += bytes;
+        result.reship_bytes += bytes;
+        reships_total.add();
+        reship_bytes_total.add(static_cast<std::uint64_t>(bytes));
+        log_event(now, "reship", chip.id,
+                  "matrix " + std::to_string(matrix_id) + " bytes " +
+                      std::to_string(static_cast<long long>(bytes)));
+      }
+
+      // Warm-up transient: jobs inside the post-ship cold window are priced
+      // by the cold-cache twin engine instead of the steady-state figure.
+      bool cold = false;
+      if (const auto cold_it = chip.cold_left.find(matrix_id);
+          cold_it != chip.cold_left.end() && cold_it->second > 0) {
+        cold = true;
+        --cold_it->second;
+        ++chip.cold_runs;
+        ++result.cold_runs;
+        cold_runs_total.add();
+      }
+
+      const serve::JobTiming& cached =
+          cold ? model_.cold_timing(matrix_id, cores) : model_.timing(matrix_id, cores);
       const auto k = static_cast<double>(batch.size());
-      const double service = cached.load_seconds + k * cached.product_seconds;
-      const double beta =
-          (cached.load_seconds + k * cached.product_seconds * cached.beta) / service;
+      const double service = reship_seconds + cached.load_seconds + k * cached.product_seconds;
+      // The re-ship and load phases are pure bandwidth (beta = 1).
+      const double beta = (reship_seconds + cached.load_seconds +
+                           k * cached.product_seconds * cached.beta) /
+                          service;
+      service_seconds_sum += service;
+      ++jobs_dispatched;
 
       std::array<bool, chip::kMemoryControllerCount> uses_mc{};
       const auto by_mc = chip::cores_by_mc(cores);
@@ -354,13 +468,18 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       }
 
       ActiveJob job;
-      job.matrix_id = batch.front().matrix_id;
+      job.matrix_id = matrix_id;
       job.cores = cores;
       job.dispatch_seconds = now;
       job.will_fail = oracle_.job_fails(chip.id, chip.job_ordinal++);
+      job.cold = cold;
+      chip.breaker.note_dispatch();  // a half-open breaker's probe job
       for (const serve::Request& request : batch) {
         job.request_ids.push_back(request.id);
-        result.records[static_cast<std::size_t>(request.id)].dispatch_seconds = now;
+        ClusterRequestRecord& record = result.records[static_cast<std::size_t>(request.id)];
+        record.dispatch_seconds = now;
+        record.reshipped = record.reshipped || reshipped;
+        record.cold = record.cold || cold;
       }
       const int job_id = next_job_id++;
       chip.tracker.add(job_id, uses_mc, beta, service);
@@ -475,6 +594,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     ++result.tile_kills;
     tile_kills_total.add();
     chip.partitioner.retire(core);
+    chip.retired_cores.insert(core);  // hardware: survives chip restarts
     // Restate the job running on the killed core (if any) to its degraded
     // timing: survivors redo the product, the repartition cost is charged
     // to the job (sim::Engine's dead-rank protocol via the service model).
@@ -526,7 +646,12 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
                     " already done");
       return;
     }
-    const serve::JobTiming& healthy = model_.timing(job.matrix_id, job.cores);
+    // Base the restatement ratio on the timing the job was actually priced
+    // with (a cold job degrades from its cold figure; the degraded timing
+    // itself stays the warm protocol -- the survivors' redo streams the
+    // matrix anyway, so the steady-state figure is the better model).
+    const serve::JobTiming& healthy = job.cold ? model_.cold_timing(job.matrix_id, job.cores)
+                                               : model_.timing(job.matrix_id, job.cores);
     const serve::JobTiming& degraded = model_.degraded_timing(job.matrix_id, job.cores, core);
     const double ratio = healthy.product_seconds > 0.0
                              ? degraded.product_seconds / healthy.product_seconds
@@ -589,19 +714,27 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       switch (timer.kind) {
         case TimerKind::kCrash: {
           Chip& chip = chips[static_cast<std::size_t>(timer.chip)];
-          if (chip.crashed) break;
+          if (chip.crashed) break;  // a crash on a dead chip changes nothing
           chip.crashed = true;
           ++result.chip_crashes;
           crashes_total.add();
           log_event(now, "chip_crash", chip.id,
                     "jobs in flight " + std::to_string(chip.active.size()));
+          // Detector timers are stamped with the chip's incarnation so a
+          // restart-before-dead race cannot evacuate the chip's next life.
           const FailureDeadlines deadlines = detection_deadlines(config_.detector, now);
-          schedule(deadlines.suspect_seconds, TimerKind::kSuspect, chip.id, -1, 0.0);
-          schedule(deadlines.dead_seconds, TimerKind::kDead, chip.id, -1, 0.0);
+          schedule(deadlines.suspect_seconds, TimerKind::kSuspect, chip.id, chip.incarnation,
+                   0.0);
+          schedule(deadlines.dead_seconds, TimerKind::kDead, chip.id, chip.incarnation, 0.0);
+          const double downtime = oracle_.restart_downtime(chip.id, chip.incarnation);
+          if (downtime > 0.0) {
+            schedule(now + downtime, TimerKind::kRestart, chip.id, -1, 0.0);
+          }
           break;
         }
         case TimerKind::kSuspect: {
           Chip& chip = chips[static_cast<std::size_t>(timer.chip)];
+          if (!chip.crashed || timer.aux != chip.incarnation) break;  // stale
           if (chip.health == HealthState::kDead) break;
           chip.health = HealthState::kSuspect;
           log_event(now, "chip_suspect", chip.id, "missed heartbeats");
@@ -609,10 +742,63 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
         }
         case TimerKind::kDead: {
           Chip& chip = chips[static_cast<std::size_t>(timer.chip)];
+          if (!chip.crashed || timer.aux != chip.incarnation) break;  // stale
           chip.health = HealthState::kDead;
           log_event(now, "chip_dead", chip.id,
                     "evacuating " + std::to_string(chip.outstanding) + " requests");
           evacuate_chip(chip);
+          break;
+        }
+        case TimerKind::kRestart: {
+          Chip& chip = chips[static_cast<std::size_t>(timer.chip)];
+          if (!chip.crashed) break;  // restarting an alive chip is moot
+          // Whatever the power cycle took with it is lost now even if the
+          // detector had not yet declared the chip dead.
+          if (chip.health != HealthState::kDead) evacuate_chip(chip);
+          chip.crashed = false;
+          ++chip.incarnation;  // invalidates stale suspect/dead timers
+          ++chip.restarts;
+          ++result.restarts;
+          restarts_total.add();
+          chip.health = HealthState::kRejoining;
+          chip.queue = serve::AdmissionQueue(config_.chip.admission);
+          chip.partitioner = serve::ChipPartitioner(config_.chip.policy, config_.chip.partition);
+          for (const int core : chip.retired_cores) chip.partitioner.retire(core);
+          chip.tracker.clear();
+          chip.breaker_trips_prior += chip.breaker.trip_count();
+          chip.breaker = CircuitBreaker(config_.breaker);
+          // Data gravity: DRAM contents did not survive the power cycle;
+          // every matrix must be re-shipped (and re-warmed) before serving.
+          chip.placed.clear();
+          chip.cold_left.clear();
+          log_event(now, "chip_restart", chip.id,
+                    "incarnation " + std::to_string(chip.incarnation) + ", probation");
+          schedule(rejoin_deadline(config_.detector, now), TimerKind::kRejoined, chip.id,
+                   chip.incarnation, 0.0);
+          break;
+        }
+        case TimerKind::kRejoined: {
+          Chip& chip = chips[static_cast<std::size_t>(timer.chip)];
+          // A chip that flapped again during probation never rejoins this
+          // incarnation; the stale timer is dropped here.
+          if (chip.crashed || timer.aux != chip.incarnation) break;
+          if (chip.health != HealthState::kRejoining) break;
+          chip.health = HealthState::kHealthy;
+          ++result.rejoins;
+          rejoins_total.add();
+          log_event(now, "chip_rejoined", chip.id, "probation passed");
+          break;
+        }
+        case TimerKind::kDomainOutage: {
+          const std::vector<int> victims =
+              domain_chips(config_.faults, timer.aux, config_.chip_count);
+          std::ostringstream detail_oss;
+          detail_oss << "domain " << timer.aux << " chips";
+          for (const int victim : victims) detail_oss << " " << victim;
+          const std::string detail = detail_oss.str();
+          ++result.domain_outages;
+          domain_outages_total.add();
+          log_event(now, "domain_outage", -1, detail);
           break;
         }
         case TimerKind::kTileKill: {
@@ -763,12 +949,18 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     summary.state = chip.crashed ? HealthState::kDead
                     : chip.breaker.state() == CircuitBreaker::State::kOpen
                         ? HealthState::kDraining
-                        : HealthState::kHealthy;
+                    : chip.health == HealthState::kRejoining ? HealthState::kRejoining
+                                                             : HealthState::kHealthy;
     summary.jobs_completed = chip.jobs_completed;
     summary.jobs_failed = chip.jobs_failed;
     summary.retired_cores = chip.partitioner.retired_core_count();
     summary.requests_completed = chip.requests_completed;
-    summary.breaker_trips = chip.breaker.trip_count();
+    summary.breaker_trips = chip.breaker_trips_prior + chip.breaker.trip_count();
+    summary.restarts = chip.restarts;
+    summary.reships = chip.reships;
+    summary.cold_runs = chip.cold_runs;
+    summary.reship_bytes = chip.reship_bytes;
+    summary.placement.assign(chip.placed.begin(), chip.placed.end());
     result.breaker_trips += summary.breaker_trips;
     result.chips.push_back(summary);
   }

@@ -15,6 +15,19 @@
 //     timing of sim::Engine's dead-rank protocol (survivors redo the
 //     product, the repartition cost is charged to the job) and the core is
 //     retired from the chip's pool;
+//   * chip re-admission -- a crashed chip powers back up after its seeded
+//     downtime (fault_plan restart policy), rejoins through the rejoining
+//     probation state, and serves its first jobs per matrix at cold-cache
+//     timing (ServiceModel::cold_timing) until the working set is
+//     re-established; tile kills stay retired across restarts (hardware);
+//   * priced data movement -- matrix placement is explicit per-chip state:
+//     a chip dispatching a matrix it does not hold first pays the re-ship
+//     of the CSR blocks over the inter-chip link (a configurable fraction
+//     of one MC's bandwidth), and the router weighs that cost against
+//     queue depth when choosing between warm and cold chips;
+//   * correlated fault domains -- power-domain outages and rack-level
+//     brownouts hit every chip of a domain at once, and flapping chips
+//     cycle through crash/rejoin repeatedly (fault_plan expansion);
 //   * memory-controller brownouts -- a bandwidth derate window on the
 //     chip's contention tracker;
 //   * transient job failures -- a seeded per-(chip, job) Bernoulli; failed
@@ -59,6 +72,21 @@ struct HedgeConfig {
   double delay_seconds = 0.02;  ///< pending-time before the second copy
 };
 
+/// Explicit matrix placement and the price of moving data between chips.
+struct PlacementConfig {
+  /// Chips initially holding each matrix (deterministic: matrix id modulo
+  /// chip count, then the next replicas-1 chips). <= 0 places every matrix
+  /// on every chip: data movement is free, the pre-recovery model.
+  int replicas = 1;
+  /// Inter-chip link bandwidth as a fraction of one memory controller's
+  /// sustainable bandwidth; re-shipping a matrix's CSR blocks to a chip
+  /// that does not hold them costs bytes / (mc_bandwidth * fraction).
+  double reship_bandwidth_fraction = 0.5;
+  /// Jobs per matrix a chip serves at cold-cache timing after the matrix is
+  /// (re-)shipped to it -- the warm-up transient of re-admitted chips.
+  int warmup_runs = 1;
+};
+
 struct ClusterConfig {
   int chip_count = 3;
   serve::ServeConfig chip;  ///< per-chip policy/admission/batching/engine
@@ -72,6 +100,7 @@ struct ClusterConfig {
   DetectorConfig detector;
   BreakerConfig breaker;
   RouterConfig router;
+  PlacementConfig placement;
 };
 
 enum class Outcome { kPending, kCompleted, kRejected, kDeadLettered };
@@ -87,6 +116,8 @@ struct ClusterRequestRecord {
   int failovers = 0;   ///< attempts that landed on a different chip
   bool hedged = false;
   bool hedge_won = false;  ///< the hedge copy finished first
+  bool reshipped = false;  ///< a serving chip had to re-ship the matrix first
+  bool cold = false;       ///< served in a chip's post-ship cold-cache window
   std::string dead_letter_reason;  ///< terminal reason when dead-lettered
   double dispatch_seconds = 0.0;
   double completion_seconds = 0.0;
@@ -100,12 +131,17 @@ struct ClusterRequestRecord {
 struct ChipSummary {
   int chip = 0;
   HealthState state = HealthState::kHealthy;
-  bool crashed = false;
+  bool crashed = false;  ///< dead at end of run (restarted chips are alive)
   int jobs_completed = 0;
   int jobs_failed = 0;
   int retired_cores = 0;
   int requests_completed = 0;
   int breaker_trips = 0;
+  int restarts = 0;   ///< times this chip powered back up
+  int reships = 0;    ///< matrices shipped to this chip during the run
+  int cold_runs = 0;  ///< jobs served at cold-cache timing
+  double reship_bytes = 0.0;
+  std::vector<int> placement;  ///< matrix ids resident at end of run, sorted
 };
 
 /// One entry of the ordered fault/recovery log.
@@ -139,6 +175,12 @@ struct ClusterResult {
   int tile_kills = 0;
   int brownouts = 0;
   int breaker_trips = 0;
+  int restarts = 0;        ///< chip power-ups (crash -> rejoining)
+  int rejoins = 0;         ///< completed probations (rejoining -> healthy)
+  int reships = 0;         ///< matrix movements between chips
+  int cold_runs = 0;       ///< jobs priced at cold-cache timing
+  int domain_outages = 0;  ///< correlated power-domain events fired
+  double reship_bytes = 0.0;
   serve::LatencySummary latency_total;
   serve::LatencySummary latency_interactive;
   serve::LatencySummary latency_batch;

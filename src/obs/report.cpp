@@ -203,7 +203,8 @@ void validate_cluster(std::vector<std::string>& problems, const Json& report) {
     for (const char* key :
          {"makespan_seconds", "throughput_rps", "completed", "rejected", "dead_lettered",
           "deadline_expired", "retries", "failovers", "hedge_wins", "breaker_trips",
-          "chip_crashes", "tile_kills", "availability"}) {
+          "chip_crashes", "tile_kills", "availability", "restarts", "rejoins", "reships",
+          "reship_bytes", "cold_runs", "domain_outages"}) {
       check_number(problems, *result, key);
     }
     const Json* latency = result->find("latency");
@@ -225,9 +226,13 @@ void validate_cluster(std::vector<std::string>& problems, const Json& report) {
       }
       check_number(problems, chip, "chip");
       check_number(problems, chip, "jobs_completed");
+      check_number(problems, chip, "reship_bytes");
       const Json* state = chip.find("state");
       require(problems, state != nullptr && state->is_string(),
               "chips entries need a string 'state'");
+      const Json* placement = chip.find("placement");
+      require(problems, placement != nullptr && placement->is_array(),
+              "chips entries need a 'placement' array");
     }
   }
   if (const Json* log = check_section(problems, report, "fault_log", Json::Type::kArray)) {

@@ -12,14 +12,14 @@
 
 namespace scc::serve {
 
-namespace {
-
 /// CSR bytes a job must ship to its partition before the first product
 /// (same formula as the engine's degraded-run re-ship accounting).
-double csr_bytes_of(const sparse::CsrMatrix& matrix) {
+double csr_stream_bytes(const sparse::CsrMatrix& matrix) {
   return static_cast<double>(matrix.rows() + 1) * sizeof(nnz_t) +
          static_cast<double>(matrix.nnz()) * (sizeof(index_t) + sizeof(real_t));
 }
+
+namespace {
 
 double load_seconds_of(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,
                        const sim::Engine& engine) {
@@ -29,7 +29,7 @@ double load_seconds_of(const sparse::CsrMatrix& matrix, const std::vector<int>& 
   for (const auto& group : chip::cores_by_mc(cores)) {
     if (!group.empty()) ++mcs_used;
   }
-  return csr_bytes_of(matrix) /
+  return csr_stream_bytes(matrix) /
          (engine.mc_bandwidth_bytes_per_second() * static_cast<double>(mcs_used));
 }
 
@@ -62,9 +62,19 @@ const testbed::SuiteEntry& MatrixPool::entry(int id) {
   return entries_.emplace(id, testbed::build_entry(id, scale_)).first->second;
 }
 
+namespace {
+
+sim::EngineConfig cold_config(sim::EngineConfig config) {
+  config.measure_steady_state = false;
+  return config;
+}
+
+}  // namespace
+
 ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool)
-    : engine_(config), pool_(pool) {
+    : engine_(config), cold_engine_(cold_config(config)), pool_(pool) {
   engine_.attach_run_cache(pool.run_cache());
+  cold_engine_.attach_run_cache(pool.run_cache());
 }
 
 sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_core) {
@@ -90,7 +100,7 @@ sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_co
 }
 
 const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cores) {
-  const auto key = std::make_tuple(matrix_id, cores, -1);
+  const auto key = std::make_tuple(matrix_id, cores, -1, false);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
@@ -104,10 +114,36 @@ const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cor
   return cache_.emplace(key, timing).first->second;
 }
 
+const JobTiming& ServiceModel::cold_timing(int matrix_id, const std::vector<int>& cores) {
+  const auto key = std::make_tuple(matrix_id, cores, -1, true);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
+  const sim::RunResult result = cold_engine_.run(entry.matrix, job_spec(cores));
+
+  JobTiming timing;
+  timing.product_seconds = result.seconds;
+  timing.load_seconds = load_seconds_of(entry.matrix, cores, cold_engine_);
+  timing.beta = beta_of(result, result.seconds);
+  return cache_.emplace(key, timing).first->second;
+}
+
+double ServiceModel::reship_bytes(int matrix_id) {
+  return csr_stream_bytes(pool_.entry(matrix_id).matrix);
+}
+
+double ServiceModel::reship_seconds(int matrix_id, double link_bandwidth_fraction) {
+  SCC_REQUIRE(link_bandwidth_fraction > 0.0,
+              "reship link bandwidth fraction must be positive");
+  return reship_bytes(matrix_id) /
+         (engine_.mc_bandwidth_bytes_per_second() * link_bandwidth_fraction);
+}
+
 const JobTiming& ServiceModel::degraded_timing(int matrix_id, const std::vector<int>& cores,
                                                int killed_core) {
   SCC_REQUIRE(cores.size() >= 2, "a one-core job cannot survive its only tile");
-  const auto key = std::make_tuple(matrix_id, cores, killed_core);
+  const auto key = std::make_tuple(matrix_id, cores, killed_core, false);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 

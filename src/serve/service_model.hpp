@@ -45,6 +45,11 @@ class MatrixPool {
   sim::RunCache run_cache_;
 };
 
+/// CSR bytes a matrix occupies on the wire (rowptr + column indices +
+/// values) -- the unit of both the per-job load phase and the cluster
+/// layer's inter-chip re-ship pricing.
+double csr_stream_bytes(const sparse::CsrMatrix& matrix);
+
 /// Isolated (contention-free) timing of one job on one core partition.
 struct JobTiming {
   double load_seconds = 0.0;     ///< CSR distribute/load, paid once per job
@@ -65,6 +70,24 @@ class ServiceModel {
   /// Healthy timing of `matrix_id` on `cores` (memoized).
   const JobTiming& timing(int matrix_id, const std::vector<int>& cores);
 
+  /// Cold-cache timing of the same job: the product is priced by a twin
+  /// engine configured with measure_steady_state = false, so the run pays
+  /// compulsory misses instead of the steady-state warm figure. This is the
+  /// warm-up transient a re-admitted chip serves until its working set is
+  /// re-established. Memoized like timing(); the cold engine shares the
+  /// pool's RunCache (sim::RunKey keys measure_steady_state, so cold and
+  /// warm entries never collide).
+  const JobTiming& cold_timing(int matrix_id, const std::vector<int>& cores);
+
+  /// CSR bytes of `matrix_id` as shipped between chips.
+  double reship_bytes(int matrix_id);
+
+  /// Time to re-ship `matrix_id`'s CSR blocks to a chip that does not hold
+  /// them, through an inter-chip link modeled as `link_bandwidth_fraction`
+  /// of one memory controller's sustainable bandwidth (the same bandwidth
+  /// model the contention tracker prices against).
+  double reship_seconds(int matrix_id, double link_bandwidth_fraction);
+
   /// Timing after `killed_core` (a member of `cores`, which must have at
   /// least two) dies mid-job: the survivors redo the whole product under
   /// sim::Engine's degraded protocol and the job is charged the
@@ -82,9 +105,10 @@ class ServiceModel {
 
  private:
   sim::Engine engine_;
+  sim::Engine cold_engine_;  ///< same config, measure_steady_state = false
   MatrixPool& pool_;
-  /// Key: (matrix, core set, killed core or -1 for healthy).
-  std::map<std::tuple<int, std::vector<int>, int>, JobTiming> cache_;
+  /// Key: (matrix, core set, killed core or -1 for healthy, cold caches).
+  std::map<std::tuple<int, std::vector<int>, int, bool>, JobTiming> cache_;
 };
 
 }  // namespace scc::serve

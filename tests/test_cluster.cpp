@@ -7,9 +7,12 @@
 // crashes where the failover-off baseline loses requests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/fault_plan.hpp"
@@ -18,6 +21,7 @@
 #include "cluster/router.hpp"
 #include "cluster/simulator.hpp"
 #include "obs/report.hpp"
+#include "scc/topology.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/simulator.hpp"
 
@@ -44,16 +48,86 @@ serve::WorkloadSpec relaxed(serve::WorkloadSpec spec) {
 
 // --- fault oracle ---
 
-TEST(ClusterFaultOracle, ExplicitCrashesKeepEarliestPerChip) {
+TEST(ClusterFaultOracle, ExplicitCrashesKeepEveryEventSortedByTime) {
+  // Re-admission makes repeat crashes on one chip meaningful (crash ->
+  // restart -> crash again), so the oracle keeps every in-range event
+  // instead of deduplicating to the earliest per chip.
   FaultPlan plan;
   plan.chip_crashes = {{1, 0.5}, {0, 0.2}, {1, 0.1}, {7, 0.3}};
   const FaultOracle oracle(plan);
   const auto crashes = oracle.crashes(/*chip_count=*/4);  // chip 7 out of range
-  ASSERT_EQ(crashes.size(), 2u);
+  ASSERT_EQ(crashes.size(), 3u);
   EXPECT_EQ(crashes[0].chip, 1);
   EXPECT_DOUBLE_EQ(crashes[0].seconds, 0.1);
   EXPECT_EQ(crashes[1].chip, 0);
   EXPECT_DOUBLE_EQ(crashes[1].seconds, 0.2);
+  EXPECT_EQ(crashes[2].chip, 1);
+  EXPECT_DOUBLE_EQ(crashes[2].seconds, 0.5);
+}
+
+TEST(ClusterFaultOracle, FlapsExpandToPeriodicCrashes) {
+  FaultPlan plan;
+  plan.chip_flaps = {{/*chip=*/2, /*start_seconds=*/0.1, /*cycles=*/3,
+                      /*period_seconds=*/0.05}};
+  const FaultOracle oracle(plan);
+  const auto crashes = oracle.crashes(4);
+  ASSERT_EQ(crashes.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(crashes[k].chip, 2);
+    EXPECT_DOUBLE_EQ(crashes[k].seconds, 0.1 + static_cast<double>(k) * 0.05);
+  }
+}
+
+TEST(ClusterFaultOracle, DomainEventsExpandToEveryChipOfTheDomain) {
+  FaultPlan plan;
+  plan.chips_per_domain = 2;
+  plan.domain_outages = {{/*domain=*/1, /*seconds=*/0.3}};
+  plan.domain_brownouts = {{/*domain=*/0, 0.1, 0.2, /*derate=*/3.0}};
+
+  EXPECT_EQ(domain_chips(plan, 1, /*chip_count=*/6), (std::vector<int>{2, 3}));
+  EXPECT_EQ(domain_chips(plan, 0, 3), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(domain_chips(plan, 5, 6).empty());  // out of range
+
+  const FaultOracle oracle(plan);
+  const auto crashes = oracle.crashes(6);
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0].chip, 2);
+  EXPECT_EQ(crashes[1].chip, 3);
+  EXPECT_DOUBLE_EQ(crashes[0].seconds, 0.3);
+  EXPECT_DOUBLE_EQ(crashes[1].seconds, 0.3);
+
+  // The rack brownout derates every MC of chips 0 and 1.
+  const auto windows = oracle.brownout_windows(6);
+  ASSERT_EQ(windows.size(), 2u * chip::kMemoryControllerCount);
+  std::set<std::pair<int, int>> sites;
+  for (const auto& w : windows) {
+    sites.insert({w.chip, w.mc});
+    EXPECT_DOUBLE_EQ(w.start_seconds, 0.1);
+    EXPECT_DOUBLE_EQ(w.duration_seconds, 0.2);
+    EXPECT_DOUBLE_EQ(w.derate, 3.0);
+  }
+  EXPECT_EQ(sites.size(), windows.size());  // every (chip, mc) distinct
+  for (const auto& [site_chip, site_mc] : sites) {
+    EXPECT_TRUE(site_chip == 0 || site_chip == 1);
+    EXPECT_GE(site_mc, 0);
+    EXPECT_LT(site_mc, chip::kMemoryControllerCount);
+  }
+}
+
+TEST(ClusterFaultOracle, RestartDowntimeIsSeededAndJittered) {
+  FaultPlan plan;
+  EXPECT_LE(FaultOracle(plan).restart_downtime(0, 0), 0.0);  // no re-admission
+
+  plan.restart_downtime_seconds = 0.1;
+  plan.restart_jitter_fraction = 0.5;
+  const FaultOracle oracle(plan);
+  const double first = oracle.restart_downtime(3, 0);
+  EXPECT_GE(first, 0.1);
+  EXPECT_LT(first, 0.15);
+  EXPECT_EQ(oracle.restart_downtime(3, 0), first);           // pure
+  EXPECT_NE(oracle.restart_downtime(3, 1), first);           // per incarnation
+  EXPECT_NE(oracle.restart_downtime(4, 0), first);           // per chip
+  EXPECT_EQ(FaultOracle(plan).restart_downtime(3, 0), first);  // seeded
 }
 
 TEST(ClusterFaultOracle, StochasticDrawsAreSeededAndOrderFree) {
@@ -140,6 +214,62 @@ TEST(ClusterHealth, BreakerTripsAfterConsecutiveFailuresAndProbes) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
+TEST(ClusterHealth, RejoinDeadlinesQuantizeToHeartbeats) {
+  DetectorConfig config;
+  config.heartbeat_seconds = 0.01;
+  config.rejoin_after_beats = 2;
+  // Restart at 0.034: first beat at 0.04, second (promoting) beat at 0.05.
+  EXPECT_DOUBLE_EQ(rejoin_deadline(config, 0.034), 0.05);
+  // Restart exactly on a beat boundary: the first beat is strictly after.
+  EXPECT_DOUBLE_EQ(rejoin_deadline(config, 0.03), 0.05);
+  config.rejoin_after_beats = 1;
+  EXPECT_DOUBLE_EQ(rejoin_deadline(config, 0.034), 0.04);
+  // Promotion can never precede the restart.
+  EXPECT_GT(rejoin_deadline(config, 0.0399), 0.0399);
+  config.rejoin_after_beats = 0;
+  EXPECT_THROW(rejoin_deadline(config, 0.0), std::invalid_argument);
+}
+
+TEST(ClusterHealth, HalfOpenAdmitsExactlyOneProbe) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_seconds = 1.0;
+  CircuitBreaker breaker(config);
+  breaker.on_failure(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  ASSERT_TRUE(breaker.allows(1.5));  // cooldown over: half-open, probe slot free
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.probe_in_flight());
+  breaker.note_dispatch();  // the probe job goes out
+  EXPECT_TRUE(breaker.probe_in_flight());
+  // No second job while the probe's verdict is pending.
+  EXPECT_FALSE(breaker.allows(1.6));
+  EXPECT_FALSE(breaker.allows(100.0));
+
+  breaker.on_success();  // probe verdict: close and clear the slot
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.probe_in_flight());
+  EXPECT_TRUE(breaker.allows(1.7));
+
+  // Failed probe re-opens and clears the in-flight flag for the next probe.
+  breaker.on_failure(2.0);
+  ASSERT_TRUE(breaker.allows(3.5));
+  breaker.note_dispatch();
+  breaker.on_failure(3.6);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.probe_in_flight());
+  EXPECT_TRUE(breaker.allows(4.8));  // next cooldown: probe slot free again
+  EXPECT_FALSE(breaker.probe_in_flight());
+
+  // note_dispatch outside half-open never claims a probe slot.
+  breaker.on_success();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.note_dispatch();
+  EXPECT_FALSE(breaker.probe_in_flight());
+  EXPECT_TRUE(breaker.allows(5.0));
+}
+
 // --- router ---
 
 ChipView view(int chip, HealthState health, int outstanding, bool has_matrix) {
@@ -192,6 +322,45 @@ TEST(ClusterRouter, AvoidsSuspectDrainingAndDeadChips) {
                    view(1, HealthState::kDead, 0, false)},
                   {}, RouterConfig{}),
             -1);
+}
+
+TEST(ClusterRouter, RejoiningChipsAreLastResortLikeSuspects) {
+  // A chip on probation only wins when no fully healthy chip remains.
+  EXPECT_EQ(route({view(0, HealthState::kRejoining, 0, true),
+                   view(1, HealthState::kHealthy, 9, false)},
+                  {}, RouterConfig{}),
+            1);
+  EXPECT_EQ(route({view(0, HealthState::kRejoining, 0, true),
+                   view(1, HealthState::kDead, 0, false)},
+                  {}, RouterConfig{}),
+            0);
+}
+
+ChipView priced(int chip, int outstanding, bool has_matrix, double penalty) {
+  ChipView v = view(chip, HealthState::kHealthy, outstanding, has_matrix);
+  v.reship_penalty = penalty;
+  return v;
+}
+
+TEST(ClusterRouter, PricedReshipWeighsWarmBusyAgainstColdIdleChips) {
+  // Warm chip 3 requests deep vs idle cold chip whose re-ship costs the
+  // equivalent of 5 queued requests: staying warm wins (3 < 0 + 5)...
+  EXPECT_EQ(route({priced(0, 3, true, 5.0), priced(1, 0, false, 5.0)}, {},
+                  RouterConfig{}),
+            0);
+  // ...but a cheap ship (1 request-equivalent) makes the idle chip win.
+  EXPECT_EQ(route({priced(0, 3, true, 1.0), priced(1, 0, false, 1.0)}, {},
+                  RouterConfig{}),
+            1);
+  // Equal scores tie-break toward the chip already holding the matrix.
+  EXPECT_EQ(route({priced(0, 2, true, 2.0), priced(1, 0, false, 2.0)}, {},
+                  RouterConfig{}),
+            0);
+  // The penalty is only charged to chips that must ship: two cold chips
+  // with equal penalties reduce to least-outstanding.
+  EXPECT_EQ(route({priced(0, 4, false, 3.0), priced(1, 1, false, 3.0)}, {},
+                  RouterConfig{}),
+            1);
 }
 
 // --- simulator ---
@@ -503,6 +672,376 @@ TEST(ClusterSimulator, StochasticChaosConservesEveryRequest) {
   EXPECT_GE(result.availability, 0.0);
   EXPECT_LE(result.availability, 1.0);
   EXPECT_LE(result.hedge_wins, result.hedges);
+}
+
+// --- re-admission, placement, correlated domains ---
+
+int count_kind(const ClusterResult& result, const std::string& kind) {
+  int count = 0;
+  for (const auto& event : result.log) count += event.kind == kind ? 1 : 0;
+  return count;
+}
+
+/// First log time of `kind`, or -1 when absent.
+double first_time(const ClusterResult& result, const std::string& kind) {
+  for (const auto& event : result.log) {
+    if (event.kind == kind) return event.seconds;
+  }
+  return -1.0;
+}
+
+/// Clean two-chip makespan for self-calibrating fault placement: every
+/// recovery test scales its detector and fault times off this, so the
+/// assertions hold at any SCC_TESTBED_SCALE.
+double clean_makespan(serve::MatrixPool& pool, int chips, int requests) {
+  ClusterConfig config;
+  config.chip_count = chips;
+  ClusterSimulator simulator(config, pool);
+  return simulator.run(burst(requests)).makespan_seconds;
+}
+
+TEST(ClusterSimulator, RestartedChipRejoinsServesColdThenConverges) {
+  serve::MatrixPool pool(kTestScale);
+  const double mk = clean_makespan(pool, 2, 120);
+  ASSERT_GT(mk, 0.0);
+
+  // Paced arrivals over ~1.5x the two-chip burst makespan: the stream is
+  // still flowing when the chip rejoins (a pure burst would already be
+  // queued elsewhere), and one chip alone cannot keep up, so the rejoined
+  // chip must actually take traffic again.
+  const double span = 1.5 * mk;
+  serve::WorkloadSpec spec = relaxed(small_workload(120, 120.0 / span));
+  const auto requests = serve::generate_workload(spec);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  config.detector.heartbeat_seconds = mk / 50.0;  // deadlines scale with load
+  config.faults.chip_crashes = {{0, span * 0.3}};
+  config.faults.restart_downtime_seconds = span * 0.2;  // restart after "dead"
+  config.faults.restart_jitter_fraction = 0.25;
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  // Full lifecycle in order: crash -> suspect -> dead -> restart -> rejoined.
+  const double crash_t = first_time(result, "chip_crash");
+  const double suspect_t = first_time(result, "chip_suspect");
+  const double dead_t = first_time(result, "chip_dead");
+  const double restart_t = first_time(result, "chip_restart");
+  const double rejoin_t = first_time(result, "chip_rejoined");
+  ASSERT_GE(crash_t, 0.0);
+  ASSERT_GE(restart_t, 0.0);
+  ASSERT_GE(rejoin_t, 0.0);
+  EXPECT_LT(crash_t, suspect_t);
+  EXPECT_LT(suspect_t, dead_t);
+  EXPECT_LT(dead_t, restart_t);
+  EXPECT_LT(restart_t, rejoin_t);
+
+  EXPECT_EQ(result.restarts, 1);
+  EXPECT_EQ(result.rejoins, 1);
+  ASSERT_EQ(result.chips.size(), 2u);
+  EXPECT_FALSE(result.chips[0].crashed);  // back in service at end of run
+  EXPECT_EQ(result.chips[0].state, HealthState::kHealthy);
+  EXPECT_EQ(result.chips[0].restarts, 1);
+
+  // The restart dropped chip 0's placement, so serving it again re-ships
+  // matrices and pays the cold-cache warm-up transient.
+  EXPECT_GT(result.reships, 0);
+  EXPECT_GT(result.reship_bytes, 0.0);
+  EXPECT_GT(result.cold_runs, 0);
+  int served_after_rejoin = 0;
+  for (const auto& record : result.records) {
+    if (record.outcome == Outcome::kCompleted && record.chip == 0 &&
+        record.dispatch_seconds >= restart_t) {
+      ++served_after_rejoin;
+    }
+  }
+  EXPECT_GT(served_after_rejoin, 0);
+
+  // Conservation with zero loss: generous SLOs and failover recover it all.
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 120);
+}
+
+TEST(ClusterSimulator, RestartBeforeDeadEvacuatesWithoutDeclaringDeath) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(100);
+  const double mk = clean_makespan(pool, 2, 100);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  const double hb = mk / 50.0;
+  config.detector.heartbeat_seconds = hb;
+  const double crash_at = mk * 0.25;
+  config.faults.chip_crashes = {{0, crash_at}};
+  // Restart lands between the suspect (~2 beats) and dead (~4 beats)
+  // deadlines: the chip comes back before the detector buries it, yet its
+  // lost work must still be evacuated exactly once.
+  config.faults.chip_restarts = {{0, crash_at + 3.0 * hb}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_EQ(count_kind(result, "chip_crash"), 1);
+  EXPECT_EQ(count_kind(result, "chip_dead"), 0);  // never declared dead
+  EXPECT_EQ(result.restarts, 1);
+  EXPECT_EQ(result.rejoins, 1);
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 100);
+  EXPECT_EQ(result.chips[0].state, HealthState::kHealthy);
+}
+
+TEST(ClusterSimulator, CrashDuringProbationSuppressesRejoin) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(120);
+  const double mk = clean_makespan(pool, 2, 120);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  const double hb = mk / 50.0;
+  config.detector.heartbeat_seconds = hb;
+  const double first_crash = mk * 0.2;
+  const double first_restart = first_crash + 10.0 * hb;  // well past "dead"
+  // Second crash one beat after the restart: inside the two-beat probation
+  // window, so the pending rejoin must be discarded, not fired.
+  const double second_crash = first_restart + 1.0 * hb;
+  const double second_restart = second_crash + 10.0 * hb;
+  config.faults.chip_crashes = {{0, first_crash}, {0, second_crash}};
+  config.faults.chip_restarts = {{0, first_restart}, {0, second_restart}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_EQ(result.chip_crashes, 2);
+  EXPECT_EQ(result.restarts, 2);
+  EXPECT_EQ(result.rejoins, 1);  // only the second probation completes
+  EXPECT_EQ(count_kind(result, "chip_rejoined"), 1);
+  EXPECT_GT(first_time(result, "chip_rejoined"), second_restart);
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 120);
+  EXPECT_EQ(result.chips[0].restarts, 2);
+}
+
+TEST(ClusterSimulator, FlappingChipSurvivesRepeatedCrashRejoinCycles) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(120);
+  const double mk = clean_makespan(pool, 2, 120);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  config.detector.heartbeat_seconds = mk / 50.0;
+  config.faults.chip_flaps = {{/*chip=*/0, /*start=*/mk * 0.15, /*cycles=*/3,
+                               /*period=*/mk * 0.15}};
+  config.faults.restart_downtime_seconds = mk * 0.05;
+  config.faults.restart_jitter_fraction = 0.0;
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  // Every flap cycle lands on a live chip (downtime < period), so each one
+  // crashes and each crash schedules a restart.
+  EXPECT_EQ(result.chip_crashes, 3);
+  EXPECT_EQ(result.restarts, 3);
+  EXPECT_GE(result.rejoins, 1);
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 120);
+}
+
+TEST(ClusterSimulator, DomainOutageKillsTheWholeDomainConservationHolds) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(80);
+  const double mk = clean_makespan(pool, 4, 80);
+
+  ClusterConfig config;
+  config.chip_count = 4;
+  config.faults.chips_per_domain = 2;
+  config.faults.domain_outages = {{/*domain=*/0, mk * 0.3}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  EXPECT_EQ(result.domain_outages, 1);
+  EXPECT_EQ(result.chip_crashes, 2);  // chips 0 and 1, same instant
+  EXPECT_EQ(count_kind(result, "domain_outage"), 1);
+  ASSERT_EQ(result.chips.size(), 4u);
+  EXPECT_TRUE(result.chips[0].crashed);
+  EXPECT_TRUE(result.chips[1].crashed);
+  EXPECT_FALSE(result.chips[2].crashed);
+  EXPECT_FALSE(result.chips[3].crashed);
+  // The domain marker logs before its per-chip crashes, with no chip id.
+  for (const auto& event : result.log) {
+    if (event.kind != "domain_outage") continue;
+    EXPECT_EQ(event.chip, -1);
+    EXPECT_NE(event.detail.find("chips 0 1"), std::string::npos) << event.detail;
+  }
+  EXPECT_LE(first_time(result, "domain_outage"), first_time(result, "chip_crash"));
+  // Half the fleet died at once and nothing was lost.
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 80);
+}
+
+TEST(ClusterSimulator, PlacementPricesReshipAndFreeModeDoesNot) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(60);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  ClusterSimulator priced_sim(config, pool);
+  const auto priced = priced_sim.run(requests);
+
+  // Default single-replica placement splits the pool across the two chips,
+  // so load balancing must ship matrices and pay cold warm-up runs.
+  EXPECT_GT(priced.reships, 0);
+  EXPECT_GT(priced.reship_bytes, 0.0);
+  EXPECT_GT(priced.cold_runs, 0);
+  EXPECT_EQ(count_kind(priced, "reship"), priced.reships);
+  int reshipped_records = 0, cold_records = 0;
+  for (const auto& record : priced.records) {
+    reshipped_records += record.reshipped ? 1 : 0;
+    cold_records += record.cold ? 1 : 0;
+  }
+  EXPECT_GT(reshipped_records, 0);
+  EXPECT_GE(cold_records, reshipped_records);  // warm-up covers >= the ship run
+  int chip_reships = 0, chip_cold = 0;
+  double chip_bytes = 0.0;
+  for (const auto& chip : priced.chips) {
+    chip_reships += chip.reships;
+    chip_cold += chip.cold_runs;
+    chip_bytes += chip.reship_bytes;
+    // Resident sets grew monotonically from the initial split: sorted ids.
+    EXPECT_FALSE(chip.placement.empty());
+    EXPECT_TRUE(std::is_sorted(chip.placement.begin(), chip.placement.end()));
+  }
+  EXPECT_EQ(chip_reships, priced.reships);
+  EXPECT_EQ(chip_cold, priced.cold_runs);
+  EXPECT_DOUBLE_EQ(chip_bytes, priced.reship_bytes);
+
+  // replicas <= 0 is the legacy free-data model: everything everywhere.
+  config.placement.replicas = 0;
+  ClusterSimulator free_sim(config, pool);
+  const auto free_model = free_sim.run(requests);
+  EXPECT_EQ(free_model.reships, 0);
+  EXPECT_EQ(free_model.cold_runs, 0);
+  EXPECT_EQ(free_model.reship_bytes, 0.0);
+  for (const auto& record : free_model.records) {
+    EXPECT_FALSE(record.reshipped);
+    EXPECT_FALSE(record.cold);
+  }
+  EXPECT_EQ(free_model.completed + free_model.rejected, 60);
+  EXPECT_EQ(priced.completed + priced.rejected, 60);
+}
+
+TEST(ClusterSimulator, RecoveryReplayIsByteIdenticalAcrossThreadsAndCache) {
+  const auto requests = burst(100);
+
+  // One scenario exercising everything at once: a lone crash with automatic
+  // re-admission, a correlated domain outage, priced re-ship, cold runs.
+  const auto scenario = [&](double mk) {
+    ClusterConfig config;
+    config.chip_count = 3;
+    config.detector.heartbeat_seconds = mk / 50.0;
+    config.faults.chips_per_domain = 2;
+    config.faults.chip_crashes = {{2, mk * 0.2}};
+    config.faults.domain_outages = {{0, mk * 0.5}};
+    config.faults.restart_downtime_seconds = mk * 0.15;
+    config.faults.job_failure_rate = 0.05;
+    return config;
+  };
+
+  struct Replay {
+    std::vector<std::string> log;
+    double makespan = 0.0;
+    int completed = 0, restarts = 0, rejoins = 0, reships = 0, cold_runs = 0;
+  };
+  const auto run_once = [&](int threads, bool run_cache) {
+    setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    serve::MatrixPool pool(kTestScale, run_cache);
+    const double mk = clean_makespan(pool, 3, 100);
+    ClusterSimulator simulator(scenario(mk), pool);
+    const auto result = simulator.run(requests);
+    unsetenv("SCC_SIM_THREADS");
+    Replay replay;
+    for (const auto& event : result.log) replay.log.push_back(describe(event));
+    replay.makespan = result.makespan_seconds;
+    replay.completed = result.completed;
+    replay.restarts = result.restarts;
+    replay.rejoins = result.rejoins;
+    replay.reships = result.reships;
+    replay.cold_runs = result.cold_runs;
+    return replay;
+  };
+
+  const Replay base = run_once(1, true);
+  EXPECT_GT(base.restarts, 0);  // scenario actually exercises re-admission
+  EXPECT_GT(base.reships, 0);
+  for (const auto& [threads, cache] :
+       std::vector<std::pair<int, bool>>{{1, false}, {4, true}, {4, false}}) {
+    const Replay other = run_once(threads, cache);
+    ASSERT_EQ(other.log.size(), base.log.size()) << threads << " " << cache;
+    for (std::size_t i = 0; i < base.log.size(); ++i) {
+      EXPECT_EQ(other.log[i], base.log[i]) << i;
+    }
+    EXPECT_EQ(other.makespan, base.makespan);
+    EXPECT_EQ(other.completed, base.completed);
+    EXPECT_EQ(other.restarts, base.restarts);
+    EXPECT_EQ(other.rejoins, base.rejoins);
+    EXPECT_EQ(other.reships, base.reships);
+    EXPECT_EQ(other.cold_runs, base.cold_runs);
+  }
+}
+
+// --- fault plan JSON scenarios ---
+
+TEST(ClusterFaultPlanJson, ParsesKnobsAndEveryEventKind) {
+  const std::string text = R"({
+    "seed": 9, "chips_per_domain": 2, "restart_downtime_seconds": 0.05,
+    "restart_jitter_fraction": 0.25, "crash_rate": 0.1,
+    "crash_horizon_seconds": 0.5, "job_failure_rate": 0.2,
+    "events": [
+      {"kind": "chip_crash", "chip": 1, "seconds": 0.1},
+      {"kind": "chip_restart", "chip": 1, "seconds": 0.2},
+      {"kind": "chip_flap", "chip": 0, "seconds": 0.3, "cycles": 3,
+       "period_seconds": 0.05},
+      {"kind": "tile_kill", "chip": 2, "core": 7, "seconds": 0.15},
+      {"kind": "brownout", "chip": 0, "mc": 1, "seconds": 0.05,
+       "duration_seconds": 0.1, "derate": 2.5},
+      {"kind": "domain_outage", "domain": 1, "seconds": 0.4},
+      {"kind": "domain_brownout", "domain": 0, "seconds": 0.2,
+       "duration_seconds": 0.1, "derate": 3.0}
+    ]})";
+  const FaultPlan plan = parse_fault_plan_json(text);
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_EQ(plan.chips_per_domain, 2);
+  EXPECT_DOUBLE_EQ(plan.restart_downtime_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(plan.restart_jitter_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(plan.crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan.crash_horizon_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(plan.job_failure_rate, 0.2);
+  ASSERT_EQ(plan.chip_crashes.size(), 1u);
+  EXPECT_EQ(plan.chip_crashes[0].chip, 1);
+  ASSERT_EQ(plan.chip_restarts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.chip_restarts[0].seconds, 0.2);
+  ASSERT_EQ(plan.chip_flaps.size(), 1u);
+  EXPECT_EQ(plan.chip_flaps[0].cycles, 3);
+  EXPECT_DOUBLE_EQ(plan.chip_flaps[0].period_seconds, 0.05);
+  ASSERT_EQ(plan.tile_kills.size(), 1u);
+  EXPECT_EQ(plan.tile_kills[0].core, 7);
+  ASSERT_EQ(plan.brownouts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.brownouts[0].derate, 2.5);
+  ASSERT_EQ(plan.domain_outages.size(), 1u);
+  EXPECT_EQ(plan.domain_outages[0].domain, 1);
+  ASSERT_EQ(plan.domain_brownouts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.domain_brownouts[0].derate, 3.0);
+}
+
+TEST(ClusterFaultPlanJson, RejectsMalformedScenarios) {
+  EXPECT_THROW(parse_fault_plan_json("not json"), std::exception);
+  EXPECT_THROW(parse_fault_plan_json("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan_json(R"({"events": [{"chip": 1}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan_json(R"({"events": [{"kind": "nope", "seconds": 1}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_fault_plan_json(R"({"events": [{"kind": "chip_crash", "chip": 0}]})"),
+      std::invalid_argument);
+  // Values are validated through the oracle's own plan checks.
+  EXPECT_THROW(parse_fault_plan_json(R"({"crash_rate": 2.0})"), std::invalid_argument);
+  EXPECT_THROW(load_fault_plan_file("/nonexistent/plan.json"), std::invalid_argument);
 }
 
 }  // namespace

@@ -201,5 +201,66 @@ TEST(RunCache, DegradedRunsMemoizeUnderTheirOwnKey) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+TEST(RunCache, DegradedRunNeverServedFromHealthyEntryEitherOrder) {
+  // Regression guard for the cluster's failover path: a request restated to
+  // the degraded dead-rank protocol must never be answered from the healthy
+  // run's cache entry (nor vice versa), regardless of which was run first.
+  const auto m = test_matrix();
+  RunSpec healthy;
+  healthy.ue_count = 4;
+  RunSpec degraded = healthy;
+  degraded.dead_ranks = {1, 3};
+
+  const Engine plain;
+  const RunResult healthy_truth = plain.run(m, healthy);
+  const RunResult degraded_truth = plain.run(m, degraded);
+  ASSERT_NE(healthy_truth.seconds, degraded_truth.seconds);
+
+  for (const bool healthy_first : {true, false}) {
+    Engine engine;
+    RunCache cache;
+    engine.attach_run_cache(&cache);
+    const RunResult first =
+        engine.run(m, healthy_first ? healthy : degraded);
+    const RunResult second =
+        engine.run(m, healthy_first ? degraded : healthy);
+    EXPECT_EQ(cache.misses(), 2u) << "order healthy_first=" << healthy_first;
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ((healthy_first ? first : second).seconds, healthy_truth.seconds);
+    EXPECT_EQ((healthy_first ? second : first).seconds, degraded_truth.seconds);
+  }
+}
+
+TEST(RunCache, ColdAndSteadyStateEnginesShareACacheWithoutCollisions) {
+  // The cluster's warm-up transient prices first-touch jobs through a second
+  // cold-cache engine that shares the pool's RunCache with the steady-state
+  // engine; measure_steady_state is part of the key, so the two populations
+  // must coexist with no cross-talk.
+  const auto m = test_matrix();
+  EngineConfig warm_config;
+  EngineConfig cold_config;
+  cold_config.measure_steady_state = false;
+
+  RunCache cache;
+  Engine warm(warm_config);
+  Engine cold(cold_config);
+  warm.attach_run_cache(&cache);
+  cold.attach_run_cache(&cache);
+
+  RunSpec spec;
+  spec.ue_count = 6;
+  const RunResult w = warm.run(m, spec);
+  const RunResult c = cold.run(m, spec);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  // A cold first traversal is strictly slower than the steady-state window.
+  EXPECT_GT(c.seconds, w.seconds);
+  // Replays hit their own entries bit-exactly.
+  EXPECT_EQ(warm.run(m, spec).seconds, w.seconds);
+  EXPECT_EQ(cold.run(m, spec).seconds, c.seconds);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
 }  // namespace
 }  // namespace scc::sim

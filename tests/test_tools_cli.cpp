@@ -376,6 +376,69 @@ TEST(CliCluster, BadFaultSpecsRejected) {
   EXPECT_EQ(run_cli(make({"cluster", "--chips=0"}), out3, err3), 1);
 }
 
+TEST(CliCluster, FaultPlanFileDrivesRecoveryScenarioDeterministically) {
+  const std::string plan_path = temp_path("cli_fault_plan.json");
+  {
+    std::ofstream plan(plan_path);
+    plan << R"({
+      "seed": 99, "chips_per_domain": 2,
+      "restart_downtime_seconds": 0.004, "restart_jitter_fraction": 0.25,
+      "events": [
+        {"kind": "chip_crash", "chip": 1, "seconds": 0.004},
+        {"kind": "domain_outage", "domain": 1, "seconds": 0.012}
+      ]})";
+  }
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  const auto run_once = [&]() {
+    std::ostringstream out, err;
+    const std::string plan_arg = "--fault-plan=" + plan_path;
+    EXPECT_EQ(run_cli(make({"cluster", "--chips=4", "--requests=80", "--load=3000",
+                            plan_arg.c_str(), "--json"}),
+                      out, err),
+              0)
+        << err.str();
+    return out.str();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  unsetenv("SCC_TESTBED_SCALE");
+  EXPECT_EQ(a, b);  // file-driven scenarios replay byte for byte
+
+  const auto doc = obs::Json::parse(a);
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  // The file's knobs made it through: the crashed chip restarts, and the
+  // domain outage took both chips of domain 1 down.
+  EXPECT_EQ(doc.at("config").at("chips_per_domain").as_int(), 2);
+  EXPECT_EQ(doc.at("config").at("fault_seed").as_int(), 99);
+  EXPECT_GE(doc.at("result").at("restarts").as_int(), 1);
+  EXPECT_EQ(doc.at("result").at("domain_outages").as_int(), 1);
+  bool saw_restart = false, saw_outage = false;
+  const obs::Json& log = doc.at("fault_log");
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const std::string& kind = log.at(i).at("kind").as_string();
+    saw_restart = saw_restart || kind == "chip_restart";
+    saw_outage = saw_outage || kind == "domain_outage";
+  }
+  EXPECT_TRUE(saw_restart);
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(CliCluster, FaultPlanFileErrorsRejected) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(make({"cluster", "--fault-plan=/nonexistent/plan.json"}), out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+
+  const std::string bad_path = temp_path("cli_bad_plan.json");
+  {
+    std::ofstream plan(bad_path);
+    plan << R"({"events": [{"kind": "warp_core_breach", "seconds": 1}]})";
+  }
+  std::ostringstream out2, err2;
+  const std::string plan_arg = "--fault-plan=" + bad_path;
+  EXPECT_EQ(run_cli(make({"cluster", plan_arg.c_str()}), out2, err2), 1);
+  EXPECT_NE(err2.str().find("error:"), std::string::npos);
+}
+
 TEST(CliJson, ReportToleratesUnknownTopLevelFields) {
   const std::string path = generate_matrix("cli_report_fwd.mtx");
   const std::string file = temp_path("cli_report_fwd.json");

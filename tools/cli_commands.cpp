@@ -219,18 +219,33 @@ std::vector<double> parse_fault_fields(const std::string& item, std::size_t expe
   return fields;
 }
 
-/// --crash / --tile-kill / --brownout lists into the fault plan.
+/// --fault-plan=FILE baseline plus --crash / --tile-kill / --brownout /
+/// --restart / --flap / --domain-outage lists into the fault plan. The file
+/// (a reproducible JSON scenario, see parse_fault_plan_json) loads first;
+/// command-line events and rates layer on top of it.
 void parse_fault_plan(const CliArgs& args, cluster::FaultPlan& plan) {
+  if (args.has("fault-plan")) {
+    plan = cluster::load_fault_plan_file(args.get_or("fault-plan", ""));
+  }
   const auto each = [](const std::string& list, const auto& fn) {
     std::stringstream stream(list);
     std::string item;
-    while (std::getline(stream, item, ',')) {
+    while (!list.empty() && std::getline(stream, item, ',')) {
       if (!item.empty()) fn(item);
     }
   };
   each(args.get_or("crash", ""), [&](const std::string& item) {
     const auto f = parse_fault_fields(item, 2, 0, "--crash");
     plan.chip_crashes.push_back({static_cast<int>(f[0]), f[1]});
+  });
+  each(args.get_or("restart", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 2, 0, "--restart");
+    plan.chip_restarts.push_back({static_cast<int>(f[0]), f[1]});
+  });
+  each(args.get_or("flap", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 4, 0, "--flap");
+    plan.chip_flaps.push_back(
+        {static_cast<int>(f[0]), f[1], static_cast<int>(f[2]), f[3]});
   });
   each(args.get_or("tile-kill", ""), [&](const std::string& item) {
     const auto f = parse_fault_fields(item, 3, 0, "--tile-kill");
@@ -246,11 +261,22 @@ void parse_fault_plan(const CliArgs& args, cluster::FaultPlan& plan) {
     if (f.size() == 5) brownout.derate = f[4];
     plan.brownouts.push_back(brownout);
   });
+  each(args.get_or("domain-outage", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 2, 0, "--domain-outage");
+    plan.domain_outages.push_back({static_cast<int>(f[0]), f[1]});
+  });
+  plan.chips_per_domain =
+      static_cast<int>(args.get_int_or("chips-per-domain", plan.chips_per_domain));
+  plan.restart_downtime_seconds =
+      args.get_double_or("restart-downtime", plan.restart_downtime_seconds);
   plan.crash_rate = args.get_double_or("crash-rate", plan.crash_rate);
   plan.crash_horizon_seconds = args.get_double_or("crash-horizon", plan.crash_horizon_seconds);
   plan.job_failure_rate = args.get_double_or("job-failure-rate", plan.job_failure_rate);
-  plan.seed = args.has("fault-seed") ? parse_seed(args.get_or("fault-seed", ""))
-                                     : seed_option(args, plan.seed);
+  if (args.has("fault-seed")) {
+    plan.seed = parse_seed(args.get_or("fault-seed", ""));
+  } else if (!args.has("fault-plan")) {
+    plan.seed = seed_option(args, plan.seed);
+  }
 }
 
 }  // namespace
@@ -568,6 +594,12 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
       static_cast<int>(args.get_int_or("retries", config.retry.max_attempts));
   config.hedge.enabled = args.get_bool_or("hedge", config.hedge.enabled);
   config.hedge.delay_seconds = args.get_double_or("hedge-delay", config.hedge.delay_seconds);
+  config.placement.replicas =
+      static_cast<int>(args.get_int_or("replicas", config.placement.replicas));
+  config.placement.reship_bandwidth_fraction =
+      args.get_double_or("reship-bw", config.placement.reship_bandwidth_fraction);
+  config.placement.warmup_runs =
+      static_cast<int>(args.get_int_or("warmup-runs", config.placement.warmup_runs));
   parse_fault_plan(args, config.faults);
 
   const auto requests = serve::generate_workload(workload);
@@ -604,6 +636,12 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
   t.add_row({"chip crashes / tile kills / brownouts",
              Table::integer(result.chip_crashes) + " / " + Table::integer(result.tile_kills) +
                  " / " + Table::integer(result.brownouts)});
+  t.add_row({"restarts / rejoins", Table::integer(result.restarts) + " / " +
+                                       Table::integer(result.rejoins)});
+  t.add_row({"reships / bytes / cold runs",
+             Table::integer(result.reships) + " / " +
+                 Table::num(result.reship_bytes / 1024.0, 1) + " KB / " +
+                 Table::integer(result.cold_runs)});
   t.add_row({"breaker trips", Table::integer(result.breaker_trips)});
   t.add_row({"makespan", Table::num(result.makespan_seconds, 3) + " s"});
   t.add_row({"throughput", Table::num(result.throughput_rps, 1) + " req/s"});
@@ -734,6 +772,10 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "            [--slo-interactive S] [--slo-batch S] [--conf 0|1|2]\n"
       "  cluster   [--chips N] [--failover on|off] [--crash C:T,...]\n"
       "            [--tile-kill C:CORE:T,...] [--brownout C:MC:T0:DUR[:DERATE],...]\n"
+      "            [--restart C:T,...] [--restart-downtime S] [--flap C:T0:CYCLES:PERIOD,...]\n"
+      "            [--domain-outage D:T,...] [--chips-per-domain N]\n"
+      "            [--fault-plan FILE.json] (seeded scenario; flags layer on top)\n"
+      "            [--replicas R] [--reship-bw F] [--warmup-runs K]\n"
       "            [--crash-rate P --crash-horizon S] [--job-failure-rate P]\n"
       "            [--retries K] [--hedge on|off --hedge-delay S] [--fault-seed S]\n"
       "            [--log] plus every serve workload/config flag\n"
