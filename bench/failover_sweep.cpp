@@ -221,7 +221,9 @@ int main() {
   // run-cache settings: the fault/failover/rejoin log must not move a byte.
   const auto replay_log = [&](int threads, bool run_cache) {
     setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
-    serve::MatrixPool replay_pool(testbed::suite_scale_from_env(), run_cache);
+    serve::MatrixPool replay_pool =
+        run_cache ? serve::MatrixPool(testbed::suite_scale_from_env())
+                  : serve::MatrixPool::without_run_cache(testbed::suite_scale_from_env());
     const auto result = run_cluster(replay_pool, rejoin_config, paced);
     unsetenv("SCC_SIM_THREADS");
     std::string text;

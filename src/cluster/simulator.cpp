@@ -981,6 +981,24 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   metrics_->gauge("cluster.availability").set(result.availability);
   metrics_->gauge("cluster.throughput_rps").set(result.throughput_rps);
   metrics_->gauge("cluster.makespan_seconds").set(result.makespan_seconds);
+  // The shared RunCache's stats ride the observability registry (not the
+  // report-embedded one: memoization must not change report bytes).
+  if (const std::shared_ptr<sim::RunCache>& cache = pool_.run_cache();
+      cache != nullptr && recorder != nullptr) {
+    const sim::RunCache::Stats stats = cache->stats();
+    obs::Registry& registry = recorder->metrics();
+    registry.gauge("run_cache.hits").set(static_cast<double>(stats.total.hits));
+    registry.gauge("run_cache.misses").set(static_cast<double>(stats.total.misses));
+    registry.gauge("run_cache.evictions").set(static_cast<double>(stats.total.evictions));
+    registry.gauge("run_cache.size").set(static_cast<double>(stats.total.size));
+    registry.gauge("run_cache.load_factor").set(stats.total.load_factor());
+    recorder->event("run_cache.stats",
+                    {{"hits", std::to_string(stats.total.hits)},
+                     {"misses", std::to_string(stats.total.misses)},
+                     {"evictions", std::to_string(stats.total.evictions)},
+                     {"size", std::to_string(stats.total.size)},
+                     {"shards", std::to_string(cache->shard_count())}});
+  }
   return result;
 }
 

@@ -26,18 +26,50 @@ void Recorder::span(std::string name, double start_seconds, double duration_seco
   events_.push_back(std::move(e));
 }
 
+void Recorder::append(TraceEvent event) {
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
 std::vector<TraceEvent> Recorder::events() const {
   std::scoped_lock lock(mutex_);
   return events_;
 }
 
-void Recorder::write_jsonl(std::ostream& os) const {
+void SpanBuffer::span(std::string name, double start_seconds, double duration_seconds,
+                      Attributes attrs) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_seconds = start_seconds;
+  e.duration_seconds = duration_seconds;
+  e.is_span = true;
+  e.attrs = std::move(attrs);
+  events_.push_back(std::move(e));
+}
+
+void SpanBuffer::event(std::string name, double at_seconds, Attributes attrs) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_seconds = at_seconds;
+  e.is_span = false;
+  e.attrs = std::move(attrs);
+  events_.push_back(std::move(e));
+}
+
+void SpanBuffer::flush_to(Recorder& recorder) {
+  for (TraceEvent& e : events_) recorder.append(std::move(e));
+  events_.clear();
+}
+
+void Recorder::write_jsonl(std::ostream& os, bool include_timing) const {
   for (const TraceEvent& e : events()) {
     Json line = Json::object();
     line.set("type", e.is_span ? "span" : "event");
     line.set("name", e.name);
-    line.set("ts", e.start_seconds);
-    if (e.is_span) line.set("dur", e.duration_seconds);
+    if (include_timing) {
+      line.set("ts", e.start_seconds);
+      if (e.is_span) line.set("dur", e.duration_seconds);
+    }
     if (!e.attrs.empty()) {
       Json attrs = Json::object();
       for (const auto& [key, value] : e.attrs) attrs.set(key, value);

@@ -54,6 +54,10 @@ class Recorder {
   void span(std::string name, double start_seconds, double duration_seconds,
             Attributes attrs = {});
 
+  /// Append an already-built record (SpanBuffer::flush_to is the usual
+  /// front end for rank-ordered merges of parallel loops).
+  void append(TraceEvent event);
+
   Registry& metrics() { return metrics_; }
   const Registry& metrics() const { return metrics_; }
 
@@ -61,13 +65,38 @@ class Recorder {
 
   /// One JSON object per line:
   /// {"type":"span"|"event","name":...,"ts":seconds,"dur":seconds,"attrs":{...}}
-  void write_jsonl(std::ostream& os) const;
+  /// With `include_timing` false the wall-clock `ts`/`dur` fields are
+  /// omitted, leaving the deterministic trace *shape* -- the form the
+  /// byte-identical-across-SCC_SIM_THREADS equivalence tests compare, since
+  /// wall timestamps differ run to run even at a fixed thread count.
+  void write_jsonl(std::ostream& os, bool include_timing = true) const;
 
  private:
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   Registry metrics_;
+};
+
+/// Thread-local staging area for spans/events produced inside a parallel
+/// loop. Each worker writes its own buffer (no locking, no interleaving);
+/// the caller flushes the buffers into the shared Recorder in a
+/// deterministic order after the join, so the recorded sequence is
+/// independent of the thread count -- the engine's traced rank replay is
+/// the canonical user (MODEL.md section 7).
+class SpanBuffer {
+ public:
+  void span(std::string name, double start_seconds, double duration_seconds,
+            Attributes attrs = {});
+  void event(std::string name, double at_seconds, Attributes attrs = {});
+  std::size_t size() const { return events_.size(); }
+
+  /// Append the buffered records to `recorder` in recorded order; clears
+  /// the buffer.
+  void flush_to(Recorder& recorder);
+
+ private:
+  std::vector<TraceEvent> events_;
 };
 
 /// RAII span that tolerates a null recorder with zero work.

@@ -53,8 +53,20 @@ bool run_cache_enabled_by_env() {
 
 }  // namespace
 
+MatrixPool::MatrixPool(double scale, const sim::RunCacheConfig& cache_config) : scale_(scale) {
+  if (run_cache_enabled_by_env()) {
+    run_cache_ = std::make_shared<sim::RunCache>(cache_config);
+  }
+}
+
+MatrixPool::MatrixPool(double scale, NoCacheTag) : scale_(scale) {}
+
 MatrixPool::MatrixPool(double scale, bool enable_run_cache)
-    : scale_(scale), run_cache_enabled_(enable_run_cache && run_cache_enabled_by_env()) {}
+    : MatrixPool(enable_run_cache ? MatrixPool(scale) : without_run_cache(scale)) {}
+
+MatrixPool MatrixPool::without_run_cache(double scale) {
+  return MatrixPool(scale, NoCacheTag{});
+}
 
 const testbed::SuiteEntry& MatrixPool::entry(int id) {
   const auto it = entries_.find(id);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -22,27 +23,43 @@ namespace scc::serve {
 
 /// Lazily materialized Table-I stand-ins shared across simulator instances
 /// (one pool per bench process; the policy sweep reuses the same matrices).
-/// The pool also owns the engine-level sim::RunCache: sweeps build a fresh
-/// Simulator per configuration but share the pool, so memoized runs carry
-/// across instances. Disable with `enable_run_cache = false` or by setting
-/// SCC_RUN_CACHE=0 in the environment.
+/// The pool also creates the shared engine-level sim::RunCache -- sharded
+/// per sim::RunCacheConfig, optionally persisted to disk -- and hands every
+/// ServiceModel a co-owning handle: sweeps build a fresh Simulator per
+/// configuration but share the pool, so memoized runs carry across
+/// instances (and, with a persist_path, across processes). Disable with
+/// `MatrixPool::without_run_cache` or by setting SCC_RUN_CACHE=0 in the
+/// environment.
 class MatrixPool {
  public:
-  explicit MatrixPool(double scale, bool enable_run_cache = true);
+  /// Pool whose shared RunCache is built from `cache_config` (capacity,
+  /// shard count, snapshot path). SCC_RUN_CACHE=0 still wins and disables
+  /// memoization outright.
+  explicit MatrixPool(double scale, const sim::RunCacheConfig& cache_config = {});
+
+  /// DEPRECATED boolean-trap overload (use the RunCacheConfig constructor,
+  /// or without_run_cache for the old `(scale, false)` spelling).
+  MatrixPool(double scale, bool enable_run_cache);
+
+  /// Pool with engine-run memoization disabled.
+  static MatrixPool without_run_cache(double scale);
 
   double scale() const { return scale_; }
   /// Build (or return the memoized) suite entry for a Table-I id.
   const testbed::SuiteEntry& entry(int id);
 
-  /// Engine-run memoization cache shared by every ServiceModel on this pool,
-  /// or nullptr when disabled.
-  sim::RunCache* run_cache() { return run_cache_enabled_ ? &run_cache_ : nullptr; }
+  /// Engine-run memoization cache shared by every ServiceModel on this
+  /// pool; empty when disabled. Callers receive co-ownership, so the cache
+  /// (and its exit snapshot, when persisted) may outlive the pool.
+  const std::shared_ptr<sim::RunCache>& run_cache() const { return run_cache_; }
 
  private:
+  struct NoCacheTag {};
+  MatrixPool(double scale, NoCacheTag);
+
   double scale_;
-  bool run_cache_enabled_;
   std::map<int, testbed::SuiteEntry> entries_;
-  sim::RunCache run_cache_;
+  std::shared_ptr<sim::RunCache> run_cache_;  ///< nullptr when disabled
 };
 
 /// CSR bytes a matrix occupies on the wire (rowptr + column indices +

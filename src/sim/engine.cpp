@@ -41,6 +41,14 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
               "mc_peak_fraction must be in (0,1]");
 }
 
+void Engine::attach_run_cache(RunCache* cache) {
+  // Non-owning adoption (aliasing constructor with no control block): the
+  // deprecated raw-pointer contract -- caller manages lifetime -- preserved
+  // on top of the owning handle.
+  run_cache_ = cache == nullptr ? nullptr
+                                : std::shared_ptr<RunCache>(std::shared_ptr<RunCache>(), cache);
+}
+
 double Engine::mc_bandwidth_bytes_per_second() const {
   // One DDR3 channel per controller: 8 bytes per memory clock at peak,
   // derated for scattered 32-byte line transactions.
@@ -357,17 +365,23 @@ RunResult Engine::run_generic(const sparse::CsrMatrix& matrix, const std::vector
   std::optional<obs::ScopedSpan> replay_span;
   replay_span.emplace(recorder, "engine.trace_replay");
   if (recorder == nullptr) {
-    // Host-parallel fan-out (SCC_SIM_THREADS). Only without a recorder: span
-    // emission is inherently ordered, so traced runs keep the serial loop and
-    // its exact span shape.
+    // Host-parallel fan-out (SCC_SIM_THREADS).
     common::parallel_for(cores.size(), simulate_rank);
   } else {
-    for (std::size_t rank = 0; rank < cores.size(); ++rank) {
-      obs::ScopedSpan core_span(recorder, "engine.core_trace",
-                                {{"core", std::to_string(cores[rank])},
-                                 {"rank", std::to_string(rank)}});
+    // Traced runs fan out too: each rank times its replay into a
+    // rank-indexed span buffer, and the buffers are flushed serially in
+    // rank order after the join -- the recorder sees exactly the
+    // one-core_trace-span-per-rank sequence of the historical serial loop
+    // at any thread count (timestamps stay wall-clock and overlap).
+    std::vector<obs::SpanBuffer> rank_spans(cores.size());
+    common::parallel_for(cores.size(), [&](std::size_t rank) {
+      const double start = recorder->now_seconds();
       simulate_rank(rank);
-    }
+      rank_spans[rank].span("engine.core_trace", start, recorder->now_seconds() - start,
+                            {{"core", std::to_string(cores[rank])},
+                             {"rank", std::to_string(rank)}});
+    });
+    for (obs::SpanBuffer& buffer : rank_spans) buffer.flush_to(*recorder);
   }
   replay_span.reset();
 

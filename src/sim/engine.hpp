@@ -15,6 +15,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -125,21 +126,28 @@ class Engine {
   /// THE entry point: simulate y = A*x under `spec`. Every other run_*
   /// signature is a thin wrapper kept for source compatibility.
   ///
-  /// Performance (MODEL.md section 7): when `spec.recorder` is null the
-  /// per-rank trace replay fans out over a host thread pool sized by
-  /// SCC_SIM_THREADS (common::sim_thread_count); results are collected by
-  /// rank index, so the output is byte-identical for any thread count. With
-  /// a recorder attached the replay stays serial so the span trace keeps its
-  /// exact shape. When a RunCache is attached, runs are memoized by content
-  /// (matrix fingerprint + effective spec + config); hits return deep
-  /// copies bit-exact versus a cold simulation.
+  /// Performance (MODEL.md section 7): the per-rank trace replay fans out
+  /// over a host thread pool sized by SCC_SIM_THREADS
+  /// (common::sim_thread_count); results are collected by rank index, so
+  /// the output is byte-identical for any thread count. Traced runs fan out
+  /// too: each rank records its spans into a rank-indexed buffer and the
+  /// buffers are merged serially in rank order after the join, so the span
+  /// sequence matches the serial loop exactly. When a RunCache is attached,
+  /// runs are memoized by content (matrix fingerprint + effective spec +
+  /// config); hits return deep copies bit-exact versus a cold simulation.
   RunResult run(const sparse::CsrMatrix& matrix, const RunSpec& spec) const;
 
-  /// Attach a memoization cache (non-owning; pass nullptr to detach). The
-  /// cache may outlive the engine's runs and be shared across engines --
-  /// the run key includes the engine configuration.
-  void attach_run_cache(RunCache* cache) { run_cache_ = cache; }
-  RunCache* run_cache() const { return run_cache_; }
+  /// Attach a memoization cache (empty handle detaches). The engine co-owns
+  /// the cache, so its lifetime is explicit -- it may outlive the pool or
+  /// scope that built it -- and one cache may be shared across engines: the
+  /// run key includes the engine configuration.
+  void attach_run_cache(std::shared_ptr<RunCache> cache) { run_cache_ = std::move(cache); }
+
+  /// DEPRECATED wrapper (use the std::shared_ptr overload): attaches
+  /// `cache` non-owning; the caller must keep it alive past the last run.
+  void attach_run_cache(RunCache* cache);
+
+  RunCache* run_cache() const { return run_cache_.get(); }
 
   /// DEPRECATED wrapper (use run(matrix, RunSpec)): `ue_count` UEs mapped
   /// by `policy`.
@@ -192,7 +200,7 @@ class Engine {
                                       double&)>& trace_fn) const;
 
   EngineConfig config_;
-  RunCache* run_cache_ = nullptr;
+  std::shared_ptr<RunCache> run_cache_;
 };
 
 }  // namespace scc::sim

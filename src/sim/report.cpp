@@ -136,13 +136,31 @@ obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunRe
 
   // Engine-run memoization (sim::RunCache). Counters are cache lifetime, not
   // per-run; engines without an attached cache report enabled=false only.
+  // The per-shard rows expose the sharded cache's balance (schema v1,
+  // docs/OBSERVABILITY.md).
   obs::Json memo = obs::Json::object();
   memo.set("enabled", engine.run_cache() != nullptr);
   if (const RunCache* cache = engine.run_cache(); cache != nullptr) {
-    memo.set("hits", cache->hits());
-    memo.set("misses", cache->misses());
-    memo.set("size", static_cast<std::int64_t>(cache->size()));
-    memo.set("capacity", static_cast<std::int64_t>(cache->capacity()));
+    const RunCache::Stats stats = cache->stats();
+    memo.set("hits", stats.total.hits);
+    memo.set("misses", stats.total.misses);
+    memo.set("evictions", stats.total.evictions);
+    memo.set("size", static_cast<std::int64_t>(stats.total.size));
+    memo.set("capacity", static_cast<std::int64_t>(stats.total.capacity));
+    memo.set("shards", static_cast<std::int64_t>(cache->shard_count()));
+    memo.set("persisted", !cache->persist_path().empty());
+    obs::Json per_shard = obs::Json::array();
+    for (const RunCache::ShardStats& shard : stats.per_shard) {
+      obs::Json s = obs::Json::object();
+      s.set("hits", shard.hits);
+      s.set("misses", shard.misses);
+      s.set("evictions", shard.evictions);
+      s.set("size", static_cast<std::int64_t>(shard.size));
+      s.set("capacity", static_cast<std::int64_t>(shard.capacity));
+      s.set("load_factor", shard.load_factor());
+      per_shard.push_back(std::move(s));
+    }
+    memo.set("per_shard", std::move(per_shard));
   }
   report.set("run_cache", std::move(memo));
 

@@ -1,6 +1,12 @@
 #include "sim/run_cache.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <span>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
@@ -52,56 +58,460 @@ RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
   return RunKey{.matrix = matrix.fingerprint(), .spec = hash.value()};
 }
 
-RunCache::RunCache(std::size_t capacity) : capacity_(capacity) {
+namespace {
+
+std::uint64_t fold_key(const RunKey& key) {
+  // The halves are already FNV-mixed; fold them.
+  return key.matrix ^ (key.spec * 0x9e3779b97f4a7c15ULL);
+}
+
+std::size_t resolve_shard_count(const RunCacheConfig& config) {
+  std::size_t shards = config.shards;
+  if (shards == 0) {
+    // Auto: about 16 slots per shard keeps the in-shard scan short while a
+    // default-capacity cache still spreads over 8 shards.
+    constexpr std::size_t kTargetSlotsPerShard = 16;
+    constexpr std::size_t kMaxAutoShards = 16;
+    shards = std::clamp<std::size_t>(config.capacity / kTargetSlotsPerShard, 1, kMaxAutoShards);
+  }
+  shards = std::bit_ceil(shards);
+  while (shards > config.capacity) shards >>= 1;  // every shard owns >= 1 slot
+  return std::max<std::size_t>(shards, 1);
+}
+
+}  // namespace
+
+RunCache::RunCache(const RunCacheConfig& config)
+    : capacity_(config.capacity), persist_path_(config.persist_path) {
   SCC_REQUIRE(capacity_ >= 1, "RunCache capacity must be >= 1");
+  const std::size_t shard_count = resolve_shard_count(config);
+  shards_ = std::vector<Shard>(shard_count);
+  // Distribute the capacity exactly: the first (capacity % shards) shards
+  // hold one extra slot, so the global bound is the configured capacity.
+  const std::size_t base = capacity_ / shard_count;
+  const std::size_t extra = capacity_ % shard_count;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    Shard& shard = shards_[i];
+    shard.slot_count = base + (i < extra ? 1 : 0);
+    shard.slots = std::make_unique<Slot[]>(shard.slot_count);
+  }
+  if (!persist_path_.empty()) {
+    load_snapshot(persist_path_);  // missing/invalid snapshots start cold
+  }
+}
+
+RunCache::RunCache(std::size_t capacity)
+    : RunCache(RunCacheConfig{capacity, 0, std::string()}) {}
+
+RunCache::~RunCache() {
+  if (persist_path_.empty()) return;
+  try {
+    save_snapshot(persist_path_);
+  } catch (...) {
+    // Destructors must not throw; a failed exit snapshot only costs warmth.
+  }
+}
+
+RunCache::Shard& RunCache::shard_of(const RunKey& key) {
+  return shards_[fold_key(key) & (shards_.size() - 1)];
+}
+
+const RunCache::Shard& RunCache::shard_of(const RunKey& key) const {
+  return shards_[fold_key(key) & (shards_.size() - 1)];
 }
 
 std::optional<RunResult> RunCache::lookup(const RunKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return std::nullopt;
+  Shard& shard = shard_of(key);
+  for (std::size_t i = 0; i < shard.slot_count; ++i) {
+    Slot& slot = shard.slots[i];
+    // Cheap atomic pre-filter; the immutable entry's own key is re-verified
+    // below, so racing with an insert can only turn a hit into a miss.
+    if (slot.key_matrix.load(std::memory_order_relaxed) != key.matrix ||
+        slot.key_spec.load(std::memory_order_relaxed) != key.spec) {
+      continue;
+    }
+    const std::shared_ptr<const Entry> entry = slot.entry.load(std::memory_order_acquire);
+    if (entry == nullptr || !(entry->key == key)) continue;
+    slot.referenced.store(true, std::memory_order_relaxed);  // second chance
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    return entry->result;  // deep copy of the immutable entry
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->result;
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 void RunCache::insert(const RunKey& key, const RunResult& result) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = index_.find(key); it != index_.end()) {
-    it->second->result = result;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  auto entry = std::make_shared<const Entry>(Entry{key, result});
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.insert_mutex);
+
+  Slot* empty = nullptr;
+  for (std::size_t i = 0; i < shard.slot_count; ++i) {
+    Slot& slot = shard.slots[i];
+    const std::shared_ptr<const Entry> current = slot.entry.load(std::memory_order_relaxed);
+    if (current == nullptr) {
+      if (empty == nullptr) empty = &slot;
+      continue;
+    }
+    if (current->key == key) {
+      // Refresh in place (the old LRU's re-insert splice): same key, new
+      // result, recently used.
+      slot.entry.store(std::move(entry), std::memory_order_release);
+      slot.referenced.store(true, std::memory_order_relaxed);
+      shard.insertions.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  lru_.push_front(Entry{key, result});
-  index_.emplace(key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+
+  Slot* victim = empty;
+  if (victim == nullptr) {
+    // CLOCK second chance: clear reference bits until an unreferenced slot
+    // comes under the hand (bounded by two sweeps).
+    while (true) {
+      Slot& slot = shard.slots[shard.clock_hand];
+      shard.clock_hand = (shard.clock_hand + 1) % shard.slot_count;
+      if (slot.referenced.exchange(false, std::memory_order_relaxed)) continue;
+      victim = &slot;
+      break;
+    }
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.size.fetch_add(1, std::memory_order_relaxed);
   }
+
+  // Publish key words first, entry last (release): a racing reader either
+  // rejects on the key pre-filter or re-verifies against the entry's key.
+  victim->key_matrix.store(key.matrix, std::memory_order_relaxed);
+  victim->key_spec.store(key.spec, std::memory_order_relaxed);
+  victim->referenced.store(false, std::memory_order_relaxed);  // no free second chance
+  victim->entry.store(std::move(entry), std::memory_order_release);
+  shard.insertions.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RunCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.insert_mutex);
+    for (std::size_t i = 0; i < shard.slot_count; ++i) {
+      Slot& slot = shard.slots[i];
+      slot.entry.store(nullptr, std::memory_order_release);
+      slot.key_matrix.store(0, std::memory_order_relaxed);
+      slot.key_spec.store(0, std::memory_order_relaxed);
+      slot.referenced.store(false, std::memory_order_relaxed);
+    }
+    shard.clock_hand = 0;
+    shard.size.store(0, std::memory_order_relaxed);
+  }
+}
+
+RunCache::Stats RunCache::stats() const {
+  Stats stats;
+  stats.per_shard.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ShardStats s;
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    s.insertions = shard.insertions.load(std::memory_order_relaxed);
+    s.size = shard.size.load(std::memory_order_relaxed);
+    s.capacity = shard.slot_count;
+    stats.total.hits += s.hits;
+    stats.total.misses += s.misses;
+    stats.total.evictions += s.evictions;
+    stats.total.insertions += s.insertions;
+    stats.total.size += s.size;
+    stats.total.capacity += s.capacity;
+    stats.per_shard.push_back(s);
+  }
+  return stats;
 }
 
 std::size_t RunCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.size.load(std::memory_order_relaxed);
+  return total;
 }
 
 std::uint64_t RunCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.hits.load(std::memory_order_relaxed);
+  return total;
 }
 
 std::uint64_t RunCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.misses.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t RunCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.evictions.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---- Snapshot persistence ----
+//
+// Layout (host-endian; the version/checksum pair guards against every other
+// mismatch, and run caches are machine-local by construction):
+//
+//   8 bytes  magic "SCCRUNC\n"
+//   u32      kSnapshotVersion
+//   u64      entry count
+//   u64      payload byte count
+//   u64      FNV-1a checksum of the payload
+//   payload  entries back to back: RunKey words, then the RunResult fields
+//            in the fixed order of write_result() below
+//
+// Any deviation -- short file, bad magic, other version, checksum mismatch,
+// payload that does not parse exactly -- rejects the whole snapshot and
+// leaves the cache untouched.
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'S', 'C', 'C', 'R', 'U', 'N', 'C', '\n'};
+/// Hard upper bound on snapshot entries: corrupt counts must not drive
+/// allocation even when the checksum happens to collide.
+constexpr std::uint64_t kMaxSnapshotEntries = 1u << 22;
+
+class SnapshotWriter {
+ public:
+  void u32(std::uint32_t value) { raw(&value, sizeof value); }
+  void u64(std::uint64_t value) { raw(&value, sizeof value); }
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void boolean(bool value) { u64(value ? 1 : 0); }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t& value) { return raw(&value, sizeof value); }
+  bool u64(std::uint64_t& value) { return raw(&value, sizeof value); }
+  bool i64(std::int64_t& value) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    value = static_cast<std::int64_t>(bits);
+    return true;
+  }
+  bool f64(double& value) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    value = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool boolean(bool& value) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    value = bits != 0;
+    return true;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* out, std::size_t size) {
+    if (data_.size() - pos_ < size) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void write_cache_stats(SnapshotWriter& w, const cache::CacheStats& stats) {
+  w.u64(stats.read_hits);
+  w.u64(stats.read_misses);
+  w.u64(stats.write_hits);
+  w.u64(stats.write_misses);
+  w.u64(stats.evictions);
+  w.u64(stats.dirty_writebacks);
+}
+
+bool read_cache_stats(SnapshotReader& r, cache::CacheStats& stats) {
+  return r.u64(stats.read_hits) && r.u64(stats.read_misses) && r.u64(stats.write_hits) &&
+         r.u64(stats.write_misses) && r.u64(stats.evictions) && r.u64(stats.dirty_writebacks);
+}
+
+void write_result(SnapshotWriter& w, const RunResult& result) {
+  w.u64(result.cores.size());
+  for (const CoreResult& cr : result.cores) {
+    w.i64(cr.core);
+    w.i64(cr.hops);
+    write_cache_stats(w, cr.trace.l1);
+    write_cache_stats(w, cr.trace.l2);
+    w.u64(cr.trace.memory_accesses);
+    w.u64(cr.trace.l2_hit_accesses);
+    w.u64(cr.trace.memory_read_bytes);
+    w.u64(cr.trace.memory_write_bytes);
+    w.u64(cr.trace.tlb_misses);
+    w.i64(cr.trace.rows);
+    w.i64(cr.trace.nnz);
+    w.f64(cr.compute_seconds);
+    w.f64(cr.l2_hit_seconds);
+    w.f64(cr.stall_seconds);
+    w.f64(cr.tlb_seconds);
+    w.f64(cr.isolated_seconds);
+  }
+  w.f64(result.seconds);
+  w.f64(result.gflops);
+  for (const bytes_t bytes : result.mc_bytes) w.u64(bytes);
+  for (const double seconds : result.mc_seconds) w.f64(seconds);
+  w.boolean(result.bandwidth_bound);
+  w.u64(result.mesh.total_link_bytes);
+  w.u64(result.mesh.max_link_bytes);
+  w.u64(result.mesh.hot_links.size());
+  for (const noc::Mesh::LinkLoad& load : result.mesh.hot_links) {
+    w.i64(load.link.from.x);
+    w.i64(load.link.from.y);
+    w.i64(load.link.to.x);
+    w.i64(load.link.to.y);
+    w.u64(load.bytes);
+  }
+  w.i64(result.dead_count);
+  w.u64(result.reshipped_bytes);
+  w.f64(result.recovery_seconds);
+}
+
+bool read_i32(SnapshotReader& r, int& value) {
+  std::int64_t wide = 0;
+  if (!r.i64(wide)) return false;
+  if (wide < INT32_MIN || wide > INT32_MAX) return false;
+  value = static_cast<int>(wide);
+  return true;
+}
+
+bool read_result(SnapshotReader& r, RunResult& result) {
+  std::uint64_t core_count = 0;
+  if (!r.u64(core_count) || core_count > static_cast<std::uint64_t>(chip::kCoreCount)) {
+    return false;
+  }
+  result.cores.resize(core_count);
+  for (CoreResult& cr : result.cores) {
+    if (!read_i32(r, cr.core) || !read_i32(r, cr.hops)) return false;
+    if (!read_cache_stats(r, cr.trace.l1) || !read_cache_stats(r, cr.trace.l2)) return false;
+    if (!r.u64(cr.trace.memory_accesses) || !r.u64(cr.trace.l2_hit_accesses) ||
+        !r.u64(cr.trace.memory_read_bytes) || !r.u64(cr.trace.memory_write_bytes) ||
+        !r.u64(cr.trace.tlb_misses) || !r.i64(cr.trace.rows) || !r.i64(cr.trace.nnz)) {
+      return false;
+    }
+    if (!r.f64(cr.compute_seconds) || !r.f64(cr.l2_hit_seconds) || !r.f64(cr.stall_seconds) ||
+        !r.f64(cr.tlb_seconds) || !r.f64(cr.isolated_seconds)) {
+      return false;
+    }
+  }
+  if (!r.f64(result.seconds) || !r.f64(result.gflops)) return false;
+  for (bytes_t& bytes : result.mc_bytes) {
+    if (!r.u64(bytes)) return false;
+  }
+  for (double& seconds : result.mc_seconds) {
+    if (!r.f64(seconds)) return false;
+  }
+  if (!r.boolean(result.bandwidth_bound)) return false;
+  if (!r.u64(result.mesh.total_link_bytes) || !r.u64(result.mesh.max_link_bytes)) return false;
+  std::uint64_t link_count = 0;
+  if (!r.u64(link_count) || link_count > 64) return false;
+  result.mesh.hot_links.resize(link_count);
+  for (noc::Mesh::LinkLoad& load : result.mesh.hot_links) {
+    if (!read_i32(r, load.link.from.x) || !read_i32(r, load.link.from.y) ||
+        !read_i32(r, load.link.to.x) || !read_i32(r, load.link.to.y) || !r.u64(load.bytes)) {
+      return false;
+    }
+  }
+  return read_i32(r, result.dead_count) && r.u64(result.reshipped_bytes) &&
+         r.f64(result.recovery_seconds);
+}
+
+std::uint64_t payload_checksum(const std::string& payload) {
+  common::Fnv1a hash;
+  hash.bytes(payload.data(), payload.size());
+  return hash.value();
+}
+
+}  // namespace
+
+bool RunCache::save_snapshot(const std::string& path) const {
+  SnapshotWriter payload;
+  std::uint64_t entry_count = 0;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < shard.slot_count; ++i) {
+      const std::shared_ptr<const Entry> entry =
+          shard.slots[i].entry.load(std::memory_order_acquire);
+      if (entry == nullptr) continue;
+      payload.u64(entry->key.matrix);
+      payload.u64(entry->key.spec);
+      write_result(payload, entry->result);
+      ++entry_count;
+    }
+  }
+
+  SnapshotWriter header;
+  header.u64(std::bit_cast<std::uint64_t>(kSnapshotMagic));
+  header.u32(kSnapshotVersion);
+  header.u64(entry_count);
+  header.u64(payload.buffer().size());
+  header.u64(payload_checksum(payload.buffer()));
+
+  // Write-then-rename so a crash mid-save never leaves a torn snapshot
+  // behind for the next process to reject.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file.good()) return false;
+    file.write(header.buffer().data(), static_cast<std::streamsize>(header.buffer().size()));
+    file.write(payload.buffer().data(), static_cast<std::streamsize>(payload.buffer().size()));
+    if (!file.good()) return false;
+  }
+  return std::rename(tmp_path.c_str(), path.c_str()) == 0;
+}
+
+bool RunCache::load_snapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return false;
+  std::string data((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+
+  SnapshotReader header(data);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t entry_count = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+  if (!header.u64(magic) || !header.u32(version) || !header.u64(entry_count) ||
+      !header.u64(payload_size) || !header.u64(checksum)) {
+    return false;
+  }
+  if (magic != std::bit_cast<std::uint64_t>(kSnapshotMagic)) return false;
+  if (version != kSnapshotVersion) return false;
+  if (entry_count > kMaxSnapshotEntries) return false;
+  constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+  if (data.size() != kHeaderBytes + payload_size) return false;
+  const std::string payload = data.substr(kHeaderBytes);
+  if (payload_checksum(payload) != checksum) return false;
+
+  // Parse everything before inserting anything: a snapshot is applied
+  // all-or-nothing.
+  std::vector<std::pair<RunKey, RunResult>> entries;
+  entries.reserve(static_cast<std::size_t>(entry_count));
+  SnapshotReader reader(payload);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    RunKey key;
+    RunResult result;
+    if (!reader.u64(key.matrix) || !reader.u64(key.spec) || !read_result(reader, result)) {
+      return false;
+    }
+    entries.emplace_back(std::move(key), std::move(result));
+  }
+  if (!reader.exhausted()) return false;
+
+  for (const auto& [key, result] : entries) insert(key, result);
+  return true;
 }
 
 }  // namespace scc::sim

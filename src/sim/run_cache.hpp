@@ -1,4 +1,5 @@
-// Content-keyed memoization of Engine::run.
+// Content-keyed memoization of Engine::run -- sharded, mostly lock-free,
+// optionally persisted to disk.
 //
 // The serving layers dispatch bit-identical (matrix, RunSpec) jobs over and
 // over -- every same-matrix batch, every failover replay, every sweep point
@@ -15,17 +16,35 @@
 //     geometry, kernel/memory cost models, steady-state switches) so one
 //     cache can safely serve engines with different configurations.
 //
-// A hit returns a deep copy of the stored RunResult (RunResult is
-// value-semantic), bit-exact versus a cold simulation. Eviction is LRU with
-// a bounded entry count; all operations are mutex-guarded so concurrently
-// simulating engines may share one cache.
+// Concurrency (MODEL.md section 7): the cache is split into a power-of-two
+// number of shards selected by the key hash. Each shard is a fixed slot
+// array; a published entry is an immutable heap object held by an atomic
+// shared_ptr, and the hot hit path -- scan the shard's atomic key words,
+// load the entry, verify, deep-copy -- takes **no lock**. Only inserts
+// take a per-shard mutex, and eviction is CLOCK/second-chance over atomic
+// reference bits (fresh entries start unreferenced, so an untouched entry
+// is evicted before one that has served a hit -- LRU-like without the
+// global splice the old mutex-guarded list needed). Hit/miss/eviction
+// counters are per-shard atomics aggregated on demand into Stats, so
+// engines sharing one cache never contend or double-count.
+//
+// Persistence: a RunCacheConfig::persist_path names a versioned,
+// checksummed snapshot file (host-endian; see run_cache.cpp for the
+// layout). The cache loads it on construction and rewrites it on
+// destruction (or explicitly via save_snapshot), so repeated sweeps
+// amortize simulations *across processes*. Corrupt, truncated or
+// version-mismatched snapshots are rejected cleanly and leave the cache
+// empty. A hit returns a deep copy of the stored RunResult, bit-exact
+// versus a cold simulation -- also after a snapshot round trip.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -44,46 +63,117 @@ struct RunKey {
 RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
                const std::vector<int>& cores, const RunSpec& spec);
 
+/// Construction-time knobs of a RunCache.
+struct RunCacheConfig {
+  /// Maximum number of memoized RunResults held across all shards (>= 1).
+  std::size_t capacity = 128;
+  /// Shard count; rounded up to a power of two and clamped so every shard
+  /// owns at least one slot. 0 selects automatically from the capacity
+  /// (about 16 slots per shard, at most 16 shards).
+  std::size_t shards = 0;
+  /// Snapshot file: loaded on construction when it exists, rewritten on
+  /// destruction. Empty disables persistence.
+  std::string persist_path;
+};
+
 class RunCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 128;
+  /// Snapshot format version; bumped whenever RunKey/RunResult layout or
+  /// the file framing changes, so stale files are rejected, never misread.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
 
-  /// `capacity` >= 1: the maximum number of memoized RunResults held.
+  explicit RunCache(const RunCacheConfig& config);
+
+  /// DEPRECATED wrapper (use RunCache(RunCacheConfig)): capacity-only
+  /// construction with automatic sharding, kept for source compatibility.
   explicit RunCache(std::size_t capacity = kDefaultCapacity);
 
-  /// Deep copy of the entry for `key` (refreshing its LRU position), or
-  /// nullopt. Counts a hit or a miss.
+  ~RunCache();
+  RunCache(const RunCache&) = delete;
+  RunCache& operator=(const RunCache&) = delete;
+
+  /// Deep copy of the entry for `key` (marking it recently used), or
+  /// nullopt. Lock-free; counts a hit or a miss on the key's shard.
   std::optional<RunResult> lookup(const RunKey& key);
 
-  /// Store (or refresh) `key`, evicting the least recently used entry when
-  /// over capacity.
+  /// Store (or refresh) `key`, evicting a second-chance victim when the
+  /// key's shard is full. Takes only that shard's insert mutex.
   void insert(const RunKey& key, const RunResult& result);
 
   void clear();
 
+  /// Point-in-time counters of one shard (and, aggregated, of the cache).
+  struct ShardStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    double load_factor() const {
+      return capacity == 0 ? 0.0 : static_cast<double>(size) / static_cast<double>(capacity);
+    }
+  };
+  struct Stats {
+    ShardStats total;                    ///< sums over every shard
+    std::vector<ShardStats> per_shard;   ///< indexed by shard id
+  };
+  Stats stats() const;
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::string& persist_path() const { return persist_path_; }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  /// Write every live entry into `path` (atomically: tmp file + rename).
+  /// Returns false when the file cannot be written.
+  bool save_snapshot(const std::string& path) const;
+
+  /// Merge the entries of the snapshot at `path` into this cache through
+  /// the normal insert path (capacity and eviction apply). Returns false --
+  /// without touching the cache -- when the file is missing, truncated,
+  /// corrupt (checksum) or from a different snapshot version.
+  bool load_snapshot(const std::string& path);
 
  private:
+  /// Immutable once published; readers holding the shared_ptr are safe
+  /// against concurrent eviction/replacement.
   struct Entry {
     RunKey key;
     RunResult result;
   };
-  struct KeyHash {
-    std::size_t operator()(const RunKey& key) const {
-      // The halves are already FNV-mixed; fold them.
-      return static_cast<std::size_t>(key.matrix ^ (key.spec * 0x9e3779b97f4a7c15ULL));
-    }
+
+  struct Slot {
+    /// Mirrors Entry::key so the scan can reject non-matching slots without
+    /// touching the shared_ptr; the entry's own key is the authority.
+    std::atomic<std::uint64_t> key_matrix{0};
+    std::atomic<std::uint64_t> key_spec{0};
+    std::atomic<bool> referenced{false};  ///< CLOCK second-chance bit
+    std::atomic<std::shared_ptr<const Entry>> entry;
   };
 
-  mutable std::mutex mutex_;
+  struct Shard {
+    std::unique_ptr<Slot[]> slots;
+    std::size_t slot_count = 0;
+    std::mutex insert_mutex;    ///< writers only; the hit path never locks
+    std::size_t clock_hand = 0;  ///< guarded by insert_mutex
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> insertions{0};
+  };
+
+  Shard& shard_of(const RunKey& key);
+  const Shard& shard_of(const RunKey& key) const;
+
   std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<RunKey, std::list<Entry>::iterator, KeyHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::string persist_path_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace scc::sim

@@ -950,7 +950,8 @@ TEST(ClusterSimulator, RecoveryReplayIsByteIdenticalAcrossThreadsAndCache) {
   };
   const auto run_once = [&](int threads, bool run_cache) {
     setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
-    serve::MatrixPool pool(kTestScale, run_cache);
+    serve::MatrixPool pool = run_cache ? serve::MatrixPool(kTestScale)
+                                       : serve::MatrixPool::without_run_cache(kTestScale);
     const double mk = clean_makespan(pool, 3, 100);
     ClusterSimulator simulator(scenario(mk), pool);
     const auto result = simulator.run(requests);

@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/report.hpp"
 #include "cluster/simulator.hpp"
 #include "gen/generators.hpp"
+#include "obs/trace.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/report.hpp"
 #include "serve/simulator.hpp"
@@ -147,7 +150,8 @@ std::string serve_json(bool run_cache, int threads) {
   const ThreadGuard guard(threads);
   const serve::WorkloadSpec workload;
   const serve::ServeConfig config;
-  serve::MatrixPool pool(0.05, run_cache);
+  serve::MatrixPool pool = run_cache ? serve::MatrixPool(0.05)
+                                     : serve::MatrixPool::without_run_cache(0.05);
   serve::Simulator simulator(config, pool);
   const auto result = simulator.run(serve::generate_workload(workload));
   return serve::serve_report_json(workload, config, result, &simulator.metrics()).dump(2);
@@ -168,7 +172,8 @@ std::string cluster_json(bool run_cache, int threads) {
   config.chip_count = 2;
   config.faults.crash_rate = 0.02;
   config.faults.job_failure_rate = 0.05;
-  serve::MatrixPool pool(0.05, run_cache);
+  serve::MatrixPool pool = run_cache ? serve::MatrixPool(0.05)
+                                     : serve::MatrixPool::without_run_cache(0.05);
   cluster::ClusterSimulator simulator(config, pool);
   const auto result = simulator.run(serve::generate_workload(workload));
   return cluster::cluster_report_json(workload, config, result, &simulator.metrics()).dump(2);
@@ -178,6 +183,40 @@ TEST(SimParallel, ClusterReportUnchangedByMemoizationAndThreads) {
   const std::string baseline = cluster_json(/*run_cache=*/false, /*threads=*/1);
   EXPECT_EQ(baseline, cluster_json(true, 1));
   EXPECT_EQ(baseline, cluster_json(true, 4));
+}
+
+// ---- Traced runs: the span stream must not depend on the thread count ----
+
+/// JSONL of a traced run with the wall-clock ts/dur fields stripped -- the
+/// deterministic trace *shape* (names, order, attrs). Wall timestamps vary
+/// run to run even at a fixed thread count, so byte-identity is only
+/// meaningful (and is required) for everything else.
+std::string traced_shape_jsonl(const sparse::CsrMatrix& m, int threads) {
+  const ThreadGuard guard(threads);
+  const sim::Engine engine;
+  obs::Recorder recorder;
+  sim::RunSpec spec;
+  spec.ue_count = 24;
+  spec.recorder = &recorder;
+  engine.run(m, spec);
+  std::ostringstream out;
+  recorder.write_jsonl(out, /*include_timing=*/false);
+  return out.str();
+}
+
+TEST(SimParallel, TracedRunShapeIsByteIdenticalForAnyThreadCount) {
+  const auto m = test_matrix();
+  const std::string serial = traced_shape_jsonl(m, 1);
+  // The serial shape must contain one core_trace span per rank, in rank
+  // order -- the merged buffers reproduce the old serial loop exactly.
+  EXPECT_NE(serial.find("engine.core_trace"), std::string::npos);
+  EXPECT_LT(serial.find("\"rank\":\"0\""), serial.find("\"rank\":\"1\""));
+
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int threads : {4, hw}) {
+    EXPECT_EQ(serial, traced_shape_jsonl(m, threads))
+        << "thread count " << threads << " changed the traced span stream";
+  }
 }
 
 }  // namespace

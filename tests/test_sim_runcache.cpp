@@ -1,12 +1,23 @@
 // sim::RunCache: content-keyed memoization of Engine::run. The contract is
 // (a) the key covers exactly what the simulated numbers depend on -- matrix
 // structure, effective core table, spec knobs, engine config -- and nothing
-// else, (b) LRU eviction with a hard capacity bound, and (c) a hit is a deep
-// copy bit-exact versus the cold simulation that produced it.
+// else, (b) LRU-like (CLOCK/second-chance) eviction with a hard capacity
+// bound that holds at any shard count, (c) a hit is a deep copy bit-exact
+// versus the cold simulation that produced it -- also after a snapshot
+// round trip through disk -- and (d) the lock-free hit path stays sane
+// under concurrent readers and writers.
 #include "sim/run_cache.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/generators.hpp"
@@ -260,6 +271,249 @@ TEST(RunCache, ColdAndSteadyStateEnginesShareACacheWithoutCollisions) {
   EXPECT_EQ(cold.run(m, spec).seconds, c.seconds);
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 2u);
+}
+
+// ---- Sharding ----
+
+TEST(RunCacheSharded, ShardCountIsInvariantForLookupResults) {
+  // The same insert/lookup stream against 1, 4 and 16 shards returns the
+  // same values -- sharding is a concurrency detail, not a semantic one.
+  // Capacity is generous (64 slots even in the smallest shard) so no
+  // distribution of the 64 keys can overflow a shard and evict.
+  constexpr std::size_t kKeys = 64;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    RunCacheConfig config;
+    config.capacity = 1024;
+    config.shards = shards;
+    RunCache cache(config);
+    EXPECT_EQ(cache.shard_count(), shards);
+    EXPECT_EQ(cache.capacity(), 1024u);
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      cache.insert(RunKey{i * 2654435761ULL + 17, ~i * 0x9e3779b97f4a7c15ULL},
+                   stub_result(1.0 + static_cast<double>(i)));
+    }
+    EXPECT_EQ(cache.size(), kKeys);
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      const auto hit = cache.lookup(RunKey{i * 2654435761ULL + 17, ~i * 0x9e3779b97f4a7c15ULL});
+      ASSERT_TRUE(hit.has_value()) << "shards=" << shards << " key " << i;
+      EXPECT_EQ(hit->seconds, 1.0 + static_cast<double>(i));
+    }
+    EXPECT_EQ(cache.hits(), kKeys);
+  }
+}
+
+TEST(RunCacheSharded, ShardCountRoundsUpToAPowerOfTwo) {
+  RunCacheConfig config;
+  config.capacity = 64;
+  config.shards = 3;
+  const RunCache cache(config);
+  EXPECT_EQ(cache.shard_count(), 4u);
+}
+
+TEST(RunCacheSharded, AutoShardingNeverExceedsTheCapacity) {
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                                     std::size_t{128}, std::size_t{1000}}) {
+    RunCacheConfig config;
+    config.capacity = capacity;
+    const RunCache cache(config);
+    EXPECT_GE(cache.shard_count(), 1u);
+    EXPECT_LE(cache.shard_count(), capacity);
+    EXPECT_EQ(cache.capacity(), capacity);
+  }
+}
+
+TEST(RunCacheSharded, StatsAggregatePerShardCounters) {
+  // 16 slots per shard: even if all 8 keys land in one shard nothing evicts.
+  RunCacheConfig config;
+  config.capacity = 64;
+  config.shards = 4;
+  RunCache cache(config);
+  for (std::size_t i = 0; i < 8; ++i) {
+    cache.insert(RunKey{i, ~i}, stub_result(1.0));
+  }
+  for (std::size_t i = 0; i < 8; ++i) cache.lookup(RunKey{i, ~i});        // hits
+  for (std::size_t i = 100; i < 104; ++i) cache.lookup(RunKey{i, ~i});    // misses
+
+  const RunCache::Stats stats = cache.stats();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  std::uint64_t hits = 0, misses = 0;
+  std::size_t size = 0, capacity = 0;
+  for (const RunCache::ShardStats& shard : stats.per_shard) {
+    hits += shard.hits;
+    misses += shard.misses;
+    size += shard.size;
+    capacity += shard.capacity;
+    EXPECT_GE(shard.load_factor(), 0.0);
+    EXPECT_LE(shard.load_factor(), 1.0);
+  }
+  EXPECT_EQ(stats.total.hits, 8u);
+  EXPECT_EQ(stats.total.misses, 4u);
+  EXPECT_EQ(stats.total.size, 8u);
+  EXPECT_EQ(stats.total.capacity, 64u);
+  // The totals are exactly the shard sums -- per-shard atomics are the only
+  // counters, so nothing is double-counted however many engines share us.
+  EXPECT_EQ(stats.total.hits, hits);
+  EXPECT_EQ(stats.total.misses, misses);
+  EXPECT_EQ(stats.total.size, size);
+  EXPECT_EQ(stats.total.capacity, capacity);
+}
+
+TEST(RunCacheSharded, ConcurrentHitsAndInsertsStaySane) {
+  // TSan-facing hammer: readers on the lock-free hit path race writers
+  // inserting fresh and overlapping keys. Values must never tear -- every
+  // hit returns one of the exact payloads some writer published.
+  RunCacheConfig config;
+  config.capacity = 32;
+  config.shards = 4;
+  RunCache cache(config);
+  constexpr int kWriters = 2, kReaders = 4, kRounds = 400;
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> torn{false};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&cache, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t i = static_cast<std::size_t>(round % 48);
+        cache.insert(RunKey{i, i * 31 + static_cast<std::size_t>(w)},
+                     stub_result(static_cast<double>(i + 1)));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&cache, &torn, r] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t i = static_cast<std::size_t>((round + r) % 48);
+        for (std::size_t w = 0; w < kWriters; ++w) {
+          const auto hit = cache.lookup(RunKey{i, i * 31 + w});
+          if (hit.has_value() && hit->seconds != static_cast<double>(i + 1)) torn = true;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// ---- Persistence ----
+
+/// Temp snapshot path unique per test; removed on destruction.
+struct SnapshotFile {
+  explicit SnapshotFile(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove(path);
+  }
+  ~SnapshotFile() {
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+  }
+  std::string path;
+};
+
+TEST(RunCachePersist, SnapshotRoundTripsBitExactEngineResults) {
+  const auto m = test_matrix();
+  Engine engine;
+  auto cache = std::make_shared<RunCache>(RunCacheConfig{8, 2, ""});
+  engine.attach_run_cache(cache);
+  RunSpec spec;
+  spec.ue_count = 6;
+  const RunResult truth = engine.run(m, spec);
+
+  RunSpec degraded = spec;
+  degraded.ue_count = 8;
+  degraded.dead_ranks = {3};
+  const RunResult degraded_truth = engine.run(m, degraded);
+
+  const SnapshotFile file("scc_runcache_roundtrip.snapshot");
+  ASSERT_TRUE(cache->save_snapshot(file.path));
+
+  RunCache restored(RunCacheConfig{8, 4, ""});  // different sharding on purpose
+  ASSERT_TRUE(restored.load_snapshot(file.path));
+  EXPECT_EQ(restored.size(), cache->size());
+
+  Engine replay;
+  replay.attach_run_cache(std::shared_ptr<RunCache>(std::shared_ptr<RunCache>(), &restored));
+  const RunResult warm = replay.run(m, spec);
+  const RunResult warm_degraded = replay.run(m, degraded);
+  EXPECT_EQ(restored.hits(), 2u);
+  EXPECT_EQ(restored.misses(), 0u);
+  // Bit-exact through serialization: the full report, not just the headline.
+  EXPECT_EQ(run_report_json(replay, spec, warm).dump(2),
+            run_report_json(replay, spec, truth).dump(2));
+  EXPECT_EQ(warm_degraded.seconds, degraded_truth.seconds);
+  EXPECT_EQ(warm_degraded.reshipped_bytes, degraded_truth.reshipped_bytes);
+  EXPECT_EQ(warm_degraded.recovery_seconds, degraded_truth.recovery_seconds);
+}
+
+TEST(RunCachePersist, ConfigPathLoadsOnConstructionAndSavesOnDestruction) {
+  const SnapshotFile file("scc_runcache_lifecycle.snapshot");
+  const RunKey key{42, 43};
+  {
+    RunCache cache(RunCacheConfig{4, 1, file.path});
+    cache.insert(key, stub_result(0.25));
+  }  // destructor snapshots
+  ASSERT_TRUE(std::filesystem::exists(file.path));
+  {
+    RunCache cache(RunCacheConfig{4, 2, file.path});
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->seconds, 0.25);
+  }
+}
+
+TEST(RunCachePersist, MissingCorruptTruncatedAndStaleSnapshotsAreRejected) {
+  const SnapshotFile file("scc_runcache_invalid.snapshot");
+  RunCache cache(RunCacheConfig{4, 1, ""});
+
+  // Missing file: clean refusal, cache untouched.
+  EXPECT_FALSE(cache.load_snapshot(file.path));
+
+  cache.insert(RunKey{7, 8}, stub_result(0.5));
+  ASSERT_TRUE(cache.save_snapshot(file.path));
+
+  const auto slurp = [&file] {
+    std::ifstream in(file.path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  };
+  const auto dump = [&file](const std::string& bytes) {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::string good = slurp();
+  ASSERT_GT(good.size(), 24u);
+
+  // Bad magic.
+  std::string bad = good;
+  bad[0] ^= 0x5a;
+  dump(bad);
+  RunCache victim(RunCacheConfig{4, 1, ""});
+  EXPECT_FALSE(victim.load_snapshot(file.path));
+  EXPECT_EQ(victim.size(), 0u);
+
+  // Version mismatch (u32 after the 8-byte magic).
+  bad = good;
+  bad[8] = static_cast<char>(bad[8] + 1);
+  dump(bad);
+  EXPECT_FALSE(victim.load_snapshot(file.path));
+  EXPECT_EQ(victim.size(), 0u);
+
+  // Payload corruption: flip one byte past the header, checksum catches it.
+  bad = good;
+  bad[good.size() - 3] ^= 0x5a;
+  dump(bad);
+  EXPECT_FALSE(victim.load_snapshot(file.path));
+  EXPECT_EQ(victim.size(), 0u);
+
+  // Truncation.
+  dump(good.substr(0, good.size() / 2));
+  EXPECT_FALSE(victim.load_snapshot(file.path));
+  EXPECT_EQ(victim.size(), 0u);
+
+  // The intact snapshot still loads after all the rejections.
+  dump(good);
+  EXPECT_TRUE(victim.load_snapshot(file.path));
+  EXPECT_EQ(victim.size(), 1u);
+  EXPECT_EQ(victim.lookup(RunKey{7, 8})->seconds, 0.5);
 }
 
 }  // namespace

@@ -194,6 +194,23 @@ serve::ServeConfig serve_config_from(const CliArgs& args) {
   return config;
 }
 
+/// Run-cache flags shared by `serve` and `cluster`: --no-run-cache disables
+/// memoization outright; --run-cache-capacity / --run-cache-shards size the
+/// sharded cache; --run-cache-file persists it across processes.
+serve::MatrixPool matrix_pool_from(const CliArgs& args) {
+  const double scale = testbed::suite_scale_from_env();
+  if (args.get_bool_or("no-run-cache", false)) {
+    return serve::MatrixPool::without_run_cache(scale);
+  }
+  sim::RunCacheConfig cache;
+  cache.capacity = static_cast<std::size_t>(
+      args.get_int_or("run-cache-capacity", static_cast<long long>(cache.capacity)));
+  cache.shards = static_cast<std::size_t>(
+      args.get_int_or("run-cache-shards", static_cast<long long>(cache.shards)));
+  cache.persist_path = args.get_or("run-cache-file", "");
+  return serve::MatrixPool(scale, cache);
+}
+
 /// Split one `:`-separated fault spec into exactly `expect` (or, when
 /// `expect_opt` > 0, optionally `expect_opt`) doubles.
 std::vector<double> parse_fault_fields(const std::string& item, std::size_t expect,
@@ -547,8 +564,7 @@ int cmd_serve(const CliArgs& args, std::ostream& out) {
   const serve::ServeConfig config = serve_config_from(args);
 
   const auto requests = serve::generate_workload(workload);
-  serve::MatrixPool pool(testbed::suite_scale_from_env(),
-                         !args.get_bool_or("no-run-cache", false));
+  serve::MatrixPool pool = matrix_pool_from(args);
   serve::Simulator simulator(config, pool);
   obs::Recorder recorder;
   const bool observe = !output.trace_path.empty();
@@ -603,8 +619,7 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
   parse_fault_plan(args, config.faults);
 
   const auto requests = serve::generate_workload(workload);
-  serve::MatrixPool pool(testbed::suite_scale_from_env(),
-                         !args.get_bool_or("no-run-cache", false));
+  serve::MatrixPool pool = matrix_pool_from(args);
   cluster::ClusterSimulator simulator(config, pool);
   obs::Recorder recorder;
   const bool observe = !output.trace_path.empty();
@@ -785,7 +800,10 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "(decimal or 0x-hex; seeds every randomized path of the command) and\n"
       "--sim-threads N (host threads for the engine's rank replay; overrides\n"
       "SCC_SIM_THREADS, 1 = serial, numbers identical either way); serve and\n"
-      "cluster accept --no-run-cache to disable engine-run memoization\n";
+      "cluster accept --no-run-cache (disable engine-run memoization),\n"
+      "--run-cache-capacity N / --run-cache-shards K (size the sharded run\n"
+      "cache) and --run-cache-file FILE (persist memoized runs across\n"
+      "processes via a checksummed snapshot)\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
