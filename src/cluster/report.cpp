@@ -31,6 +31,7 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   config_json.set("policy", to_string(config.chip.policy));
   config_json.set("batching", config.chip.batching);
   config_json.set("batch_max", config.chip.batch_max);
+  config_json.set("autotune", config.chip.autotune);
   config_json.set("max_attempts", config.retry.max_attempts);
   config_json.set("hedging", config.hedge.enabled);
   config_json.set("fault_seed", config.faults.seed);
@@ -116,6 +117,10 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
     dead_letters.push_back(std::move(entry));
   }
   report.set("dead_letters", std::move(dead_letters));
+
+  if (result.tuning.enabled) {
+    report.set("tuning", serve::tuning_summary_json(result.tuning));
+  }
 
   if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
   return report;

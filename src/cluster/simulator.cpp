@@ -105,6 +105,11 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config, serve::MatrixPool& pool
                   config_.retry.jitter_fraction >= 0.0,
               "retry backoff parameters out of range");
   SCC_REQUIRE(config_.hedge.delay_seconds > 0.0, "hedge.delay_seconds must be positive");
+  if (config_.chip.autotune) {
+    tuner_ = std::make_unique<tune::Autotuner>(config_.chip.engine, config_.chip.tuning,
+                                               pool.tuning_cache(config_.chip.tuning.cache),
+                                               pool.run_cache());
+  }
 }
 
 ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
@@ -143,6 +148,11 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     result.records[i].request = requests[i];
   }
 
+  // Snapshot tuner counters so the result carries this run's deltas only.
+  const tune::Autotuner::Counters tuning_before =
+      tuner_ != nullptr ? tuner_->counters() : tune::Autotuner::Counters{};
+  const std::size_t tuning_log_before = tuner_ != nullptr ? tuner_->log().size() : 0;
+
   struct ActiveJob {
     int matrix_id = 0;
     std::vector<int> request_ids;
@@ -150,6 +160,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     double dispatch_seconds = 0.0;
     bool will_fail = false;  ///< oracle-decided transient failure
     bool cold = false;       ///< priced at cold-cache timing
+    serve::JobPlan plan;     ///< tuned storage plan (CSR when untuned)
   };
 
   struct Chip {
@@ -387,7 +398,15 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       const testbed::SuiteEntry& entry = pool_.entry(head.matrix_id);
       const serve::JobShape shape{entry.matrix.rows(), entry.matrix.nnz(),
                                   entry.working_set};
-      std::vector<int> cores = chip.partitioner.try_allocate(shape);
+      serve::JobPlan plan;
+      int preferred_cores = 0;
+      if (tuner_ != nullptr) {
+        const tune::TuningDecision decision = tuner_->decide(entry.matrix, head.matrix_id);
+        plan.format = decision.choice.format;
+        plan.reorder = decision.choice.reorder;
+        preferred_cores = decision.choice.ue_count;
+      }
+      std::vector<int> cores = chip.partitioner.try_allocate(shape, preferred_cores);
       if (cores.empty()) {
         if (!chip.tracker.empty()) return;  // a completion will free cores
         // Nothing is running and the job still does not fit: tile kills
@@ -450,8 +469,8 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
         cold_runs_total.add();
       }
 
-      const serve::JobTiming& cached =
-          cold ? model_.cold_timing(matrix_id, cores) : model_.timing(matrix_id, cores);
+      const serve::JobTiming& cached = cold ? model_.cold_timing(matrix_id, cores, plan)
+                                            : model_.timing(matrix_id, cores, plan);
       const auto k = static_cast<double>(batch.size());
       const double service = reship_seconds + cached.load_seconds + k * cached.product_seconds;
       // The re-ship and load phases are pure bandwidth (beta = 1).
@@ -473,6 +492,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       job.dispatch_seconds = now;
       job.will_fail = oracle_.job_fails(chip.id, chip.job_ordinal++);
       job.cold = cold;
+      job.plan = plan;
       chip.breaker.note_dispatch();  // a half-open breaker's probe job
       for (const serve::Request& request : batch) {
         job.request_ids.push_back(request.id);
@@ -647,11 +667,13 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       return;
     }
     // Base the restatement ratio on the timing the job was actually priced
-    // with (a cold job degrades from its cold figure; the degraded timing
-    // itself stays the warm protocol -- the survivors' redo streams the
-    // matrix anyway, so the steady-state figure is the better model).
-    const serve::JobTiming& healthy = job.cold ? model_.cold_timing(job.matrix_id, job.cores)
-                                               : model_.timing(job.matrix_id, job.cores);
+    // with (a cold job degrades from its cold figure, a tuned job from its
+    // tuned plan; the degraded timing itself stays the warm CSR protocol --
+    // the survivors' redo re-ships CSR blocks whatever the plan was, so the
+    // steady-state CSR figure is the better model).
+    const serve::JobTiming& healthy =
+        job.cold ? model_.cold_timing(job.matrix_id, job.cores, job.plan)
+                 : model_.timing(job.matrix_id, job.cores, job.plan);
     const serve::JobTiming& degraded = model_.degraded_timing(job.matrix_id, job.cores, core);
     const double ratio = healthy.product_seconds > 0.0
                              ? degraded.product_seconds / healthy.product_seconds
@@ -981,6 +1003,23 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   metrics_->gauge("cluster.availability").set(result.availability);
   metrics_->gauge("cluster.throughput_rps").set(result.throughput_rps);
   metrics_->gauge("cluster.makespan_seconds").set(result.makespan_seconds);
+  if (tuner_ != nullptr) {
+    const tune::Autotuner::Counters after = tuner_->counters();
+    result.tuning.enabled = true;
+    result.tuning.cache_hits = after.cache_hits - tuning_before.cache_hits;
+    result.tuning.predicted = after.predicted - tuning_before.predicted;
+    result.tuning.explored = after.explored - tuning_before.explored;
+    result.tuning.explore_runs = after.explore_runs - tuning_before.explore_runs;
+    result.tuning.explore_seconds = after.explore_seconds - tuning_before.explore_seconds;
+    result.tuning.decisions.assign(
+        tuner_->log().begin() + static_cast<std::ptrdiff_t>(tuning_log_before),
+        tuner_->log().end());
+    metrics_->counter("tune.cache_hits").add(result.tuning.cache_hits);
+    metrics_->counter("tune.predicted").add(result.tuning.predicted);
+    metrics_->counter("tune.explored").add(result.tuning.explored);
+    metrics_->counter("tune.explore_runs").add(result.tuning.explore_runs);
+    metrics_->gauge("tune.explore_seconds").set(result.tuning.explore_seconds);
+  }
   // The shared RunCache's stats ride the observability registry (not the
   // report-embedded one: memoization must not change report bytes).
   if (const std::shared_ptr<sim::RunCache>& cache = pool_.run_cache();

@@ -184,6 +184,10 @@ struct ClusterResult {
   serve::LatencySummary latency_total;
   serve::LatencySummary latency_interactive;
   serve::LatencySummary latency_batch;
+  /// Cluster-wide autotuning deltas for this run (config.chip.autotune);
+  /// all chips share one tuner, so a matrix explored for chip 0 is a cache
+  /// hit for every other chip.
+  serve::TuningSummary tuning;
 };
 
 class ClusterSimulator {
@@ -201,11 +205,16 @@ class ClusterSimulator {
   /// Metrics of the most recent run() (cluster.* counters and histograms).
   const obs::Registry& metrics() const { return *metrics_; }
 
+  /// The cluster-wide autotuner (nullptr unless config.chip.autotune); its
+  /// TuningCache is the pool's shared one.
+  const tune::Autotuner* tuner() const { return tuner_.get(); }
+
  private:
   ClusterConfig config_;
   serve::MatrixPool& pool_;
   serve::ServiceModel model_;
   FaultOracle oracle_;
+  std::unique_ptr<tune::Autotuner> tuner_;
   std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
 };
 

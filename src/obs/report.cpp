@@ -183,6 +183,79 @@ void validate_latency_summary(std::vector<std::string>& problems, const Json& pa
   }
 }
 
+/// One tuning decision object, as emitted by serve::tuning_summary_json and
+/// the autotune report's "decisions" array.
+void validate_decision(std::vector<std::string>& problems, const Json& decision,
+                       const char* where) {
+  if (!decision.is_object()) {
+    problems.push_back(std::string(where) + " entries must be objects");
+    return;
+  }
+  for (const char* key :
+       {"fingerprint", "cores", "modeled_seconds", "baseline_seconds", "explored_runs"}) {
+    check_number(problems, decision, key);
+  }
+  for (const char* key : {"format", "reorder", "mapping"}) {
+    const Json* value = decision.find(key);
+    require(problems, value != nullptr && value->is_string(),
+            std::string(where) + " entries need a string '" + key + "'");
+  }
+  const Json* predicted = decision.find("predicted");
+  require(problems, predicted != nullptr && predicted->is_bool(),
+          std::string(where) + " entries need a bool 'predicted'");
+}
+
+/// Optional "tuning" section of serve/cluster reports (present when the run
+/// autotuned).
+void validate_tuning(std::vector<std::string>& problems, const Json& report) {
+  const Json* tuning = report.find("tuning");
+  if (tuning == nullptr) return;
+  if (!tuning->is_object()) {
+    problems.push_back("tuning must be an object when present");
+    return;
+  }
+  const Json* enabled = tuning->find("enabled");
+  require(problems, enabled != nullptr && enabled->is_bool(),
+          "tuning needs a bool 'enabled'");
+  for (const char* key :
+       {"cache_hits", "predicted", "explored", "explore_runs", "explore_seconds"}) {
+    check_number(problems, *tuning, key);
+  }
+  const Json* decisions = tuning->find("decisions");
+  if (decisions == nullptr || !decisions->is_array()) {
+    problems.push_back("tuning needs a 'decisions' array");
+    return;
+  }
+  for (std::size_t i = 0; i < decisions->size(); ++i) {
+    validate_decision(problems, decisions->at(i), "tuning.decisions");
+  }
+}
+
+void validate_autotune(std::vector<std::string>& problems, const Json& report) {
+  if (const Json* config = check_section(problems, report, "config", Json::Type::kObject)) {
+    const Json* formats = config->find("formats");
+    require(problems, formats != nullptr && formats->is_array() && formats->size() > 0,
+            "autotune config needs a non-empty 'formats' array");
+    const Json* cores = config->find("core_counts");
+    require(problems, cores != nullptr && cores->is_array() && cores->size() > 0,
+            "autotune config needs a non-empty 'core_counts' array");
+  }
+  if (const Json* decisions =
+          check_section(problems, report, "decisions", Json::Type::kArray)) {
+    require(problems, decisions->size() > 0, "decisions must not be empty");
+    for (std::size_t i = 0; i < decisions->size(); ++i) {
+      validate_decision(problems, decisions->at(i), "decisions");
+    }
+  }
+  if (const Json* result = check_section(problems, report, "result", Json::Type::kObject)) {
+    for (const char* key :
+         {"cache_hits", "predicted", "explored", "explore_runs", "explore_seconds"}) {
+      check_number(problems, *result, key);
+    }
+  }
+  validate_metrics(problems, report);
+}
+
 void validate_serve(std::vector<std::string>& problems, const Json& report) {
   if (const Json* workload =
           check_section(problems, report, "workload", Json::Type::kObject)) {
@@ -221,6 +294,7 @@ void validate_serve(std::vector<std::string>& problems, const Json& report) {
       check_number(problems, mc, "utilization");
     }
   }
+  validate_tuning(problems, report);
   validate_metrics(problems, report);
 }
 
@@ -293,6 +367,7 @@ void validate_cluster(std::vector<std::string>& problems, const Json& report) {
               "dead_letters entries need 'request' and string 'reason'");
     }
   }
+  validate_tuning(problems, report);
   validate_metrics(problems, report);
 }
 
@@ -411,6 +486,8 @@ std::vector<std::string> validate_report(const Json& report) {
     validate_serve(problems, report);
   } else if (kind->as_string() == kKindCluster) {
     validate_cluster(problems, report);
+  } else if (kind->as_string() == kKindAutotune) {
+    validate_autotune(problems, report);
   }
   // Other kinds only need the envelope; unknown top-level keys never fail
   // validation (additive forward compatibility).

@@ -30,6 +30,7 @@ inline constexpr const char* kKindAnalysis = "analysis";///< `scc-spmv analyze`
 inline constexpr const char* kKindReport = "report";    ///< aggregation of other reports
 inline constexpr const char* kKindServe = "serve";      ///< one serving-simulator run
 inline constexpr const char* kKindCluster = "cluster";  ///< one multi-chip cluster run
+inline constexpr const char* kKindAutotune = "autotune";///< one offline autotuning pass
 
 /// {"schema_version": kSchemaVersion, "kind": kind}
 Json report_skeleton(const std::string& kind);

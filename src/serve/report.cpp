@@ -14,6 +14,33 @@ obs::Json latency_summary_json(const LatencySummary& summary) {
   return j;
 }
 
+obs::Json tuning_summary_json(const TuningSummary& tuning) {
+  obs::Json j = obs::Json::object();
+  j.set("enabled", tuning.enabled);
+  j.set("cache_hits", tuning.cache_hits);
+  j.set("predicted", tuning.predicted);
+  j.set("explored", tuning.explored);
+  j.set("explore_runs", tuning.explore_runs);
+  j.set("explore_seconds", tuning.explore_seconds);
+  obs::Json decisions = obs::Json::array();
+  for (const tune::DecisionRecord& record : tuning.decisions) {
+    obs::Json d = obs::Json::object();
+    d.set("fingerprint", record.fingerprint);
+    d.set("matrix_id", record.matrix_id);
+    d.set("format", sim::to_string(record.decision.choice.format));
+    d.set("reorder", sim::to_string(record.decision.choice.reorder));
+    d.set("cores", record.decision.choice.ue_count);
+    d.set("mapping", chip::to_string(record.decision.choice.policy));
+    d.set("modeled_seconds", record.decision.modeled_seconds);
+    d.set("baseline_seconds", record.decision.baseline_seconds);
+    d.set("predicted", record.decision.predicted);
+    d.set("explored_runs", record.decision.explored_runs);
+    decisions.push_back(std::move(d));
+  }
+  j.set("decisions", std::move(decisions));
+  return j;
+}
+
 obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& config,
                             const ServeResult& result, const obs::Registry* metrics) {
   obs::Json report = obs::report_skeleton(obs::kKindServe);
@@ -36,6 +63,7 @@ obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& con
   config_json.set("interactive_reserve", config.admission.interactive_reserve);
   config_json.set("batching", config.batching);
   config_json.set("batch_max", config.batch_max);
+  config_json.set("autotune", config.autotune);
   report.set("config", std::move(config_json));
 
   obs::Json result_json = obs::Json::object();
@@ -65,6 +93,8 @@ obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& con
     per_mc.push_back(std::move(entry));
   }
   report.set("per_mc", std::move(per_mc));
+
+  if (result.tuning.enabled) report.set("tuning", tuning_summary_json(result.tuning));
 
   if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
   return report;

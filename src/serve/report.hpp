@@ -17,6 +17,10 @@ namespace scc::serve {
 /// "p95","p99"}.
 obs::Json latency_summary_json(const LatencySummary& summary);
 
+/// The "tuning" section shared by serve and cluster reports: the run's
+/// predicted/explored split plus one object per decision made this run.
+obs::Json tuning_summary_json(const TuningSummary& tuning);
+
 /// Full kind="serve" report for one serving run. `metrics`, when non-null,
 /// contributes the "metrics" section (usually Simulator::metrics()).
 obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& config,

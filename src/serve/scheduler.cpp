@@ -96,6 +96,10 @@ int ChipPartitioner::jobs_on_mc(int mc) const {
 }
 
 std::vector<int> ChipPartitioner::try_allocate(const JobShape& shape) {
+  return try_allocate(shape, 0);
+}
+
+std::vector<int> ChipPartitioner::try_allocate(const JobShape& shape, int preferred_cores) {
   std::vector<int> cores;
   switch (policy_) {
     case SchedulingPolicy::kFifoWholeChip: {
@@ -121,7 +125,20 @@ std::vector<int> ChipPartitioner::try_allocate(const JobShape& shape) {
       break;
     }
     case SchedulingPolicy::kMatrixAware: {
-      const int count = profitable_core_count(shape, model_);
+      int count = profitable_core_count(shape, model_);
+      if (preferred_cores > 0) {
+        // A tuned preference replaces the heuristic but keeps the ladder:
+        // placement below assumes sub-quadrant jobs fit one quadrant and
+        // large jobs are whole-quadrant multiples.
+        const int clamped = std::min(preferred_cores, chip::kCoreCount);
+        count = chip::kCoreCount;
+        for (const int step : kCoreLadder) {
+          if (step >= clamped) {
+            count = step;
+            break;
+          }
+        }
+      }
       const auto free_by_mc = chip::cores_by_mc(free_cores());
       if (count <= kQuadrantCores) {
         // A sub-quadrant job lives entirely inside one quadrant: sharing an

@@ -72,6 +72,14 @@ class ChipPartitioner {
   /// wait for frees. Allocated cores are marked busy until release().
   std::vector<int> try_allocate(const JobShape& shape);
 
+  /// Same, but with a tuned core-count preference (the autotuner's pinned
+  /// winner). Only the matrix-aware policy sizes per job, so only it honors
+  /// the override: `preferred_cores > 0` replaces profitable_core_count,
+  /// rounded up to the partition ladder so placement invariants (quadrant
+  /// tiling, MC affinity) are preserved. fifo and quadrants allocate their
+  /// fixed shapes regardless. `preferred_cores <= 0` means no preference.
+  std::vector<int> try_allocate(const JobShape& shape, int preferred_cores);
+
   /// Return a core set obtained from try_allocate.
   void release(const std::vector<int>& cores);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string_view>
 #include <utility>
 
@@ -62,10 +64,31 @@ MatrixPool::MatrixPool(double scale, const sim::RunCacheConfig& cache_config) : 
 MatrixPool::MatrixPool(double scale, NoCacheTag) : scale_(scale) {}
 
 MatrixPool::MatrixPool(double scale, bool enable_run_cache)
-    : MatrixPool(enable_run_cache ? MatrixPool(scale) : without_run_cache(scale)) {}
+    : MatrixPool(enable_run_cache
+                     // Explicitly forward the *default* RunCacheConfig so the
+                     // legacy spelling gets the default shard count, never a
+                     // single-shard cache.
+                     ? MatrixPool(scale, sim::RunCacheConfig{})
+                     : without_run_cache(scale)) {
+  static std::once_flag deprecation_note_once;
+  std::call_once(deprecation_note_once, [] {
+    std::fputs(
+        "note: MatrixPool(scale, bool) is deprecated; use "
+        "MatrixPool(scale, RunCacheConfig) or MatrixPool::without_run_cache\n",
+        stderr);
+  });
+}
 
 MatrixPool MatrixPool::without_run_cache(double scale) {
   return MatrixPool(scale, NoCacheTag{});
+}
+
+const std::shared_ptr<tune::TuningCache>& MatrixPool::tuning_cache(
+    const tune::TuningCacheConfig& config) {
+  if (tuning_cache_ == nullptr) {
+    tuning_cache_ = std::make_shared<tune::TuningCache>(config);
+  }
+  return tuning_cache_;
 }
 
 const testbed::SuiteEntry& MatrixPool::entry(int id) {
@@ -89,12 +112,18 @@ ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool)
   cold_engine_.attach_run_cache(pool.run_cache());
 }
 
-sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_core) {
+sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_core,
+                                    const JobPlan& plan) {
   sim::RunSpec spec;
   if (killed_core < 0) {
     spec.cores = cores;
+    spec.format = plan.format;
+    spec.reorder = plan.reorder;
     return spec;
   }
+  // Degraded jobs always price as CSR: the recovery protocol re-ships CSR
+  // row blocks, so a tuned plan is dropped when a tile dies mid-job.
+  SCC_REQUIRE(plan == JobPlan{}, "a tuned plan cannot compose with a killed core");
   const auto pos = std::find(cores.begin(), cores.end(), killed_core);
   SCC_REQUIRE(pos != cores.end(), "killed core " << killed_core << " not in the job's set");
   // Rank 0 owns the matrix and must survive in the degraded protocol; when
@@ -112,27 +141,42 @@ sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_co
 }
 
 const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cores) {
-  const auto key = std::make_tuple(matrix_id, cores, -1, false);
+  return timing(matrix_id, cores, JobPlan{});
+}
+
+const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cores,
+                                      const JobPlan& plan) {
+  const auto key = std::make_tuple(matrix_id, cores, -1, false, static_cast<int>(plan.format),
+                                   static_cast<int>(plan.reorder));
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores));
+  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores, -1, plan));
 
   JobTiming timing;
   timing.product_seconds = result.seconds;
+  // The load phase streams the matrix's CSR blocks whatever the compute
+  // format (the pool stores CSR; conversion happens on-core), so a tuned
+  // plan changes only the product pricing.
   timing.load_seconds = load_seconds_of(entry.matrix, cores, engine_);
   timing.beta = beta_of(result, result.seconds);
   return cache_.emplace(key, timing).first->second;
 }
 
 const JobTiming& ServiceModel::cold_timing(int matrix_id, const std::vector<int>& cores) {
-  const auto key = std::make_tuple(matrix_id, cores, -1, true);
+  return cold_timing(matrix_id, cores, JobPlan{});
+}
+
+const JobTiming& ServiceModel::cold_timing(int matrix_id, const std::vector<int>& cores,
+                                           const JobPlan& plan) {
+  const auto key = std::make_tuple(matrix_id, cores, -1, true, static_cast<int>(plan.format),
+                                   static_cast<int>(plan.reorder));
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  const sim::RunResult result = cold_engine_.run(entry.matrix, job_spec(cores));
+  const sim::RunResult result = cold_engine_.run(entry.matrix, job_spec(cores, -1, plan));
 
   JobTiming timing;
   timing.product_seconds = result.seconds;
@@ -155,7 +199,7 @@ double ServiceModel::reship_seconds(int matrix_id, double link_bandwidth_fractio
 const JobTiming& ServiceModel::degraded_timing(int matrix_id, const std::vector<int>& cores,
                                                int killed_core) {
   SCC_REQUIRE(cores.size() >= 2, "a one-core job cannot survive its only tile");
-  const auto key = std::make_tuple(matrix_id, cores, killed_core, false);
+  const auto key = std::make_tuple(matrix_id, cores, killed_core, false, 0, 0);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 

@@ -18,6 +18,7 @@
 #include "sim/engine.hpp"
 #include "sim/run_cache.hpp"
 #include "testbed/suite.hpp"
+#include "tune/cache.hpp"
 
 namespace scc::serve {
 
@@ -53,6 +54,14 @@ class MatrixPool {
   /// (and its exit snapshot, when persisted) may outlive the pool.
   const std::shared_ptr<sim::RunCache>& run_cache() const { return run_cache_; }
 
+  /// Shared tuning cache, created lazily on first request: every simulator
+  /// (serve and cluster alike) tuning against this pool pins and reuses the
+  /// same per-matrix winners, so one exploration serves the whole stack.
+  /// The first caller's `config` wins (capacity, snapshot path); later
+  /// callers get the same cache regardless of their config.
+  const std::shared_ptr<tune::TuningCache>& tuning_cache(
+      const tune::TuningCacheConfig& config = {});
+
  private:
   struct NoCacheTag {};
   MatrixPool(double scale, NoCacheTag);
@@ -60,6 +69,7 @@ class MatrixPool {
   double scale_;
   std::map<int, testbed::SuiteEntry> entries_;
   std::shared_ptr<sim::RunCache> run_cache_;  ///< nullptr when disabled
+  std::shared_ptr<tune::TuningCache> tuning_cache_;  ///< lazily created
 };
 
 /// CSR bytes a matrix occupies on the wire (rowptr + column indices +
@@ -77,6 +87,15 @@ struct JobTiming {
   double recovery_seconds = 0.0;
 };
 
+/// Storage plan of a dispatched job: the autotuner's tuned (format,
+/// reorder) choice, defaulting to the untuned CSR path. Core count and
+/// mapping tune through the partitioner, not here.
+struct JobPlan {
+  sim::StorageFormat format = sim::StorageFormat::kCsr;
+  sim::Reordering reorder = sim::Reordering::kNone;
+  friend bool operator==(const JobPlan&, const JobPlan&) = default;
+};
+
 class ServiceModel {
  public:
   ServiceModel(const sim::EngineConfig& config, MatrixPool& pool);
@@ -84,8 +103,10 @@ class ServiceModel {
   const sim::Engine& engine() const { return engine_; }
   MatrixPool& pool() { return pool_; }
 
-  /// Healthy timing of `matrix_id` on `cores` (memoized).
+  /// Healthy timing of `matrix_id` on `cores` (memoized), optionally under
+  /// a tuned storage plan.
   const JobTiming& timing(int matrix_id, const std::vector<int>& cores);
+  const JobTiming& timing(int matrix_id, const std::vector<int>& cores, const JobPlan& plan);
 
   /// Cold-cache timing of the same job: the product is priced by a twin
   /// engine configured with measure_steady_state = false, so the run pays
@@ -95,6 +116,8 @@ class ServiceModel {
   /// pool's RunCache (sim::RunKey keys measure_steady_state, so cold and
   /// warm entries never collide).
   const JobTiming& cold_timing(int matrix_id, const std::vector<int>& cores);
+  const JobTiming& cold_timing(int matrix_id, const std::vector<int>& cores,
+                               const JobPlan& plan);
 
   /// CSR bytes of `matrix_id` as shipped between chips.
   double reship_bytes(int matrix_id);
@@ -117,15 +140,19 @@ class ServiceModel {
   /// rank-0 ownership rule is applied (the dead tile is swapped to the back
   /// when it sits at rank 0 -- the survivor set, hence the timing, is
   /// unchanged). Both timing() and degraded_timing() go through here, and
-  /// the cluster layer prices through them.
-  static sim::RunSpec job_spec(const std::vector<int>& cores, int killed_core = -1);
+  /// the cluster layer prices through them. A tuned plan composes with
+  /// healthy jobs only: the degraded protocol re-ships CSR blocks, so a
+  /// killed-core spec always prices as CSR (tuning never changes recovery).
+  static sim::RunSpec job_spec(const std::vector<int>& cores, int killed_core = -1,
+                               const JobPlan& plan = {});
 
  private:
   sim::Engine engine_;
   sim::Engine cold_engine_;  ///< same config, measure_steady_state = false
   MatrixPool& pool_;
-  /// Key: (matrix, core set, killed core or -1 for healthy, cold caches).
-  std::map<std::tuple<int, std::vector<int>, int, bool>, JobTiming> cache_;
+  /// Key: (matrix, core set, killed core or -1 for healthy, cold caches,
+  /// plan format, plan reorder).
+  std::map<std::tuple<int, std::vector<int>, int, bool, int, int>, JobTiming> cache_;
 };
 
 }  // namespace scc::serve

@@ -32,6 +32,11 @@ LatencySummary summarize_latencies(std::vector<double>& latencies) {
 Simulator::Simulator(ServeConfig config, MatrixPool& pool)
     : config_(config), pool_(pool), model_(config.engine, pool) {
   SCC_REQUIRE(config_.batch_max >= 1, "batch_max must be >= 1");
+  if (config_.autotune) {
+    tuner_ = std::make_unique<tune::Autotuner>(config_.engine, config_.tuning,
+                                               pool.tuning_cache(config_.tuning.cache),
+                                               pool.run_cache());
+  }
 }
 
 ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* recorder) {
@@ -64,6 +69,12 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   ChipPartitioner partitioner(config_.policy, config_.partition);
   ContentionTracker tracker;
 
+  // Snapshot the tuner's counters/log so the result carries this run's
+  // deltas only (the tuner outlives runs: cache hits accrue across them).
+  const tune::Autotuner::Counters tuning_before =
+      tuner_ != nullptr ? tuner_->counters() : tune::Autotuner::Counters{};
+  const std::size_t tuning_log_before = tuner_ != nullptr ? tuner_->log().size() : 0;
+
   struct ActiveJob {
     std::vector<int> request_ids;
     std::size_t job_index = 0;  ///< into result.jobs
@@ -91,7 +102,15 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
       const Request& head = queue.front();
       const testbed::SuiteEntry& entry = pool_.entry(head.matrix_id);
       const JobShape shape{entry.matrix.rows(), entry.matrix.nnz(), entry.working_set};
-      std::vector<int> cores = partitioner.try_allocate(shape);
+      JobPlan plan;
+      int preferred_cores = 0;
+      if (tuner_ != nullptr) {
+        const tune::TuningDecision decision = tuner_->decide(entry.matrix, head.matrix_id);
+        plan.format = decision.choice.format;
+        plan.reorder = decision.choice.reorder;
+        preferred_cores = decision.choice.ue_count;
+      }
+      std::vector<int> cores = partitioner.try_allocate(shape, preferred_cores);
       if (cores.empty()) return;  // head-of-line blocks: FIFO within class
 
       std::vector<Request> batch;
@@ -103,7 +122,7 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
         }
       }
 
-      const JobTiming& cached = model_.timing(batch.front().matrix_id, cores);
+      const JobTiming& cached = model_.timing(batch.front().matrix_id, cores, plan);
       const auto k = static_cast<double>(batch.size());
       const double service = cached.load_seconds + k * cached.product_seconds;
       const double beta =
@@ -235,6 +254,23 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   result.latency_batch = summarize_latencies(batch);
   metrics_->gauge("serve.throughput_rps").set(result.throughput_rps);
   metrics_->gauge("serve.makespan_seconds").set(result.makespan_seconds);
+  if (tuner_ != nullptr) {
+    const tune::Autotuner::Counters after = tuner_->counters();
+    result.tuning.enabled = true;
+    result.tuning.cache_hits = after.cache_hits - tuning_before.cache_hits;
+    result.tuning.predicted = after.predicted - tuning_before.predicted;
+    result.tuning.explored = after.explored - tuning_before.explored;
+    result.tuning.explore_runs = after.explore_runs - tuning_before.explore_runs;
+    result.tuning.explore_seconds = after.explore_seconds - tuning_before.explore_seconds;
+    result.tuning.decisions.assign(
+        tuner_->log().begin() + static_cast<std::ptrdiff_t>(tuning_log_before),
+        tuner_->log().end());
+    metrics_->counter("tune.cache_hits").add(result.tuning.cache_hits);
+    metrics_->counter("tune.predicted").add(result.tuning.predicted);
+    metrics_->counter("tune.explored").add(result.tuning.explored);
+    metrics_->counter("tune.explore_runs").add(result.tuning.explore_runs);
+    metrics_->gauge("tune.explore_seconds").set(result.tuning.explore_seconds);
+  }
   // The shared RunCache's stats ride the observability registry (not the
   // report-embedded one: memoization must not change report bytes).
   if (const std::shared_ptr<sim::RunCache>& cache = pool_.run_cache();

@@ -24,6 +24,7 @@
 #include "serve/service_model.hpp"
 #include "sim/engine.hpp"
 #include "testbed/suite.hpp"
+#include "tune/autotuner.hpp"
 
 namespace scc::obs {
 class Recorder;
@@ -39,6 +40,13 @@ struct ServeConfig {
   bool batching = true;
   int batch_max = 8;  ///< requests per job, head included
   sim::EngineConfig engine;
+  /// Consult the pool's shared tune::TuningCache at dispatch: each job runs
+  /// under its matrix's tuned (format, reorder) plan and, with the
+  /// matrix-aware policy, the tuned core count. First sight of a matrix
+  /// explores the grid (priced through the shared RunCache); afterwards the
+  /// pinned winner is free.
+  bool autotune = false;
+  tune::AutotuneConfig tuning;  ///< grid + scoring knobs when autotune is on
 };
 
 /// One chip job: a batch of same-matrix requests on one core partition.
@@ -63,6 +71,19 @@ struct LatencySummary {
   double p99 = 0.0;
 };
 
+/// Per-run autotuning accounting (counter deltas over this run only, plus
+/// the decisions the run itself triggered -- cache hits from earlier runs
+/// against the same pool count as hits, not decisions).
+struct TuningSummary {
+  bool enabled = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t predicted = 0;
+  std::uint64_t explored = 0;
+  std::uint64_t explore_runs = 0;
+  double explore_seconds = 0.0;
+  std::vector<tune::DecisionRecord> decisions;  ///< made during this run
+};
+
 struct ServeResult {
   std::vector<RequestRecord> records;  ///< indexed by request id
   std::vector<JobRecord> jobs;
@@ -82,6 +103,7 @@ struct ServeResult {
   LatencySummary latency_total;
   LatencySummary latency_interactive;
   LatencySummary latency_batch;
+  TuningSummary tuning;  ///< zero/disabled unless ServeConfig::autotune
 };
 
 class Simulator {
@@ -101,10 +123,16 @@ class Simulator {
   /// histograms). Valid until the next run() call.
   const obs::Registry& metrics() const { return *metrics_; }
 
+  /// The dispatch-time autotuner (nullptr unless config.autotune). Its
+  /// TuningCache is the pool's shared one, so decisions persist across
+  /// Simulator instances on the same pool.
+  const tune::Autotuner* tuner() const { return tuner_.get(); }
+
  private:
   ServeConfig config_;
   MatrixPool& pool_;
   ServiceModel model_;
+  std::unique_ptr<tune::Autotuner> tuner_;
   std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
 };
 

@@ -12,6 +12,7 @@
 #include "sim/format_traces.hpp"
 #include "sim/run_cache.hpp"
 #include "sparse/properties.hpp"
+#include "sparse/reorder.hpp"
 
 namespace scc::sim {
 
@@ -87,6 +88,17 @@ RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) cons
 
 RunResult Engine::run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& spec,
                                const std::vector<int>& cores) const {
+  if (spec.reorder != Reordering::kNone) {
+    // Row-schedule reordering: permute the row order (columns untouched) and
+    // replay the permuted matrix with the reorder consumed. The degraded
+    // protocol re-ships CSR blocks of the original row numbering, so it
+    // composes with CSR only.
+    SCC_REQUIRE(spec.dead_ranks.empty(), "reordering cannot combine with dead_ranks");
+    const std::vector<index_t> perm = sparse::reverse_cuthill_mckee(matrix);
+    RunSpec reordered = spec;
+    reordered.reorder = Reordering::kNone;
+    return run_uncached(matrix.permute_rows(perm), reordered, cores);
+  }
   if (!spec.dead_ranks.empty()) {
     SCC_REQUIRE(spec.format == StorageFormat::kCsr,
                 "dead_ranks supports the CSR format only");
@@ -261,6 +273,16 @@ std::string to_string(StorageFormat format) {
       return "BCSR b=4";
     case StorageFormat::kHyb:
       return "HYB";
+  }
+  return "unknown";
+}
+
+std::string to_string(Reordering reorder) {
+  switch (reorder) {
+    case Reordering::kNone:
+      return "none";
+    case Reordering::kRcmRows:
+      return "rcm-rows";
   }
   return "unknown";
 }

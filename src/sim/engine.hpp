@@ -35,7 +35,15 @@ namespace scc::sim {
 /// CSR baseline vs. the optimized layouts of the paper's references [9]/[11]).
 enum class StorageFormat { kCsr, kEll, kBcsr2, kBcsr4, kHyb };
 
+/// Row-schedule reorderings the engine can apply before partitioning.
+/// kRcmRows permutes only the row order (reverse Cuthill-McKee schedule;
+/// columns untouched), so every row's dot product keeps its exact CSR
+/// floating-point association -- the product is bit-identical to the
+/// unreordered run, only the partition/locality (and thus timing) changes.
+enum class Reordering { kNone, kRcmRows };
+
 std::string to_string(StorageFormat format);
+std::string to_string(Reordering reorder);
 std::string to_string(SpmvVariant variant);
 
 /// Everything that parameterizes one simulated run, bundled so the engine
@@ -54,6 +62,7 @@ struct RunSpec {
   chip::MappingPolicy policy = chip::MappingPolicy::kStandard;
   std::vector<int> cores;
   StorageFormat format = StorageFormat::kCsr;
+  Reordering reorder = Reordering::kNone;
   SpmvVariant variant = SpmvVariant::kCsr;
   int forced_hops = -1;
   std::vector<int> dead_ranks;

@@ -23,6 +23,7 @@ RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
   // two ways of naming the same run share one entry.
   hash.array(std::span<const int>(cores));
   hash.u64(static_cast<std::uint64_t>(spec.format));
+  hash.u64(static_cast<std::uint64_t>(spec.reorder));
   hash.u64(static_cast<std::uint64_t>(spec.variant));
   hash.i64(spec.forced_hops);
   hash.array(std::span<const int>(spec.dead_ranks));
@@ -82,7 +83,9 @@ std::size_t resolve_shard_count(const RunCacheConfig& config) {
 }  // namespace
 
 RunCache::RunCache(const RunCacheConfig& config)
-    : capacity_(config.capacity), persist_path_(config.persist_path) {
+    : capacity_(config.capacity),
+      persist_path_(config.persist_path),
+      max_snapshot_bytes_(config.max_snapshot_bytes) {
   SCC_REQUIRE(capacity_ >= 1, "RunCache capacity must be >= 1");
   const std::size_t shard_count = resolve_shard_count(config);
   shards_ = std::vector<Shard>(shard_count);
@@ -101,7 +104,7 @@ RunCache::RunCache(const RunCacheConfig& config)
 }
 
 RunCache::RunCache(std::size_t capacity)
-    : RunCache(RunCacheConfig{capacity, 0, std::string()}) {}
+    : RunCache(RunCacheConfig{capacity, 0, std::string(), 0}) {}
 
 RunCache::~RunCache() {
   if (persist_path_.empty()) return;
@@ -133,6 +136,10 @@ std::optional<RunResult> RunCache::lookup(const RunKey& key) {
     const std::shared_ptr<const Entry> entry = slot.entry.load(std::memory_order_acquire);
     if (entry == nullptr || !(entry->key == key)) continue;
     slot.referenced.store(true, std::memory_order_relaxed);  // second chance
+    // A hit refreshes the entry's save epoch, so hot entries survive
+    // snapshot compaction.
+    slot.generation.store(generation_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     return entry->result;  // deep copy of the immutable entry
   }
@@ -141,6 +148,11 @@ std::optional<RunResult> RunCache::lookup(const RunKey& key) {
 }
 
 void RunCache::insert(const RunKey& key, const RunResult& result) {
+  insert_with_generation(key, result, generation_.load(std::memory_order_relaxed));
+}
+
+void RunCache::insert_with_generation(const RunKey& key, const RunResult& result,
+                                      std::uint64_t generation) {
   auto entry = std::make_shared<const Entry>(Entry{key, result});
   Shard& shard = shard_of(key);
   const std::lock_guard<std::mutex> lock(shard.insert_mutex);
@@ -158,6 +170,7 @@ void RunCache::insert(const RunKey& key, const RunResult& result) {
       // result, recently used.
       slot.entry.store(std::move(entry), std::memory_order_release);
       slot.referenced.store(true, std::memory_order_relaxed);
+      slot.generation.store(generation, std::memory_order_relaxed);
       shard.insertions.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -184,6 +197,7 @@ void RunCache::insert(const RunKey& key, const RunResult& result) {
   victim->key_matrix.store(key.matrix, std::memory_order_relaxed);
   victim->key_spec.store(key.spec, std::memory_order_relaxed);
   victim->referenced.store(false, std::memory_order_relaxed);  // no free second chance
+  victim->generation.store(generation, std::memory_order_relaxed);
   victim->entry.store(std::move(entry), std::memory_order_release);
   shard.insertions.fetch_add(1, std::memory_order_relaxed);
 }
@@ -197,6 +211,7 @@ void RunCache::clear() {
       slot.key_matrix.store(0, std::memory_order_relaxed);
       slot.key_spec.store(0, std::memory_order_relaxed);
       slot.referenced.store(false, std::memory_order_relaxed);
+      slot.generation.store(0, std::memory_order_relaxed);
     }
     shard.clock_hand = 0;
     shard.size.store(0, std::memory_order_relaxed);
@@ -259,12 +274,18 @@ std::uint64_t RunCache::evictions() const {
 //   u64      entry count
 //   u64      payload byte count
 //   u64      FNV-1a checksum of the payload
-//   payload  entries back to back: RunKey words, then the RunResult fields
-//            in the fixed order of write_result() below
+//   payload  entries back to back: generation tag, RunKey words, then the
+//            RunResult fields in the fixed order of write_result() below
 //
 // Any deviation -- short file, bad magic, other version, checksum mismatch,
 // payload that does not parse exactly -- rejects the whole snapshot and
 // leaves the cache untouched.
+//
+// Compaction: when RunCacheConfig::max_snapshot_bytes is set and a full
+// save would exceed it, entries are kept newest-generation-first (stable
+// within a generation) until the cap binds and the rest -- the oldest
+// epochs -- are dropped from the file. Each successful save starts a new
+// epoch, and loading resumes after the newest persisted epoch.
 
 namespace {
 
@@ -280,12 +301,12 @@ class SnapshotWriter {
   void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
   void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
   void boolean(bool value) { u64(value ? 1 : 0); }
-  const std::string& buffer() const { return buffer_; }
-
- private:
   void raw(const void* data, std::size_t size) {
     buffer_.append(static_cast<const char*>(data), size);
   }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
   std::string buffer_;
 };
 
@@ -438,18 +459,44 @@ std::uint64_t payload_checksum(const std::string& payload) {
 }  // namespace
 
 bool RunCache::save_snapshot(const std::string& path) const {
-  SnapshotWriter payload;
-  std::uint64_t entry_count = 0;
+  // Serialize each live entry separately so the byte cap can drop whole
+  // entries, oldest generation first, without re-walking the shards.
+  struct PendingEntry {
+    std::uint64_t generation = 0;
+    std::string bytes;
+  };
+  std::vector<PendingEntry> pending;
   for (const Shard& shard : shards_) {
     for (std::size_t i = 0; i < shard.slot_count; ++i) {
-      const std::shared_ptr<const Entry> entry =
-          shard.slots[i].entry.load(std::memory_order_acquire);
+      const Slot& slot = shard.slots[i];
+      const std::shared_ptr<const Entry> entry = slot.entry.load(std::memory_order_acquire);
       if (entry == nullptr) continue;
-      payload.u64(entry->key.matrix);
-      payload.u64(entry->key.spec);
-      write_result(payload, entry->result);
-      ++entry_count;
+      SnapshotWriter one;
+      one.u64(slot.generation.load(std::memory_order_relaxed));
+      one.u64(entry->key.matrix);
+      one.u64(entry->key.spec);
+      write_result(one, entry->result);
+      pending.push_back(
+          {slot.generation.load(std::memory_order_relaxed), std::string(one.buffer())});
     }
+  }
+  // Newest epochs first; stable, so the shard scan order breaks ties and the
+  // file is deterministic for a quiesced cache.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingEntry& a, const PendingEntry& b) {
+                     return a.generation > b.generation;
+                   });
+
+  constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+  SnapshotWriter payload;
+  std::uint64_t entry_count = 0;
+  for (const PendingEntry& entry : pending) {
+    if (max_snapshot_bytes_ != 0 &&
+        kHeaderBytes + payload.buffer().size() + entry.bytes.size() > max_snapshot_bytes_) {
+      break;  // the rest are the oldest generations: compacted away
+    }
+    payload.raw(entry.bytes.data(), entry.bytes.size());
+    ++entry_count;
   }
 
   SnapshotWriter header;
@@ -469,7 +516,11 @@ bool RunCache::save_snapshot(const std::string& path) const {
     file.write(payload.buffer().data(), static_cast<std::streamsize>(payload.buffer().size()));
     if (!file.good()) return false;
   }
-  return std::rename(tmp_path.c_str(), path.c_str()) == 0;
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) return false;
+  // A successful save closes this epoch: entries not inserted or hit after
+  // this point belong to older generations and compact away first.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool RunCache::load_snapshot(const std::string& path) {
@@ -497,20 +548,34 @@ bool RunCache::load_snapshot(const std::string& path) {
 
   // Parse everything before inserting anything: a snapshot is applied
   // all-or-nothing.
-  std::vector<std::pair<RunKey, RunResult>> entries;
-  entries.reserve(static_cast<std::size_t>(entry_count));
-  SnapshotReader reader(payload);
-  for (std::uint64_t i = 0; i < entry_count; ++i) {
+  struct LoadedEntry {
+    std::uint64_t generation = 0;
     RunKey key;
     RunResult result;
-    if (!reader.u64(key.matrix) || !reader.u64(key.spec) || !read_result(reader, result)) {
+  };
+  std::vector<LoadedEntry> entries;
+  entries.reserve(static_cast<std::size_t>(entry_count));
+  SnapshotReader reader(payload);
+  std::uint64_t newest_generation = 0;
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    LoadedEntry entry;
+    if (!reader.u64(entry.generation) || !reader.u64(entry.key.matrix) ||
+        !reader.u64(entry.key.spec) || !read_result(reader, entry.result)) {
       return false;
     }
-    entries.emplace_back(std::move(key), std::move(result));
+    newest_generation = std::max(newest_generation, entry.generation);
+    entries.push_back(std::move(entry));
   }
   if (!reader.exhausted()) return false;
 
-  for (const auto& [key, result] : entries) insert(key, result);
+  // Entries keep their persisted epochs; new activity lands in the epoch
+  // after the newest persisted one, so re-saving still ages the stale tail.
+  for (const LoadedEntry& entry : entries) {
+    insert_with_generation(entry.key, entry.result, entry.generation);
+  }
+  generation_.store(std::max(generation_.load(std::memory_order_relaxed),
+                             newest_generation + 1),
+                    std::memory_order_relaxed);
   return true;
 }
 

@@ -74,6 +74,12 @@ struct RunCacheConfig {
   /// Snapshot file: loaded on construction when it exists, rewritten on
   /// destruction. Empty disables persistence.
   std::string persist_path;
+  /// Byte cap on the snapshot file (0 = unlimited). When a save would
+  /// exceed it, entries from the oldest generations are dropped first (a
+  /// generation is one save epoch; hits refresh an entry's generation), so
+  /// long-lived sweep farms age stale engine-config entries out of the file
+  /// instead of growing it forever.
+  std::size_t max_snapshot_bytes = 0;
 };
 
 class RunCache {
@@ -81,7 +87,9 @@ class RunCache {
   static constexpr std::size_t kDefaultCapacity = 128;
   /// Snapshot format version; bumped whenever RunKey/RunResult layout or
   /// the file framing changes, so stale files are rejected, never misread.
-  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// v2: RunKey covers RunSpec::reorder and every entry carries a
+  /// generation tag for byte-capped compaction.
+  static constexpr std::uint32_t kSnapshotVersion = 2;
 
   explicit RunCache(const RunCacheConfig& config);
 
@@ -125,6 +133,10 @@ class RunCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_.size(); }
   const std::string& persist_path() const { return persist_path_; }
+  std::size_t max_snapshot_bytes() const { return max_snapshot_bytes_; }
+  /// Current save epoch: entries inserted or hit now are stamped with it;
+  /// each successful save starts a new epoch.
+  std::uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
@@ -153,6 +165,9 @@ class RunCache {
     std::atomic<std::uint64_t> key_matrix{0};
     std::atomic<std::uint64_t> key_spec{0};
     std::atomic<bool> referenced{false};  ///< CLOCK second-chance bit
+    /// Save epoch of the last insert or hit; snapshot compaction drops the
+    /// oldest generations first when the byte cap binds.
+    std::atomic<std::uint64_t> generation{0};
     std::atomic<std::shared_ptr<const Entry>> entry;
   };
 
@@ -170,9 +185,14 @@ class RunCache {
 
   Shard& shard_of(const RunKey& key);
   const Shard& shard_of(const RunKey& key) const;
+  void insert_with_generation(const RunKey& key, const RunResult& result,
+                              std::uint64_t generation);
 
   std::size_t capacity_;
   std::string persist_path_;
+  std::size_t max_snapshot_bytes_ = 0;
+  /// Save epoch counter; mutable because a (const) save starts a new epoch.
+  mutable std::atomic<std::uint64_t> generation_{1};
   std::vector<Shard> shards_;
 };
 

@@ -120,6 +120,31 @@ CsrMatrix CsrMatrix::permute_symmetric(std::span<const index_t> perm) const {
   return from_coo(std::move(coo));
 }
 
+CsrMatrix CsrMatrix::permute_rows(std::span<const index_t> perm) const {
+  SCC_REQUIRE(static_cast<index_t>(perm.size()) == rows_,
+              "permutation size " << perm.size() << " != rows " << rows_);
+  std::vector<bool> seen(perm.size(), false);
+  CsrMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = cols_;
+  out.ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  out.col_.reserve(col_.size());
+  out.val_.reserve(val_.size());
+  for (std::size_t new_row = 0; new_row < perm.size(); ++new_row) {
+    const index_t old_row = perm[new_row];
+    SCC_REQUIRE(old_row >= 0 && old_row < rows_, "permutation entry out of range");
+    SCC_REQUIRE(!seen[static_cast<std::size_t>(old_row)], "permutation is not bijective");
+    seen[static_cast<std::size_t>(old_row)] = true;
+    const auto cols = row_cols(old_row);
+    const auto vals = row_vals(old_row);
+    out.col_.insert(out.col_.end(), cols.begin(), cols.end());
+    out.val_.insert(out.val_.end(), vals.begin(), vals.end());
+    out.ptr_[new_row + 1] = static_cast<nnz_t>(out.col_.size());
+  }
+  out.validate();
+  return out;
+}
+
 void CsrMatrix::validate() const {
   SCC_REQUIRE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
   SCC_REQUIRE(ptr_.size() == static_cast<std::size_t>(rows_) + 1,

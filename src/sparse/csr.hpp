@@ -48,6 +48,12 @@ class CsrMatrix {
   /// Requires a square matrix and a bijective permutation.
   CsrMatrix permute_symmetric(std::span<const index_t> perm) const;
 
+  /// Apply a row permutation B = P A, where `perm[new] = old`. Columns are
+  /// untouched, so every row keeps its exact CSR entry order: the product
+  /// P*y is bit-identical to computing y row by row — this is the
+  /// numerically-safe "row schedule" reordering the autotuner explores.
+  CsrMatrix permute_rows(std::span<const index_t> perm) const;
+
   /// Check invariants: ptr monotone with ptr[0]=0 and ptr[n]=nnz, column
   /// indices in range and strictly increasing within a row. Throws on
   /// violation; returns normally otherwise.

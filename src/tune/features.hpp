@@ -1,0 +1,47 @@
+// Structural feature vector for the autotuner's fast path.
+//
+// Kimball et al. (PAPERS.md) show matrix structure predicts multithreaded
+// SpMV performance; the paper's own evaluation (Figs. 6-8) keys on working
+// set, row-length irregularity and the locality of the indirect x accesses.
+// The tuner summarizes exactly those structure-only quantities here and
+// quantizes them into a coarse structural class: matrices in one class get
+// the same format/mapping treatment without re-exploring the whole grid.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::tune {
+
+/// Structure-only summary of a matrix (values never enter: the timing model
+/// reads only addresses, so two matrices with equal structure tune alike).
+struct FeatureVector {
+  index_t rows = 0;
+  index_t cols = 0;
+  nnz_t nnz = 0;
+  double nnz_per_row = 0.0;      ///< mean row length (the paper's nnz/n)
+  double row_cv = 0.0;           ///< row-length coefficient of variation
+  double empty_fraction = 0.0;   ///< fraction of empty rows
+  double bandwidth_ratio = 0.0;  ///< bandwidth / rows, in [0,1]
+  double density = 0.0;          ///< nnz / (rows*cols)
+  double x_line_reuse = 0.0;     ///< sparse::x_line_reuse_fraction
+  double block_fill_2 = 0.0;     ///< nnz / (4 * touched 2x2 blocks)
+  double block_fill_4 = 0.0;     ///< nnz / (16 * touched 4x4 blocks)
+  double working_set_mb = 0.0;   ///< Table-I working set, megabytes
+};
+
+FeatureVector extract_features(const sparse::CsrMatrix& matrix);
+
+/// Quantized structural class: an FNV-1a hash over coarse buckets of the
+/// features (log2 size, log2 row length, CV, bandwidth ratio, emptiness,
+/// x reuse, block fill). Deterministic; same-structure matrices and near
+/// rescalings of one generator family land in the same class.
+std::uint64_t class_key(const FeatureVector& features);
+
+/// Report fragment (schema v1 "tuning" section / kind "autotune").
+obs::Json features_json(const FeatureVector& features);
+
+}  // namespace scc::tune

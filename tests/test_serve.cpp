@@ -496,5 +496,77 @@ TEST(ServeSimulator, SloViolationsCountedAgainstClassTargets) {
   EXPECT_EQ(result.completed + result.rejected + result.deadline_expired, 50);
 }
 
+// --- tuned dispatch + pool plumbing ---
+
+TEST(ServeScheduler, PreferredCoresOverrideRoundsUpTheLadderUnderMatrixAware) {
+  ChipPartitioner partitioner(SchedulingPolicy::kMatrixAware, PartitionModel{});
+  const JobShape tiny{1000, 5000, 64 * 1024};  // heuristic says 1 core
+  auto cores = partitioner.try_allocate(tiny, 0);  // no preference
+  EXPECT_EQ(cores.size(), 1u);
+  partitioner.release(cores);
+  cores = partitioner.try_allocate(tiny, 5);  // rounds up the ladder to 6
+  EXPECT_EQ(cores.size(), 6u);
+  partitioner.release(cores);
+  cores = partitioner.try_allocate(tiny, 500);  // clamped to the whole chip
+  EXPECT_EQ(cores.size(), 48u);
+  partitioner.release(cores);
+
+  // Only the matrix-aware policy sizes per job; the others ignore the hint.
+  ChipPartitioner fifo(SchedulingPolicy::kFifoWholeChip, PartitionModel{});
+  EXPECT_EQ(fifo.try_allocate(tiny, 5).size(), 48u);
+}
+
+TEST(ServeMatrixPool, DeprecatedBoolOverloadStillForwards) {
+  const MatrixPool with_cache(kTestScale, true);
+  EXPECT_NE(with_cache.run_cache(), nullptr);
+  const MatrixPool without(kTestScale, false);
+  EXPECT_EQ(without.run_cache(), nullptr);
+}
+
+TEST(ServeMatrixPool, TuningCacheIsLazyAndShared) {
+  MatrixPool pool(kTestScale);
+  tune::TuningCacheConfig config;
+  config.capacity = 17;
+  const auto& first = pool.tuning_cache(config);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->capacity(), 17u);
+  // The first caller's config wins; later callers share the same cache.
+  tune::TuningCacheConfig other;
+  other.capacity = 99;
+  EXPECT_EQ(pool.tuning_cache(other).get(), first.get());
+  EXPECT_EQ(first->capacity(), 17u);
+}
+
+TEST(ServeSimulator, AutotunedRunReportsDecisionsAndValidates) {
+  MatrixPool pool(kTestScale);
+  WorkloadSpec spec = small_workload(30, 3000.0);
+  spec.matrix_mix = {26, 27};
+  ServeConfig config;
+  config.policy = SchedulingPolicy::kMatrixAware;
+  config.autotune = true;
+  Simulator simulator(config, pool);
+  const auto result = simulator.run(generate_workload(spec));
+
+  EXPECT_TRUE(result.tuning.enabled);
+  EXPECT_EQ(result.tuning.explored, 2u);  // one exploration per mix matrix
+  EXPECT_FALSE(result.tuning.decisions.empty());
+  EXPECT_GT(result.tuning.explore_runs, 0u);
+  ASSERT_NE(simulator.tuner(), nullptr);
+  EXPECT_FALSE(simulator.tuner()->decision_log_text().empty());
+
+  const obs::Json report = serve_report_json(spec, config, result, &simulator.metrics());
+  const auto problems = obs::validate_report(report);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+  EXPECT_TRUE(report.has("tuning"));
+  EXPECT_EQ(report.at("metrics").at("counters").at("tune.explored").as_int(), 2);
+
+  // A second run over the same pool reuses every pinned decision.
+  Simulator warm(config, pool);
+  const auto second = warm.run(generate_workload(spec));
+  EXPECT_TRUE(second.tuning.enabled);
+  EXPECT_EQ(second.tuning.explored, 0u);
+  EXPECT_GT(second.tuning.cache_hits, 0u);
+}
+
 }  // namespace
 }  // namespace scc::serve

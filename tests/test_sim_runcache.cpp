@@ -68,6 +68,11 @@ TEST(RunKey, EverySpecKnobChangesTheKey) {
   }
   {
     RunSpec s;
+    s.reorder = Reordering::kRcmRows;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
     s.variant = SpmvVariant::kCsrNoXMiss;
     EXPECT_NE(run_key(m, config, cores, s), key);
   }
@@ -239,6 +244,37 @@ TEST(RunCache, DegradedRunNeverServedFromHealthyEntryEitherOrder) {
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ((healthy_first ? first : second).seconds, healthy_truth.seconds);
     EXPECT_EQ((healthy_first ? second : first).seconds, degraded_truth.seconds);
+  }
+}
+
+TEST(RunCache, ReorderedRunNeverServedFromUnreorderedEntryEitherOrder) {
+  // Regression guard for the autotuner's reorder candidates: a kRcmRows run
+  // must never be answered from the kNone entry (nor vice versa), whichever
+  // was priced first -- the reorder knob is part of the key.
+  const auto m = gen::power_law(600, 8, 1.9, 5);
+  RunSpec plain_spec;
+  plain_spec.ue_count = 4;
+  RunSpec reordered = plain_spec;
+  reordered.reorder = Reordering::kRcmRows;
+
+  const Engine plain;
+  const RunResult plain_truth = plain.run(m, plain_spec);
+  const RunResult reordered_truth = plain.run(m, reordered);
+  ASSERT_NE(plain_truth.seconds, reordered_truth.seconds);
+
+  for (const bool plain_first : {true, false}) {
+    Engine engine;
+    RunCache cache;
+    engine.attach_run_cache(&cache);
+    const RunResult first = engine.run(m, plain_first ? plain_spec : reordered);
+    const RunResult second = engine.run(m, plain_first ? reordered : plain_spec);
+    EXPECT_EQ(cache.misses(), 2u) << "order plain_first=" << plain_first;
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ((plain_first ? first : second).seconds, plain_truth.seconds);
+    EXPECT_EQ((plain_first ? second : first).seconds, reordered_truth.seconds);
+    // Replays hit their own entries bit-exactly.
+    EXPECT_EQ(engine.run(m, reordered).seconds, reordered_truth.seconds);
+    EXPECT_EQ(cache.hits(), 1u);
   }
 }
 
@@ -514,6 +550,93 @@ TEST(RunCachePersist, MissingCorruptTruncatedAndStaleSnapshotsAreRejected) {
   EXPECT_TRUE(victim.load_snapshot(file.path));
   EXPECT_EQ(victim.size(), 1u);
   EXPECT_EQ(victim.lookup(RunKey{7, 8})->seconds, 0.5);
+}
+
+TEST(RunCachePersist, GenerationAdvancesOnSaveAndResumesPastSnapshots) {
+  const SnapshotFile file("scc_runcache_generation.snapshot");
+  RunCache cache(RunCacheConfig{8, 1, ""});
+  EXPECT_EQ(cache.generation(), 1u);
+  cache.insert(RunKey{1, 1}, stub_result(0.5));
+  ASSERT_TRUE(cache.save_snapshot(file.path));
+  EXPECT_EQ(cache.generation(), 2u);  // a save closes the epoch
+  cache.insert(RunKey{2, 2}, stub_result(0.75));
+  ASSERT_TRUE(cache.save_snapshot(file.path));
+  EXPECT_EQ(cache.generation(), 3u);
+
+  // Loading resumes past the newest persisted epoch, so entries inserted
+  // after a restore always sort as fresher than everything on disk.
+  RunCache restored(RunCacheConfig{8, 1, ""});
+  ASSERT_TRUE(restored.load_snapshot(file.path));
+  EXPECT_EQ(restored.generation(), 3u);
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(RunCachePersist, ByteCapCompactsOldestGenerationsFirst) {
+  const SnapshotFile file("scc_runcache_compaction.snapshot");
+
+  // Measure the header and per-entry footprint from uncapped snapshots so
+  // the cap below is exact whatever the serialization layout is. Stub
+  // results all serialize to the same size.
+  std::size_t one_entry = 0, two_entries = 0;
+  {
+    RunCache probe(RunCacheConfig{8, 1, ""});
+    probe.insert(RunKey{1, 1}, stub_result(1.0));
+    ASSERT_TRUE(probe.save_snapshot(file.path));
+    one_entry = std::filesystem::file_size(file.path);
+    probe.insert(RunKey{2, 2}, stub_result(2.0));
+    ASSERT_TRUE(probe.save_snapshot(file.path));
+    two_entries = std::filesystem::file_size(file.path);
+  }
+  const std::size_t entry_bytes = two_entries - one_entry;
+  ASSERT_GT(entry_bytes, 0u);
+
+  // Four entries across two generations, capped to fit only two: the two
+  // newer-generation entries survive, the older epoch is dropped.
+  RunCacheConfig config{16, 1, ""};
+  config.max_snapshot_bytes = two_entries;
+  RunCache cache(config);
+  EXPECT_EQ(cache.max_snapshot_bytes(), two_entries);
+  cache.insert(RunKey{10, 0}, stub_result(1.0));
+  cache.insert(RunKey{11, 0}, stub_result(2.0));
+  ASSERT_TRUE(cache.save_snapshot(file.path));  // gen 1 persisted, epoch -> 2
+  cache.insert(RunKey{20, 0}, stub_result(3.0));
+  cache.insert(RunKey{21, 0}, stub_result(4.0));
+  ASSERT_TRUE(cache.save_snapshot(file.path));
+  EXPECT_LE(std::filesystem::file_size(file.path), two_entries);
+
+  RunCache restored(RunCacheConfig{16, 1, ""});
+  ASSERT_TRUE(restored.load_snapshot(file.path));
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_FALSE(restored.lookup(RunKey{10, 0}).has_value());
+  EXPECT_FALSE(restored.lookup(RunKey{11, 0}).has_value());
+  EXPECT_TRUE(restored.lookup(RunKey{20, 0}).has_value());
+  EXPECT_TRUE(restored.lookup(RunKey{21, 0}).has_value());
+
+  // A lookup refreshes its entry's generation, so a hot old entry outlives
+  // a cold newer one under the same cap.
+  RunCacheConfig hot_config{16, 1, ""};
+  hot_config.max_snapshot_bytes = one_entry;
+  RunCache hot(hot_config);
+  hot.insert(RunKey{30, 0}, stub_result(1.0));
+  ASSERT_TRUE(hot.save_snapshot(file.path));  // epoch -> 2
+  hot.insert(RunKey{31, 0}, stub_result(2.0));
+  ASSERT_TRUE(hot.save_snapshot(file.path));  // epoch -> 3
+  EXPECT_TRUE(hot.lookup(RunKey{30, 0}).has_value());  // refresh to gen 3
+  ASSERT_TRUE(hot.save_snapshot(file.path));
+  RunCache survivor(RunCacheConfig{16, 1, ""});
+  ASSERT_TRUE(survivor.load_snapshot(file.path));
+  EXPECT_EQ(survivor.size(), 1u);
+  EXPECT_TRUE(survivor.lookup(RunKey{30, 0}).has_value());
+}
+
+TEST(RunCachePersist, UnboundedCapKeepsEveryEntry) {
+  const SnapshotFile file("scc_runcache_uncapped.snapshot");
+  RunCache cache(RunCacheConfig{64, 1, ""});  // max_snapshot_bytes defaults to 0
+  for (std::uint64_t i = 0; i < 20; ++i) cache.insert(RunKey{i, i}, stub_result(1.0));
+  ASSERT_TRUE(cache.save_snapshot(file.path));
+  RunCache restored(RunCacheConfig{64, 1, ""});
+  ASSERT_TRUE(restored.load_snapshot(file.path));
+  EXPECT_EQ(restored.size(), 20u);
 }
 
 }  // namespace

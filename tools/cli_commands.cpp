@@ -30,6 +30,7 @@
 #include "sparse/reorder.hpp"
 #include "spmv/rcce_spmv.hpp"
 #include "testbed/suite.hpp"
+#include "tune/autotuner.hpp"
 
 namespace scc::tools {
 
@@ -180,6 +181,19 @@ serve::WorkloadSpec workload_from(const CliArgs& args) {
   return workload;
 }
 
+/// Autotuning flags shared by `autotune`, `serve` and `cluster`:
+/// --tuning-cache-file persists pinned winners across processes;
+/// --tuning-cache-capacity bounds the decision map; --fastpath off disables
+/// the feature-based class fast path (every matrix explores the full grid).
+tune::AutotuneConfig tuning_config_from(const CliArgs& args) {
+  tune::AutotuneConfig tuning;
+  tuning.cache.persist_path = args.get_or("tuning-cache-file", "");
+  tuning.cache.capacity = static_cast<std::size_t>(args.get_int_or(
+      "tuning-cache-capacity", static_cast<long long>(tuning.cache.capacity)));
+  tuning.feature_fastpath = args.get_bool_or("fastpath", tuning.feature_fastpath);
+  return tuning;
+}
+
 /// Per-chip serving flags shared by `serve` and `cluster`.
 serve::ServeConfig serve_config_from(const CliArgs& args) {
   serve::ServeConfig config;
@@ -191,6 +205,8 @@ serve::ServeConfig serve_config_from(const CliArgs& args) {
   config.batching = args.get_bool_or("batch", config.batching);
   config.batch_max = static_cast<int>(args.get_int_or("batch-max", config.batch_max));
   config.engine.freq = conf_from(args);
+  config.autotune = args.get_bool_or("autotune", config.autotune);
+  config.tuning = tuning_config_from(args);
   return config;
 }
 
@@ -208,6 +224,8 @@ serve::MatrixPool matrix_pool_from(const CliArgs& args) {
   cache.shards = static_cast<std::size_t>(
       args.get_int_or("run-cache-shards", static_cast<long long>(cache.shards)));
   cache.persist_path = args.get_or("run-cache-file", "");
+  cache.max_snapshot_bytes = static_cast<std::size_t>(
+      args.get_int_or("run-cache-max-bytes", static_cast<long long>(cache.max_snapshot_bytes)));
   return serve::MatrixPool(scale, cache);
 }
 
@@ -673,6 +691,103 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_autotune(const CliArgs& args, std::ostream& out) {
+  const OutputOptions output = parse_output_options(args);
+
+  // Matrices to tune: --matrix FILE, --id K, or --mix 26,27 (defaults to
+  // the serving workload's default mix).
+  std::vector<int> ids;
+  if (!args.has("matrix")) {
+    if (args.has("id")) {
+      ids = {static_cast<int>(args.get_int_or("id", 1))};
+    } else if (const auto mix = args.get("mix")) {
+      ids = parse_int_list(*mix, "--mix");
+    } else {
+      ids = serve::WorkloadSpec{}.matrix_mix;
+    }
+  }
+
+  serve::MatrixPool pool = matrix_pool_from(args);
+  const tune::AutotuneConfig tuning = tuning_config_from(args);
+  sim::EngineConfig engine;
+  engine.freq = conf_from(args);
+  tune::Autotuner tuner(engine, tuning, pool.tuning_cache(tuning.cache), pool.run_cache());
+
+  if (args.has("matrix")) {
+    tuner.decide(load_input(args));
+  }
+  for (const int id : ids) {
+    tuner.decide(pool.entry(id).matrix, id);
+  }
+
+  const tune::Autotuner::Counters counters = tuner.counters();
+  if (output.json()) {
+    obs::Json report = obs::report_skeleton(obs::kKindAutotune);
+    obs::Json config_json = obs::Json::object();
+    obs::Json formats = obs::Json::array();
+    for (const sim::StorageFormat format : tuning.formats) {
+      formats.push_back(sim::to_string(format));
+    }
+    config_json.set("formats", std::move(formats));
+    config_json.set("try_reorder", tuning.try_reorder);
+    obs::Json core_counts = obs::Json::array();
+    for (const int cores : tuning.core_counts) core_counts.push_back(cores);
+    config_json.set("core_counts", std::move(core_counts));
+    obs::Json mappings = obs::Json::array();
+    for (const chip::MappingPolicy mapping : tuning.mappings) {
+      mappings.push_back(chip::to_string(mapping));
+    }
+    config_json.set("mappings", std::move(mappings));
+    config_json.set("feature_fastpath", tuning.feature_fastpath);
+    config_json.set("core_time_weight", tuning.core_time_weight);
+    report.set("config", std::move(config_json));
+
+    // Reuse the serving report's decision rendering for the shared shape.
+    serve::TuningSummary summary;
+    summary.enabled = true;
+    summary.cache_hits = counters.cache_hits;
+    summary.predicted = counters.predicted;
+    summary.explored = counters.explored;
+    summary.explore_runs = counters.explore_runs;
+    summary.explore_seconds = counters.explore_seconds;
+    summary.decisions = tuner.log();
+    report.set("decisions", serve::tuning_summary_json(summary).at("decisions"));
+
+    obs::Json result = obs::Json::object();
+    result.set("cache_hits", counters.cache_hits);
+    result.set("predicted", counters.predicted);
+    result.set("explored", counters.explored);
+    result.set("explore_runs", counters.explore_runs);
+    result.set("explore_seconds", counters.explore_seconds);
+    report.set("result", std::move(result));
+    write_json_report(output, report, out);
+    return 0;
+  }
+
+  Table t("autotuned storage plans");
+  t.set_header({"matrix", "format", "reorder", "cores", "mapping", "modeled ms",
+                "csr ms", "speedup", "source"});
+  for (const tune::DecisionRecord& record : tuner.log()) {
+    const tune::TuningDecision& decision = record.decision;
+    const double speedup = decision.modeled_seconds > 0.0
+                               ? decision.baseline_seconds / decision.modeled_seconds
+                               : 1.0;
+    t.add_row({record.matrix_id >= 0 ? Table::integer(record.matrix_id) : std::string("-"),
+               sim::to_string(decision.choice.format),
+               sim::to_string(decision.choice.reorder),
+               Table::integer(decision.choice.ue_count),
+               chip::to_string(decision.choice.policy),
+               Table::num(decision.modeled_seconds * 1e3, 3),
+               Table::num(decision.baseline_seconds * 1e3, 3), Table::num(speedup, 2),
+               decision.predicted ? "predicted" : "explored"});
+  }
+  t.print(out);
+  out << "explored " << counters.explored << ", predicted " << counters.predicted
+      << ", cache hits " << counters.cache_hits << ", engine runs "
+      << counters.explore_runs << '\n';
+  return 0;
+}
+
 int cmd_report(const CliArgs& args, std::ostream& out) {
   const OutputOptions output = parse_output_options(args);
   const auto& positional = args.positional();  // positional[0] == "report"
@@ -794,6 +909,9 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "            [--crash-rate P --crash-horizon S] [--job-failure-rate P]\n"
       "            [--retries K] [--hedge on|off --hedge-delay S] [--fault-seed S]\n"
       "            [--log] plus every serve workload/config flag\n"
+      "  autotune  [--id K | --matrix FILE | --mix 26,27] [--conf 0|1|2]\n"
+      "            explore format x reorder x cores x mapping per matrix and\n"
+      "            pin the winner in the tuning cache\n"
       "  report    FILE.json [FILE.json ...]                   compare JSON reports\n"
       "every command also accepts --json[=FILE] (schema-versioned JSON output),\n"
       "--trace=FILE (JSON-lines span trace, where instrumented), --seed S\n"
@@ -802,8 +920,13 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "SCC_SIM_THREADS, 1 = serial, numbers identical either way); serve and\n"
       "cluster accept --no-run-cache (disable engine-run memoization),\n"
       "--run-cache-capacity N / --run-cache-shards K (size the sharded run\n"
-      "cache) and --run-cache-file FILE (persist memoized runs across\n"
-      "processes via a checksummed snapshot)\n";
+      "cache), --run-cache-file FILE (persist memoized runs across processes\n"
+      "via a checksummed snapshot) and --run-cache-max-bytes B (compact the\n"
+      "snapshot to its newest generations under B bytes); serve and cluster\n"
+      "accept --autotune on|off (tuned dispatch), and autotune/serve/cluster\n"
+      "accept --tuning-cache-file FILE / --tuning-cache-capacity N (persist\n"
+      "and bound the pinned winners) and --fastpath on|off (feature-based\n"
+      "class fast path)\n";
   try {
     if (args.positional().empty()) {
       err << kUsage;
@@ -823,6 +946,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (command == "resilience") return cmd_resilience(args, out);
     if (command == "serve") return cmd_serve(args, out);
     if (command == "cluster") return cmd_cluster(args, out);
+    if (command == "autotune") return cmd_autotune(args, out);
     if (command == "report") return cmd_report(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;

@@ -11,6 +11,7 @@
 //   resilience -- run the fault-injected RCCE SpMV and report the recovery
 //   serve     -- multi-tenant serving simulation (admission, co-scheduling)
 //   cluster   -- multi-chip cluster serving with injected faults + failover
+//   autotune  -- explore format/reorder/cores/mapping per matrix, pin winners
 //   report    -- aggregate schema-v1 JSON reports into a comparison table
 //
 // Every command honours the shared output flags (`--json[=FILE]`,
@@ -31,6 +32,7 @@ int cmd_convert(const CliArgs& args, std::ostream& out);
 int cmd_resilience(const CliArgs& args, std::ostream& out);
 int cmd_serve(const CliArgs& args, std::ostream& out);
 int cmd_cluster(const CliArgs& args, std::ostream& out);
+int cmd_autotune(const CliArgs& args, std::ostream& out);
 int cmd_report(const CliArgs& args, std::ostream& out);
 
 /// Dispatch on args.positional()[0]; prints usage and returns 2 on unknown
