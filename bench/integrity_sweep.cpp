@@ -1,0 +1,271 @@
+// End-to-end result-integrity sweep: the ABFT checksum verification layer
+// (src/integrity) from clean-run overhead through detection coverage to the
+// cluster's SDC quarantine policy.
+//
+// Self-calibrating like the other robustness benches: nothing here assumes
+// a wall-clock or a testbed size. The claims are ordering/coverage
+// statements checked as booleans with zero tolerance:
+//
+//   * clean runs never fail verification -- zero false positives across
+//     every matrix family and core count tried, in detect and correct mode;
+//   * verify-on pricing is bounded: the p95 whole-run slowdown of the
+//     checksum dot-products stays under 1.5x (they stream 8(rows + 2 cols)
+//     bytes against the product's O(nnz) traffic);
+//   * detection coverage: over injected bit flips whose corruption actually
+//     perturbs the product beyond tolerance ("significant"), detect mode
+//     catches at least 99%;
+//   * correct mode recomputes: with a non-sticky fault every detected
+//     corruption is corrected in exactly two attempts;
+//   * the quarantine isolates a bad-DRAM chip -- it is withdrawn after the
+//     threshold, takes no work afterwards, and verify-on delivers zero
+//     escapes cluster-wide, while the verify-off baseline leaks wrong
+//     products silently;
+//   * the corrupted cluster's fault/recovery log replays byte for byte
+//     across SCC_SIM_THREADS settings and run-cache on/off.
+//
+// Env knobs (besides the shared bench ones): SCC_SDC_SITES overrides the
+// per-matrix injection count, SCC_SERVE_REQUESTS the cluster request count
+// (CI smoke uses small values).
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/simulator.hpp"
+#include "gen/generators.hpp"
+#include "integrity/integrity.hpp"
+#include "serve/loadgen.hpp"
+
+namespace {
+
+using namespace scc;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::max(1, std::atoi(value));
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0 when empty.
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sample.size() - 1));
+  return sample[idx];
+}
+
+struct NamedMatrix {
+  std::string name;
+  sparse::CsrMatrix matrix;
+};
+
+std::vector<NamedMatrix> matrix_families() {
+  std::vector<NamedMatrix> families;
+  families.push_back({"banded", gen::banded(3000, 12, 0.5, 1)});
+  families.push_back({"stencil_2d", gen::stencil_2d(55, 55)});
+  families.push_back({"power_law", gen::power_law(2500, 8, 1.15, 2)});
+  families.push_back({"circuit", gen::circuit(3000, 2.0, 0.4, 3)});
+  return families;
+}
+
+std::string pct(double fraction) { return Table::num(fraction * 100.0, 2); }
+
+}  // namespace
+
+int main() {
+  benchutil::Reporter reporter("integrity_sweep");
+  reporter.banner("robustness extension -- result integrity sweep",
+                  "ABFT checksum verification, SDC detection coverage and quarantine");
+
+  const auto families = matrix_families();
+  const sim::Engine engine;
+
+  // --- Clean runs: false positives and verify-on pricing. ---
+  int clean_runs = 0;
+  int false_positives = 0;
+  std::vector<double> slowdowns;
+  Table clean_table("clean runs: verification overhead (zero injected faults)");
+  clean_table.set_header({"matrix", "cores", "off [ms]", "detect [ms]", "slowdown",
+                          "outcome"});
+  for (const auto& family : families) {
+    for (const int cores : {4, 16, 48}) {
+      sim::RunSpec off_spec;
+      off_spec.ue_count = cores;
+      const auto off = engine.run(family.matrix, off_spec);
+      for (const auto mode :
+           {integrity::VerifyMode::kDetect, integrity::VerifyMode::kCorrect}) {
+        sim::RunSpec on_spec = off_spec;
+        on_spec.verify = mode;
+        const auto on = engine.run(family.matrix, on_spec);
+        ++clean_runs;
+        if (on.outcome != integrity::Outcome::kClean) ++false_positives;
+        const double slowdown = on.seconds / off.seconds;
+        slowdowns.push_back(slowdown);
+        if (mode == integrity::VerifyMode::kDetect) {
+          clean_table.add_row({family.name, Table::integer(cores),
+                               Table::num(off.seconds * 1e3, 3),
+                               Table::num(on.seconds * 1e3, 3), Table::num(slowdown, 3),
+                               std::string(integrity::to_string(on.outcome))});
+        }
+      }
+    }
+  }
+  const double p95_slowdown = percentile(slowdowns, 0.95);
+  reporter.emit(clean_table, "integrity_clean_overhead");
+
+  // --- Detection coverage over injected corruptions. ---
+  const int sites = env_int("SCC_SDC_SITES", 200);
+  int injected = 0, significant = 0, detected_significant = 0;
+  int corrected = 0, correct_attempt_misses = 0;
+  Table detect_table("SDC injection: detect-mode coverage per matrix family");
+  detect_table.set_header({"matrix", "injected", "significant", "detected",
+                           "coverage [%]"});
+  for (const auto& family : families) {
+    integrity::SdcPlan sdc;
+    sdc.rate = 1.0;
+    sdc.seed = 0x5dc0 + static_cast<std::uint64_t>(injected);
+    const integrity::SdcOracle oracle(sdc);
+    int family_significant = 0, family_detected = 0;
+    for (int site = 0; site < sites; ++site) {
+      const auto report = integrity::run_verification(
+          family.matrix, integrity::VerifyMode::kDetect, &oracle,
+          static_cast<std::uint64_t>(site));
+      ++injected;
+      if (!report.significant) continue;
+      ++significant;
+      ++family_significant;
+      if (report.outcome == integrity::Outcome::kDetected) {
+        ++detected_significant;
+        ++family_detected;
+      }
+      // Correct mode on the same site: non-sticky, so the recompute must
+      // verify clean in exactly two attempts.
+      const auto fixed = integrity::run_verification(
+          family.matrix, integrity::VerifyMode::kCorrect, &oracle,
+          static_cast<std::uint64_t>(site));
+      if (fixed.outcome == integrity::Outcome::kCorrected && fixed.attempts == 2) {
+        ++corrected;
+      } else {
+        ++correct_attempt_misses;
+      }
+    }
+    detect_table.add_row(
+        {family.name, Table::integer(sites), Table::integer(family_significant),
+         Table::integer(family_detected),
+         family_significant > 0
+             ? pct(static_cast<double>(family_detected) / family_significant)
+             : "n/a"});
+  }
+  const double coverage =
+      significant > 0 ? static_cast<double>(detected_significant) / significant : 0.0;
+  reporter.emit(detect_table, "integrity_detection");
+
+  // --- Cluster quarantine: bad DRAM withdrawn, zero escapes. ---
+  const int request_count = env_int("SCC_SERVE_REQUESTS", 80);
+  serve::MatrixPool pool(testbed::suite_scale_from_env());
+  serve::WorkloadSpec workload_spec;
+  workload_spec.seed = 0x5e12e;
+  workload_spec.offered_rps = 1e6;
+  workload_spec.request_count = request_count;
+  workload_spec.slo_interactive_seconds = 1e6;
+  workload_spec.slo_batch_seconds = 1e6;
+  const auto requests = serve::generate_workload(workload_spec);
+
+  const auto cluster_config = [&](integrity::VerifyMode verify) {
+    cluster::ClusterConfig config;
+    config.chip_count = 3;
+    config.chip.admission.max_queue_depth = request_count + 1;
+    config.chip.admission.interactive_reserve = 0;
+    config.chip.verify = verify;
+    config.quarantine_threshold = 3;
+    config.faults.bad_dram = {{/*chip=*/1, /*rate=*/1.0, /*sticky_rate=*/1.0}};
+    return config;
+  };
+  const auto run_cluster = [&](const cluster::ClusterConfig& config,
+                               serve::MatrixPool& run_pool) {
+    cluster::ClusterSimulator simulator(config, run_pool);
+    return simulator.run(requests);
+  };
+  const auto verified = run_cluster(cluster_config(integrity::VerifyMode::kCorrect), pool);
+  const auto unverified = run_cluster(cluster_config(integrity::VerifyMode::kOff), pool);
+
+  double quarantine_at = -1.0;
+  for (const auto& event : verified.log) {
+    if (event.kind == "chip_quarantine") {
+      quarantine_at = event.seconds;
+      break;
+    }
+  }
+  int served_after_quarantine = 0;
+  for (const auto& record : verified.records) {
+    if (record.outcome == cluster::Outcome::kCompleted && record.chip == 1 &&
+        quarantine_at >= 0.0 && record.dispatch_seconds > quarantine_at) {
+      ++served_after_quarantine;
+    }
+  }
+
+  Table quarantine_table("bad-DRAM chip (rate 1.0, sticky): quarantine vs verify-off");
+  quarantine_table.set_header({"mode", "completed", "dead-lettered", "detected",
+                               "unrecoverable", "escapes", "quarantines"});
+  const auto add_mode = [&](const std::string& mode, const cluster::ClusterResult& r) {
+    quarantine_table.add_row({mode, Table::integer(r.completed),
+                              Table::integer(r.dead_lettered),
+                              Table::integer(r.sdc_detected),
+                              Table::integer(r.sdc_unrecoverable),
+                              Table::integer(r.sdc_escapes),
+                              Table::integer(r.quarantines)});
+  };
+  add_mode("verify=correct", verified);
+  add_mode("verify=off", unverified);
+  reporter.emit(quarantine_table, "integrity_quarantine");
+
+  // --- Determinism: the corrupted cluster's log across threads x cache. ---
+  const auto replay_log = [&](int threads, bool run_cache) {
+    setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    serve::MatrixPool replay_pool =
+        run_cache ? serve::MatrixPool(testbed::suite_scale_from_env())
+                  : serve::MatrixPool::without_run_cache(testbed::suite_scale_from_env());
+    const auto result =
+        run_cluster(cluster_config(integrity::VerifyMode::kCorrect), replay_pool);
+    unsetenv("SCC_SIM_THREADS");
+    std::string text;
+    for (const auto& event : result.log) {
+      text += cluster::describe(event);
+      text += '\n';
+    }
+    return text;
+  };
+  const std::string log_base = replay_log(1, true);
+  const bool replay_identical = !log_base.empty() &&
+                                log_base == replay_log(1, false) &&
+                                log_base == replay_log(4, true) &&
+                                log_base == replay_log(4, false);
+
+  const bool conservation =
+      verified.completed + verified.rejected + verified.dead_lettered == request_count;
+  const bool ok = reporter.check_claims({
+      {"clean runs never fail verification (false positives)", 0.0,
+       static_cast<double>(false_positives), 0.0},
+      {"p95 verify-on slowdown stays under 1.5x (bool)", 1.0,
+       clean_runs > 0 && p95_slowdown < 1.5 ? 1.0 : 0.0, 0.0},
+      {"detect mode catches >= 99% of significant corruptions (bool)", 1.0,
+       significant > 0 && coverage >= 0.99 ? 1.0 : 0.0, 0.0},
+      {"correct mode fixes every non-sticky corruption in 2 attempts (bool)", 1.0,
+       corrected > 0 && correct_attempt_misses == 0 ? 1.0 : 0.0, 0.0},
+      {"quarantine withdraws the bad-DRAM chip for good (bool)", 1.0,
+       verified.quarantines == 1 && verified.chips[1].quarantined &&
+               served_after_quarantine == 0 && conservation
+           ? 1.0
+           : 0.0,
+       0.0},
+      {"verify-on delivers zero escapes cluster-wide (bool)", 1.0,
+       verified.sdc_escapes == 0 ? 1.0 : 0.0, 0.0},
+      {"verify-off leaks wrong products from the bad chip (bool)", 1.0,
+       unverified.sdc_escapes > 0 && unverified.sdc_detected == 0 ? 1.0 : 0.0, 0.0},
+      {"corrupted-cluster logs byte-identical across threads and run-cache (bool)", 1.0,
+       replay_identical ? 1.0 : 0.0, 0.0},
+  });
+  return reporter.finish(ok);
+}

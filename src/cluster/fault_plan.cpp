@@ -46,6 +46,16 @@ FaultOracle::FaultOracle(FaultPlan plan) : plan_(std::move(plan)) {
     SCC_REQUIRE(flap.cycles >= 1, "flap cycles must be >= 1");
     SCC_REQUIRE(flap.period_seconds > 0.0, "flap period must be positive");
   }
+  SCC_REQUIRE(plan_.sdc_rate >= 0.0 && plan_.sdc_rate <= 1.0,
+              "sdc_rate must be in [0,1]");
+  SCC_REQUIRE(plan_.sdc_sticky_rate >= 0.0 && plan_.sdc_sticky_rate <= 1.0,
+              "sdc_sticky_rate must be in [0,1]");
+  for (const BadDram& bad : plan_.bad_dram) {
+    SCC_REQUIRE(bad.rate >= 0.0 && bad.rate <= 1.0,
+                "bad_dram rate must be in [0,1]");
+    SCC_REQUIRE(bad.sticky_rate >= 0.0 && bad.sticky_rate <= 1.0,
+                "bad_dram sticky_rate must be in [0,1]");
+  }
 }
 
 double FaultOracle::uniform(std::uint64_t a, std::uint64_t b, std::uint64_t salt) const {
@@ -143,6 +153,21 @@ double FaultOracle::jitter(int request_id, int attempt) const {
                  static_cast<std::uint64_t>(attempt), /*salt=*/31);
 }
 
+integrity::SdcPlan FaultOracle::chip_sdc(int chip) const {
+  integrity::SdcPlan sdc;
+  // Per-chip seed off the plan seed: chips draw independent corruption
+  // streams, and the schedule is deterministic per (seed, chip, job site).
+  sdc.seed = plan_.seed ^ ((static_cast<std::uint64_t>(chip) + 1) * 0x9e3779b97f4a7c15ULL);
+  sdc.rate = plan_.sdc_rate;
+  sdc.sticky_rate = plan_.sdc_sticky_rate;
+  for (const BadDram& bad : plan_.bad_dram) {
+    if (bad.chip != chip) continue;
+    sdc.rate = std::min(1.0, sdc.rate + bad.rate);
+    sdc.sticky_rate = std::min(1.0, sdc.sticky_rate + bad.sticky_rate);
+  }
+  return sdc;
+}
+
 namespace {
 
 double num_or(const obs::Json& object, const std::string& key, double fallback) {
@@ -192,6 +217,8 @@ FaultPlan parse_fault_plan_json(const std::string& text) {
   plan.crash_rate = num_or(doc, "crash_rate", plan.crash_rate);
   plan.crash_horizon_seconds = num_or(doc, "crash_horizon_seconds", plan.crash_horizon_seconds);
   plan.job_failure_rate = num_or(doc, "job_failure_rate", plan.job_failure_rate);
+  plan.sdc_rate = num_or(doc, "sdc_rate", plan.sdc_rate);
+  plan.sdc_sticky_rate = num_or(doc, "sdc_sticky_rate", plan.sdc_sticky_rate);
 
   if (const obs::Json* events = doc.find("events"); events != nullptr) {
     SCC_REQUIRE(events->is_array(), "fault plan 'events' must be an array");
@@ -230,6 +257,10 @@ FaultPlan parse_fault_plan_json(const std::string& text) {
         plan.domain_brownouts.push_back(DomainBrownout{
             required_int(event, "domain", k), required_num(event, "seconds", k),
             required_num(event, "duration_seconds", k), num_or(event, "derate", 2.0)});
+      } else if (k == "bad_dram") {
+        plan.bad_dram.push_back(BadDram{required_int(event, "chip", k),
+                                        required_num(event, "rate", k),
+                                        num_or(event, "sticky_rate", 0.9)});
       } else {
         SCC_REQUIRE(false, "unknown fault plan event kind '" + k + "'");
       }
@@ -246,6 +277,84 @@ FaultPlan load_fault_plan_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_fault_plan_json(buffer.str());
+}
+
+std::string fault_plan_json(const FaultPlan& plan) {
+  obs::Json doc = obs::Json::object();
+  doc.set("seed", static_cast<std::int64_t>(plan.seed));
+  doc.set("chips_per_domain", plan.chips_per_domain);
+  doc.set("restart_downtime_seconds", plan.restart_downtime_seconds);
+  doc.set("restart_jitter_fraction", plan.restart_jitter_fraction);
+  doc.set("crash_rate", plan.crash_rate);
+  doc.set("crash_horizon_seconds", plan.crash_horizon_seconds);
+  doc.set("job_failure_rate", plan.job_failure_rate);
+  doc.set("sdc_rate", plan.sdc_rate);
+  doc.set("sdc_sticky_rate", plan.sdc_sticky_rate);
+  obs::Json events = obs::Json::array();
+  const auto event = [](const char* kind) {
+    obs::Json e = obs::Json::object();
+    e.set("kind", std::string(kind));
+    return e;
+  };
+  for (const ChipCrash& c : plan.chip_crashes) {
+    obs::Json e = event("chip_crash");
+    e.set("chip", c.chip);
+    e.set("seconds", c.seconds);
+    events.push_back(std::move(e));
+  }
+  for (const ChipRestart& r : plan.chip_restarts) {
+    obs::Json e = event("chip_restart");
+    e.set("chip", r.chip);
+    e.set("seconds", r.seconds);
+    events.push_back(std::move(e));
+  }
+  for (const ChipFlap& f : plan.chip_flaps) {
+    obs::Json e = event("chip_flap");
+    e.set("chip", f.chip);
+    e.set("seconds", f.start_seconds);
+    e.set("cycles", f.cycles);
+    e.set("period_seconds", f.period_seconds);
+    events.push_back(std::move(e));
+  }
+  for (const TileKill& t : plan.tile_kills) {
+    obs::Json e = event("tile_kill");
+    e.set("chip", t.chip);
+    e.set("core", t.core);
+    e.set("seconds", t.seconds);
+    events.push_back(std::move(e));
+  }
+  for (const Brownout& b : plan.brownouts) {
+    obs::Json e = event("brownout");
+    e.set("chip", b.chip);
+    e.set("mc", b.mc);
+    e.set("seconds", b.start_seconds);
+    e.set("duration_seconds", b.duration_seconds);
+    e.set("derate", b.derate);
+    events.push_back(std::move(e));
+  }
+  for (const DomainOutage& o : plan.domain_outages) {
+    obs::Json e = event("domain_outage");
+    e.set("domain", o.domain);
+    e.set("seconds", o.seconds);
+    events.push_back(std::move(e));
+  }
+  for (const DomainBrownout& b : plan.domain_brownouts) {
+    obs::Json e = event("domain_brownout");
+    e.set("domain", b.domain);
+    e.set("seconds", b.start_seconds);
+    e.set("duration_seconds", b.duration_seconds);
+    e.set("derate", b.derate);
+    events.push_back(std::move(e));
+  }
+  for (const BadDram& bad : plan.bad_dram) {
+    obs::Json e = event("bad_dram");
+    e.set("chip", bad.chip);
+    e.set("rate", bad.rate);
+    e.set("sticky_rate", bad.sticky_rate);
+    events.push_back(std::move(e));
+  }
+  doc.set("events", std::move(events));
+  return doc.dump(2);
 }
 
 }  // namespace scc::cluster

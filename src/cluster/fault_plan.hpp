@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "integrity/integrity.hpp"
+
 namespace scc::cluster {
 
 /// A whole simulated SCC dies at `seconds`: every in-flight job and queued
@@ -84,6 +86,17 @@ struct DomainBrownout {
   double derate = 2.0;
 };
 
+/// One chip with faulty DRAM: its jobs take silent bit flips at `rate` on
+/// top of the plan-wide sdc_rate, and -- the sticky part -- a detected
+/// corruption's recompute on the same chip is corrupted again with
+/// `sticky_rate`. This is the fault the quarantine policy exists for:
+/// rerouting helps, recomputing on the same chip mostly does not.
+struct BadDram {
+  int chip = 0;
+  double rate = 0.1;
+  double sticky_rate = 0.9;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 0xfa117;
 
@@ -116,10 +129,23 @@ struct FaultPlan {
   /// chip's circuit breaker counts the failure).
   double job_failure_rate = 0.0;
 
+  /// Fleet-wide silent-data-corruption rate: each dispatched job's product
+  /// takes one bit flip with this probability (integrity::SdcPlan::rate on
+  /// every chip). Detection and recovery are the cluster config's verify
+  /// mode, not the fault plan's business.
+  double sdc_rate = 0.0;
+  /// Fleet-wide sticky rate: probability a recompute of a detected
+  /// corruption is corrupted again on the same chip.
+  double sdc_sticky_rate = 0.0;
+  /// Chips with faulty DRAM (event kind "bad_dram" in the JSON dialect);
+  /// rates add onto the fleet-wide ones, clamped to 1.
+  std::vector<BadDram> bad_dram;
+
   bool empty() const {
     return chip_crashes.empty() && chip_restarts.empty() && chip_flaps.empty() &&
            tile_kills.empty() && brownouts.empty() && domain_outages.empty() &&
-           domain_brownouts.empty() && crash_rate <= 0.0 && job_failure_rate <= 0.0;
+           domain_brownouts.empty() && crash_rate <= 0.0 && job_failure_rate <= 0.0 &&
+           sdc_rate <= 0.0 && bad_dram.empty();
   }
 };
 
@@ -156,6 +182,13 @@ class FaultOracle {
   /// Does the `ordinal`-th job dispatched on `chip` fail?
   bool job_fails(int chip, std::uint64_t ordinal) const;
 
+  /// The SDC model `chip` runs under: fleet-wide rates plus the chip's
+  /// bad_dram entries (rates summed, clamped to 1), seeded per chip off the
+  /// plan seed so corruption draws are deterministic per (seed, chip, job)
+  /// and independent across chips. The simulator feeds this to an
+  /// integrity::SdcOracle with the chip-local job ordinal as the site.
+  integrity::SdcPlan chip_sdc(int chip) const;
+
   /// Deterministic jitter in [0,1) for request `request_id`'s retry
   /// backoff at `attempt`.
   double jitter(int request_id, int attempt) const;
@@ -170,14 +203,18 @@ class FaultOracle {
 /// CLI's --fault-plan=FILE option: a top-level object with optional scalar
 /// knobs (seed, chips_per_domain, restart_downtime_seconds,
 /// restart_jitter_fraction, crash_rate, crash_horizon_seconds,
-/// job_failure_rate) and an "events" array of timed events tagged by
-/// "kind" (chip_crash, chip_restart, chip_flap, tile_kill, brownout,
-/// domain_outage, domain_brownout). Throws SimulationError on malformed
-/// input or unknown kinds.
+/// job_failure_rate, sdc_rate, sdc_sticky_rate) and an "events" array of
+/// events tagged by "kind" (chip_crash, chip_restart, chip_flap, tile_kill,
+/// brownout, domain_outage, domain_brownout, bad_dram). Throws
+/// SimulationError on malformed input or unknown kinds.
 FaultPlan parse_fault_plan_json(const std::string& text);
 
 /// Load parse_fault_plan_json from a file; throws SimulationError when the
 /// file cannot be read.
 FaultPlan load_fault_plan_file(const std::string& path);
+
+/// Serialize `plan` into the same JSON dialect parse_fault_plan_json reads,
+/// so plans round-trip: parse(serialize(p)) describes the same schedule.
+std::string fault_plan_json(const FaultPlan& plan);
 
 }  // namespace scc::cluster

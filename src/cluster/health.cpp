@@ -18,6 +18,8 @@ std::string to_string(HealthState state) {
       return "draining";
     case HealthState::kDead:
       return "dead";
+    case HealthState::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }

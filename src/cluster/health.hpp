@@ -21,8 +21,11 @@ namespace scc::cluster {
 /// Router-visible chip states. healthy -> suspect -> dead is driven by the
 /// failure detector; dead -> rejoining -> healthy by chip re-admission
 /// (restart + probation beats); draining means the chip's circuit breaker
-/// is open (finish what you have, take nothing new).
-enum class HealthState { kHealthy, kSuspect, kRejoining, kDraining, kDead };
+/// is open (finish what you have, take nothing new); quarantined means the
+/// chip crossed the silent-data-corruption threshold and is permanently
+/// withdrawn -- unlike draining or dead it is terminal, because bad DRAM
+/// does not heal on restart (docs/INTEGRITY.md).
+enum class HealthState { kHealthy, kSuspect, kRejoining, kDraining, kDead, kQuarantined };
 
 std::string to_string(HealthState state);
 

@@ -42,6 +42,9 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   config_json.set("placement_replicas", config.placement.replicas);
   config_json.set("reship_bandwidth_fraction", config.placement.reship_bandwidth_fraction);
   config_json.set("warmup_runs", config.placement.warmup_runs);
+  config_json.set("verify", integrity::to_string(config.chip.verify));
+  config_json.set("sdc_rate", config.faults.sdc_rate);
+  config_json.set("quarantine_threshold", config.quarantine_threshold);
   report.set("config", std::move(config_json));
 
   obs::Json result_json = obs::Json::object();
@@ -66,6 +69,12 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   result_json.set("reship_bytes", result.reship_bytes);
   result_json.set("cold_runs", result.cold_runs);
   result_json.set("domain_outages", result.domain_outages);
+  result_json.set("sdc_corrupted", result.sdc_corrupted);
+  result_json.set("sdc_detected", result.sdc_detected);
+  result_json.set("sdc_corrected", result.sdc_corrected);
+  result_json.set("sdc_unrecoverable", result.sdc_unrecoverable);
+  result_json.set("sdc_escapes", result.sdc_escapes);
+  result_json.set("quarantines", result.quarantines);
   obs::Json latency = obs::Json::object();
   latency.set("total", serve::latency_summary_json(result.latency_total));
   latency.set("interactive", serve::latency_summary_json(result.latency_interactive));
@@ -88,6 +97,11 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
     entry.set("reships", chip.reships);
     entry.set("cold_runs", chip.cold_runs);
     entry.set("reship_bytes", chip.reship_bytes);
+    entry.set("sdc_detected", chip.sdc_detected);
+    entry.set("sdc_corrected", chip.sdc_corrected);
+    entry.set("sdc_unrecoverable", chip.sdc_unrecoverable);
+    entry.set("sdc_escapes", chip.sdc_escapes);
+    entry.set("quarantined", chip.quarantined);
     obs::Json placement = obs::Json::array();
     for (const int matrix_id : chip.placement) placement.push_back(matrix_id);
     entry.set("placement", std::move(placement));
@@ -121,6 +135,16 @@ obs::Json cluster_report_json(const serve::WorkloadSpec& workload,
   if (result.tuning.enabled) {
     report.set("tuning", serve::tuning_summary_json(result.tuning));
   }
+
+  obs::Json integrity_json = obs::Json::object();
+  integrity_json.set("verify", integrity::to_string(config.chip.verify));
+  integrity_json.set("sdc_corrupted", result.sdc_corrupted);
+  integrity_json.set("sdc_detected", result.sdc_detected);
+  integrity_json.set("sdc_corrected", result.sdc_corrected);
+  integrity_json.set("sdc_unrecoverable", result.sdc_unrecoverable);
+  integrity_json.set("sdc_escapes", result.sdc_escapes);
+  integrity_json.set("quarantines", result.quarantines);
+  report.set("integrity", std::move(integrity_json));
 
   if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
   return report;

@@ -12,7 +12,8 @@ int route(const std::vector<ChipView>& chips, const std::vector<int>& excluded,
   };
   const auto eligible = [&](const ChipView& view, bool healthy_only) {
     if (is_excluded(view.chip) || !view.dispatchable) return false;
-    if (view.health == HealthState::kDead || view.health == HealthState::kDraining) {
+    if (view.health == HealthState::kDead || view.health == HealthState::kDraining ||
+        view.health == HealthState::kQuarantined) {
       return false;
     }
     return healthy_only ? view.health == HealthState::kHealthy : true;

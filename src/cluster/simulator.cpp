@@ -96,9 +96,10 @@ std::string describe(const LogEvent& event) {
 ClusterSimulator::ClusterSimulator(ClusterConfig config, serve::MatrixPool& pool)
     : config_(std::move(config)),
       pool_(pool),
-      model_(config_.chip.engine, pool),
+      model_(config_.chip.engine, pool, config_.chip.verify),
       oracle_(config_.faults) {
   SCC_REQUIRE(config_.chip_count >= 1, "chip_count must be >= 1");
+  SCC_REQUIRE(config_.quarantine_threshold >= 0, "quarantine_threshold must be >= 0");
   SCC_REQUIRE(config_.retry.max_attempts >= 1, "retry.max_attempts must be >= 1");
   SCC_REQUIRE(config_.retry.base_backoff_seconds > 0.0 &&
                   config_.retry.backoff_multiplier >= 1.0 &&
@@ -136,6 +137,13 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   obs::Counter& reships_total = metrics_->counter("cluster.reship_jobs_total");
   obs::Counter& reship_bytes_total = metrics_->counter("cluster.reship_bytes_total");
   obs::Counter& domain_outages_total = metrics_->counter("cluster.domain_outages_total");
+  obs::Counter& sdc_corrupted_total = metrics_->counter("integrity.sdc_corrupted_total");
+  obs::Counter& sdc_detected_total = metrics_->counter("integrity.sdc_detected_total");
+  obs::Counter& sdc_corrected_total = metrics_->counter("integrity.sdc_corrected_total");
+  obs::Counter& sdc_unrecoverable_total =
+      metrics_->counter("integrity.sdc_unrecoverable_total");
+  obs::Counter& sdc_escapes_total = metrics_->counter("integrity.sdc_escapes_total");
+  obs::Counter& quarantines_total = metrics_->counter("cluster.quarantines_total");
   obs::Histogram& latency_hist =
       metrics_->histogram("cluster.latency_seconds", obs::Histogram::seconds_buckets());
 
@@ -161,6 +169,10 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     bool will_fail = false;  ///< oracle-decided transient failure
     bool cold = false;       ///< priced at cold-cache timing
     serve::JobPlan plan;     ///< tuned storage plan (CSR when untuned)
+    /// ABFT classification, decided at dispatch from the chip's seeded SDC
+    /// stream (kClean when no flip was injected). Acted on at completion.
+    integrity::Outcome sdc_outcome = integrity::Outcome::kClean;
+    bool sdc_significant = false;  ///< ground truth: final product wrong
   };
 
   struct Chip {
@@ -186,6 +198,16 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     int cold_runs = 0;
     int breaker_trips_prior = 0;  ///< trips of breakers retired by restarts
     double reship_bytes = 0.0;
+    /// Seeded corruption model of this chip's DRAM (fleet rate + bad_dram);
+    /// sites are chip-local job ordinals, so the schedule is deterministic
+    /// per (fault seed, chip, job) whatever the dispatch interleaving.
+    integrity::SdcPlan sdc;
+    int sdc_detected = 0;
+    int sdc_corrected = 0;
+    int sdc_unrecoverable = 0;
+    int sdc_escapes = 0;
+    /// Terminal: survives restarts (bad DRAM is hardware, like tile kills).
+    bool quarantined = false;
 
     Chip(int chip_id, const serve::ServeConfig& config)
         : id(chip_id),
@@ -199,6 +221,7 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
   for (int c = 0; c < config_.chip_count; ++c) {
     chips.emplace_back(c, config_.chip);
     chips.back().breaker = CircuitBreaker(config_.breaker);
+    chips.back().sdc = oracle_.chip_sdc(c);
   }
 
   // Initial placement: each matrix of the workload lands on `replicas`
@@ -306,15 +329,18 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     for (Chip& chip : chips) {
       ChipView view;
       view.chip = chip.id;
-      const bool allowed = !chip.crashed && chip.breaker.allows(now);
-      view.health = chip.crashed
+      const bool allowed =
+          !chip.crashed && !chip.quarantined && chip.breaker.allows(now);
+      view.health = chip.quarantined ? HealthState::kQuarantined
+                    : chip.crashed
                         ? chip.health
                         : (chip.breaker.state() == CircuitBreaker::State::kOpen
                                ? HealthState::kDraining
                                : (chip.health == HealthState::kRejoining
                                       ? HealthState::kRejoining
                                       : HealthState::kHealthy));
-      view.dispatchable = allowed && chip.health != HealthState::kDead;
+      view.dispatchable =
+          allowed && chip.health != HealthState::kDead && !chip.quarantined;
       view.outstanding = chip.outstanding;
       view.has_matrix = chip.placed.contains(matrix_id);
       view.reship_penalty = penalty;
@@ -377,6 +403,31 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     log_event(now, "retry", record.chip,
               "request " + std::to_string(request_id) + " attempt " +
                   std::to_string(attempt + 1) + " backoff " + std::to_string(backoff));
+  };
+
+  /// SDC quarantine: once a chip accumulates `quarantine_threshold` detected
+  /// corruptions it is withdrawn from routing for good and its queue is
+  /// evacuated to other replicas. In-flight jobs run to completion (their
+  /// outcomes are already decided); the chip just takes nothing new. The
+  /// state is terminal -- unlike the breaker there is no cooldown and a
+  /// restart does not clear it, because bad DRAM is hardware.
+  const auto maybe_quarantine = [&](Chip& chip) {
+    if (config_.quarantine_threshold <= 0 || chip.quarantined) return;
+    if (chip.sdc_detected < config_.quarantine_threshold) return;
+    chip.quarantined = true;
+    ++result.quarantines;
+    quarantines_total.add();
+    log_event(now, "chip_quarantine", chip.id,
+              std::to_string(chip.sdc_detected) + " detected corruptions, evacuating " +
+                  std::to_string(chip.queue.depth()) + " queued requests");
+    while (!chip.queue.empty()) {
+      const serve::Request request = chip.queue.pop();
+      --chip.outstanding;
+      --states[static_cast<std::size_t>(request.id)].copies;
+      ClusterRequestRecord& record = result.records[static_cast<std::size_t>(request.id)];
+      if (record.outcome == Outcome::kPending) record.chip = chip.id;
+      consider_recovery(request.id, "chip_quarantined");
+    }
   };
 
   /// Per-chip dispatch, mirroring serve::Simulator::dispatch exactly on the
@@ -471,11 +522,33 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
 
       const serve::JobTiming& cached = cold ? model_.cold_timing(matrix_id, cores, plan)
                                             : model_.timing(matrix_id, cores, plan);
+
+      // Transient failure and silent-data-corruption draws share the
+      // chip-local job ordinal as their site, so both schedules replay
+      // deterministically per (seed, chip, job). Corrupted jobs are
+      // classified here -- numerically, against the real matrix, but
+      // outside the RunCache, so memoized timings stay corruption-free and
+      // outcomes are identical across cache modes and thread counts.
+      const std::uint64_t sdc_site = chip.job_ordinal;
+      const bool will_fail = oracle_.job_fails(chip.id, chip.job_ordinal++);
+      integrity::VerifyReport sdc_report;
+      if (!will_fail && !chip.sdc.empty()) {
+        const integrity::SdcOracle sdc_oracle(chip.sdc);
+        if (sdc_oracle.corrupts(sdc_site, 0)) {
+          sdc_report = integrity::run_verification(entry.matrix, config_.chip.verify,
+                                                   &sdc_oracle, sdc_site);
+        }
+      }
+      // A correct-mode recompute re-runs one product on the same chip.
+      const double recompute =
+          static_cast<double>(sdc_report.attempts - 1) * cached.product_seconds;
+
       const auto k = static_cast<double>(batch.size());
-      const double service = reship_seconds + cached.load_seconds + k * cached.product_seconds;
+      const double service =
+          reship_seconds + cached.load_seconds + k * cached.product_seconds + recompute;
       // The re-ship and load phases are pure bandwidth (beta = 1).
       const double beta = (reship_seconds + cached.load_seconds +
-                           k * cached.product_seconds * cached.beta) /
+                           (k * cached.product_seconds + recompute) * cached.beta) /
                           service;
       service_seconds_sum += service;
       ++jobs_dispatched;
@@ -490,9 +563,11 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       job.matrix_id = matrix_id;
       job.cores = cores;
       job.dispatch_seconds = now;
-      job.will_fail = oracle_.job_fails(chip.id, chip.job_ordinal++);
+      job.will_fail = will_fail;
       job.cold = cold;
       job.plan = plan;
+      job.sdc_outcome = sdc_report.outcome;
+      job.sdc_significant = sdc_report.significant;
       chip.breaker.note_dispatch();  // a half-open breaker's probe job
       for (const serve::Request& request : batch) {
         job.request_ids.push_back(request.id);
@@ -571,11 +646,114 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       for (const int request_id : job.request_ids) {
         --chip.outstanding;
         --states[static_cast<std::size_t>(request_id)].copies;
-        result.records[static_cast<std::size_t>(request_id)].chip = chip.id;
+        ClusterRequestRecord& record = result.records[static_cast<std::size_t>(request_id)];
+        // A stale copy failing after the request completed elsewhere must
+        // not re-attribute the record to this chip.
+        if (record.outcome == Outcome::kPending) record.chip = chip.id;
         consider_recovery(request_id, "job_failed");
       }
       return;
     }
+
+    // Result integrity: act on the ABFT classification decided at dispatch.
+    // A corrupted result is a failed job from the chip's perspective, so
+    // the non-delivering outcomes feed the circuit breaker like any other
+    // failure (a half-open probe must always resolve) -- and, separately,
+    // every *detected* corruption feeds the chip's quarantine ledger.
+    if (job.sdc_outcome != integrity::Outcome::kClean) {
+      ++result.sdc_corrupted;
+      sdc_corrupted_total.add();
+    }
+    switch (job.sdc_outcome) {
+      case integrity::Outcome::kClean:
+        break;
+      case integrity::Outcome::kSilent:
+        // Undetected: the corrupted product is delivered as if clean.
+        if (job.sdc_significant) {
+          ++chip.sdc_escapes;
+          ++result.sdc_escapes;
+          sdc_escapes_total.add();
+          log_event(now, "sdc_escape", chip.id,
+                    "job " + std::to_string(job_id) + " corrupted result delivered");
+        }
+        break;
+      case integrity::Outcome::kCorrected: {
+        // Detect fired, the same-chip recompute verified clean; the extra
+        // product was priced into the job at dispatch. Deliver.
+        ++chip.sdc_detected;
+        ++chip.sdc_corrected;
+        ++result.sdc_detected;
+        ++result.sdc_corrected;
+        sdc_detected_total.add();
+        sdc_corrected_total.add();
+        log_event(now, "sdc_corrected", chip.id,
+                  "job " + std::to_string(job_id) + " recompute verified clean");
+        maybe_quarantine(chip);
+        break;
+      }
+      case integrity::Outcome::kDetected: {
+        // Detect-only mode: the batch is not delivered; its requests
+        // reroute to another replica through the retry path.
+        ++chip.sdc_detected;
+        ++result.sdc_detected;
+        sdc_detected_total.add();
+        ++chip.jobs_failed;
+        const int trips_before = chip.breaker.trip_count();
+        chip.breaker.on_failure(now);
+        log_event(now, "sdc_detected", chip.id,
+                  "job " + std::to_string(job_id) + " requests " +
+                      std::to_string(job.request_ids.size()) + " rerouting");
+        if (chip.breaker.trip_count() > trips_before) {
+          breaker_trips_total.add();
+          log_event(now, "breaker_open", chip.id,
+                    "trip " + std::to_string(chip.breaker.trip_count()));
+        }
+        maybe_quarantine(chip);
+        for (const int request_id : job.request_ids) {
+          --chip.outstanding;
+          --states[static_cast<std::size_t>(request_id)].copies;
+          ClusterRequestRecord& record = result.records[static_cast<std::size_t>(request_id)];
+          if (record.outcome == Outcome::kPending) record.chip = chip.id;
+          consider_recovery(request_id, "sdc_detected");
+        }
+        return;
+      }
+      case integrity::Outcome::kUnrecoverable: {
+        // Correct mode, and the same-chip recompute was corrupted again
+        // (sticky bad DRAM): terminal. The batch dead-letters under the
+        // conservation law unless a hedge twin is still in flight.
+        ++chip.sdc_detected;
+        ++chip.sdc_unrecoverable;
+        ++result.sdc_detected;
+        ++result.sdc_unrecoverable;
+        sdc_detected_total.add();
+        sdc_unrecoverable_total.add();
+        ++chip.jobs_failed;
+        const int trips_before = chip.breaker.trip_count();
+        chip.breaker.on_failure(now);
+        log_event(now, "sdc_unrecoverable", chip.id,
+                  "job " + std::to_string(job_id) + " recompute corrupted again");
+        if (chip.breaker.trip_count() > trips_before) {
+          breaker_trips_total.add();
+          log_event(now, "breaker_open", chip.id,
+                    "trip " + std::to_string(chip.breaker.trip_count()));
+        }
+        maybe_quarantine(chip);
+        for (const int request_id : job.request_ids) {
+          --chip.outstanding;
+          RequestState& state = states[static_cast<std::size_t>(request_id)];
+          --state.copies;
+          ClusterRequestRecord& record =
+              result.records[static_cast<std::size_t>(request_id)];
+          if (record.outcome == Outcome::kPending) {
+            record.chip = chip.id;
+            if (state.copies == 0) dead_letter(request_id, "sdc_unrecoverable");
+          }
+        }
+        return;
+      }
+    }
+
     ++chip.jobs_completed;
     const bool was_half_open = chip.breaker.state() == CircuitBreaker::State::kHalfOpen;
     chip.breaker.on_success();
@@ -595,7 +773,8 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
       const serve::Request request = chip.queue.pop();
       --chip.outstanding;
       --states[static_cast<std::size_t>(request.id)].copies;
-      result.records[static_cast<std::size_t>(request.id)].chip = chip.id;
+      ClusterRequestRecord& record = result.records[static_cast<std::size_t>(request.id)];
+      if (record.outcome == Outcome::kPending) record.chip = chip.id;
       consider_recovery(request.id, "chip_crashed");
     }
     for (auto& [job_id, job] : chip.active) {
@@ -968,7 +1147,8 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     ChipSummary summary;
     summary.chip = chip.id;
     summary.crashed = chip.crashed;
-    summary.state = chip.crashed ? HealthState::kDead
+    summary.state = chip.quarantined ? HealthState::kQuarantined
+                    : chip.crashed   ? HealthState::kDead
                     : chip.breaker.state() == CircuitBreaker::State::kOpen
                         ? HealthState::kDraining
                     : chip.health == HealthState::kRejoining ? HealthState::kRejoining
@@ -983,6 +1163,11 @@ ClusterResult ClusterSimulator::run(const std::vector<serve::Request>& requests,
     summary.cold_runs = chip.cold_runs;
     summary.reship_bytes = chip.reship_bytes;
     summary.placement.assign(chip.placed.begin(), chip.placed.end());
+    summary.sdc_detected = chip.sdc_detected;
+    summary.sdc_corrected = chip.sdc_corrected;
+    summary.sdc_unrecoverable = chip.sdc_unrecoverable;
+    summary.sdc_escapes = chip.sdc_escapes;
+    summary.quarantined = chip.quarantined;
     result.breaker_trips += summary.breaker_trips;
     result.chips.push_back(summary);
   }

@@ -36,7 +36,14 @@
 //     own SLO deadline;
 //   * hedged dispatch -- an interactive request still pending after
 //     `hedge.delay_seconds` gets a second copy on another chip; first
-//     completion wins, the loser is cancelled if still queued.
+//     completion wins, the loser is cancelled if still queued;
+//   * silent data corruption -- seeded bit flips (fleet-wide rate plus
+//     per-chip "bad DRAM" stickiness) classified by src/integrity's ABFT
+//     check: detect mode reroutes the batch to another replica, correct
+//     mode recomputes once on the same chip, an unrecoverable recompute
+//     dead-letters with reason "sdc_unrecoverable", and a chip crossing
+//     `quarantine_threshold` detections is withdrawn permanently
+//     (HealthState::kQuarantined -- bad DRAM does not heal on restart).
 //
 // Every fault, detector transition, failover, retry, hedge and breaker
 // event lands in an ordered log; identical seeds replay it byte for byte.
@@ -89,8 +96,18 @@ struct PlacementConfig {
 
 struct ClusterConfig {
   int chip_count = 3;
-  serve::ServeConfig chip;  ///< per-chip policy/admission/batching/engine
+  /// Per-chip policy/admission/batching/engine. chip.verify is the
+  /// cluster's ABFT mode (every chip prices and classifies under it);
+  /// chip.sdc is IGNORED here -- cluster corruption comes from the fault
+  /// plan (FaultPlan::sdc_rate / bad_dram), seeded per chip.
+  serve::ServeConfig chip;
   FaultPlan faults;
+  /// Detected corruptions (detected, corrected or unrecoverable) on one
+  /// chip before it is quarantined: permanently withdrawn from routing
+  /// (HealthState::kQuarantined), queue evacuated to other replicas. 0
+  /// disables quarantine. Bad DRAM does not heal on restart, so unlike the
+  /// breaker there is no cooldown -- the state is terminal.
+  int quarantine_threshold = 3;
   /// Master robustness switch: with failover off, requests stay on their
   /// first chip -- crashes lose them, failures dead-letter them, no
   /// retries, no hedging (the baseline the failover bench compares against).
@@ -142,6 +159,12 @@ struct ChipSummary {
   int cold_runs = 0;  ///< jobs served at cold-cache timing
   double reship_bytes = 0.0;
   std::vector<int> placement;  ///< matrix ids resident at end of run, sorted
+  // Per-chip SDC ledger (the quarantine policy's evidence).
+  int sdc_detected = 0;       ///< detected corruption events on this chip
+  int sdc_corrected = 0;      ///< recomputes that verified clean
+  int sdc_unrecoverable = 0;  ///< recomputes corrupted again (dead-lettered)
+  int sdc_escapes = 0;        ///< significant corruptions delivered undetected
+  bool quarantined = false;   ///< crossed the quarantine threshold (terminal)
 };
 
 /// One entry of the ordered fault/recovery log.
@@ -180,6 +203,14 @@ struct ClusterResult {
   int reships = 0;         ///< matrix movements between chips
   int cold_runs = 0;       ///< jobs priced at cold-cache timing
   int domain_outages = 0;  ///< correlated power-domain events fired
+  // Cluster-wide SDC accounting (sums of the per-chip ledgers plus the
+  // silent corruptions that never touched a counter-bearing chip event).
+  int sdc_corrupted = 0;      ///< completed-or-classified jobs that took a flip
+  int sdc_detected = 0;       ///< detected corruption events
+  int sdc_corrected = 0;      ///< same-chip recomputes that verified clean
+  int sdc_unrecoverable = 0;  ///< recomputes corrupted again (dead-lettered)
+  int sdc_escapes = 0;        ///< significant corruptions delivered undetected
+  int quarantines = 0;        ///< chips quarantined during the run
   double reship_bytes = 0.0;
   serve::LatencySummary latency_total;
   serve::LatencySummary latency_interactive;

@@ -33,8 +33,31 @@ const char* to_string(EventType type) {
     case EventType::kPeerDead: return "peer-dead";
     case EventType::kArenaExhaust: return "arena-exhaust";
     case EventType::kRepartition: return "repartition";
+    case EventType::kMemCorrupt: return "mem-corrupt";
   }
   return "?";
+}
+
+const char* to_string(MemRegion region) {
+  switch (region) {
+    case MemRegion::kVal: return "val";
+    case MemRegion::kCol: return "col";
+    case MemRegion::kPtr: return "ptr";
+    case MemRegion::kX: return "x";
+    case MemRegion::kPartial: return "partial";
+  }
+  return "?";
+}
+
+MemRegion parse_mem_region(const std::string& text) {
+  if (text == "val") return MemRegion::kVal;
+  if (text == "col") return MemRegion::kCol;
+  if (text == "ptr") return MemRegion::kPtr;
+  if (text == "x") return MemRegion::kX;
+  if (text == "partial") return MemRegion::kPartial;
+  SCC_REQUIRE(false, "unknown memory region '" << text
+                                               << "' (expected val, col, ptr, x or partial)");
+  return MemRegion::kVal;
 }
 
 std::string describe(const Event& event) {
@@ -71,7 +94,13 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
                   plan_.corrupt_rate >= 0.0 && plan_.corrupt_rate <= 1.0 &&
                   plan_.delay_rate >= 0.0 && plan_.delay_rate <= 1.0,
               "fault rates must lie in [0,1]");
+  SCC_REQUIRE(plan_.mem_corrupt_rate >= 0.0 && plan_.mem_corrupt_rate <= 1.0,
+              "mem_corrupt_rate must lie in [0,1]");
   SCC_REQUIRE(plan_.transient_failures >= 1, "transient_failures must be >= 1");
+  for (const Plan::MemCorrupt& m : plan_.mem_corruptions) {
+    SCC_REQUIRE(m.bit >= 0 && m.bit <= 63,
+                "mem-corrupt bit " << m.bit << " out of range [0,63]");
+  }
   for (const Plan::Transfer& t : plan_.transfers) {
     SCC_REQUIRE(t.mode != TransferMode::kNone, "planned transfer fault with mode kNone");
     SCC_REQUIRE(t.mode != TransferMode::kTransient || t.transient_failures >= 1,
@@ -120,6 +149,31 @@ Injector::TransferAction Injector::on_transfer(int src, int dest,
     return {TransferMode::kTransient, plan_.transient_failures};
   }
   return {TransferMode::kNone, 0};
+}
+
+std::vector<Plan::MemCorrupt> Injector::on_memory(int rank) const {
+  std::vector<Plan::MemCorrupt> hits;
+  for (const Plan::MemCorrupt& m : plan_.mem_corruptions) {
+    if (m.rank == rank) hits.push_back(m);
+  }
+  if (plan_.mem_corrupt_rate > 0.0 &&
+      draw(static_cast<std::uint64_t>(rank), 0, /*salt=*/5, plan_.mem_corrupt_rate)) {
+    // Region/element/bit come from an independent per-rank stream so the
+    // Bernoulli outcome and the flip site never correlate.
+    std::uint64_t state = plan_.seed;
+    state ^= (static_cast<std::uint64_t>(rank) + 1) * 0x9e3779b97f4a7c15ULL;
+    state ^= 6 * 0x94d049bb133111ebULL;
+    Rng rng(splitmix64(state));
+    Plan::MemCorrupt m;
+    m.rank = rank;
+    m.region = static_cast<MemRegion>(rng.next() % 5);
+    m.element = rng.next();
+    // Stochastic flips stay in the upper mantissa / exponent range where
+    // they matter numerically (docs/INTEGRITY.md on detectability).
+    m.bit = 32 + static_cast<int>(rng.next() % 31);
+    hits.push_back(m);
+  }
+  return hits;
 }
 
 bool Injector::exhaust_shmalloc(std::uint64_t round) const {

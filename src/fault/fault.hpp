@@ -57,9 +57,27 @@ enum class EventType {
   kPeerDead,        ///< blocking op aborted because the peer UE died
   kArenaExhaust,    ///< shmalloc failed by injection
   kRepartition,     ///< a dead UE's row block reassigned by the SpMV driver
+  kMemCorrupt,      ///< a bit flipped in a UE's local data (silent corruption)
 };
 
 const char* to_string(EventType type);
+
+/// Which local array a memory-corruption event lands in. The regions mirror
+/// the data a distributed SpMV rank actually holds: its CSR slice (val /
+/// col / ptr), its copy of the input vector, and its partial result.
+enum class MemRegion {
+  kVal,      ///< CSR value array
+  kCol,      ///< CSR column-index array
+  kPtr,      ///< CSR row-pointer array
+  kX,        ///< input vector
+  kPartial,  ///< per-rank partial result y
+};
+
+const char* to_string(MemRegion region);
+
+/// Parse a region name ("val", "col", "ptr", "x", "partial"); throws
+/// SimulationError with the valid spellings on anything else.
+MemRegion parse_mem_region(const std::string& text);
 
 struct Event {
   EventType type = EventType::kKill;
@@ -126,11 +144,24 @@ struct Plan {
     TransferMode mode = TransferMode::kDrop;
     int transient_failures = 1;
   };
+  /// One bit flip in a rank's local data. `element` indexes into the region
+  /// and is clamped modulo the region's size by the applier, so plans stay
+  /// valid across matrix sizes; `bit` addresses the element's 64-bit word
+  /// (for col indices the applier folds it into the index width).
+  struct MemCorrupt {
+    int rank = -1;
+    MemRegion region = MemRegion::kVal;
+    std::uint64_t element = 0;
+    int bit = 40;
+
+    friend bool operator==(const MemCorrupt&, const MemCorrupt&) = default;
+  };
 
   std::vector<Kill> kills;
   std::vector<Delay> delays;
   std::vector<FlagDrop> flag_drops;
   std::vector<Transfer> transfers;
+  std::vector<MemCorrupt> mem_corruptions;
   /// shmalloc rounds that report arena exhaustion regardless of free space.
   std::vector<std::uint64_t> arena_exhaust_rounds;
 
@@ -141,11 +172,15 @@ struct Plan {
   double corrupt_rate = 0.0;     ///< probability a message is corrupted
   double delay_rate = 0.0;       ///< probability an op is preceded by a stall
   double delay_seconds = 0.001;  ///< stall length for stochastic delays
+  /// Probability each rank's local data takes one stochastic bit flip
+  /// (region/element/bit drawn from the seed per rank).
+  double mem_corrupt_rate = 0.0;
 
   bool empty() const {
     return kills.empty() && delays.empty() && flag_drops.empty() && transfers.empty() &&
-           arena_exhaust_rounds.empty() && transient_rate <= 0.0 && drop_rate <= 0.0 &&
-           corrupt_rate <= 0.0 && delay_rate <= 0.0;
+           mem_corruptions.empty() && arena_exhaust_rounds.empty() && transient_rate <= 0.0 &&
+           drop_rate <= 0.0 && corrupt_rate <= 0.0 && delay_rate <= 0.0 &&
+           mem_corrupt_rate <= 0.0;
   }
 };
 
@@ -172,6 +207,11 @@ class Injector {
 
   /// True when the plan exhausts the arena at this collective round.
   bool exhaust_shmalloc(std::uint64_t round) const;
+
+  /// Every memory corruption `rank` suffers this run: the explicit entries
+  /// plus at most one stochastic flip drawn from mem_corrupt_rate. Element
+  /// indices may exceed the region size; the applier clamps them.
+  std::vector<Plan::MemCorrupt> on_memory(int rank) const;
 
  private:
   /// Deterministic per-site Bernoulli draw: hash (seed, a, b, salt).

@@ -106,6 +106,30 @@ void validate_run_cache(std::vector<std::string>& problems, const Json& report) 
   }
 }
 
+/// The "integrity" section (ABFT verification). Required on run reports,
+/// which carry a single per-run 'outcome'; serve/cluster reports aggregate
+/// many jobs, so their sections carry counters under 'verify' instead.
+void validate_integrity(std::vector<std::string>& problems, const Json& report,
+                        bool required) {
+  const Json* integ = report.find("integrity");
+  if (integ == nullptr) {
+    if (required) problems.push_back("missing 'integrity' section");
+    return;
+  }
+  if (!integ->is_object()) {
+    problems.push_back("integrity must be an object");
+    return;
+  }
+  const Json* verify = integ->find("verify");
+  require(problems, verify != nullptr && verify->is_string(),
+          "integrity needs a string 'verify'");
+  if (required) {
+    const Json* outcome = integ->find("outcome");
+    require(problems, outcome != nullptr && outcome->is_string(),
+            "integrity needs a string 'outcome'");
+  }
+}
+
 void validate_run(std::vector<std::string>& problems, const Json& report) {
   check_section(problems, report, "config", Json::Type::kObject);
   if (const Json* run = check_section(problems, report, "run", Json::Type::kObject)) {
@@ -168,6 +192,7 @@ void validate_run(std::vector<std::string>& problems, const Json& report) {
     }
   }
   validate_run_cache(problems, report);
+  validate_integrity(problems, report, /*required=*/true);
   validate_metrics(problems, report);
 }
 
@@ -295,6 +320,7 @@ void validate_serve(std::vector<std::string>& problems, const Json& report) {
     }
   }
   validate_tuning(problems, report);
+  validate_integrity(problems, report, /*required=*/false);
   validate_metrics(problems, report);
 }
 
@@ -368,6 +394,7 @@ void validate_cluster(std::vector<std::string>& problems, const Json& report) {
     }
   }
   validate_tuning(problems, report);
+  validate_integrity(problems, report, /*required=*/false);
   validate_metrics(problems, report);
 }
 

@@ -64,6 +64,8 @@ obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& con
   config_json.set("batching", config.batching);
   config_json.set("batch_max", config.batch_max);
   config_json.set("autotune", config.autotune);
+  config_json.set("verify", integrity::to_string(config.verify));
+  config_json.set("sdc_rate", config.sdc.rate);
   report.set("config", std::move(config_json));
 
   obs::Json result_json = obs::Json::object();
@@ -95,6 +97,15 @@ obs::Json serve_report_json(const WorkloadSpec& workload, const ServeConfig& con
   report.set("per_mc", std::move(per_mc));
 
   if (result.tuning.enabled) report.set("tuning", tuning_summary_json(result.tuning));
+
+  obs::Json integrity_json = obs::Json::object();
+  integrity_json.set("verify", integrity::to_string(config.verify));
+  integrity_json.set("sdc_corrupted", result.sdc_corrupted);
+  integrity_json.set("sdc_retries", result.sdc_retries);
+  integrity_json.set("sdc_corrected", result.sdc_corrected);
+  integrity_json.set("sdc_unrecoverable", result.sdc_unrecoverable);
+  integrity_json.set("sdc_escapes", result.sdc_escapes);
+  report.set("integrity", std::move(integrity_json));
 
   if (metrics != nullptr && !metrics->empty()) report.set("metrics", metrics->to_json());
   return report;

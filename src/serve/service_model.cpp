@@ -106,15 +106,17 @@ sim::EngineConfig cold_config(sim::EngineConfig config) {
 
 }  // namespace
 
-ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool)
-    : engine_(config), cold_engine_(cold_config(config)), pool_(pool) {
+ServiceModel::ServiceModel(const sim::EngineConfig& config, MatrixPool& pool,
+                           integrity::VerifyMode verify)
+    : engine_(config), cold_engine_(cold_config(config)), pool_(pool), verify_(verify) {
   engine_.attach_run_cache(pool.run_cache());
   cold_engine_.attach_run_cache(pool.run_cache());
 }
 
 sim::RunSpec ServiceModel::job_spec(const std::vector<int>& cores, int killed_core,
-                                    const JobPlan& plan) {
+                                    const JobPlan& plan, integrity::VerifyMode verify) {
   sim::RunSpec spec;
+  spec.verify = verify;
   if (killed_core < 0) {
     spec.cores = cores;
     spec.format = plan.format;
@@ -152,7 +154,7 @@ const JobTiming& ServiceModel::timing(int matrix_id, const std::vector<int>& cor
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores, -1, plan));
+  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores, -1, plan, verify_));
 
   JobTiming timing;
   timing.product_seconds = result.seconds;
@@ -176,7 +178,8 @@ const JobTiming& ServiceModel::cold_timing(int matrix_id, const std::vector<int>
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  const sim::RunResult result = cold_engine_.run(entry.matrix, job_spec(cores, -1, plan));
+  const sim::RunResult result =
+      cold_engine_.run(entry.matrix, job_spec(cores, -1, plan, verify_));
 
   JobTiming timing;
   timing.product_seconds = result.seconds;
@@ -204,7 +207,8 @@ const JobTiming& ServiceModel::degraded_timing(int matrix_id, const std::vector<
   if (it != cache_.end()) return it->second;
 
   const testbed::SuiteEntry& entry = pool_.entry(matrix_id);
-  const sim::RunResult result = engine_.run(entry.matrix, job_spec(cores, killed_core));
+  const sim::RunResult result =
+      engine_.run(entry.matrix, job_spec(cores, killed_core, {}, verify_));
 
   JobTiming timing;
   // result.seconds folds the recovery in; split it back out so callers can

@@ -15,6 +15,7 @@
 #include <tuple>
 #include <vector>
 
+#include "integrity/integrity.hpp"
 #include "sim/engine.hpp"
 #include "sim/run_cache.hpp"
 #include "testbed/suite.hpp"
@@ -98,10 +99,15 @@ struct JobPlan {
 
 class ServiceModel {
  public:
-  ServiceModel(const sim::EngineConfig& config, MatrixPool& pool);
+  /// `verify` is the ABFT mode every priced job runs under: the engine adds
+  /// the checksum dot-products' streamed bytes to each product, so verify-on
+  /// serving pays its overhead inside product_seconds (docs/INTEGRITY.md).
+  ServiceModel(const sim::EngineConfig& config, MatrixPool& pool,
+               integrity::VerifyMode verify = integrity::VerifyMode::kOff);
 
   const sim::Engine& engine() const { return engine_; }
   MatrixPool& pool() { return pool_; }
+  integrity::VerifyMode verify() const { return verify_; }
 
   /// Healthy timing of `matrix_id` on `cores` (memoized), optionally under
   /// a tuned storage plan.
@@ -143,15 +149,21 @@ class ServiceModel {
   /// the cluster layer prices through them. A tuned plan composes with
   /// healthy jobs only: the degraded protocol re-ships CSR blocks, so a
   /// killed-core spec always prices as CSR (tuning never changes recovery).
+  /// `verify` prices the per-product ABFT check; the spec carries no SDC
+  /// plan, so memoized timings stay corruption-free (the serving layers
+  /// classify corrupted jobs outside the RunCache, by seeded oracle).
   static sim::RunSpec job_spec(const std::vector<int>& cores, int killed_core = -1,
-                               const JobPlan& plan = {});
+                               const JobPlan& plan = {},
+                               integrity::VerifyMode verify = integrity::VerifyMode::kOff);
 
  private:
   sim::Engine engine_;
   sim::Engine cold_engine_;  ///< same config, measure_steady_state = false
   MatrixPool& pool_;
+  integrity::VerifyMode verify_;
   /// Key: (matrix, core set, killed core or -1 for healthy, cold caches,
-  /// plan format, plan reorder).
+  /// plan format, plan reorder). The verify mode is fixed per ServiceModel,
+  /// so it needs no key column.
   std::map<std::tuple<int, std::vector<int>, int, bool, int, int>, JobTiming> cache_;
 };
 

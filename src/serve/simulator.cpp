@@ -30,7 +30,7 @@ LatencySummary summarize_latencies(std::vector<double>& latencies) {
 }  // namespace
 
 Simulator::Simulator(ServeConfig config, MatrixPool& pool)
-    : config_(config), pool_(pool), model_(config.engine, pool) {
+    : config_(config), pool_(pool), model_(config.engine, pool, config.verify) {
   SCC_REQUIRE(config_.batch_max >= 1, "batch_max must be >= 1");
   if (config_.autotune) {
     tuner_ = std::make_unique<tune::Autotuner>(config_.engine, config_.tuning,
@@ -55,6 +55,12 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
   obs::Histogram& service_hist =
       metrics_->histogram("serve.job_service_seconds", obs::Histogram::seconds_buckets());
   obs::Gauge& queue_depth_gauge = metrics_->gauge("serve.max_queue_depth");
+  obs::Counter& sdc_corrupted_total = metrics_->counter("integrity.sdc_corrupted_total");
+  obs::Counter& sdc_retries_total = metrics_->counter("integrity.sdc_retries_total");
+  obs::Counter& sdc_corrected_total = metrics_->counter("integrity.sdc_corrected_total");
+  obs::Counter& sdc_unrecoverable_total =
+      metrics_->counter("integrity.sdc_unrecoverable_total");
+  obs::Counter& sdc_escapes_total = metrics_->counter("integrity.sdc_escapes_total");
 
   ServeResult result;
   result.records.resize(requests.size());
@@ -123,10 +129,66 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
       }
 
       const JobTiming& cached = model_.timing(batch.front().matrix_id, cores, plan);
+
+      // Result integrity: seeded corruption per job id, classified outside
+      // the RunCache (the memoized timing above stays corruption-free) so
+      // outcomes are identical across cache modes and thread counts. A
+      // failed verification is retried once on this chip -- the serving
+      // policy of the single-chip layer -- which shows up as one extra
+      // product in the service time.
+      integrity::VerifyReport sdc_report;
+      if (!config_.sdc.empty()) {
+        const auto site = static_cast<std::uint64_t>(next_job_id);
+        const integrity::SdcOracle oracle(config_.sdc);
+        if (oracle.corrupts(site, 0)) {
+          const integrity::VerifyMode effective =
+              config_.verify == integrity::VerifyMode::kOff ? integrity::VerifyMode::kOff
+                                                            : integrity::VerifyMode::kCorrect;
+          sdc_report =
+              integrity::run_verification(pool_.entry(batch.front().matrix_id).matrix,
+                                          effective, &oracle, site);
+        }
+      }
+      const double recompute =
+          static_cast<double>(sdc_report.attempts - 1) * cached.product_seconds;
+
       const auto k = static_cast<double>(batch.size());
-      const double service = cached.load_seconds + k * cached.product_seconds;
-      const double beta =
-          (cached.load_seconds + k * cached.product_seconds * cached.beta) / service;
+      const double service = cached.load_seconds + k * cached.product_seconds + recompute;
+      const double beta = (cached.load_seconds +
+                           (k * cached.product_seconds + recompute) * cached.beta) /
+                          service;
+
+      if (sdc_report.outcome != integrity::Outcome::kClean) {
+        ++result.sdc_corrupted;
+        sdc_corrupted_total.add();
+        if (sdc_report.attempts > 1) {
+          ++result.sdc_retries;
+          sdc_retries_total.add();
+        }
+        switch (sdc_report.outcome) {
+          case integrity::Outcome::kSilent:
+            if (sdc_report.significant) {
+              ++result.sdc_escapes;
+              sdc_escapes_total.add();
+            }
+            break;
+          case integrity::Outcome::kCorrected:
+            ++result.sdc_corrected;
+            sdc_corrected_total.add();
+            break;
+          case integrity::Outcome::kUnrecoverable:
+            ++result.sdc_unrecoverable;
+            sdc_unrecoverable_total.add();
+            break;
+          default:
+            break;
+        }
+        if (recorder != nullptr) {
+          recorder->event("serve.sdc",
+                          {{"job", std::to_string(next_job_id)},
+                           {"outcome", std::string(integrity::to_string(sdc_report.outcome))}});
+        }
+      }
 
       std::array<bool, chip::kMemoryControllerCount> uses_mc{};
       const auto by_mc = chip::cores_by_mc(cores);
@@ -144,6 +206,8 @@ ServeResult Simulator::run(const std::vector<Request>& requests, obs::Recorder* 
       job.product_seconds = cached.product_seconds;
       job.service_seconds = service;
       job.beta = beta;
+      job.sdc_outcome = sdc_report.outcome;
+      job.verify_attempts = sdc_report.attempts;
 
       ActiveJob active_job;
       active_job.job_index = result.jobs.size();

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "integrity/integrity.hpp"
 #include "obs/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -47,6 +48,15 @@ struct ServeConfig {
   /// pinned winner is free.
   bool autotune = false;
   tune::AutotuneConfig tuning;  ///< grid + scoring knobs when autotune is on
+  /// ABFT verification mode every job's products run under: the engine
+  /// prices the checksum dot-products into each product, and a job whose
+  /// verification fails is retried once on the same chip (the single-chip
+  /// analogue of the cluster's reroute; docs/INTEGRITY.md).
+  integrity::VerifyMode verify = integrity::VerifyMode::kOff;
+  /// SDC injection for single-chip serving (seeded per job id). The cluster
+  /// simulator ignores this field: its corruption model lives in the fault
+  /// plan (cluster::FaultPlan::sdc_rate / bad_dram).
+  integrity::SdcPlan sdc;
 };
 
 /// One chip job: a batch of same-matrix requests on one core partition.
@@ -59,8 +69,13 @@ struct JobRecord {
   double completion_seconds = 0.0;
   double load_seconds = 0.0;     ///< isolated CSR distribute/load time (paid once)
   double product_seconds = 0.0;  ///< isolated per-product time == Engine::run seconds
-  double service_seconds = 0.0;  ///< load + K * product
+  double service_seconds = 0.0;  ///< load + K * product (+ SDC recompute)
   double beta = 0.0;             ///< memory-bound fraction fed to the contention model
+  /// ABFT classification of this job's products (kClean when no corruption
+  /// was injected). With verification on, a corrupted job is recomputed
+  /// once on the same chip: service_seconds carries the extra product.
+  integrity::Outcome sdc_outcome = integrity::Outcome::kClean;
+  int verify_attempts = 1;  ///< products computed (2 when retried)
 };
 
 struct LatencySummary {
@@ -104,6 +119,12 @@ struct ServeResult {
   LatencySummary latency_interactive;
   LatencySummary latency_batch;
   TuningSummary tuning;  ///< zero/disabled unless ServeConfig::autotune
+  // Result-integrity accounting (ServeConfig::verify / ServeConfig::sdc).
+  int sdc_corrupted = 0;      ///< jobs whose product took an injected flip
+  int sdc_retries = 0;        ///< failed verifications retried on this chip
+  int sdc_corrected = 0;      ///< retries whose recompute verified clean
+  int sdc_unrecoverable = 0;  ///< retries corrupted again (delivered flagged)
+  int sdc_escapes = 0;        ///< significant corruptions delivered undetected
 };
 
 class Simulator {

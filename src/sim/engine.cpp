@@ -88,6 +88,65 @@ RunResult Engine::run(const sparse::CsrMatrix& matrix, const RunSpec& spec) cons
 
 RunResult Engine::run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& spec,
                                const std::vector<int>& cores) const {
+  RunResult result = run_unverified(matrix, spec, cores);
+  if (spec.verify == integrity::VerifyMode::kOff && spec.sdc.empty()) return result;
+
+  // ABFT layer: classify this product under the (seeded, site-addressed)
+  // SDC model and price the verification work into the simulated time. The
+  // numeric check runs on the original matrix -- a row reorder permutes y
+  // but P*A against graded weights for the *permuted* rows is exactly what
+  // the reordered kernel would verify, and the original orientation keeps
+  // the classification independent of the schedule.
+  const integrity::SdcOracle oracle(spec.sdc);
+  const integrity::VerifyReport report = integrity::run_verification(
+      matrix, spec.verify, spec.sdc.empty() ? nullptr : &oracle, spec.sdc_site);
+  result.verify = spec.verify;
+  result.outcome = report.outcome;
+  result.sdc_injected = report.injected;
+  result.sdc_significant = report.significant;
+  result.verify_attempts = report.attempts;
+  result.verify_residual = report.residual;
+  result.verify_tolerance = report.tolerance;
+  if (spec.verify != integrity::VerifyMode::kOff) {
+    // Each attempt's check streams s, x and y once through the controllers;
+    // a recompute re-runs the whole product (recovery overheads excluded --
+    // the re-run recomputes the product, not the failover protocol).
+    result.verify_seconds =
+        static_cast<double>(report.attempts) *
+        integrity::verify_stream_bytes(matrix.rows(), matrix.cols()) /
+        mc_bandwidth_bytes_per_second();
+    result.recompute_seconds = static_cast<double>(report.attempts - 1) *
+                               (result.seconds - result.recovery_seconds);
+    result.seconds += result.verify_seconds + result.recompute_seconds;
+    result.gflops = 2.0 * static_cast<double>(matrix.nnz()) / result.seconds / 1e9;
+  }
+  if (spec.recorder != nullptr) {
+    obs::Registry& metrics = spec.recorder->metrics();
+    if (spec.verify != integrity::VerifyMode::kOff) {
+      metrics.counter("integrity.verifications").add(static_cast<std::uint64_t>(report.attempts));
+    }
+    switch (report.outcome) {
+      case integrity::Outcome::kClean:
+        break;
+      case integrity::Outcome::kSilent:
+        metrics.counter("integrity.silent").add(1);
+        break;
+      case integrity::Outcome::kDetected:
+        metrics.counter("integrity.detected").add(1);
+        break;
+      case integrity::Outcome::kCorrected:
+        metrics.counter("integrity.corrected").add(1);
+        break;
+      case integrity::Outcome::kUnrecoverable:
+        metrics.counter("integrity.unrecoverable").add(1);
+        break;
+    }
+  }
+  return result;
+}
+
+RunResult Engine::run_unverified(const sparse::CsrMatrix& matrix, const RunSpec& spec,
+                                 const std::vector<int>& cores) const {
   if (spec.reorder != Reordering::kNone) {
     // Row-schedule reordering: permute the row order (columns untouched) and
     // replay the permuted matrix with the reorder consumed. The degraded
@@ -97,7 +156,7 @@ RunResult Engine::run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& s
     const std::vector<index_t> perm = sparse::reverse_cuthill_mckee(matrix);
     RunSpec reordered = spec;
     reordered.reorder = Reordering::kNone;
-    return run_uncached(matrix.permute_rows(perm), reordered, cores);
+    return run_unverified(matrix.permute_rows(perm), reordered, cores);
   }
   if (!spec.dead_ranks.empty()) {
     SCC_REQUIRE(spec.format == StorageFormat::kCsr,

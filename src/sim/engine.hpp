@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "integrity/integrity.hpp"
 #include "noc/mesh.hpp"
 #include "scc/latency.hpp"
 #include "scc/mapping.hpp"
@@ -67,6 +68,20 @@ struct RunSpec {
   int forced_hops = -1;
   std::vector<int> dead_ranks;
   double detection_seconds = 0.001;  ///< watchdog window per dead rank
+
+  /// ABFT verification of the product (docs/INTEGRITY.md). kDetect checks
+  /// every product against the matrix's cached checksum row; kCorrect also
+  /// recomputes once on a failed check. The checksum dot products are priced
+  /// as extra streamed bytes, so turning verification on costs simulated
+  /// time even when nothing is corrupted.
+  integrity::VerifyMode verify = integrity::VerifyMode::kOff;
+  /// Seeded SDC fault model: when non-empty, this product draws a possible
+  /// bit flip at `sdc_site` (corruption is deterministic per (plan, site)).
+  integrity::SdcPlan sdc;
+  /// Identifies this product within the SDC plan's stream -- serving layers
+  /// pass (chip, job) coordinates so schedules replay per chip and job.
+  std::uint64_t sdc_site = 0;
+
   obs::Recorder* recorder = nullptr;
 };
 
@@ -109,6 +124,19 @@ struct RunResult {
   int dead_count = 0;
   bytes_t reshipped_bytes = 0;
   double recovery_seconds = 0.0;
+
+  // ABFT verification accounting (defaults when RunSpec::verify is kOff and
+  // the SDC plan is empty). `seconds`/`gflops` include the verification and
+  // recompute overheads.
+  integrity::VerifyMode verify = integrity::VerifyMode::kOff;
+  integrity::Outcome outcome = integrity::Outcome::kClean;
+  bool sdc_injected = false;     ///< ground truth: a bit flip was applied
+  bool sdc_significant = false;  ///< ground truth: the delivered y changed
+  int verify_attempts = 1;       ///< products computed (2 after a recompute)
+  double verify_seconds = 0.0;   ///< checksum dot-product streaming time
+  double recompute_seconds = 0.0;  ///< re-run cost of corrected products
+  double verify_residual = 0.0;    ///< final attempt's |c^T y - s.x|
+  double verify_tolerance = 0.0;
 
   double mflops() const { return gflops * 1000.0; }
 };
@@ -198,6 +226,10 @@ class Engine {
  private:
   RunResult run_uncached(const sparse::CsrMatrix& matrix, const RunSpec& spec,
                          const std::vector<int>& cores) const;
+  /// The timing-only run (no verification); run_uncached layers the ABFT
+  /// check and its pricing on top.
+  RunResult run_unverified(const sparse::CsrMatrix& matrix, const RunSpec& spec,
+                           const std::vector<int>& cores) const;
   DegradedRunResult run_degraded_impl(const sparse::CsrMatrix& matrix, const RunSpec& spec,
                                       const std::vector<int>& cores) const;
   RunResult run_impl(const sparse::CsrMatrix& matrix, const std::vector<int>& cores,

@@ -76,6 +76,9 @@ obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunRe
   run.set("variant", to_string(spec.variant));
   run.set("forced_hops", spec.forced_hops);
   run.set("dead_ranks", int_array(spec.dead_ranks));
+  run.set("verify", std::string(integrity::to_string(spec.verify)));
+  run.set("sdc_rate", spec.sdc.rate);
+  run.set("sdc_seed", spec.sdc.seed);
   report.set("run", std::move(run));
 
   obs::Json res = obs::Json::object();
@@ -87,6 +90,21 @@ obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunRe
   res.set("reshipped_bytes", result.reshipped_bytes);
   res.set("recovery_seconds", result.recovery_seconds);
   report.set("result", std::move(res));
+
+  // ABFT verification outcome (docs/INTEGRITY.md). Present on every run so
+  // downstream parsers need no existence checks; verify-off runs report
+  // their defaults (clean, one attempt, zero overhead).
+  obs::Json integ = obs::Json::object();
+  integ.set("verify", std::string(integrity::to_string(result.verify)));
+  integ.set("outcome", std::string(integrity::to_string(result.outcome)));
+  integ.set("injected", result.sdc_injected);
+  integ.set("significant", result.sdc_significant);
+  integ.set("attempts", result.verify_attempts);
+  integ.set("verify_seconds", result.verify_seconds);
+  integ.set("recompute_seconds", result.recompute_seconds);
+  integ.set("residual", result.verify_residual);
+  integ.set("tolerance", result.verify_tolerance);
+  report.set("integrity", std::move(integ));
 
   obs::Json per_core = obs::Json::array();
   for (const CoreResult& cr : result.cores) {
@@ -169,6 +187,20 @@ obs::Json run_report_json(const Engine& engine, const RunSpec& spec, const RunRe
   }
   if (fault_log != nullptr) {
     report.set("fault_log", fault_log_json(*fault_log));
+    // Per-type tallies so dashboards (and the kTransferCorrupt audit) need
+    // not re-scan the log.
+    obs::Json counts = obs::Json::object();
+    const auto add = [&](const char* name, fault::EventType type) {
+      counts.set(name, static_cast<std::int64_t>(fault::count(*fault_log, type)));
+    };
+    add("kills", fault::EventType::kKill);
+    add("transfer_drops", fault::EventType::kTransferDrop);
+    add("transfer_corrupts", fault::EventType::kTransferCorrupt);
+    add("mem_corrupts", fault::EventType::kMemCorrupt);
+    add("retries", fault::EventType::kRetry);
+    add("timeouts", fault::EventType::kTimeout);
+    add("repartitions", fault::EventType::kRepartition);
+    report.set("fault_counts", std::move(counts));
   }
   return report;
 }

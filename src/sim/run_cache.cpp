@@ -28,6 +28,20 @@ RunKey run_key(const sparse::CsrMatrix& matrix, const EngineConfig& config,
   hash.i64(spec.forced_hops);
   hash.array(std::span<const int>(spec.dead_ranks));
   hash.f64(spec.detection_seconds);
+  hash.u64(static_cast<std::uint64_t>(spec.verify));
+  hash.u64(spec.sdc.seed);
+  hash.f64(spec.sdc.rate);
+  hash.f64(spec.sdc.sticky_rate);
+  hash.i64(spec.sdc.min_bit);
+  hash.i64(spec.sdc.max_bit);
+  hash.u64(spec.sdc_site);
+  if (spec.verify != integrity::VerifyMode::kOff || !spec.sdc.empty()) {
+    // Residual/tolerance/outcome depend on the numeric values, which the
+    // structural fingerprint deliberately excludes; fold them in only when
+    // verification is live so timing-only runs keep their value-agnostic
+    // sharing.
+    hash.array(std::span<const real_t>(matrix.val()));
+  }
 
   // Timing-relevant engine configuration, so one cache may serve engines
   // with different configs (the serve sweeps vary the frequency preset).
@@ -399,6 +413,15 @@ void write_result(SnapshotWriter& w, const RunResult& result) {
   w.i64(result.dead_count);
   w.u64(result.reshipped_bytes);
   w.f64(result.recovery_seconds);
+  w.u64(static_cast<std::uint64_t>(result.verify));
+  w.u64(static_cast<std::uint64_t>(result.outcome));
+  w.boolean(result.sdc_injected);
+  w.boolean(result.sdc_significant);
+  w.i64(result.verify_attempts);
+  w.f64(result.verify_seconds);
+  w.f64(result.recompute_seconds);
+  w.f64(result.verify_residual);
+  w.f64(result.verify_tolerance);
 }
 
 bool read_i32(SnapshotReader& r, int& value) {
@@ -446,8 +469,23 @@ bool read_result(SnapshotReader& r, RunResult& result) {
       return false;
     }
   }
-  return read_i32(r, result.dead_count) && r.u64(result.reshipped_bytes) &&
-         r.f64(result.recovery_seconds);
+  if (!read_i32(r, result.dead_count) || !r.u64(result.reshipped_bytes) ||
+      !r.f64(result.recovery_seconds)) {
+    return false;
+  }
+  std::uint64_t verify = 0;
+  std::uint64_t outcome = 0;
+  if (!r.u64(verify) || verify > static_cast<std::uint64_t>(integrity::VerifyMode::kCorrect) ||
+      !r.u64(outcome) ||
+      outcome > static_cast<std::uint64_t>(integrity::Outcome::kUnrecoverable)) {
+    return false;
+  }
+  result.verify = static_cast<integrity::VerifyMode>(verify);
+  result.outcome = static_cast<integrity::Outcome>(outcome);
+  return r.boolean(result.sdc_injected) && r.boolean(result.sdc_significant) &&
+         read_i32(r, result.verify_attempts) && r.f64(result.verify_seconds) &&
+         r.f64(result.recompute_seconds) && r.f64(result.verify_residual) &&
+         r.f64(result.verify_tolerance);
 }
 
 std::uint64_t payload_checksum(const std::string& payload) {

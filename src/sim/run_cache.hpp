@@ -89,7 +89,9 @@ class RunCache {
   /// the file framing changes, so stale files are rejected, never misread.
   /// v2: RunKey covers RunSpec::reorder and every entry carries a
   /// generation tag for byte-capped compaction.
-  static constexpr std::uint32_t kSnapshotVersion = 2;
+  /// v3: RunKey covers the verify/SDC knobs (plus matrix values when
+  /// verification is live) and RunResult carries the ABFT fields.
+  static constexpr std::uint32_t kSnapshotVersion = 3;
 
   explicit RunCache(const RunCacheConfig& config);
 

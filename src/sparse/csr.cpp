@@ -175,6 +175,22 @@ std::uint64_t CsrMatrix::fingerprint() const {
   return hash.value();
 }
 
+const std::vector<real_t>& CsrMatrix::checksum_row() const {
+  if (!checksum_valid_) {
+    checksum_.assign(static_cast<std::size_t>(cols_), 0.0);
+    for (index_t r = 0; r < rows_; ++r) {
+      const real_t w = checksum_weight(r);
+      for (nnz_t k = ptr_[static_cast<std::size_t>(r)];
+           k < ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+        checksum_[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])] +=
+            w * val_[static_cast<std::size_t>(k)];
+      }
+    }
+    checksum_valid_ = true;
+  }
+  return checksum_;
+}
+
 std::vector<real_t> dense_reference_spmv(const CsrMatrix& a, std::span<const real_t> x) {
   SCC_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
               "x size " << x.size() << " != cols " << a.cols());

@@ -32,7 +32,10 @@ class CsrMatrix {
   std::span<const nnz_t> ptr() const { return ptr_; }
   std::span<const index_t> col() const { return col_; }
   std::span<const real_t> val() const { return val_; }
-  std::span<real_t> val_mutable() { return val_; }
+  std::span<real_t> val_mutable() {
+    checksum_valid_ = false;  // values may change under the caller's pen
+    return val_;
+  }
 
   /// Number of stored entries in row `r`.
   index_t row_length(index_t r) const;
@@ -66,7 +69,32 @@ class CsrMatrix {
   /// matrix half of the engine's run-memoization key (sim::RunCache).
   std::uint64_t fingerprint() const;
 
-  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+  /// ABFT checksum row s = c^T A with the pseudorandom check vector
+  /// c_i = 1 + hash(i)/2^53 in [1, 2): s_j = sum_i c_i * a_ij. Computed
+  /// lazily and cached alongside the matrix (the integrity subsystem
+  /// verifies every product against it); `val_mutable()` invalidates the
+  /// cache. The weights must not lie in the null space of A^T for any A we
+  /// care about: flat weights miss an entry migrating between adjacent rows,
+  /// and *affine* weights (1 + i*h) are annihilated exactly by discrete
+  /// Laplacians -- a 5-point stencil gives s_j = 0 on every interior column,
+  /// making input-vector corruption there invisible. Hashed weights leave no
+  /// such structured null space.
+  const std::vector<real_t>& checksum_row() const;
+
+  /// The check-vector weight for row i (see `checksum_row`): splitmix64 of
+  /// the row index mapped into [1, 2). Deterministic across platforms.
+  static real_t checksum_weight(index_t i) {
+    std::uint64_t z = static_cast<std::uint64_t>(i) + std::uint64_t{0x9e3779b97f4a7c15};
+    z = (z ^ (z >> 30)) * std::uint64_t{0xbf58476d1ce4e5b9};
+    z = (z ^ (z >> 27)) * std::uint64_t{0x94d049bb133111eb};
+    z ^= z >> 31;
+    return 1.0 + static_cast<real_t>(z >> 11) * 0x1p-53;
+  }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.ptr_ == b.ptr_ &&
+           a.col_ == b.col_ && a.val_ == b.val_;
+  }
 
  private:
   index_t rows_ = 0;
@@ -74,6 +102,10 @@ class CsrMatrix {
   std::vector<nnz_t> ptr_;
   std::vector<index_t> col_;
   std::vector<real_t> val_;
+  // ABFT checksum-row cache (value-dependent, unlike the structural
+  // fingerprint); excluded from equality.
+  mutable std::vector<real_t> checksum_;
+  mutable bool checksum_valid_ = false;
 };
 
 /// Dense reference product y = A*x used to verify every SpMV kernel.

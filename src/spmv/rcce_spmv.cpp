@@ -1,6 +1,7 @@
 #include "spmv/rcce_spmv.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <sstream>
 
@@ -107,6 +108,81 @@ std::string block_detail(const sparse::RowBlock& block) {
   return oss.str();
 }
 
+/// Flip `bit` of a 64-bit word in place.
+template <typename T>
+void flip_word_bit(T& word, int bit) {
+  static_assert(sizeof(T) == 8);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &word, sizeof bits);
+  bits ^= std::uint64_t{1} << (bit & 63);
+  std::memcpy(&word, &bits, sizeof bits);
+}
+
+/// Apply one planned bit flip to a rank's local working data. Element
+/// indices wrap modulo the region size and corrupted pointers are clamped
+/// into [0, nnz] (rows with inverted bounds compute empty), so an injected
+/// flip can corrupt the product but never the process. Returns a
+/// human-readable description of what was actually flipped, or nullopt when
+/// the region is empty on this rank.
+std::optional<std::string> apply_mem_corruption(const fault::Plan::MemCorrupt& mc,
+                                                LocalBlock& local,
+                                                std::vector<real_t>& local_x,
+                                                std::vector<real_t>& local_y) {
+  const auto nnz = static_cast<std::uint64_t>(local.col.size());
+  std::ostringstream oss;
+  switch (mc.region) {
+    case fault::MemRegion::kVal: {
+      if (nnz == 0) return std::nullopt;
+      const std::uint64_t e = mc.element % nnz;
+      flip_word_bit(local.val[static_cast<std::size_t>(e)], mc.bit);
+      oss << "val[" << e << "] bit " << mc.bit;
+      return oss.str();
+    }
+    case fault::MemRegion::kCol: {
+      if (nnz == 0) return std::nullopt;
+      const auto cols = static_cast<index_t>(local_x.size());
+      if (cols <= 1) return std::nullopt;
+      const std::uint64_t e = mc.element % nnz;
+      index_t& col = local.col[static_cast<std::size_t>(e)];
+      // Fold the 64-bit bit address into the index width so the flip stays
+      // plausible, then wrap into range: the kernel must misread x, not the
+      // address space.
+      int width = 1;
+      while ((index_t{1} << width) < cols && width < 30) ++width;
+      const index_t old = col;
+      col = static_cast<index_t>((col ^ (index_t{1} << (mc.bit % width))) % cols);
+      if (col == old) col = static_cast<index_t>((old + 1) % cols);
+      oss << "col[" << e << "] bit " << mc.bit;
+      return oss.str();
+    }
+    case fault::MemRegion::kPtr: {
+      const auto entries = static_cast<std::uint64_t>(local.ptr.size());
+      if (entries == 0) return std::nullopt;
+      const std::uint64_t e = mc.element % entries;
+      nnz_t& p = local.ptr[static_cast<std::size_t>(e)];
+      flip_word_bit(p, mc.bit % 63);  // keep the sign bit out of play
+      p = std::clamp<nnz_t>(p, 0, static_cast<nnz_t>(nnz));
+      oss << "ptr[" << e << "] bit " << (mc.bit % 63);
+      return oss.str();
+    }
+    case fault::MemRegion::kX: {
+      if (local_x.empty()) return std::nullopt;
+      const std::uint64_t e = mc.element % local_x.size();
+      flip_word_bit(local_x[static_cast<std::size_t>(e)], mc.bit);
+      oss << "x[" << e << "] bit " << mc.bit;
+      return oss.str();
+    }
+    case fault::MemRegion::kPartial: {
+      if (local_y.empty()) return std::nullopt;
+      const std::uint64_t e = mc.element % local_y.size();
+      flip_word_bit(local_y[static_cast<std::size_t>(e)], mc.bit);
+      oss << "partial[" << e << "] bit " << mc.bit;
+      return oss.str();
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, int num_ues,
@@ -123,6 +199,10 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
   // Repartition decisions the root makes during recovery. Root is the only
   // writer and the main thread reads after rcce::run joins, so no lock.
   std::vector<fault::Event> driver_log;
+  // Memory-corruption events, one slot per rank: each UE writes only its own
+  // slot and the main thread merges in rank order after the join, so the log
+  // is deterministic at any thread interleaving.
+  std::vector<std::vector<fault::Event>> corruption_logs(static_cast<std::size_t>(num_ues));
 
   auto body = [&](rcce::Comm& comm) {
     const int rank = comm.rank();
@@ -174,11 +254,35 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
     phase.emplace(rec, "spmv.compute",
                   obs::Attributes{{"repetitions", std::to_string(repetitions)}});
 
+    // --- silent corruption: flip the planned bits in this rank's data. ---
+    // Input-side regions (val/col/ptr/x) corrupt before the kernel runs;
+    // kPartial hits the freshly computed partial result below.
+    std::vector<fault::Plan::MemCorrupt> partial_corruptions;
+    if (options.injector != nullptr) {
+      std::vector<real_t> no_y;  // partials do not exist yet
+      for (const fault::Plan::MemCorrupt& mc : options.injector->on_memory(rank)) {
+        if (mc.region == fault::MemRegion::kPartial) {
+          partial_corruptions.push_back(mc);
+          continue;
+        }
+        if (auto detail = apply_mem_corruption(mc, local, local_x, no_y)) {
+          corruption_logs[static_cast<std::size_t>(rank)].push_back(
+              {fault::EventType::kMemCorrupt, rank, -1, mc.element, "memory", *detail});
+        }
+      }
+    }
+
     // --- compute: Figure-2 kernel on the local slice. ---
     std::vector<real_t> local_y;
     const double t0 = comm.wtime();
     for (int rep = 0; rep < repetitions; ++rep) compute_block(local, local_x, local_y);
     const double elapsed = comm.wtime() - t0;
+    for (const fault::Plan::MemCorrupt& mc : partial_corruptions) {
+      if (auto detail = apply_mem_corruption(mc, local, local_x, local_y)) {
+        corruption_logs[static_cast<std::size_t>(rank)].push_back(
+            {fault::EventType::kMemCorrupt, rank, -1, mc.element, "memory", *detail});
+      }
+    }
     // The timing allreduce is not fault-tolerant; in resilient mode the root
     // reports its own kernel time instead.
     const double slowest = resilient ? elapsed : comm.allreduce_max(elapsed);
@@ -324,6 +428,9 @@ RcceSpmvResult rcce_spmv(const sparse::CsrMatrix& a, std::span<const real_t> x, 
   result.report = rcce::run(num_ues, body, options);
   result.report.fault_log.insert(result.report.fault_log.end(), driver_log.begin(),
                                  driver_log.end());
+  for (const std::vector<fault::Event>& log : corruption_logs) {
+    result.report.fault_log.insert(result.report.fault_log.end(), log.begin(), log.end());
+  }
   return result;
 }
 

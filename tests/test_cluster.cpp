@@ -986,6 +986,163 @@ TEST(ClusterSimulator, RecoveryReplayIsByteIdenticalAcrossThreadsAndCache) {
   }
 }
 
+// --- silent data corruption, ABFT classification, quarantine ---
+
+TEST(ClusterFaultOracle, ChipSdcMergesFleetAndBadDramRates) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.sdc_rate = 0.05;
+  plan.sdc_sticky_rate = 0.1;
+  plan.bad_dram = {{/*chip=*/1, /*rate=*/0.2, /*sticky_rate=*/0.85},
+                   {/*chip=*/2, /*rate=*/0.99, /*sticky_rate=*/0.99}};
+  const FaultOracle oracle(plan);
+
+  const integrity::SdcPlan healthy = oracle.chip_sdc(0);
+  EXPECT_DOUBLE_EQ(healthy.rate, 0.05);
+  EXPECT_DOUBLE_EQ(healthy.sticky_rate, 0.1);
+  const integrity::SdcPlan bad = oracle.chip_sdc(1);
+  EXPECT_DOUBLE_EQ(bad.rate, 0.25);
+  EXPECT_DOUBLE_EQ(bad.sticky_rate, 0.95);
+  const integrity::SdcPlan clamped = oracle.chip_sdc(2);
+  EXPECT_DOUBLE_EQ(clamped.rate, 1.0);  // 0.99 + 0.05 clamps
+  EXPECT_DOUBLE_EQ(clamped.sticky_rate, 1.0);
+  // Chips draw independent corruption streams off the plan seed.
+  EXPECT_NE(oracle.chip_sdc(0).seed, oracle.chip_sdc(1).seed);
+
+  plan.bad_dram = {{0, 2.0, 0.5}};
+  EXPECT_THROW(FaultOracle{plan}, std::invalid_argument);
+  plan.bad_dram.clear();
+  plan.sdc_rate = 1.5;
+  EXPECT_THROW(FaultOracle{plan}, std::invalid_argument);
+}
+
+TEST(ClusterSimulator, QuarantineIsolatesTheBadDramChip) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(60);
+
+  ClusterConfig config;
+  config.chip_count = 3;
+  config.chip.verify = integrity::VerifyMode::kCorrect;
+  config.quarantine_threshold = 3;
+  config.faults.bad_dram = {{/*chip=*/1, /*rate=*/1.0, /*sticky_rate=*/1.0}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  // Chip 1 corrupts every product and its recomputes are corrupted again,
+  // so the detection ledger crosses the threshold fast and the chip is
+  // withdrawn for good.
+  EXPECT_EQ(result.quarantines, 1);
+  EXPECT_EQ(count_kind(result, "chip_quarantine"), 1);
+  ASSERT_EQ(result.chips.size(), 3u);
+  EXPECT_TRUE(result.chips[1].quarantined);
+  EXPECT_EQ(result.chips[1].state, HealthState::kQuarantined);
+  EXPECT_GE(result.chips[1].sdc_detected, 3);
+  EXPECT_GT(result.sdc_unrecoverable, 0);
+
+  // Verify-on never delivers a wrong product -- not from the bad chip, not
+  // from anywhere.
+  EXPECT_EQ(result.sdc_escapes, 0);
+  EXPECT_EQ(result.chips[0].sdc_detected, 0);  // healthy chips stay clean
+  EXPECT_EQ(result.chips[2].sdc_detected, 0);
+
+  // After the quarantine instant chip 1 takes no new work.
+  const double quarantine_t = first_time(result, "chip_quarantine");
+  ASSERT_GE(quarantine_t, 0.0);
+  for (const auto& record : result.records) {
+    if (record.outcome == Outcome::kCompleted && record.chip == 1) {
+      EXPECT_LE(record.dispatch_seconds, quarantine_t);
+    }
+    if (record.outcome == Outcome::kDeadLettered &&
+        record.dead_letter_reason == "sdc_unrecoverable") {
+      EXPECT_EQ(record.chip, 1);
+    }
+  }
+  EXPECT_EQ(result.completed + result.rejected + result.dead_lettered, 60);
+}
+
+TEST(ClusterSimulator, DetectModeReroutesCorruptedBatchesToCleanReplicas) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(40);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  config.chip.verify = integrity::VerifyMode::kDetect;
+  config.quarantine_threshold = 0;  // isolate the reroute path itself
+  config.faults.bad_dram = {{/*chip=*/0, /*rate=*/1.0, /*sticky_rate=*/0.0}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  // Detect mode never recomputes in place: every caught corruption reroutes
+  // the batch, so all completions come from the clean replica.
+  EXPECT_GT(result.sdc_detected, 0);
+  EXPECT_EQ(result.sdc_corrected, 0);
+  EXPECT_GT(result.failovers, 0);
+  EXPECT_EQ(result.sdc_escapes, 0);
+  EXPECT_EQ(result.quarantines, 0);
+  EXPECT_GT(result.completed, 0);
+  for (const auto& record : result.records) {
+    if (record.outcome == Outcome::kCompleted) {
+      EXPECT_EQ(record.chip, 1) << "request " << record.request.id;
+    }
+  }
+  EXPECT_EQ(result.completed + result.rejected + result.dead_lettered, 40);
+}
+
+TEST(ClusterSimulator, VerifyOffLetsBadDramEscapeSilently) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(40);
+
+  ClusterConfig config;
+  config.chip_count = 2;
+  config.chip.verify = integrity::VerifyMode::kOff;
+  config.faults.bad_dram = {{/*chip=*/0, /*rate=*/1.0, /*sticky_rate=*/0.0}};
+  ClusterSimulator simulator(config, pool);
+  const auto result = simulator.run(requests);
+
+  // The contrast the quarantine exists for: with verification off the bad
+  // chip serves normally and wrong answers leave the cluster uncounted by
+  // any recovery path -- only the ground-truth escape ledger sees them.
+  EXPECT_GT(result.sdc_corrupted, 0);
+  EXPECT_GT(result.sdc_escapes, 0);
+  EXPECT_EQ(result.sdc_detected, 0);
+  EXPECT_EQ(result.quarantines, 0);
+  EXPECT_EQ(result.dead_lettered, 0);
+  EXPECT_EQ(result.completed + result.rejected, 40);
+}
+
+TEST(ClusterSimulator, SdcClassificationReplaysByteForByte) {
+  serve::MatrixPool pool(kTestScale);
+  const auto requests = burst(50);
+
+  ClusterConfig config;
+  config.chip_count = 3;
+  config.chip.verify = integrity::VerifyMode::kCorrect;
+  config.faults.sdc_rate = 0.2;
+  config.faults.sdc_sticky_rate = 0.5;
+  config.faults.bad_dram = {{1, 0.5, 0.5}};
+
+  ClusterResult first;
+  for (int round = 0; round < 2; ++round) {
+    ClusterSimulator simulator(config, pool);
+    const auto result = simulator.run(requests);
+    if (round == 0) {
+      first = result;
+      EXPECT_GT(first.sdc_corrupted, 0);
+      continue;
+    }
+    ASSERT_EQ(result.log.size(), first.log.size());
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      EXPECT_EQ(describe(result.log[i]), describe(first.log[i])) << i;
+    }
+    EXPECT_EQ(result.sdc_corrupted, first.sdc_corrupted);
+    EXPECT_EQ(result.sdc_detected, first.sdc_detected);
+    EXPECT_EQ(result.sdc_corrected, first.sdc_corrected);
+    EXPECT_EQ(result.sdc_unrecoverable, first.sdc_unrecoverable);
+    EXPECT_EQ(result.sdc_escapes, first.sdc_escapes);
+    EXPECT_EQ(result.makespan_seconds, first.makespan_seconds);
+  }
+}
+
 // --- fault plan JSON scenarios ---
 
 TEST(ClusterFaultPlanJson, ParsesKnobsAndEveryEventKind) {
@@ -1030,6 +1187,83 @@ TEST(ClusterFaultPlanJson, ParsesKnobsAndEveryEventKind) {
   EXPECT_DOUBLE_EQ(plan.domain_brownouts[0].derate, 3.0);
 }
 
+TEST(ClusterFaultPlanJson, ParsesSdcKnobsAndBadDramEvents) {
+  const FaultPlan plan = parse_fault_plan_json(R"({
+    "sdc_rate": 0.01, "sdc_sticky_rate": 0.4,
+    "events": [
+      {"kind": "bad_dram", "chip": 2, "rate": 0.3, "sticky_rate": 0.8},
+      {"kind": "bad_dram", "chip": 0, "rate": 0.1}
+    ]})");
+  EXPECT_DOUBLE_EQ(plan.sdc_rate, 0.01);
+  EXPECT_DOUBLE_EQ(plan.sdc_sticky_rate, 0.4);
+  ASSERT_EQ(plan.bad_dram.size(), 2u);
+  EXPECT_EQ(plan.bad_dram[0].chip, 2);
+  EXPECT_DOUBLE_EQ(plan.bad_dram[0].rate, 0.3);
+  EXPECT_DOUBLE_EQ(plan.bad_dram[0].sticky_rate, 0.8);
+  EXPECT_EQ(plan.bad_dram[1].chip, 0);
+  EXPECT_DOUBLE_EQ(plan.bad_dram[1].sticky_rate, 0.9);  // dialect default
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(ClusterFaultPlanJson, SerializerRoundTripsTheWholeSchedule) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.chips_per_domain = 2;
+  plan.restart_downtime_seconds = 0.03;
+  plan.restart_jitter_fraction = 0.2;
+  plan.crash_rate = 0.15;
+  plan.crash_horizon_seconds = 0.7;
+  plan.job_failure_rate = 0.1;
+  plan.sdc_rate = 0.02;
+  plan.sdc_sticky_rate = 0.3;
+  plan.chip_crashes = {{1, 0.1}, {0, 0.25}};
+  plan.chip_restarts = {{1, 0.2}};
+  plan.chip_flaps = {{2, 0.05, 3, 0.04}};
+  plan.tile_kills = {{0, 11, 0.12}};
+  plan.brownouts = {{1, 2, 0.06, 0.09, 2.5}};
+  plan.domain_outages = {{1, 0.3}};
+  plan.domain_brownouts = {{0, 0.15, 0.1, 3.0}};
+  plan.bad_dram = {{2, 0.4, 0.7}};
+
+  const FaultPlan parsed = parse_fault_plan_json(fault_plan_json(plan));
+
+  // Same schedule: every scalar knob survives, and the two oracles answer
+  // every query identically.
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_EQ(parsed.chips_per_domain, plan.chips_per_domain);
+  EXPECT_DOUBLE_EQ(parsed.restart_downtime_seconds, plan.restart_downtime_seconds);
+  EXPECT_DOUBLE_EQ(parsed.restart_jitter_fraction, plan.restart_jitter_fraction);
+  EXPECT_DOUBLE_EQ(parsed.crash_rate, plan.crash_rate);
+  EXPECT_DOUBLE_EQ(parsed.crash_horizon_seconds, plan.crash_horizon_seconds);
+  EXPECT_DOUBLE_EQ(parsed.job_failure_rate, plan.job_failure_rate);
+  EXPECT_DOUBLE_EQ(parsed.sdc_rate, plan.sdc_rate);
+  EXPECT_DOUBLE_EQ(parsed.sdc_sticky_rate, plan.sdc_sticky_rate);
+  ASSERT_EQ(parsed.bad_dram.size(), 1u);
+  EXPECT_EQ(parsed.bad_dram[0].chip, 2);
+  EXPECT_DOUBLE_EQ(parsed.bad_dram[0].rate, 0.4);
+  EXPECT_DOUBLE_EQ(parsed.bad_dram[0].sticky_rate, 0.7);
+
+  const FaultOracle original(plan);
+  const FaultOracle round_tripped(parsed);
+  const auto crashes_a = original.crashes(6);
+  const auto crashes_b = round_tripped.crashes(6);
+  ASSERT_EQ(crashes_a.size(), crashes_b.size());
+  for (std::size_t i = 0; i < crashes_a.size(); ++i) {
+    EXPECT_EQ(crashes_a[i].chip, crashes_b[i].chip);
+    EXPECT_EQ(crashes_a[i].seconds, crashes_b[i].seconds);
+  }
+  const auto windows_a = original.brownout_windows(6);
+  const auto windows_b = round_tripped.brownout_windows(6);
+  ASSERT_EQ(windows_a.size(), windows_b.size());
+  for (int chip = 0; chip < 6; ++chip) {
+    const integrity::SdcPlan sdc_a = original.chip_sdc(chip);
+    const integrity::SdcPlan sdc_b = round_tripped.chip_sdc(chip);
+    EXPECT_EQ(sdc_a, sdc_b) << chip;
+    EXPECT_EQ(original.restart_downtime(chip, 0), round_tripped.restart_downtime(chip, 0));
+    EXPECT_EQ(original.job_fails(chip, 17), round_tripped.job_fails(chip, 17));
+  }
+}
+
 TEST(ClusterFaultPlanJson, RejectsMalformedScenarios) {
   EXPECT_THROW(parse_fault_plan_json("not json"), std::exception);
   EXPECT_THROW(parse_fault_plan_json("[1, 2]"), std::invalid_argument);
@@ -1042,6 +1276,13 @@ TEST(ClusterFaultPlanJson, RejectsMalformedScenarios) {
       std::invalid_argument);
   // Values are validated through the oracle's own plan checks.
   EXPECT_THROW(parse_fault_plan_json(R"({"crash_rate": 2.0})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan_json(R"({"sdc_rate": 1.5})"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan_json(R"({"events": [{"kind": "bad_dram", "chip": 0}]})"),
+               std::invalid_argument);  // missing rate
+  EXPECT_THROW(
+      parse_fault_plan_json(
+          R"({"events": [{"kind": "bad_dram", "chip": 0, "rate": 2.0}]})"),
+      std::invalid_argument);
   EXPECT_THROW(load_fault_plan_file("/nonexistent/plan.json"), std::invalid_argument);
 }
 

@@ -1,0 +1,293 @@
+// src/integrity: ABFT checksum verification and the seeded SDC fault model.
+// The contracts under test: (a) a clean product NEVER fails verification
+// (zero false positives, any matrix family), (b) upper-bit flips in every
+// region a product touches are detected, (c) the oracle's corruption
+// schedule is a pure function of (seed, site, attempt), (d) run_verification
+// classifies clean / silent / detected / corrected / unrecoverable exactly
+// as the mode and stickiness dictate, and (e) the engine prices verification
+// and recomputes into the simulated time deterministically.
+#include "integrity/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gen/generators.hpp"
+#include "sim/engine.hpp"
+#include "sparse/csr.hpp"
+
+namespace scc::integrity {
+namespace {
+
+sparse::CsrMatrix test_matrix() { return gen::banded(500, 10, 0.6, 3); }
+
+TEST(VerifyMode, ParseRoundTripsAndRejects) {
+  EXPECT_EQ(parse_verify_mode("off"), VerifyMode::kOff);
+  EXPECT_EQ(parse_verify_mode("detect"), VerifyMode::kDetect);
+  EXPECT_EQ(parse_verify_mode("correct"), VerifyMode::kCorrect);
+  for (const VerifyMode mode :
+       {VerifyMode::kOff, VerifyMode::kDetect, VerifyMode::kCorrect}) {
+    EXPECT_EQ(parse_verify_mode(to_string(mode)), mode);
+  }
+  EXPECT_THROW(parse_verify_mode("on"), std::invalid_argument);
+  EXPECT_THROW(parse_verify_mode(""), std::invalid_argument);
+}
+
+TEST(Checksum, CleanProductsNeverFailAcrossFamilies) {
+  // The zero-false-positive contract, probed across structurally different
+  // families (banded, stencil, power-law with empty rows, circuit).
+  const std::vector<sparse::CsrMatrix> matrices = {
+      gen::banded(400, 8, 0.5, 1),
+      gen::stencil_2d(24, 24),
+      gen::power_law(600, 6, 1.8, 2),
+      gen::circuit(500, 2.0, 0.4, 3),
+  };
+  for (const auto& m : matrices) {
+    const Check check = verify_clean(m);
+    EXPECT_FALSE(check.detected)
+        << "false positive: residual " << check.residual << " > tolerance "
+        << check.tolerance;
+    EXPECT_GT(check.tolerance, 0.0);
+  }
+}
+
+TEST(Checksum, ChecksumRowIsCachedAndValueDependent) {
+  auto m = test_matrix();
+  const std::vector<real_t> first = m.checksum_row();
+  EXPECT_EQ(static_cast<index_t>(first.size()), m.cols());
+  // Same object, second call: identical (cached).
+  EXPECT_EQ(m.checksum_row(), first);
+}
+
+TEST(Checksum, UpperBitFlipsAreDetectedInEveryRegion) {
+  const auto m = test_matrix();
+  const auto x = reference_x(m.cols());
+  const auto clean = serial_product(m, x);
+  for (const fault::MemRegion region :
+       {fault::MemRegion::kVal, fault::MemRegion::kCol, fault::MemRegion::kPtr,
+        fault::MemRegion::kX, fault::MemRegion::kPartial}) {
+    Corruption corruption;
+    corruption.region = region;
+    corruption.element = 41;
+    corruption.bit = 52;  // exponent-adjacent: a large perturbation
+    const auto y = corrupted_product(m, x, corruption);
+    const Check check = verify_product(m, x, y);
+    EXPECT_TRUE(check.detected) << "undetected flip in " << fault::to_string(region);
+  }
+}
+
+TEST(Oracle, ScheduleIsDeterministicPerSeedSiteAttempt) {
+  SdcPlan plan;
+  plan.rate = 0.3;
+  plan.sticky_rate = 0.5;
+  const SdcOracle a(plan);
+  const SdcOracle b(plan);
+  const auto m = test_matrix();
+  for (std::uint64_t site = 0; site < 64; ++site) {
+    ASSERT_EQ(a.corrupts(site, 0), b.corrupts(site, 0));
+    ASSERT_EQ(a.corrupts(site, 1), b.corrupts(site, 1));
+    ASSERT_EQ(a.draw_corruption(site, 0, m), b.draw_corruption(site, 0, m));
+  }
+  // A different seed reshuffles the schedule.
+  SdcPlan reseeded = plan;
+  reseeded.seed ^= 0xdeadbeef;
+  const SdcOracle c(reseeded);
+  int differs = 0;
+  for (std::uint64_t site = 0; site < 64; ++site) {
+    differs += a.corrupts(site, 0) != c.corrupts(site, 0) ? 1 : 0;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(Oracle, RateEndpointsAndStickyAreHonoured) {
+  SdcPlan never;
+  never.rate = 0.0;
+  never.sticky_rate = 0.0;
+  SdcPlan always;
+  always.rate = 1.0;
+  always.sticky_rate = 1.0;
+  SdcPlan sticky_only;
+  sticky_only.rate = 0.0;
+  sticky_only.sticky_rate = 1.0;
+  const SdcOracle never_oracle(never);
+  const SdcOracle always_oracle(always);
+  const SdcOracle sticky_oracle(sticky_only);
+  for (std::uint64_t site = 0; site < 32; ++site) {
+    EXPECT_FALSE(never_oracle.corrupts(site, 0));
+    EXPECT_TRUE(always_oracle.corrupts(site, 0));
+    EXPECT_TRUE(always_oracle.corrupts(site, 1));
+    // Attempt 0 draws from rate, attempts >= 1 from sticky_rate.
+    EXPECT_FALSE(sticky_oracle.corrupts(site, 0));
+    EXPECT_TRUE(sticky_oracle.corrupts(site, 1));
+  }
+}
+
+TEST(Oracle, DrawnBitsStayInsideThePlannedRange) {
+  SdcPlan plan;
+  plan.rate = 1.0;
+  plan.min_bit = 40;
+  plan.max_bit = 44;
+  const SdcOracle oracle(plan);
+  const auto m = test_matrix();
+  for (std::uint64_t site = 0; site < 128; ++site) {
+    const Corruption c = oracle.draw_corruption(site, 0, m);
+    EXPECT_GE(c.bit, 40);
+    EXPECT_LE(c.bit, 44);
+  }
+}
+
+TEST(RunVerification, CleanWhenNoOracleOrEmptyPlan) {
+  const auto m = test_matrix();
+  const VerifyReport no_oracle = run_verification(m, VerifyMode::kCorrect, nullptr, 0);
+  EXPECT_EQ(no_oracle.outcome, Outcome::kClean);
+  EXPECT_FALSE(no_oracle.injected);
+  EXPECT_EQ(no_oracle.attempts, 1);
+
+  const SdcOracle empty{SdcPlan{}};
+  const VerifyReport idle = run_verification(m, VerifyMode::kDetect, &empty, 0);
+  EXPECT_EQ(idle.outcome, Outcome::kClean);
+  EXPECT_FALSE(idle.injected);
+}
+
+TEST(RunVerification, ModesClassifyTheSameCorruptionDifferently) {
+  const auto m = test_matrix();
+  SdcPlan plan;
+  plan.rate = 1.0;
+  plan.sticky_rate = 0.0;
+  const SdcOracle oracle(plan);
+
+  // Find a site whose injected flip is significant (default bit range makes
+  // nearly every site qualify; scan to stay robust).
+  std::uint64_t site = 0;
+  VerifyReport off;
+  for (; site < 64; ++site) {
+    off = run_verification(m, VerifyMode::kOff, &oracle, site);
+    if (off.significant) break;
+  }
+  ASSERT_TRUE(off.significant) << "no significant corruption in 64 sites";
+  EXPECT_TRUE(off.injected);
+  EXPECT_EQ(off.outcome, Outcome::kSilent);  // kOff never detects
+  EXPECT_EQ(off.attempts, 1);
+
+  const VerifyReport detect = run_verification(m, VerifyMode::kDetect, &oracle, site);
+  EXPECT_EQ(detect.outcome, Outcome::kDetected);
+  EXPECT_EQ(detect.attempts, 1);
+  EXPECT_GT(detect.residual, detect.tolerance);
+
+  const VerifyReport correct = run_verification(m, VerifyMode::kCorrect, &oracle, site);
+  EXPECT_EQ(correct.outcome, Outcome::kCorrected);
+  EXPECT_EQ(correct.attempts, 2);
+  EXPECT_LE(correct.residual, correct.tolerance);  // the recompute is clean
+}
+
+TEST(RunVerification, StickyBadDramMakesTheRecomputeUnrecoverable) {
+  const auto m = test_matrix();
+  SdcPlan plan;
+  plan.rate = 1.0;
+  plan.sticky_rate = 1.0;
+  const SdcOracle oracle(plan);
+  std::uint64_t site = 0;
+  VerifyReport report;
+  for (; site < 64; ++site) {
+    report = run_verification(m, VerifyMode::kCorrect, &oracle, site);
+    if (report.outcome == Outcome::kUnrecoverable) break;
+  }
+  EXPECT_EQ(report.outcome, Outcome::kUnrecoverable);
+  EXPECT_EQ(report.attempts, 2);
+}
+
+TEST(RunVerification, DetectionRateOverSignificantCorruptionsIsHigh) {
+  // The bench's >= 99% detection claim in miniature: over the default bit
+  // range every significant corruption in 200 sites must be caught.
+  const auto m = test_matrix();
+  SdcPlan plan;
+  plan.rate = 1.0;
+  const SdcOracle oracle(plan);
+  int significant = 0;
+  int detected = 0;
+  for (std::uint64_t site = 0; site < 200; ++site) {
+    const VerifyReport report = run_verification(m, VerifyMode::kDetect, &oracle, site);
+    if (!report.significant) continue;
+    ++significant;
+    detected += report.outcome == Outcome::kDetected ? 1 : 0;
+  }
+  ASSERT_GT(significant, 100);
+  EXPECT_EQ(detected, significant);
+}
+
+TEST(VerifyStreamBytes, CountsBothChecksumDots) {
+  // s . x reads s and x (2 * cols doubles), c^T y reads y (rows doubles).
+  EXPECT_EQ(verify_stream_bytes(100, 40), 8.0 * (100 + 2 * 40));
+}
+
+// ---- Engine integration ----
+
+TEST(EngineVerify, VerificationIsPricedEvenWhenClean) {
+  const auto m = test_matrix();
+  const sim::Engine engine;
+  sim::RunSpec plain;
+  plain.ue_count = 4;
+  sim::RunSpec verified = plain;
+  verified.verify = VerifyMode::kDetect;
+
+  const sim::RunResult off = engine.run(m, plain);
+  const sim::RunResult on = engine.run(m, verified);
+  EXPECT_EQ(off.outcome, Outcome::kClean);
+  EXPECT_EQ(on.outcome, Outcome::kClean);
+  EXPECT_EQ(on.verify, VerifyMode::kDetect);
+  EXPECT_GT(on.verify_seconds, 0.0);
+  EXPECT_GT(on.seconds, off.seconds);  // the checksum bytes cost time
+  EXPECT_EQ(on.verify_attempts, 1);
+}
+
+TEST(EngineVerify, CorrectedRunPaysTheRecompute) {
+  const auto m = test_matrix();
+  const sim::Engine engine;
+  sim::RunSpec spec;
+  spec.ue_count = 4;
+  spec.verify = VerifyMode::kCorrect;
+  spec.sdc.rate = 1.0;
+
+  // Scan sites for a corrected outcome (significance varies per draw).
+  for (std::uint64_t site = 0; site < 64; ++site) {
+    spec.sdc_site = site;
+    const sim::RunResult r = engine.run(m, spec);
+    if (r.outcome != Outcome::kCorrected) continue;
+    EXPECT_EQ(r.verify_attempts, 2);
+    EXPECT_GT(r.recompute_seconds, 0.0);
+    sim::RunSpec clean = spec;
+    clean.sdc = SdcPlan{};
+    const sim::RunResult baseline = engine.run(m, clean);
+    EXPECT_GT(r.seconds, baseline.seconds);
+    return;
+  }
+  FAIL() << "no corrected outcome in 64 sites";
+}
+
+TEST(EngineVerify, ClassificationIsDeterministicAcrossRuns) {
+  const auto m = test_matrix();
+  const sim::Engine engine;
+  sim::RunSpec spec;
+  spec.ue_count = 6;
+  spec.verify = VerifyMode::kCorrect;
+  spec.sdc.rate = 0.5;
+  spec.sdc.sticky_rate = 0.5;
+  for (std::uint64_t site = 0; site < 16; ++site) {
+    spec.sdc_site = site;
+    const sim::RunResult a = engine.run(m, spec);
+    const sim::RunResult b = engine.run(m, spec);
+    EXPECT_EQ(a.outcome, b.outcome) << "site " << site;
+    EXPECT_EQ(a.seconds, b.seconds);
+    // A flipped exponent can produce a NaN residual (still "detected"); NaN
+    // compares unequal to itself, so match bit-for-bit semantics explicitly.
+    EXPECT_TRUE(a.verify_residual == b.verify_residual ||
+                (std::isnan(a.verify_residual) && std::isnan(b.verify_residual)))
+        << "site " << site;
+  }
+}
+
+}  // namespace
+}  // namespace scc::integrity

@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "integrity/integrity.hpp"
 #include "obs/report.hpp"
 #include "scc/mapping.hpp"
 #include "serve/contention.hpp"
@@ -566,6 +571,149 @@ TEST(ServeSimulator, AutotunedRunReportsDecisionsAndValidates) {
   EXPECT_TRUE(second.tuning.enabled);
   EXPECT_EQ(second.tuning.explored, 0u);
   EXPECT_GT(second.tuning.cache_hits, 0u);
+}
+
+// --- result integrity (ServeConfig::verify / ServeConfig::sdc) ---
+
+/// Workload whose SLOs cannot expire, so integrity accounting is the only
+/// source of non-completed requests.
+WorkloadSpec integrity_workload(int count) {
+  WorkloadSpec spec = small_workload(count, 2000.0);
+  spec.slo_interactive_seconds = 1e6;
+  spec.slo_batch_seconds = 1e6;
+  return spec;
+}
+
+/// Exponent-range flips: every injected corruption perturbs the product far
+/// beyond the ABFT tolerance, so significance is not left to chance.
+integrity::SdcPlan loud_sdc(double rate, double sticky_rate = 0.0) {
+  integrity::SdcPlan sdc;
+  sdc.rate = rate;
+  sdc.sticky_rate = sticky_rate;
+  sdc.min_bit = 52;
+  sdc.max_bit = 62;
+  return sdc;
+}
+
+TEST(ServeIntegrity, VerifyOffDeliversCorruptionsAsEscapes) {
+  MatrixPool pool(kTestScale);
+  ServeConfig config;
+  config.verify = integrity::VerifyMode::kOff;
+  config.sdc = loud_sdc(1.0);
+  Simulator simulator(config, pool);
+  const auto result = simulator.run(generate_workload(integrity_workload(20)));
+
+  // Every job took a flip, nothing noticed it, everything was delivered.
+  EXPECT_EQ(result.completed, 20);
+  EXPECT_EQ(result.sdc_corrupted, static_cast<int>(result.jobs.size()));
+  EXPECT_EQ(result.sdc_retries, 0);
+  EXPECT_EQ(result.sdc_corrected, 0);
+  EXPECT_EQ(result.sdc_unrecoverable, 0);
+  EXPECT_GT(result.sdc_escapes, 0);
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_EQ(job.sdc_outcome, integrity::Outcome::kSilent);
+    EXPECT_EQ(job.verify_attempts, 1);
+  }
+}
+
+TEST(ServeIntegrity, VerifyOnRetriesOnceAndPricesTheRecompute) {
+  MatrixPool pool(kTestScale);
+  const auto requests = generate_workload(integrity_workload(20));
+
+  ServeConfig config;
+  config.verify = integrity::VerifyMode::kCorrect;
+  Simulator clean_sim(config, pool);
+  const auto clean = clean_sim.run(requests);
+  EXPECT_EQ(clean.sdc_corrupted, 0);
+
+  config.sdc = loud_sdc(1.0);
+  Simulator corrupted_sim(config, pool);
+  const auto corrupted = corrupted_sim.run(requests);
+
+  // Every corruption is caught and recomputed once on the same chip; the
+  // recompute verifies clean (sticky_rate 0), so nothing escapes or
+  // dead-letters and the request stream completes in full.
+  EXPECT_EQ(corrupted.completed, 20);
+  EXPECT_GT(corrupted.sdc_corrupted, 0);
+  EXPECT_EQ(corrupted.sdc_retries, corrupted.sdc_corrupted);
+  EXPECT_EQ(corrupted.sdc_corrected, corrupted.sdc_corrupted);
+  EXPECT_EQ(corrupted.sdc_unrecoverable, 0);
+  EXPECT_EQ(corrupted.sdc_escapes, 0);
+  for (const JobRecord& job : corrupted.jobs) {
+    EXPECT_EQ(job.sdc_outcome, integrity::Outcome::kCorrected);
+    EXPECT_EQ(job.verify_attempts, 2);
+  }
+  // The second product is real work: the corrupted run's makespan must
+  // exceed the same workload verified clean.
+  EXPECT_GT(corrupted.makespan_seconds, clean.makespan_seconds);
+}
+
+TEST(ServeIntegrity, StickyCorruptionIsUnrecoverableButStillAccounted) {
+  MatrixPool pool(kTestScale);
+  ServeConfig config;
+  config.verify = integrity::VerifyMode::kCorrect;
+  config.sdc = loud_sdc(1.0, /*sticky_rate=*/1.0);
+  Simulator simulator(config, pool);
+  const auto result = simulator.run(generate_workload(integrity_workload(20)));
+
+  // The recompute is corrupted again every time: the single-chip layer has
+  // no replica to flee to, so the job is delivered flagged -- and counted.
+  EXPECT_EQ(result.completed, 20);
+  EXPECT_GT(result.sdc_corrupted, 0);
+  EXPECT_EQ(result.sdc_unrecoverable, result.sdc_corrupted);
+  EXPECT_EQ(result.sdc_corrected, 0);
+  EXPECT_EQ(result.sdc_escapes, 0);
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_EQ(job.sdc_outcome, integrity::Outcome::kUnrecoverable);
+    EXPECT_EQ(job.verify_attempts, 2);
+  }
+}
+
+TEST(ServeIntegrity, ClassificationReplaysAcrossThreadsAndRunCache) {
+  const auto requests = generate_workload(integrity_workload(40));
+  ServeConfig config;
+  config.verify = integrity::VerifyMode::kCorrect;
+  config.sdc.rate = 0.3;  // default bit range: some flips stay insignificant
+  config.sdc.sticky_rate = 0.5;
+
+  struct Replay {
+    double makespan = 0.0;
+    int corrupted = 0, retries = 0, corrected = 0, unrecoverable = 0, escapes = 0;
+    std::vector<double> completions;
+  };
+  const auto run_once = [&](int threads, bool run_cache) {
+    setenv("SCC_SIM_THREADS", std::to_string(threads).c_str(), 1);
+    MatrixPool pool = run_cache ? MatrixPool(kTestScale)
+                                : MatrixPool::without_run_cache(kTestScale);
+    Simulator simulator(config, pool);
+    const auto result = simulator.run(requests);
+    unsetenv("SCC_SIM_THREADS");
+    Replay replay;
+    replay.makespan = result.makespan_seconds;
+    replay.corrupted = result.sdc_corrupted;
+    replay.retries = result.sdc_retries;
+    replay.corrected = result.sdc_corrected;
+    replay.unrecoverable = result.sdc_unrecoverable;
+    replay.escapes = result.sdc_escapes;
+    for (const RequestRecord& record : result.records) {
+      replay.completions.push_back(record.completion_seconds);
+    }
+    return replay;
+  };
+
+  const Replay base = run_once(1, true);
+  EXPECT_GT(base.corrupted, 0);  // rate 0.3 over 40 requests must fire
+  for (const auto& [threads, cache] :
+       std::vector<std::pair<int, bool>>{{1, false}, {4, true}, {4, false}}) {
+    const Replay other = run_once(threads, cache);
+    EXPECT_EQ(other.makespan, base.makespan) << threads << " " << cache;
+    EXPECT_EQ(other.corrupted, base.corrupted);
+    EXPECT_EQ(other.retries, base.retries);
+    EXPECT_EQ(other.corrected, base.corrected);
+    EXPECT_EQ(other.unrecoverable, base.unrecoverable);
+    EXPECT_EQ(other.escapes, base.escapes);
+    EXPECT_EQ(other.completions, base.completions);
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gen/generators.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
 #include "scc/mapping.hpp"
 #include "sim/report.hpp"
@@ -91,7 +92,74 @@ TEST(RunKey, EverySpecKnobChangesTheKey) {
     s.detection_seconds = 0.5;
     EXPECT_NE(run_key(m, config, cores, s), key);
   }
+  {
+    RunSpec s;
+    s.verify = integrity::VerifyMode::kDetect;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+    RunSpec correct = s;
+    correct.verify = integrity::VerifyMode::kCorrect;
+    EXPECT_NE(run_key(m, config, cores, correct), run_key(m, config, cores, s));
+  }
+  {
+    RunSpec s;
+    s.sdc.rate = 0.5;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.sdc.sticky_rate = 0.25;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.sdc.seed = 0x1234;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.sdc.min_bit = 40;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.sdc.max_bit = 50;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
+  {
+    RunSpec s;
+    s.sdc_site = 7;
+    EXPECT_NE(run_key(m, config, cores, s), key);
+  }
   EXPECT_NE(run_key(m, config, {0, 1, 2}, base), key);
+}
+
+TEST(RunKey, CorruptedRunNeverServedFromCleanEntryEitherOrder) {
+  // Regression guard for the integrity layer: a run with live SDC injection
+  // must never be answered from the clean entry (nor vice versa), and two
+  // different injection sites must not collide.
+  const auto m = test_matrix();
+  RunSpec clean;
+  clean.ue_count = 4;
+  clean.verify = integrity::VerifyMode::kCorrect;
+  RunSpec corrupted = clean;
+  corrupted.sdc.rate = 1.0;
+  RunSpec other_site = corrupted;
+  other_site.sdc_site = 99;
+
+  Engine engine;
+  RunCache cache;
+  engine.attach_run_cache(&cache);
+  const RunResult a = engine.run(m, clean);
+  const RunResult b = engine.run(m, corrupted);
+  const RunResult c = engine.run(m, other_site);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(a.outcome, integrity::Outcome::kClean);
+  EXPECT_NE(b.outcome, integrity::Outcome::kClean);
+  // Replays hit their own entries with identical classifications.
+  EXPECT_EQ(engine.run(m, corrupted).outcome, b.outcome);
+  EXPECT_EQ(engine.run(m, other_site).seconds, c.seconds);
+  EXPECT_EQ(cache.hits(), 2u);
 }
 
 TEST(RunKey, EngineConfigAndMatrixArePartOfTheKey) {

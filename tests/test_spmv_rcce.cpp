@@ -173,6 +173,67 @@ TEST(RcceSpmvResilience, FaultLogIsDeterministicPerSeed) {
   EXPECT_FALSE(a.fault_log.empty());
 }
 
+TEST(RcceSpmvCorruption, CorruptedTransferPerturbsTheDistributedProduct) {
+  // End-to-end SDC through the transport: flip the payload of channel
+  // 0 -> 1's sixth message (the x broadcast; the slice protocol sends
+  // header, nnz, ptr, col, val, then x). The run must complete -- corruption
+  // is silent, not fatal -- but the delivered product must be wrong, which
+  // is exactly the escape the ABFT layer exists to catch.
+  fault::Plan plan;
+  plan.transfers.push_back({0, 1, 5, fault::TransferMode::kCorrupt, 0});
+  const auto m = gen::banded(1200, 10, 0.5, 21);
+  const auto x = test_vector(m.cols());
+  const auto result = rcce_spmv(m, x, 4, resilient_options(plan));
+  EXPECT_EQ(fault::count(result.report.fault_log, fault::EventType::kTransferCorrupt), 1u);
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_error = std::max(max_error, std::abs(result.y[i] - ref[i]));
+  }
+  EXPECT_GT(max_error, 1e-6) << "corrupted x broadcast left the product intact";
+}
+
+TEST(RcceSpmvCorruption, MemoryCorruptionPerturbsTheProductInEveryRegion) {
+  // A planned bit flip in each array a rank touches: the event must land in
+  // the fault log and the delivered product must differ from the reference
+  // (bit 52 sits in the exponent for doubles and folds to a large index
+  // perturbation for col/ptr), while the process itself stays alive --
+  // corrupted indices are clamped, never chased out of bounds. Element 300
+  // falls inside rank 1's row slice / column band in every region (indices
+  // wrap modulo the region size).
+  const auto m = gen::banded(900, 9, 0.5, 23);
+  const auto x = test_vector(m.cols());
+  const auto ref = sparse::dense_reference_spmv(m, x);
+  for (const fault::MemRegion region :
+       {fault::MemRegion::kVal, fault::MemRegion::kCol, fault::MemRegion::kPtr,
+        fault::MemRegion::kX, fault::MemRegion::kPartial}) {
+    fault::Plan plan;
+    plan.mem_corruptions.push_back({1, region, 300, 52});
+    const auto result = rcce_spmv(m, x, 4, resilient_options(plan));
+    EXPECT_EQ(fault::count(result.report.fault_log, fault::EventType::kMemCorrupt), 1u)
+        << fault::to_string(region);
+    double max_error = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      max_error = std::max(max_error, std::abs(result.y[i] - ref[i]));
+    }
+    EXPECT_GT(max_error, 1e-9) << "flip in " << fault::to_string(region)
+                               << " left the product intact";
+  }
+}
+
+TEST(RcceSpmvCorruption, StochasticMemoryCorruptionReplaysPerSeed) {
+  fault::Plan plan;
+  plan.seed = 44;
+  plan.mem_corrupt_rate = 0.5;
+  const auto m = gen::banded(800, 8, 0.5, 24);
+  const auto x = test_vector(m.cols());
+  const auto a = rcce_spmv(m, x, 4, resilient_options(plan));
+  const auto b = rcce_spmv(m, x, 4, resilient_options(plan));
+  EXPECT_GE(fault::count(a.report.fault_log, fault::EventType::kMemCorrupt), 1u);
+  EXPECT_EQ(a.report.fault_log, b.report.fault_log);
+  EXPECT_EQ(a.y, b.y);
+}
+
 /// Sweep: result equals the serial reference for every UE count tried.
 class RcceSpmvUeSweep : public ::testing::TestWithParam<int> {};
 

@@ -475,5 +475,145 @@ TEST(CliJson, AnalyzeEmitsAnalysisJson) {
   EXPECT_EQ(doc.at("kind").as_string(), "analysis");
 }
 
+// --- result integrity: --verify / --sdc-* / --bad-dram / --mem-corrupt ---
+
+TEST(CliIntegrity, SimulateVerifyJsonCarriesIntegritySection) {
+  const std::string path = generate_matrix("cli_integ_sim.mtx");
+  std::ostringstream out, err;
+  const std::string matrix_arg = "--matrix=" + path;
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=4",
+                          "--verify=correct", "--json"}),
+                    out, err),
+            0)
+      << err.str();
+  const auto doc = obs::Json::parse(out.str());
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("run").at("verify").as_string(), "correct");
+  const obs::Json& integ = doc.at("integrity");
+  EXPECT_EQ(integ.at("verify").as_string(), "correct");
+  EXPECT_EQ(integ.at("outcome").as_string(), "clean");
+  EXPECT_FALSE(integ.at("injected").as_bool());
+  EXPECT_EQ(integ.at("attempts").as_int(), 1);
+  EXPECT_GT(integ.at("verify_seconds").as_double(), 0.0);
+}
+
+TEST(CliIntegrity, SimulateInjectedSdcIsDetectedAndShownInTheTable) {
+  const std::string path = generate_matrix("cli_integ_sdc.mtx");
+  const std::string matrix_arg = "--matrix=" + path;
+  std::ostringstream out, err;
+  // Exponent-range flip at rate 1: the check must catch it.
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=4",
+                          "--verify=detect", "--sdc-rate=1", "--sdc-bits=52:62",
+                          "--json"}),
+                    out, err),
+            0)
+      << err.str();
+  const auto doc = obs::Json::parse(out.str());
+  const obs::Json& integ = doc.at("integrity");
+  EXPECT_TRUE(integ.at("injected").as_bool());
+  EXPECT_EQ(integ.at("outcome").as_string(), "detected");
+  EXPECT_GT(integ.at("residual").as_double(), integ.at("tolerance").as_double());
+
+  std::ostringstream table, err2;
+  ASSERT_EQ(run_cli(make({"simulate", matrix_arg.c_str(), "--cores=4",
+                          "--verify=correct", "--sdc-rate=1", "--sdc-bits=52:62"}),
+                    table, err2),
+            0)
+      << err2.str();
+  EXPECT_NE(table.str().find("verify / outcome"), std::string::npos);
+  EXPECT_NE(table.str().find("verify overhead"), std::string::npos);
+}
+
+TEST(CliIntegrity, MalformedIntegrityFlagsRejectedWithActionableErrors) {
+  const std::string path = generate_matrix("cli_integ_bad.mtx");
+  const std::string matrix_arg = "--matrix=" + path;
+  const auto expect_error = [&](std::vector<const char*> argv, const std::string& hint) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run_cli(make(argv), out, err), 1) << hint;
+    EXPECT_NE(err.str().find("error:"), std::string::npos) << hint;
+    EXPECT_NE(err.str().find(hint), std::string::npos) << err.str();
+  };
+  expect_error({"simulate", matrix_arg.c_str(), "--verify=on"}, "unknown verify mode");
+  expect_error({"simulate", matrix_arg.c_str(), "--sdc-rate=1.5"}, "--sdc-rate");
+  expect_error({"simulate", matrix_arg.c_str(), "--sdc-rate=1", "--sdc-bits=52"},
+               "--sdc-bits expects MIN:MAX");
+  expect_error({"simulate", matrix_arg.c_str(), "--sdc-rate=1", "--sdc-bits=10:99"},
+               "--sdc-bits needs 0 <= MIN <= MAX <= 63");
+  expect_error({"serve", "--sdc-sticky=-0.1"}, "--sdc-sticky");
+  expect_error({"cluster", "--bad-dram=1"}, "--bad-dram");
+  expect_error({"cluster", "--bad-dram=1:2.0"}, "--bad-dram");
+  expect_error({"cluster", "--quarantine-threshold=-1"}, "--quarantine-threshold");
+  expect_error({"resilience", matrix_arg.c_str(), "--mem-corrupt=0:val"},
+               "--mem-corrupt expects RANK:REGION:ELEMENT:BIT");
+  expect_error({"resilience", matrix_arg.c_str(), "--mem-corrupt=0:nowhere:3:4"},
+               "unknown memory region");
+  expect_error({"resilience", matrix_arg.c_str(), "--mem-corrupt=99:val:3:4"},
+               "out of range");
+  expect_error({"resilience", matrix_arg.c_str(), "--mem-corrupt-rate=2"},
+               "--mem-corrupt-rate");
+}
+
+TEST(CliIntegrity, ResilienceJsonCountsCorruptTransfersAndMemoryFlips) {
+  const std::string path = generate_matrix("cli_integ_res.mtx");
+  const std::string matrix_arg = "--matrix=" + path;
+  std::ostringstream out, err;
+  // A planned exponent flip corrupts the delivered product: the command
+  // reports the corruption in fault_counts and exits 1 (wrong product).
+  EXPECT_EQ(run_cli(make({"resilience", matrix_arg.c_str(), "--ues=4",
+                          "--mem-corrupt=1:val:50:52", "--json"}),
+                    out, err),
+            1)
+      << err.str();
+  const auto doc = obs::Json::parse(out.str());
+  EXPECT_TRUE(obs::validate_report(doc).empty());
+  EXPECT_EQ(doc.at("fault_counts").at("mem_corrupts").as_int(), 1);
+  EXPECT_FALSE(doc.at("resilience").at("correct").as_bool());
+  EXPECT_GT(doc.at("resilience").at("max_error").as_double(), 1e-9);
+
+  // Table mode surfaces both corruption rows.
+  std::ostringstream table, err2;
+  EXPECT_EQ(run_cli(make({"resilience", matrix_arg.c_str(), "--ues=4",
+                          "--mem-corrupt=1:val:50:52"}),
+                    table, err2),
+            1)
+      << err2.str();
+  EXPECT_NE(table.str().find("transfer corruptions"), std::string::npos);
+  EXPECT_NE(table.str().find("memory corruptions"), std::string::npos);
+  EXPECT_NE(table.str().find("WRONG"), std::string::npos);
+}
+
+TEST(CliIntegrity, ServeAndClusterJsonCarryIntegritySections) {
+  setenv("SCC_TESTBED_SCALE", "0.05", 1);
+  std::ostringstream serve_out, serve_err;
+  ASSERT_EQ(run_cli(make({"serve", "--requests=20", "--load=500",
+                          "--verify=correct", "--sdc-rate=0.5", "--json"}),
+                    serve_out, serve_err),
+            0)
+      << serve_err.str();
+  const auto serve_doc = obs::Json::parse(serve_out.str());
+  EXPECT_TRUE(obs::validate_report(serve_doc).empty());
+  EXPECT_EQ(serve_doc.at("integrity").at("verify").as_string(), "correct");
+  EXPECT_GT(serve_doc.at("integrity").at("sdc_corrupted").as_int(), 0);
+  EXPECT_EQ(serve_doc.at("integrity").at("sdc_corrupted").as_int(),
+            serve_doc.at("integrity").at("sdc_retries").as_int());
+
+  std::ostringstream cluster_out, cluster_err;
+  ASSERT_EQ(run_cli(make({"cluster", "--chips=2", "--requests=20", "--load=1000",
+                          "--verify=correct", "--bad-dram=0:1:1",
+                          "--quarantine-threshold=2", "--json"}),
+                    cluster_out, cluster_err),
+            0)
+      << cluster_err.str();
+  unsetenv("SCC_TESTBED_SCALE");
+  const auto cluster_doc = obs::Json::parse(cluster_out.str());
+  EXPECT_TRUE(obs::validate_report(cluster_doc).empty());
+  const obs::Json& integ = cluster_doc.at("integrity");
+  EXPECT_EQ(integ.at("verify").as_string(), "correct");
+  EXPECT_GT(integ.at("sdc_detected").as_int(), 0);
+  EXPECT_EQ(integ.at("sdc_escapes").as_int(), 0);
+  EXPECT_EQ(integ.at("quarantines").as_int(), 1);
+  EXPECT_EQ(cluster_doc.at("config").at("quarantine_threshold").as_int(), 2);
+}
+
 }  // namespace
 }  // namespace scc::tools

@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "fault/fault.hpp"
 #include "gen/generators.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "serve/loadgen.hpp"
@@ -123,6 +124,49 @@ sim::StorageFormat format_from(const CliArgs& args) {
   return sim::StorageFormat::kCsr;
 }
 
+/// --verify=off|detect|correct: the ABFT mode shared by `simulate`, `serve`
+/// and `cluster` (integrity::parse_verify_mode rejects anything else with
+/// the valid spellings).
+integrity::VerifyMode verify_mode_from(const CliArgs& args) {
+  return integrity::parse_verify_mode(args.get_or("verify", "off"));
+}
+
+/// --sdc-rate / --sdc-sticky / --sdc-seed / --sdc-bits=MIN:MAX into an SDC
+/// injection plan (simulate's and serve's corruption model; the cluster
+/// command instead injects through the fault plan's sdc_rate / bad_dram).
+integrity::SdcPlan sdc_plan_from(const CliArgs& args) {
+  integrity::SdcPlan sdc;
+  sdc.rate = args.get_double_or("sdc-rate", sdc.rate);
+  sdc.sticky_rate = args.get_double_or("sdc-sticky", sdc.sticky_rate);
+  SCC_REQUIRE(sdc.rate >= 0.0 && sdc.rate <= 1.0,
+              "--sdc-rate must be a probability in [0, 1], got " << sdc.rate);
+  SCC_REQUIRE(sdc.sticky_rate >= 0.0 && sdc.sticky_rate <= 1.0,
+              "--sdc-sticky must be a probability in [0, 1], got " << sdc.sticky_rate);
+  if (args.has("sdc-seed")) sdc.seed = parse_seed(args.get_or("sdc-seed", ""));
+  if (const auto bits = args.get("sdc-bits")) {
+    const auto sep = bits->find(':');
+    std::size_t lo_used = 0;
+    std::size_t hi_used = 0;
+    int lo = -1;
+    int hi = -1;
+    if (sep != std::string::npos && sep > 0 && sep + 1 < bits->size()) {
+      try {
+        lo = std::stoi(bits->substr(0, sep), &lo_used);
+        hi = std::stoi(bits->substr(sep + 1), &hi_used);
+      } catch (const std::exception&) {
+        lo_used = 0;
+      }
+    }
+    SCC_REQUIRE(lo_used == sep && sep + 1 + hi_used == bits->size(),
+                "--sdc-bits expects MIN:MAX (e.g. 32:62), got '" << *bits << "'");
+    SCC_REQUIRE(lo >= 0 && lo <= hi && hi <= 63,
+                "--sdc-bits needs 0 <= MIN <= MAX <= 63, got '" << *bits << "'");
+    sdc.min_bit = lo;
+    sdc.max_bit = hi;
+  }
+  return sdc;
+}
+
 /// Render a finished report per the shared output flags: pretty JSON into
 /// --json=FILE or onto `out`.
 void write_json_report(const OutputOptions& output, const obs::Json& report,
@@ -207,6 +251,8 @@ serve::ServeConfig serve_config_from(const CliArgs& args) {
   config.engine.freq = conf_from(args);
   config.autotune = args.get_bool_or("autotune", config.autotune);
   config.tuning = tuning_config_from(args);
+  config.verify = verify_mode_from(args);
+  config.sdc = sdc_plan_from(args);
   return config;
 }
 
@@ -300,6 +346,20 @@ void parse_fault_plan(const CliArgs& args, cluster::FaultPlan& plan) {
     const auto f = parse_fault_fields(item, 2, 0, "--domain-outage");
     plan.domain_outages.push_back({static_cast<int>(f[0]), f[1]});
   });
+  each(args.get_or("bad-dram", ""), [&](const std::string& item) {
+    const auto f = parse_fault_fields(item, 2, 3, "--bad-dram");
+    cluster::BadDram bad;
+    bad.chip = static_cast<int>(f[0]);
+    bad.rate = f[1];
+    if (f.size() == 3) bad.sticky_rate = f[2];
+    SCC_REQUIRE(bad.rate >= 0.0 && bad.rate <= 1.0 && bad.sticky_rate >= 0.0 &&
+                    bad.sticky_rate <= 1.0,
+                "--bad-dram CHIP:RATE[:STICKY] rates must be probabilities in [0, 1], got '"
+                    << item << "'");
+    plan.bad_dram.push_back(bad);
+  });
+  plan.sdc_rate = args.get_double_or("sdc-rate", plan.sdc_rate);
+  plan.sdc_sticky_rate = args.get_double_or("sdc-sticky", plan.sdc_sticky_rate);
   plan.chips_per_domain =
       static_cast<int>(args.get_int_or("chips-per-domain", plan.chips_per_domain));
   plan.restart_downtime_seconds =
@@ -405,6 +465,9 @@ int cmd_simulate(const CliArgs& args, std::ostream& out) {
   spec.ue_count = cores;
   spec.policy = policy;
   spec.format = format;
+  spec.verify = verify_mode_from(args);
+  spec.sdc = sdc_plan_from(args);
+  spec.sdc_site = static_cast<std::uint64_t>(args.get_int_or("sdc-site", 0));
   if (output.json() || !output.trace_path.empty()) spec.recorder = &recorder;
   const auto r = engine.run(m, spec);
   write_trace(output, recorder);
@@ -423,6 +486,12 @@ int cmd_simulate(const CliArgs& args, std::ostream& out) {
   t.add_row({"time", Table::num(r.seconds * 1e3, 3) + " ms"});
   t.add_row({"performance", Table::num(r.mflops(), 1) + " MFLOPS/s"});
   t.add_row({"bound by", r.bandwidth_bound ? "memory bandwidth" : "slowest core"});
+  if (spec.verify != integrity::VerifyMode::kOff || !spec.sdc.empty()) {
+    t.add_row({"verify / outcome", std::string(integrity::to_string(r.verify)) + " / " +
+                                       integrity::to_string(r.outcome)});
+    t.add_row({"verify overhead", Table::num(r.verify_seconds * 1e3, 3) + " ms, " +
+                                      Table::integer(r.verify_attempts) + " attempt(s)"});
+  }
   t.add_row({"mesh hot link",
              Table::num(static_cast<double>(r.mesh.max_link_bytes) / 1048576.0, 2) + " MB"});
   t.print(out);
@@ -476,8 +545,57 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   }
   plan.transient_rate = args.get_double_or("transient-rate", 0.0);
   plan.drop_rate = args.get_double_or("drop-rate", 0.0);
+  plan.corrupt_rate = args.get_double_or("corrupt-rate", 0.0);
   plan.delay_rate = args.get_double_or("delay-rate", 0.0);
   plan.delay_seconds = args.get_double_or("delay-seconds", 0.0005);
+  plan.mem_corrupt_rate = args.get_double_or("mem-corrupt-rate", 0.0);
+  SCC_REQUIRE(plan.mem_corrupt_rate >= 0.0 && plan.mem_corrupt_rate <= 1.0,
+              "--mem-corrupt-rate must be a probability in [0, 1], got "
+                  << plan.mem_corrupt_rate);
+  {
+    // --mem-corrupt=RANK:REGION:ELEMENT:BIT,... deterministic bit flips.
+    std::stringstream list(args.get_or("mem-corrupt", ""));
+    std::string item;
+    const auto parse_field = [](const std::string& field, const std::string& spec_text,
+                                const char* what) -> long long {
+      std::size_t used = 0;
+      long long value = -1;
+      try {
+        value = std::stoll(field, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      SCC_REQUIRE(used == field.size() && !field.empty(),
+                  "--mem-corrupt " << what << " must be an integer in '" << spec_text
+                                   << "' (expected RANK:REGION:ELEMENT:BIT, e.g. 1:val:100:40)");
+      return value;
+    };
+    while (std::getline(list, item, ',')) {
+      if (item.empty()) continue;
+      std::stringstream stream(item);
+      std::string rank_text;
+      std::string region_text;
+      std::string element_text;
+      std::string bit_text;
+      const bool shape = static_cast<bool>(std::getline(stream, rank_text, ':')) &&
+                         static_cast<bool>(std::getline(stream, region_text, ':')) &&
+                         static_cast<bool>(std::getline(stream, element_text, ':')) &&
+                         static_cast<bool>(std::getline(stream, bit_text));
+      SCC_REQUIRE(shape && stream.eof(),
+                  "--mem-corrupt expects RANK:REGION:ELEMENT:BIT (e.g. 1:val:100:40), got '"
+                      << item << "'");
+      fault::Plan::MemCorrupt corrupt;
+      corrupt.rank = static_cast<int>(parse_field(rank_text, item, "RANK"));
+      corrupt.region = fault::parse_mem_region(region_text);
+      corrupt.element = static_cast<std::uint64_t>(parse_field(element_text, item, "ELEMENT"));
+      corrupt.bit = static_cast<int>(parse_field(bit_text, item, "BIT"));
+      SCC_REQUIRE(corrupt.rank >= 0 && corrupt.rank < ues,
+                  "--mem-corrupt rank " << corrupt.rank << " out of range 0.." << ues - 1);
+      SCC_REQUIRE(corrupt.bit >= 0 && corrupt.bit <= 63,
+                  "--mem-corrupt bit " << corrupt.bit << " must be 0..63");
+      plan.mem_corruptions.push_back(corrupt);
+    }
+  }
 
   obs::Recorder recorder;
   const bool observe = output.json() || !output.trace_path.empty();
@@ -543,6 +661,8 @@ int cmd_resilience(const CliArgs& args, std::ostream& out) {
   t.add_row({"fault seed", Table::integer(static_cast<long long>(plan.seed))});
   t.add_row({"UEs killed", Table::integer(static_cast<long long>(run.report.dead_ues.size()))});
   t.add_row({"transfer drops", events(fault::EventType::kTransferDrop)});
+  t.add_row({"transfer corruptions", events(fault::EventType::kTransferCorrupt)});
+  t.add_row({"memory corruptions", events(fault::EventType::kMemCorrupt)});
   t.add_row({"transient retries", events(fault::EventType::kRetry)});
   t.add_row({"straggler delays", events(fault::EventType::kDelay)});
   t.add_row({"watchdog timeouts", events(fault::EventType::kTimeout)});
@@ -612,6 +732,14 @@ int cmd_serve(const CliArgs& args, std::ostream& out) {
                  Table::num(result.latency_total.p99 * 1e3, 2) + " ms"});
   t.add_row({"SLO violations", Table::integer(result.slo_violations)});
   t.add_row({"max queue depth", Table::integer(result.max_queue_depth)});
+  if (config.verify != integrity::VerifyMode::kOff || result.sdc_corrupted > 0) {
+    t.add_row({"verify mode", integrity::to_string(config.verify)});
+    t.add_row({"SDC corrupted / retried / corrected / escapes",
+               Table::integer(result.sdc_corrupted) + " / " +
+                   Table::integer(result.sdc_retries) + " / " +
+                   Table::integer(result.sdc_corrected) + " / " +
+                   Table::integer(result.sdc_escapes)});
+  }
   t.print(out);
   return 0;
 }
@@ -634,6 +762,10 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
       args.get_double_or("reship-bw", config.placement.reship_bandwidth_fraction);
   config.placement.warmup_runs =
       static_cast<int>(args.get_int_or("warmup-runs", config.placement.warmup_runs));
+  config.quarantine_threshold = static_cast<int>(
+      args.get_int_or("quarantine-threshold", config.quarantine_threshold));
+  SCC_REQUIRE(config.quarantine_threshold >= 0,
+              "--quarantine-threshold must be >= 0 (0 disables quarantine)");
   parse_fault_plan(args, config.faults);
 
   const auto requests = serve::generate_workload(workload);
@@ -676,6 +808,15 @@ int cmd_cluster(const CliArgs& args, std::ostream& out) {
                  Table::num(result.reship_bytes / 1024.0, 1) + " KB / " +
                  Table::integer(result.cold_runs)});
   t.add_row({"breaker trips", Table::integer(result.breaker_trips)});
+  if (config.chip.verify != integrity::VerifyMode::kOff || result.sdc_corrupted > 0) {
+    t.add_row({"verify mode", integrity::to_string(config.chip.verify)});
+    t.add_row({"SDC detected / corrected / unrecoverable / escapes",
+               Table::integer(result.sdc_detected) + " / " +
+                   Table::integer(result.sdc_corrected) + " / " +
+                   Table::integer(result.sdc_unrecoverable) + " / " +
+                   Table::integer(result.sdc_escapes)});
+    t.add_row({"quarantined chips", Table::integer(result.quarantines)});
+  }
   t.add_row({"makespan", Table::num(result.makespan_seconds, 3) + " s"});
   t.add_row({"throughput", Table::num(result.throughput_rps, 1) + " req/s"});
   t.add_row({"latency p50/p95/p99",
@@ -892,14 +1033,20 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "  analyze   --matrix FILE | --id K                      structural report\n"
       "  simulate  --matrix FILE | --id K [--cores C] [--mapping standard|dr|ca]\n"
       "            [--conf 0|1|2] [--format csr|ell|bcsr2|bcsr4|hyb]\n"
+      "            [--verify off|detect|correct] [--sdc-rate P --sdc-sticky P]\n"
+      "            [--sdc-seed S --sdc-bits MIN:MAX --sdc-site K]\n"
       "  convert   --matrix FILE [--rcm] --out FILE            normalize / reorder\n"
       "  resilience [--matrix FILE | --id K | --family F] [--ues U]\n"
       "            [--kill-ranks 1,3 --kill-op N] [--transient-rate P] [--drop-rate P]\n"
-      "            [--delay-rate P] [--timeout S] [--fault-seed S] [--log]\n"
+      "            [--corrupt-rate P] [--delay-rate P] [--timeout S] [--fault-seed S]\n"
+      "            [--mem-corrupt RANK:REGION:ELEMENT:BIT,...] [--mem-corrupt-rate P]\n"
+      "            (REGION: val|col|ptr|x|partial) [--log]\n"
       "  serve     [--policy fifo|quadrants|matrix-aware] [--load RPS] [--requests N]\n"
       "            [--mix 19,22,27,30] [--interactive-fraction P] [--batch on|off]\n"
       "            [--batch-max K] [--queue-depth D] [--reserve R]\n"
       "            [--slo-interactive S] [--slo-batch S] [--conf 0|1|2]\n"
+      "            [--verify off|detect|correct] [--sdc-rate P --sdc-sticky P\n"
+      "            --sdc-seed S --sdc-bits MIN:MAX] (per-job SDC injection)\n"
       "  cluster   [--chips N] [--failover on|off] [--crash C:T,...]\n"
       "            [--tile-kill C:CORE:T,...] [--brownout C:MC:T0:DUR[:DERATE],...]\n"
       "            [--restart C:T,...] [--restart-downtime S] [--flap C:T0:CYCLES:PERIOD,...]\n"
@@ -907,6 +1054,8 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
       "            [--fault-plan FILE.json] (seeded scenario; flags layer on top)\n"
       "            [--replicas R] [--reship-bw F] [--warmup-runs K]\n"
       "            [--crash-rate P --crash-horizon S] [--job-failure-rate P]\n"
+      "            [--verify off|detect|correct] [--sdc-rate P --sdc-sticky P]\n"
+      "            [--bad-dram CHIP:RATE[:STICKY],...] [--quarantine-threshold N]\n"
       "            [--retries K] [--hedge on|off --hedge-delay S] [--fault-seed S]\n"
       "            [--log] plus every serve workload/config flag\n"
       "  autotune  [--id K | --matrix FILE | --mix 26,27] [--conf 0|1|2]\n"
